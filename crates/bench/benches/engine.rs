@@ -1,0 +1,71 @@
+//! Engine performance: cost of one `update` round (and its phases) as the
+//! grid scales — the systems-level benchmark behind every figure harness.
+
+use cellflow_core::{move_phase, route_phase, signal_phase, update, Params, System, SystemConfig};
+use cellflow_grid::{CellId, GridDims};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn loaded_system(n: u16) -> System {
+    let params = Params::from_milli(250, 50, 200).unwrap();
+    let config = SystemConfig::new(GridDims::square(n), CellId::new(1, n - 1), params)
+        .unwrap()
+        .with_source(CellId::new(1, 0))
+        .with_source(CellId::new(0, 0));
+    let mut sys = System::new(config);
+    // Warm up: stable routing and a populated pipeline.
+    sys.run(4 * n as u64);
+    sys
+}
+
+fn bench_update_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_round");
+    for n in [8u16, 16, 32, 64] {
+        let sys = loaded_system(n);
+        group.throughput(Throughput::Elements(u64::from(n) * u64::from(n)));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}")),
+            &sys,
+            |b, sys| {
+                let config = sys.config().clone();
+                let state = sys.state().clone();
+                b.iter(|| update(&config, &state, 0));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let sys = loaded_system(16);
+    let config = sys.config().clone();
+    let state = sys.state().clone();
+    let routed = route_phase(&config, &state);
+    let signaled = signal_phase(&config, &routed, 0);
+
+    let mut group = c.benchmark_group("phases_16x16");
+    group.bench_function("route", |b| b.iter(|| route_phase(&config, &state)));
+    group.bench_function("signal", |b| b.iter(|| signal_phase(&config, &routed, 0)));
+    group.bench_function("move", |b| b.iter(|| move_phase(&config, &signaled)));
+    group.finish();
+}
+
+fn bench_long_run(c: &mut Criterion) {
+    // Whole-simulation cost: 100 rounds of the Figure 7 scenario.
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20);
+    group.bench_function("fig7_100_rounds", |b| {
+        b.iter(|| {
+            let mut sim = cellflow_sim::Simulation::new(
+                cellflow_sim::scenario::fig7_point(50, 200).config,
+                1,
+            )
+            .with_safety_checks(false);
+            sim.run(100);
+            sim.metrics().consumed_total()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_round, bench_phases, bench_long_run);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Scenario benchmarks: simulation speed of each paper experiment (rounds per
+//! second of the Figure 7/8/9 configurations), so regressions in the engine
+//! show up per-experiment.
+
+use cellflow_sim::scenario::{fig7_point, fig8_point, fig9_point, run_spec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const ROUNDS: u64 = 250;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_rounds");
+    group.throughput(Throughput::Elements(ROUNDS));
+    group.sample_size(20);
+    for v in [50i64, 250] {
+        let spec = fig7_point(50, v);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("v{v}")),
+            &spec,
+            |b, s| {
+                b.iter(|| run_spec(s, ROUNDS, 1));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_rounds");
+    group.throughput(Throughput::Elements(ROUNDS));
+    group.sample_size(20);
+    for turns in [0usize, 6] {
+        let spec = fig8_point(turns, 200, 200).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("turns{turns}")),
+            &spec,
+            |b, s| {
+                b.iter(|| run_spec(s, ROUNDS, 1));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_rounds");
+    group.throughput(Throughput::Elements(ROUNDS));
+    group.sample_size(20);
+    for (pf, pr) in [(0.01, 0.2), (0.05, 0.05)] {
+        let spec = fig9_point(pf, pr);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("pf{pf}_pr{pr}")),
+            &spec,
+            |b, s| {
+                b.iter(|| run_spec(s, ROUNDS, 1));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7, bench_fig8, bench_fig9);
+criterion_main!(benches);

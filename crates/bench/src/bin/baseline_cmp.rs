@@ -1,0 +1,15 @@
+//! Ablation B: distributed protocol vs an omniscient centralized controller
+//! with identical physics, over the Figure 7 `rs` sweep.
+//!
+//! Usage: `cargo run --release -p cellflow-bench --bin baseline_cmp [K]`
+
+use cellflow_bench::{baseline_comparison, k_from_args};
+use cellflow_sim::sweep::default_threads;
+use cellflow_sim::table::format_table;
+
+fn main() {
+    let k = k_from_args(2_500);
+    let (dist, central) = baseline_comparison(k, default_threads());
+    println!("Ablation: distributed vs centralized (8x8, l=0.25, v=0.2, K={k})\n");
+    println!("{}", format_table("rs", &[dist, central]));
+}

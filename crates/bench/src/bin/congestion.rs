@@ -1,0 +1,16 @@
+//! Congestion sweep (this repository's addition, motivated by the paper's
+//! §I): throughput and blocked signals as offered load grows from one to
+//! eight injecting sources feeding a single sink.
+//!
+//! Usage: `cargo run --release -p cellflow-bench --bin congestion [K]`
+
+use cellflow_bench::{congestion, k_from_args};
+use cellflow_sim::sweep::default_threads;
+use cellflow_sim::table::format_table;
+
+fn main() {
+    let k = k_from_args(2_500);
+    let (throughput, blocked) = congestion(k, default_threads());
+    println!("Congestion: offered load vs delivered throughput (8x8, l=0.2, v=0.2, K={k})\n");
+    println!("{}", format_table("sources", &[throughput, blocked]));
+}

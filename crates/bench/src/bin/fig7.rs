@@ -1,0 +1,16 @@
+//! Regenerates the paper's Figure 7: throughput vs safety spacing `rs` for
+//! velocities 0.05–0.25, on the 8×8 grid with `l = 0.25`, `K = 2500`.
+//!
+//! Usage: `cargo run --release -p cellflow-bench --bin fig7 [K]`
+
+use cellflow_bench::{fig7, k_from_args};
+use cellflow_sim::sweep::default_threads;
+use cellflow_sim::table::{format_table, to_csv};
+
+fn main() {
+    let k = k_from_args(2_500);
+    let series = fig7(k, default_threads());
+    println!("Figure 7: throughput vs rs (8x8, l=0.25, K={k})\n");
+    println!("{}", format_table("rs", &series));
+    eprintln!("{}", to_csv("rs", &series));
+}

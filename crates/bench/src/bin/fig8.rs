@@ -1,0 +1,16 @@
+//! Regenerates the paper's Figure 8: throughput vs number of turns along a
+//! length-8 path, `rs = 0.05`, four `(l, v)` series, `K = 2500`.
+//!
+//! Usage: `cargo run --release -p cellflow-bench --bin fig8 [K]`
+
+use cellflow_bench::{fig8, k_from_args};
+use cellflow_sim::sweep::default_threads;
+use cellflow_sim::table::{format_table, to_csv};
+
+fn main() {
+    let k = k_from_args(2_500);
+    let series = fig8(k, default_threads());
+    println!("Figure 8: throughput vs turns (8x8, rs=0.05, path length 8, K={k})\n");
+    println!("{}", format_table("turns", &series));
+    eprintln!("{}", to_csv("turns", &series));
+}

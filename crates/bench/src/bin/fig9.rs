@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 9: throughput vs failure rate `pf` for
+//! recovery rates 0.05–0.2, under per-round random fail/recover,
+//! `rs = 0.05, l = 0.2, v = 0.2`, `K = 20000`.
+//!
+//! Usage: `cargo run --release -p cellflow-bench --bin fig9 [K]`
+
+use cellflow_bench::{fig9, k_from_args};
+use cellflow_sim::sweep::default_threads;
+use cellflow_sim::table::{format_table, to_csv};
+
+fn main() {
+    let k = k_from_args(20_000);
+    let series = fig9(k, default_threads(), 3);
+    println!("Figure 9: throughput vs pf (8x8, rs=0.05, l=0.2, v=0.2, K={k}, 3 seeds)\n");
+    println!("{}", format_table("pf", &series));
+    eprintln!("{}", to_csv("pf", &series));
+}

@@ -1,0 +1,15 @@
+//! The Section IV observation that throughput is independent of path length:
+//! throughput vs straight-path length at `v = 0.2`.
+//!
+//! Usage: `cargo run --release -p cellflow-bench --bin path_length [K]`
+
+use cellflow_bench::{k_from_args, path_length};
+use cellflow_sim::sweep::default_threads;
+use cellflow_sim::table::format_table;
+
+fn main() {
+    let k = k_from_args(2_500);
+    let series = path_length(k, default_threads());
+    println!("Throughput vs path length (8x8, l=0.25, rs=0.05, K={k})\n");
+    println!("{}", format_table("len", &[series]));
+}

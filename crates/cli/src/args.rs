@@ -1,0 +1,82 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed flags: `--key value` pairs plus bare boolean switches.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses everything after the subcommand. Flags look like `--key value`;
+    /// a flag followed by another flag (or end of input) is a boolean switch.
+    pub fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut flags = Flags::default();
+        let mut k = 0;
+        while k < args.len() {
+            let arg = &args[k];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{arg}` (flags start with --)"));
+            };
+            if key.is_empty() {
+                return Err("empty flag name".into());
+            }
+            let next_is_value = args
+                .get(k + 1)
+                .map(|n| !n.starts_with("--"))
+                .unwrap_or(false);
+            if next_is_value {
+                flags.values.insert(key.to_string(), args[k + 1].clone());
+                k += 2;
+            } else {
+                flags.switches.push(key.to_string());
+                k += 1;
+            }
+        }
+        Ok(flags)
+    }
+
+    /// A numeric or string value with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value `{raw}` for --{key}")),
+        }
+    }
+
+    /// `true` if the boolean switch was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let f = Flags::parse(&argv("--n 8 --watch --rounds 100")).unwrap();
+        assert_eq!(f.get("n", 0u16).unwrap(), 8);
+        assert_eq!(f.get("rounds", 0u64).unwrap(), 100);
+        assert!(f.has("watch"));
+        assert!(!f.has("quiet"));
+        assert_eq!(f.get("missing", 42u32).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Flags::parse(&argv("positional")).is_err());
+        assert!(Flags::parse(&argv("--")).is_err());
+        let f = Flags::parse(&argv("--n eight")).unwrap();
+        assert!(f.get("n", 0u16).is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! Subcommand implementations.
+
+use cellflow_core::mc::BoundedSystem;
+use cellflow_core::{safety, Params, System, SystemConfig};
+use cellflow_dts::{check_invariant, ExploreConfig};
+use cellflow_grid::{CellId, GridDims};
+use cellflow_sim::failure::RandomFailRecover;
+use cellflow_sim::scenario;
+use cellflow_sim::sweep::default_threads;
+use cellflow_sim::table::format_table;
+use cellflow_sim::{render, Simulation};
+
+use crate::args::Flags;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+cellflow — safe and stabilizing distributed cellular flows (ICDCS 2010)
+
+USAGE:
+  cellflow run   [--n 8] [--rounds 500] [--l 250] [--rs 50] [--v 200]
+                 [--pf 0.0] [--pr 0.0] [--seed 1] [--watch] [--heatmap]
+  cellflow run3d [--n 4] [--nz 3] [--rounds 500]    the 3-D extension
+  cellflow multi [--n 7] [--rounds 2000] [--capacity 1]
+                                     crossing multi-commodity flows
+  cellflow demo                      ASCII rendering of the paper's Figure 1
+  cellflow fig7  [--rounds 2500]     regenerate Figure 7 (throughput vs rs)
+  cellflow fig8  [--rounds 2500]     regenerate Figure 8 (throughput vs turns)
+  cellflow fig9  [--rounds 20000]    regenerate Figure 9 (throughput vs pf)
+  cellflow paths [--rounds 2500]     throughput vs path length
+  cellflow mc    [--budget 2] [--fallible 1] [--recovery]
+                                     exhaustively model-check safety
+  cellflow help                      this text
+
+All lengths (--l, --rs, --v) are in milli-cells: 250 = 0.25 cell sides.";
+
+/// Dispatches a parsed command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let flags = Flags::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "run" => run(&flags),
+        "run3d" => run3d(&flags),
+        "multi" => multi(&flags),
+        "demo" => demo(),
+        "fig7" => fig(&flags, Fig::Seven),
+        "fig8" => fig(&flags, Fig::Eight),
+        "fig9" => fig(&flags, Fig::Nine),
+        "paths" => paths(&flags),
+        "mc" => mc(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn run(flags: &Flags) -> Result<(), String> {
+    let n: u16 = flags.get("n", 8)?;
+    if n < 2 {
+        return Err("--n must be at least 2".into());
+    }
+    let rounds: u64 = flags.get("rounds", 500)?;
+    let l: i64 = flags.get("l", 250)?;
+    let rs: i64 = flags.get("rs", 50)?;
+    let v: i64 = flags.get("v", 200)?;
+    let pf: f64 = flags.get("pf", 0.0)?;
+    let pr: f64 = flags.get("pr", 0.0)?;
+    let seed: u64 = flags.get("seed", 1)?;
+    let every: u64 = flags.get("every", 10)?;
+    let watch = flags.has("watch");
+    let show_heatmap = flags.has("heatmap");
+
+    let params = Params::from_milli(l, rs, v).map_err(|e| e.to_string())?;
+    let config = SystemConfig::new(GridDims::square(n), CellId::new(1, n - 1), params)
+        .map_err(|e| e.to_string())?
+        .with_source(CellId::new(1, 0));
+    let mut sim = Simulation::new(config, seed);
+    if pf > 0.0 || pr > 0.0 {
+        sim = sim.with_failure_model(RandomFailRecover::new(pf, pr, seed));
+    }
+
+    let mut heat = cellflow_sim::heatmap::OccupancyGrid::new(sim.system().config().dims());
+    for round in 0..rounds {
+        sim.step();
+        if show_heatmap {
+            heat.record(sim.system().config(), sim.system().state());
+        }
+        if watch && round % every.max(1) == 0 {
+            println!("\x1B[2J\x1B[H-- round {round} --");
+            println!(
+                "{}",
+                render::render(sim.system().config(), sim.system().state())
+            );
+            std::thread::sleep(std::time::Duration::from_millis(60));
+        }
+    }
+
+    let m = sim.metrics();
+    println!("rounds:            {}", m.rounds());
+    println!("inserted:          {}", m.inserted_total());
+    println!("consumed:          {}", m.consumed_total());
+    println!("in flight:         {}", sim.system().state().entity_count());
+    println!("throughput:        {:.4}", m.throughput());
+    println!("blocked per round: {:.2}", m.mean_blocked());
+    match safety::check_safe(sim.system().config(), sim.system().state()) {
+        Ok(()) => println!("safety:            OK (Theorem 5 predicate holds)"),
+        Err(v) => println!("safety:            VIOLATED — {v}"),
+    }
+    if show_heatmap {
+        println!(
+            "\noccupancy heat map (9 = hottest cell {}):",
+            heat.hottest()
+        );
+        println!("{}", heat.render());
+    }
+    Ok(())
+}
+
+fn run3d(flags: &Flags) -> Result<(), String> {
+    use cellflow_cube::{safety, CellId3, Dims3, System3, SystemConfig3};
+    let n: u16 = flags.get("n", 4)?;
+    let nz: u16 = flags.get("nz", 3)?;
+    if n < 2 || nz < 1 {
+        return Err("--n must be ≥ 2 and --nz ≥ 1".into());
+    }
+    let rounds: u64 = flags.get("rounds", 500)?;
+    let l: i64 = flags.get("l", 200)?;
+    let rs: i64 = flags.get("rs", 50)?;
+    let v: i64 = flags.get("v", 150)?;
+    let params = Params::from_milli(l, rs, v).map_err(|e| e.to_string())?;
+    let config = SystemConfig3::new(
+        Dims3::new(n, n, nz),
+        CellId3::new(n - 1, n - 1, nz - 1),
+        params,
+    )
+    .map_err(|e| e.to_string())?
+    .with_source(CellId3::new(0, 0, 0));
+    let mut sky = System3::new(config);
+    sky.run(rounds);
+    println!("rounds:     {rounds}");
+    println!("launched:   {}", sky.inserted_total());
+    println!("landed:     {}", sky.consumed_total());
+    println!("airborne:   {}", sky.state().entity_count());
+    println!(
+        "throughput: {:.4}",
+        sky.consumed_total() as f64 / rounds.max(1) as f64
+    );
+    match safety::check_safe3(sky.config(), sky.state()) {
+        Ok(()) => println!("safety:     OK (3-D separation predicate holds)"),
+        Err(viol) => println!("safety:     VIOLATED — {viol}"),
+    }
+    Ok(())
+}
+
+fn multi(flags: &Flags) -> Result<(), String> {
+    use cellflow_multiflow::{safety, FlowType, MultiConfig, MultiSystem};
+    let n: u16 = flags.get("n", 7)?;
+    if n < 5 {
+        return Err("--n must be at least 5 for the crossing pattern".into());
+    }
+    let rounds: u64 = flags.get("rounds", 2_000)?;
+    let capacity: usize = flags.get("capacity", 1)?;
+    let params = Params::from_milli(200, 50, 150).expect("static parameters are valid");
+    let mid = n / 2;
+    let config = MultiConfig::new(GridDims::square(n), params)
+        .map_err(|e| e.to_string())?
+        .with_flow(FlowType(0), CellId::new(0, mid), CellId::new(n - 1, mid))
+        .map_err(|e| e.to_string())?
+        .with_flow(FlowType(1), CellId::new(mid, 0), CellId::new(mid, n - 1))
+        .map_err(|e| e.to_string())?
+        .with_flow(
+            FlowType(2),
+            CellId::new(n - 1, mid + 1),
+            CellId::new(0, mid + 1),
+        )
+        .map_err(|e| e.to_string())?
+        .with_cell_capacity(capacity);
+    let mut sys = MultiSystem::new(config);
+    sys.run(rounds);
+    println!("rounds: {rounds}, cell capacity: {capacity}");
+    for t in 0..3u8 {
+        let ty = FlowType(t);
+        println!(
+            "  τ{t}: inserted {:4}  delivered {:4}  in flight {:3}",
+            sys.inserted(ty),
+            sys.consumed(ty),
+            sys.state().entity_count_of(ty)
+        );
+    }
+    match safety::check_safe_multi(sys.config(), sys.state()) {
+        Ok(()) => println!("safety: OK (type-agnostic separation holds)"),
+        Err((c, a, b)) => println!("safety: VIOLATED on {c}: {a} vs {b}"),
+    }
+    Ok(())
+}
+
+fn demo() -> Result<(), String> {
+    let sys = scenario::fig1_demo();
+    println!("The paper's Figure 1 schematic (4×4, target ⟨2,2⟩, source ⟨1,0⟩, ⟨2,1⟩ failed):\n");
+    println!("{}", render::render(sys.config(), sys.state()));
+    println!("T = target, S = source, x = failed, o = entity, arrows = next pointers");
+    Ok(())
+}
+
+enum Fig {
+    Seven,
+    Eight,
+    Nine,
+}
+
+fn fig(flags: &Flags, which: Fig) -> Result<(), String> {
+    let threads = default_threads();
+    match which {
+        Fig::Seven => {
+            let k: u64 = flags.get("rounds", 2_500)?;
+            let series = cellflow_bench::fig7(k, threads);
+            println!("Figure 7: throughput vs rs (8×8, l=0.25, K={k})\n");
+            println!("{}", format_table("rs", &series));
+        }
+        Fig::Eight => {
+            let k: u64 = flags.get("rounds", 2_500)?;
+            let series = cellflow_bench::fig8(k, threads);
+            println!("Figure 8: throughput vs turns (8×8, rs=0.05, K={k})\n");
+            println!("{}", format_table("turns", &series));
+        }
+        Fig::Nine => {
+            let k: u64 = flags.get("rounds", 20_000)?;
+            let seeds: u64 = flags.get("seeds", 3)?;
+            let series = cellflow_bench::fig9(k, threads, seeds);
+            println!("Figure 9: throughput vs pf (8×8, rs=0.05, l=0.2, v=0.2, K={k})\n");
+            println!("{}", format_table("pf", &series));
+        }
+    }
+    Ok(())
+}
+
+fn paths(flags: &Flags) -> Result<(), String> {
+    let k: u64 = flags.get("rounds", 2_500)?;
+    let series = cellflow_bench::path_length(k, default_threads());
+    println!("Throughput vs straight path length (8×8, l=0.25, rs=0.05, v=0.2, K={k})\n");
+    println!("{}", format_table("len", &[series]));
+    Ok(())
+}
+
+fn mc(flags: &Flags) -> Result<(), String> {
+    let budget: u64 = flags.get("budget", 2)?;
+    let fallible: usize = flags.get("fallible", 1)?;
+    let recovery = flags.has("recovery");
+
+    let config = SystemConfig::new(
+        GridDims::new(3, 1),
+        CellId::new(2, 0),
+        Params::from_milli(250, 50, 200).expect("static parameters are valid"),
+    )
+    .expect("static target is valid")
+    .with_source(CellId::new(0, 0))
+    .with_entity_budget(budget);
+
+    let fallible_cells: Vec<CellId> = [CellId::new(1, 0), CellId::new(2, 0)]
+        .into_iter()
+        .take(fallible)
+        .collect();
+    println!(
+        "Model checking a 3×1 corridor: budget={budget}, fallible={fallible_cells:?}, recovery={recovery}"
+    );
+    let cfg_for_check = config.clone();
+    let sys = BoundedSystem::new(config).with_fallible(fallible_cells, recovery);
+    let started = std::time::Instant::now();
+    let result = check_invariant(
+        &sys,
+        |s| {
+            safety::check_safe(&cfg_for_check, s).is_ok()
+                && safety::check_invariant1(&cfg_for_check, s).is_ok()
+                && safety::check_invariant2(&cfg_for_check, s).is_ok()
+        },
+        &ExploreConfig {
+            max_states: 5_000_000,
+            max_depth: usize::MAX,
+        },
+    );
+    match result {
+        Ok(report) => {
+            println!(
+                "SAFE: {} states, {} transitions, exhaustive={}, {:.2?}",
+                report.states_explored,
+                report.transitions,
+                report.exhaustive,
+                started.elapsed()
+            );
+        }
+        Err(violation) => {
+            return Err(format!(
+                "safety violated after {} steps: {:?}",
+                violation.trace.len(),
+                violation.state
+            ))
+        }
+    }
+    // Liveness (AG EF all-consumed) is only meaningful when crashed cells can
+    // recover; a permanent mid-corridor crash legitimately traps entities.
+    if recovery || fallible == 0 {
+        let started = std::time::Instant::now();
+        match cellflow_dts::check_possibly(
+            &sys,
+            |s| s.next_entity_id == budget && s.entity_count() == 0,
+            &ExploreConfig {
+                max_states: 5_000_000,
+                max_depth: usize::MAX,
+            },
+        ) {
+            Ok(live) => println!(
+                "LIVE: AG EF all-consumed over {} states ({} goal states), {:.2?}",
+                live.states,
+                live.goal_states,
+                started.elapsed()
+            ),
+            Err(trap) => {
+                return Err(format!(
+                    "trapped state found after {} steps",
+                    trap.trace.len()
+                ))
+            }
+        }
+    } else {
+        println!("LIVE: skipped (permanent failures can trap entities; pass --recovery)");
+    }
+    Ok(())
+}
+
+/// Demo helper used by tests: a tiny system everyone can step.
+#[allow(dead_code)]
+pub fn tiny_system() -> System {
+    System::new(
+        SystemConfig::new(
+            GridDims::square(3),
+            CellId::new(2, 2),
+            Params::from_milli(250, 50, 200).expect("valid"),
+        )
+        .expect("valid")
+        .with_source(CellId::new(0, 0)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_and_empty_succeed() {
+        assert!(dispatch(&[]).is_ok());
+        assert!(dispatch(&argv("help")).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = dispatch(&argv("frobnicate")).unwrap_err();
+        assert!(err.contains("frobnicate"));
+    }
+
+    #[test]
+    fn run_small() {
+        assert!(dispatch(&argv("run --n 4 --rounds 50")).is_ok());
+    }
+
+    #[test]
+    fn run_validates_params() {
+        let err = dispatch(&argv("run --n 4 --v 900")).unwrap_err();
+        assert!(err.contains("exceed"), "{err}");
+        assert!(dispatch(&argv("run --n 1")).is_err());
+    }
+
+    #[test]
+    fn demo_renders() {
+        assert!(dispatch(&argv("demo")).is_ok());
+    }
+
+    #[test]
+    fn figures_run_at_tiny_k() {
+        assert!(dispatch(&argv("fig7 --rounds 40")).is_ok());
+        assert!(dispatch(&argv("fig8 --rounds 40")).is_ok());
+        assert!(dispatch(&argv("fig9 --rounds 40 --seeds 1")).is_ok());
+        assert!(dispatch(&argv("paths --rounds 40")).is_ok());
+    }
+
+    #[test]
+    fn mc_small_instance() {
+        assert!(dispatch(&argv("mc --budget 1 --fallible 1")).is_ok());
+    }
+}

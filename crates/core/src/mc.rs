@@ -1,0 +1,238 @@
+//! Bounded model checking of `System` — mechanizing Theorem 5 on small
+//! instances.
+//!
+//! The paper proves safety by assertional reasoning; this module lets the
+//! `cellflow-dts` explorer *exhaustively check* the same property on bounded
+//! instances: small grids, a finite entity budget, and a chosen set of cells
+//! allowed to crash (and optionally recover) nondeterministically between
+//! rounds. Because every coordinate is exact fixed-point and `dist` saturates,
+//! the reachable state space is finite.
+//!
+//! ```
+//! use cellflow_core::mc::{BoundedSystem, McAction};
+//! use cellflow_core::{safety, Params, SystemConfig};
+//! use cellflow_dts::{check_invariant, ExploreConfig};
+//! use cellflow_grid::{CellId, GridDims};
+//!
+//! let config = SystemConfig::new(
+//!     GridDims::new(3, 1),
+//!     CellId::new(2, 0),
+//!     Params::from_milli(250, 50, 200)?,
+//! )?
+//! .with_source(CellId::new(0, 0))
+//! .with_entity_budget(2);
+//! let sys = BoundedSystem::new(config.clone()).with_fallible([CellId::new(1, 0)], true);
+//! let report = check_invariant(
+//!     &sys,
+//!     |s| safety::check_safe(&config, s).is_ok(),
+//!     &ExploreConfig { max_states: 100_000, max_depth: 64 },
+//! ).expect("Theorem 5 holds on this instance");
+//! assert!(report.states_explored > 100);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use cellflow_dts::Dts;
+use cellflow_grid::CellId;
+
+use crate::{update, SystemConfig, SystemState, TokenPolicy};
+
+/// A transition of the bounded system: the paper's two transition kinds, plus
+/// the recovery transition of the Section IV failure model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum McAction {
+    /// One synchronous `update` round.
+    Update,
+    /// Crash a cell.
+    Fail(CellId),
+    /// Recover a crashed cell.
+    Recover(CellId),
+}
+
+/// A [`Dts`] view of `System` for exhaustive exploration.
+pub struct BoundedSystem {
+    config: SystemConfig,
+    fallible: Vec<CellId>,
+    allow_recovery: bool,
+}
+
+impl BoundedSystem {
+    /// Wraps `config` with no fallible cells (failure-free exploration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config uses [`TokenPolicy::Randomized`] (its choice
+    /// depends on the round number, which is not part of the state, so
+    /// exploration would be unsound) or has no entity budget while having
+    /// sources (the state space would be infinite).
+    pub fn new(config: SystemConfig) -> BoundedSystem {
+        assert!(
+            !matches!(config.token_policy(), TokenPolicy::Randomized { .. }),
+            "model checking requires a deterministic token policy"
+        );
+        assert!(
+            config.sources().is_empty() || config.entity_budget().is_some(),
+            "model checking requires an entity budget when sources exist"
+        );
+        BoundedSystem {
+            config,
+            fallible: Vec::new(),
+            allow_recovery: false,
+        }
+    }
+
+    /// Declares which cells may crash nondeterministically, and whether they
+    /// may also recover.
+    pub fn with_fallible<I: IntoIterator<Item = CellId>>(
+        mut self,
+        cells: I,
+        allow_recovery: bool,
+    ) -> BoundedSystem {
+        self.fallible = cells.into_iter().collect();
+        self.allow_recovery = allow_recovery;
+        self
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+}
+
+impl Dts for BoundedSystem {
+    type State = SystemState;
+    type Action = McAction;
+
+    fn initial_states(&self) -> Vec<SystemState> {
+        vec![self.config.initial_state()]
+    }
+
+    fn enabled(&self, state: &SystemState) -> Vec<McAction> {
+        let dims = self.config.dims();
+        let mut actions = vec![McAction::Update];
+        for &c in &self.fallible {
+            if state.cell(dims, c).failed {
+                if self.allow_recovery {
+                    actions.push(McAction::Recover(c));
+                }
+            } else {
+                actions.push(McAction::Fail(c));
+            }
+        }
+        actions
+    }
+
+    fn apply(&self, state: &SystemState, action: &McAction) -> SystemState {
+        match action {
+            // Round number 0 everywhere: deterministic policies ignore it
+            // (enforced by the constructor).
+            McAction::Update => update(&self.config, state, 0).0,
+            McAction::Fail(c) => {
+                let mut s = state.clone();
+                s.fail(self.config.dims(), *c);
+                s
+            }
+            McAction::Recover(c) => {
+                let mut s = state.clone();
+                s.recover(self.config.dims(), *c, self.config.target());
+                s
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{safety, Params};
+    use cellflow_dts::{check_invariant, ExploreConfig, Explorer};
+    use cellflow_grid::GridDims;
+
+    fn corridor(budget: u64) -> SystemConfig {
+        SystemConfig::new(
+            GridDims::new(3, 1),
+            CellId::new(2, 0),
+            Params::from_milli(250, 50, 200).unwrap(),
+        )
+        .unwrap()
+        .with_source(CellId::new(0, 0))
+        .with_entity_budget(budget)
+    }
+
+    #[test]
+    fn exhaustive_safety_no_failures() {
+        let cfg = corridor(2);
+        let sys = BoundedSystem::new(cfg.clone());
+        let report = check_invariant(
+            &sys,
+            |s| {
+                safety::check_safe(&cfg, s).is_ok()
+                    && safety::check_invariant1(&cfg, s).is_ok()
+                    && safety::check_invariant2(&cfg, s).is_ok()
+            },
+            &ExploreConfig {
+                max_states: 1_000_000,
+                max_depth: usize::MAX,
+            },
+        )
+        .expect("Theorem 5 + Invariants 1,2");
+        assert!(report.exhaustive, "state space should be fully covered");
+        assert!(report.states_explored > 10);
+    }
+
+    #[test]
+    fn exhaustive_safety_with_fail_recover() {
+        let cfg = corridor(1);
+        let sys = BoundedSystem::new(cfg.clone())
+            .with_fallible([CellId::new(1, 0), CellId::new(2, 0)], true);
+        let report = check_invariant(
+            &sys,
+            |s| safety::check_safe(&cfg, s).is_ok(),
+            &ExploreConfig {
+                max_states: 2_000_000,
+                max_depth: usize::MAX,
+            },
+        )
+        .expect("safety despite failures");
+        assert!(report.exhaustive);
+        assert!(report.states_explored > 50);
+    }
+
+    #[test]
+    fn explorer_reaches_consumption() {
+        // Some reachable state has the single budgeted entity consumed
+        // (entity count 0 after insertions happened).
+        let cfg = corridor(1);
+        let sys = BoundedSystem::new(cfg.clone());
+        let mut ex = Explorer::new(&sys);
+        ex.run(&ExploreConfig {
+            max_states: 1_000_000,
+            max_depth: usize::MAX,
+        });
+        assert!(
+            ex.states()
+                .iter()
+                .any(|s| s.next_entity_id == 1 && s.entity_count() == 0),
+            "no reachable state shows the entity consumed"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "entity budget")]
+    fn unbounded_sources_rejected() {
+        let cfg = SystemConfig::new(
+            GridDims::new(3, 1),
+            CellId::new(2, 0),
+            Params::from_milli(250, 50, 200).unwrap(),
+        )
+        .unwrap()
+        .with_source(CellId::new(0, 0));
+        let _ = BoundedSystem::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic token policy")]
+    fn randomized_policy_rejected() {
+        let cfg = corridor(1).with_token_policy(TokenPolicy::Randomized { salt: 1 });
+        let _ = BoundedSystem::new(cfg);
+    }
+}

@@ -1,0 +1,179 @@
+//! The `Route` function (paper Figure 4).
+
+use cellflow_routing::route_update;
+
+use crate::{SystemConfig, SystemState};
+
+/// Applies one synchronous round of the `Route` function to every cell:
+///
+/// ```text
+/// if ¬failed ∧ ⟨i,j⟩ ≠ tid then
+///     dist := 1 + min over neighbors of dist
+///     if dist = ∞ then next := ⊥
+///     else next := argmin over neighbors of (dist, id)
+/// ```
+///
+/// All cells read their neighbors' `dist` values from the *input* state and
+/// update simultaneously — the message-passing reading of the paper's model,
+/// where each round begins with a broadcast of the shared variables. The
+/// actual min/argmin rule is [`cellflow_routing::route_update`], shared with
+/// the standalone routing substrate so the stabilization results proven there
+/// (Lemma 6, Corollary 7) transfer directly.
+///
+/// Failed cells and the target are untouched: the target's `dist` stays `0`
+/// (it anchors the routing) and failed cells hold `dist = ∞` until recovery.
+///
+/// ```
+/// use cellflow_core::{route_phase, Params, SystemConfig};
+/// use cellflow_grid::{CellId, GridDims};
+/// use cellflow_routing::Dist;
+///
+/// let cfg = SystemConfig::new(
+///     GridDims::new(3, 1),
+///     CellId::new(0, 0),
+///     Params::from_milli(250, 50, 200)?,
+/// )?;
+/// let mut state = cfg.initial_state();
+/// // One round per hop (Lemma 6's shape):
+/// state = route_phase(&cfg, &state);
+/// assert_eq!(state.cell(cfg.dims(), CellId::new(1, 0)).dist, Dist::Finite(1));
+/// assert_eq!(state.cell(cfg.dims(), CellId::new(2, 0)).dist, Dist::Infinity);
+/// state = route_phase(&cfg, &state);
+/// assert_eq!(state.cell(cfg.dims(), CellId::new(2, 0)).dist, Dist::Finite(2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn route_phase(config: &SystemConfig, state: &SystemState) -> SystemState {
+    let dims = config.dims();
+    let mut out = state.clone();
+    for id in dims.iter() {
+        let cell = state.cell(dims, id);
+        if cell.failed || id == config.target() {
+            continue;
+        }
+        let (dist, next) = route_update(
+            dims.neighbors(id).map(|n| (n, state.cell(dims, n).dist)),
+            config.dist_cap(),
+        );
+        let c = out.cell_mut(dims, id);
+        c.dist = dist;
+        c.next = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Params, SystemConfig};
+    use cellflow_grid::{CellId, GridDims};
+    use cellflow_routing::Dist;
+
+    fn config(n: u16, target: CellId) -> SystemConfig {
+        SystemConfig::new(
+            GridDims::square(n),
+            target,
+            Params::from_milli(250, 50, 100).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn converges_to_manhattan_distances() {
+        let cfg = config(4, CellId::new(0, 0));
+        let mut s = cfg.initial_state();
+        for _ in 0..8 {
+            s = route_phase(&cfg, &s);
+        }
+        for id in cfg.dims().iter() {
+            assert_eq!(
+                s.cell(cfg.dims(), id).dist,
+                Dist::Finite(id.manhattan(cfg.target())),
+                "cell {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_round_per_hop() {
+        // Lemma 6's shape: after k rounds, cells at distance ≤ k are exact.
+        let cfg = config(5, CellId::new(2, 2));
+        let mut s = cfg.initial_state();
+        for k in 1..=4u32 {
+            s = route_phase(&cfg, &s);
+            for id in cfg.dims().iter() {
+                let h = id.manhattan(cfg.target());
+                if h <= k {
+                    assert_eq!(
+                        s.cell(cfg.dims(), id).dist,
+                        Dist::Finite(h),
+                        "round {k}, {id}"
+                    );
+                } else {
+                    assert_eq!(
+                        s.cell(cfg.dims(), id).dist,
+                        Dist::Infinity,
+                        "round {k}, {id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_points_downhill_with_id_tiebreak() {
+        let cfg = config(3, CellId::new(1, 1));
+        let mut s = cfg.initial_state();
+        for _ in 0..5 {
+            s = route_phase(&cfg, &s);
+        }
+        // Corner ⟨2,2⟩: neighbors ⟨1,2⟩ and ⟨2,1⟩ both at distance 1; the
+        // lexicographically smaller ⟨1,2⟩ wins.
+        assert_eq!(
+            s.cell(cfg.dims(), CellId::new(2, 2)).next,
+            Some(CellId::new(1, 2))
+        );
+        // Target keeps next = ⊥ and dist = 0.
+        assert_eq!(s.cell(cfg.dims(), cfg.target()).next, None);
+        assert_eq!(s.cell(cfg.dims(), cfg.target()).dist, Dist::Finite(0));
+    }
+
+    #[test]
+    fn failed_cells_block_routes_and_stay_infinite() {
+        let cfg = config(3, CellId::new(0, 0));
+        let mut s = cfg.initial_state();
+        s.fail(cfg.dims(), CellId::new(1, 0));
+        s.fail(cfg.dims(), CellId::new(0, 1));
+        for _ in 0..12 {
+            s = route_phase(&cfg, &s);
+        }
+        // Everything except the target and the failed wall is disconnected.
+        for id in cfg.dims().iter() {
+            let c = s.cell(cfg.dims(), id);
+            if id == cfg.target() {
+                assert_eq!(c.dist, Dist::Finite(0));
+            } else {
+                assert_eq!(c.dist, Dist::Infinity, "cell {id}");
+                assert_eq!(c.next, None, "cell {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_region_saturates_not_counts_forever() {
+        let cfg = config(3, CellId::new(0, 0));
+        let mut s = cfg.initial_state();
+        // Wall off the right column.
+        s.fail(cfg.dims(), CellId::new(1, 0));
+        s.fail(cfg.dims(), CellId::new(1, 1));
+        s.fail(cfg.dims(), CellId::new(1, 2));
+        for _ in 0..(2 * cfg.dims().cell_count() + 4) {
+            s = route_phase(&cfg, &s);
+        }
+        let right = s.cell(cfg.dims(), CellId::new(2, 1));
+        assert_eq!(right.dist, Dist::Infinity);
+        assert_eq!(right.next, None);
+        // And the state is a fixpoint now.
+        let again = route_phase(&cfg, &s);
+        assert_eq!(again, s);
+    }
+}

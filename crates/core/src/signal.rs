@@ -1,0 +1,334 @@
+//! The `Signal` function (paper Figure 5) — the protocol's safety/progress
+//! core.
+
+use std::collections::BTreeMap;
+
+use cellflow_geom::{Dir, Point};
+use cellflow_grid::CellId;
+
+use crate::{EntityId, Params, SystemConfig, SystemState};
+
+/// The gap check of Figure 5 lines 4–7 (and of predicate `H`): `true` if cell
+/// `id` has a strip of width `d = rs + l`, empty of entity footprints, along
+/// its boundary facing `dir`.
+///
+/// Per direction (for cell `⟨i,j⟩`, entity half-length `l/2`):
+///
+/// * East:  `∀p: px + l/2 ≤ (i+1) − d`
+/// * West:  `∀p: px − l/2 ≥ i + d`
+/// * North: `∀p: py + l/2 ≤ (j+1) − d`
+/// * South: `∀p: py − l/2 ≥ j + d`
+///
+/// (The paper's fourth arm literally reads `token = i − 1` with a `py` bound —
+/// a typo for the south neighbor `⟨i, j−1⟩`; symmetry and predicate `H` fix
+/// the intent, as documented in `DESIGN.md`.)
+///
+/// When the strip is free, an entity transferring across that boundary lands
+/// flush at the edge with its center `d`-separated from every resident —
+/// exactly what the safety proof (Theorem 5) needs.
+pub fn gap_free_toward<'a, I>(params: Params, id: CellId, dir: Dir, members: I) -> bool
+where
+    I: IntoIterator<Item = &'a Point>,
+{
+    let boundary = id.boundary(dir);
+    let d = params.d();
+    let h = params.half_l();
+    members.into_iter().all(|p| {
+        let edge = p.along(dir.axis()) + h * dir.sign();
+        match dir.sign() {
+            1 => edge <= boundary - d,
+            _ => edge >= boundary + d,
+        }
+    })
+}
+
+/// Applies one synchronous round of the `Signal` function to every non-faulty
+/// cell (including the target, which grants like any other cell but never
+/// holds entities):
+///
+/// 1. `NEPrev := { ⟨m,n⟩ ∈ Nbrs : next_{m,n} = ⟨i,j⟩ ∧ Members_{m,n} ≠ ∅ }`;
+/// 2. if `token = ⊥`, choose one from `NEPrev` (policy; `⊥` if empty);
+/// 3. if the boundary strip toward `token` is free ([`gap_free_toward`]),
+///    **grant**: `signal := token`, then rotate the token away from the
+///    grantee if another contender exists (lines 10–12);
+/// 4. otherwise **block**: `signal := ⊥`, token unchanged (line 14).
+///
+/// Reads `next`/`Members` from the input state (which [`update`](crate::update)
+/// produces with `Route` already applied, matching the paper's
+/// `x —Route→ xR —Signal→ xS` composition in Lemma 3).
+///
+/// ```
+/// use cellflow_core::{route_phase, safety, signal_phase, Params, System, SystemConfig};
+/// use cellflow_grid::{CellId, GridDims};
+///
+/// let cfg = SystemConfig::new(
+///     GridDims::new(3, 1),
+///     CellId::new(2, 0),
+///     Params::from_milli(250, 50, 200)?,
+/// )?
+/// .with_source(CellId::new(0, 0));
+/// let mut sys = System::new(cfg.clone());
+/// sys.run(5);
+/// // Lemma 3's conclusion holds at signal-computation time:
+/// let x_s = signal_phase(&cfg, &route_phase(&cfg, sys.state()), 5);
+/// assert!(safety::check_h(&cfg, &x_s).is_ok());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn signal_phase(config: &SystemConfig, state: &SystemState, round: u64) -> SystemState {
+    let dims = config.dims();
+    let policy = config.token_policy();
+    let mut out = state.clone();
+    for id in dims.iter() {
+        if state.cell(dims, id).failed {
+            continue;
+        }
+        let ne_prev: std::collections::BTreeSet<CellId> = dims
+            .neighbors(id)
+            .filter(|&m| {
+                let nbr = state.cell(dims, m);
+                nbr.next == Some(id) && !nbr.members.is_empty()
+            })
+            .collect();
+
+        let mut token = state.cell(dims, id).token;
+        if token.is_none() {
+            token = policy.choose(&ne_prev, id, round);
+        }
+
+        let (signal, new_token) = match token {
+            None => (None, None),
+            Some(tok) => {
+                let dir = id
+                    .dir_to(tok)
+                    .expect("token is always one of the cell's neighbors");
+                if gap_free_toward(
+                    config.params(),
+                    id,
+                    dir,
+                    members_of(state, config, id).values(),
+                ) {
+                    let rotated = if ne_prev.len() > 1 {
+                        policy.rotate(&ne_prev, tok, id, round)
+                    } else if ne_prev.len() == 1 {
+                        ne_prev.first().copied()
+                    } else {
+                        None
+                    };
+                    (Some(tok), rotated)
+                } else {
+                    (None, Some(tok))
+                }
+            }
+        };
+
+        let c = out.cell_mut(dims, id);
+        c.ne_prev = ne_prev;
+        c.token = new_token;
+        c.signal = signal;
+    }
+    out
+}
+
+fn members_of<'a>(
+    state: &'a SystemState,
+    config: &SystemConfig,
+    id: CellId,
+) -> &'a BTreeMap<EntityId, Point> {
+    &state.cell(config.dims(), id).members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{route_phase, Params, SystemConfig, TokenPolicy};
+    use cellflow_geom::Fixed;
+    use cellflow_grid::GridDims;
+
+    fn params() -> Params {
+        Params::from_milli(250, 50, 100).unwrap() // d = 0.3
+    }
+
+    fn config() -> SystemConfig {
+        SystemConfig::new(GridDims::square(3), CellId::new(2, 1), params()).unwrap()
+    }
+
+    fn pt(xm: i64, ym: i64) -> Point {
+        Point::new(Fixed::from_milli(xm), Fixed::from_milli(ym))
+    }
+
+    #[test]
+    fn gap_check_each_direction() {
+        let p = params(); // l/2 = 0.125, d = 0.3
+        let id = CellId::new(1, 1);
+        // Empty cell: always free.
+        for dir in Dir::ALL {
+            assert!(gap_free_toward(p, id, dir, []));
+        }
+        // Entity centered: far from every boundary (1.5 ± 0.125 vs margins at 1.3/1.7 − wait,
+        // need edge ≤ boundary − d: 1.625 ≤ 2 − 0.3 = 1.7 ✓ east; 1.375 ≥ 1.3 ✓ west).
+        let center = [pt(1_500, 1_500)];
+        for dir in Dir::ALL {
+            assert!(gap_free_toward(p, id, dir, &center));
+        }
+        // Entity flush at the east edge: blocks east, frees west.
+        let east_flush = [pt(1_875, 1_500)];
+        assert!(!gap_free_toward(p, id, Dir::East, &east_flush));
+        assert!(gap_free_toward(p, id, Dir::West, &east_flush));
+        assert!(gap_free_toward(p, id, Dir::North, &east_flush));
+        assert!(gap_free_toward(p, id, Dir::South, &east_flush));
+        // Exactly at the limit: edge = boundary − d ⇒ free.
+        let limit_east = [pt(2_000 - 300 - 125, 1_500)];
+        assert!(gap_free_toward(p, id, Dir::East, &limit_east));
+        // One micro-unit closer ⇒ blocked.
+        let over = [Point::new(
+            Fixed::from_milli(2_000 - 300 - 125) + Fixed::from_raw(1),
+            Fixed::from_milli(1_500),
+        )];
+        assert!(!gap_free_toward(p, id, Dir::East, &over));
+        // North/south mirror.
+        let north_flush = [pt(1_500, 1_875)];
+        assert!(!gap_free_toward(p, id, Dir::North, &north_flush));
+        assert!(gap_free_toward(p, id, Dir::South, &north_flush));
+        let south_flush = [pt(1_500, 1_125)];
+        assert!(!gap_free_toward(p, id, Dir::South, &south_flush));
+        assert!(gap_free_toward(p, id, Dir::North, &south_flush));
+    }
+
+    /// Builds a routed 3×3 state with an entity on ⟨0,1⟩ and ⟨1,1⟩ routing
+    /// into the target column.
+    fn routed_state_with_entity() -> (SystemConfig, SystemState) {
+        let cfg = config();
+        let mut s = cfg.initial_state();
+        for _ in 0..6 {
+            s = route_phase(&cfg, &s);
+        }
+        // Entity on ⟨0,1⟩ (which routes east toward ⟨1,1⟩ then target ⟨2,1⟩).
+        s.cell_mut(cfg.dims(), CellId::new(0, 1))
+            .members
+            .insert(EntityId(0), pt(500, 1_500));
+        (cfg, s)
+    }
+
+    #[test]
+    fn nonempty_upstream_neighbor_is_granted() {
+        let (cfg, s) = routed_state_with_entity();
+        assert_eq!(
+            s.cell(cfg.dims(), CellId::new(0, 1)).next,
+            Some(CellId::new(1, 1))
+        );
+        let s2 = signal_phase(&cfg, &s, 0);
+        let mid = s2.cell(cfg.dims(), CellId::new(1, 1));
+        assert_eq!(
+            mid.ne_prev.iter().copied().collect::<Vec<_>>(),
+            vec![CellId::new(0, 1)]
+        );
+        // ⟨1,1⟩ is empty ⇒ gap free ⇒ grant.
+        assert_eq!(mid.signal, Some(CellId::new(0, 1)));
+        // Single contender keeps the token.
+        assert_eq!(mid.token, Some(CellId::new(0, 1)));
+        // Cells with no nonempty upstream neighbors have signal = token = ⊥.
+        let corner = s2.cell(cfg.dims(), CellId::new(0, 0));
+        assert_eq!(corner.signal, None);
+        assert_eq!(corner.token, None);
+    }
+
+    #[test]
+    fn blocked_when_strip_occupied() {
+        let (cfg, mut s) = routed_state_with_entity();
+        // Put a resident flush against ⟨1,1⟩'s west boundary: blocks the grant
+        // to ⟨0,1⟩ (which would send entities east into that strip).
+        s.cell_mut(cfg.dims(), CellId::new(1, 1))
+            .members
+            .insert(EntityId(9), pt(1_125, 1_500));
+        let s2 = signal_phase(&cfg, &s, 0);
+        let mid = s2.cell(cfg.dims(), CellId::new(1, 1));
+        assert_eq!(mid.signal, None, "grant must be withheld");
+        // Token is *retained* while blocked (Figure 5 line 14).
+        assert_eq!(mid.token, Some(CellId::new(0, 1)));
+    }
+
+    #[test]
+    fn token_rotates_between_two_contenders() {
+        // Target ⟨2,1⟩'s west neighbor ⟨1,1⟩; place entities on ⟨1,1⟩ and ⟨2,0⟩
+        // (wait — use two cells routing into ⟨1,1⟩: ⟨0,1⟩ and ⟨1,0⟩).
+        let cfg = config();
+        let mut s = cfg.initial_state();
+        for _ in 0..6 {
+            s = route_phase(&cfg, &s);
+        }
+        // Force both to route through ⟨1,1⟩ for the test's purposes.
+        s.cell_mut(cfg.dims(), CellId::new(0, 1)).next = Some(CellId::new(1, 1));
+        s.cell_mut(cfg.dims(), CellId::new(1, 0)).next = Some(CellId::new(1, 1));
+        s.cell_mut(cfg.dims(), CellId::new(0, 1))
+            .members
+            .insert(EntityId(0), pt(500, 1_500));
+        s.cell_mut(cfg.dims(), CellId::new(1, 0))
+            .members
+            .insert(EntityId(1), pt(1_500, 500));
+
+        let s2 = signal_phase(&cfg, &s, 0);
+        let mid = s2.cell(cfg.dims(), CellId::new(1, 1));
+        assert_eq!(mid.ne_prev.len(), 2);
+        let granted_first = mid.signal.unwrap();
+        let token_after = mid.token.unwrap();
+        assert_ne!(
+            granted_first, token_after,
+            "token must rotate after a grant"
+        );
+
+        // Next round (members unchanged): the other contender is granted.
+        // Keep next pointers forced.
+        let mut s3 = s2.clone();
+        s3.cell_mut(cfg.dims(), CellId::new(0, 1)).next = Some(CellId::new(1, 1));
+        s3.cell_mut(cfg.dims(), CellId::new(1, 0)).next = Some(CellId::new(1, 1));
+        let s4 = signal_phase(&cfg, &s3, 1);
+        let mid2 = s4.cell(cfg.dims(), CellId::new(1, 1));
+        assert_eq!(mid2.signal, Some(token_after));
+        assert_eq!(mid2.token, Some(granted_first));
+    }
+
+    #[test]
+    fn fixed_priority_never_rotates() {
+        let cfg = SystemConfig::new(GridDims::square(3), CellId::new(2, 1), params())
+            .unwrap()
+            .with_token_policy(TokenPolicy::FixedPriority);
+        let mut s = cfg.initial_state();
+        for _ in 0..6 {
+            s = route_phase(&cfg, &s);
+        }
+        s.cell_mut(cfg.dims(), CellId::new(0, 1)).next = Some(CellId::new(1, 1));
+        s.cell_mut(cfg.dims(), CellId::new(1, 0)).next = Some(CellId::new(1, 1));
+        s.cell_mut(cfg.dims(), CellId::new(0, 1))
+            .members
+            .insert(EntityId(0), pt(500, 1_500));
+        s.cell_mut(cfg.dims(), CellId::new(1, 0))
+            .members
+            .insert(EntityId(1), pt(1_500, 500));
+        let s2 = signal_phase(&cfg, &s, 0);
+        let mid = s2.cell(cfg.dims(), CellId::new(1, 1));
+        // Smallest id ⟨0,1⟩ is granted and KEEPS the token: starvation.
+        assert_eq!(mid.signal, Some(CellId::new(0, 1)));
+        assert_eq!(mid.token, Some(CellId::new(0, 1)));
+    }
+
+    #[test]
+    fn failed_cells_do_not_signal() {
+        let (cfg, mut s) = routed_state_with_entity();
+        s.fail(cfg.dims(), CellId::new(1, 1));
+        let s2 = signal_phase(&cfg, &s, 0);
+        assert_eq!(s2.cell(cfg.dims(), CellId::new(1, 1)).signal, None);
+    }
+
+    #[test]
+    fn empty_upstream_neighbor_not_in_ne_prev() {
+        let cfg = config();
+        let mut s = cfg.initial_state();
+        for _ in 0..6 {
+            s = route_phase(&cfg, &s);
+        }
+        // ⟨0,1⟩ routes into ⟨1,1⟩ but has no entities.
+        let s2 = signal_phase(&cfg, &s, 0);
+        assert!(s2.cell(cfg.dims(), CellId::new(1, 1)).ne_prev.is_empty());
+        assert_eq!(s2.cell(cfg.dims(), CellId::new(1, 1)).signal, None);
+    }
+}

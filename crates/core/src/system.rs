@@ -1,0 +1,537 @@
+//! The composed `System` automaton: configuration, state, and the simulation
+//! facade.
+
+use core::fmt;
+use std::collections::BTreeSet;
+
+use cellflow_geom::Point;
+use cellflow_grid::{CellId, GridDims};
+use cellflow_routing::Dist;
+
+use crate::{update, CellState, Entity, EntityId, Params, RoundEvents, SourcePolicy, TokenPolicy};
+
+/// Static configuration of a `System`: everything that does *not* change
+/// during execution.
+///
+/// Built with a validating constructor plus chainable `with_*` methods:
+///
+/// ```
+/// use cellflow_core::{Params, SourcePolicy, SystemConfig, TokenPolicy};
+/// use cellflow_grid::{CellId, GridDims};
+///
+/// let config = SystemConfig::new(
+///     GridDims::square(8),
+///     CellId::new(1, 7),
+///     Params::from_milli(250, 50, 200)?,
+/// )?
+/// .with_source(CellId::new(1, 0))
+/// .with_token_policy(TokenPolicy::RoundRobin)
+/// .with_source_policy(SourcePolicy::FarEdge);
+/// assert_eq!(config.sources().len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SystemConfig {
+    dims: GridDims,
+    target: CellId,
+    sources: BTreeSet<CellId>,
+    params: Params,
+    dist_cap: u32,
+    token_policy: TokenPolicy,
+    source_policy: SourcePolicy,
+    entity_budget: Option<u64>,
+}
+
+impl SystemConfig {
+    /// Creates a configuration with no sources, the default policies, and the
+    /// `∞`-saturation cap `cell_count + 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::TargetOutOfBounds`] if `target` is not a grid cell.
+    pub fn new(
+        dims: GridDims,
+        target: CellId,
+        params: Params,
+    ) -> Result<SystemConfig, ConfigError> {
+        if !dims.contains(target) {
+            return Err(ConfigError::TargetOutOfBounds { target, dims });
+        }
+        Ok(SystemConfig {
+            dims,
+            target,
+            sources: BTreeSet::new(),
+            params,
+            dist_cap: dims.cell_count() as u32 + 1,
+            token_policy: TokenPolicy::default(),
+            source_policy: SourcePolicy::default(),
+            entity_budget: None,
+        })
+    }
+
+    /// Adds a source cell (the paper's `SID`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds or equals the target (the target
+    /// consumes entities; it cannot also produce them).
+    pub fn with_source(mut self, source: CellId) -> SystemConfig {
+        assert!(
+            self.dims.contains(source),
+            "source {source} out of {} bounds",
+            self.dims
+        );
+        assert!(source != self.target, "source must differ from target");
+        self.sources.insert(source);
+        self
+    }
+
+    /// Adds several source cells. Same panics as [`SystemConfig::with_source`].
+    pub fn with_sources<I: IntoIterator<Item = CellId>>(mut self, sources: I) -> SystemConfig {
+        for s in sources {
+            self = self.with_source(s);
+        }
+        self
+    }
+
+    /// Sets the token-selection policy (default [`TokenPolicy::RoundRobin`]).
+    pub fn with_token_policy(mut self, policy: TokenPolicy) -> SystemConfig {
+        self.token_policy = policy;
+        self
+    }
+
+    /// Sets the source insertion policy (default [`SourcePolicy::FarEdge`]).
+    pub fn with_source_policy(mut self, policy: SourcePolicy) -> SystemConfig {
+        self.source_policy = policy;
+        self
+    }
+
+    /// Caps the total number of entities sources may ever create. Used by the
+    /// model checker to bound the state space; `None` (default) is unbounded.
+    pub fn with_entity_budget(mut self, budget: u64) -> SystemConfig {
+        self.entity_budget = Some(budget);
+        self
+    }
+
+    /// Overrides the distance saturation cap (see `cellflow-routing`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` does not exceed the longest possible simple path
+    /// (`cell_count − 1`), which would corrupt routing on connected grids.
+    pub fn with_dist_cap(mut self, cap: u32) -> SystemConfig {
+        assert!(
+            cap as usize >= self.dims.cell_count(),
+            "cap {cap} must be at least the cell count {}",
+            self.dims.cell_count()
+        );
+        self.dist_cap = cap;
+        self
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// The target cell `tid`.
+    pub fn target(&self) -> CellId {
+        self.target
+    }
+
+    /// The source cells `SID`.
+    pub fn sources(&self) -> &BTreeSet<CellId> {
+        &self.sources
+    }
+
+    /// The physical parameters `(l, rs, v)`.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// The `∞`-saturation cap for `dist`.
+    pub fn dist_cap(&self) -> u32 {
+        self.dist_cap
+    }
+
+    /// The token-selection policy.
+    pub fn token_policy(&self) -> TokenPolicy {
+        self.token_policy
+    }
+
+    /// The source insertion policy.
+    pub fn source_policy(&self) -> SourcePolicy {
+        self.source_policy
+    }
+
+    /// The entity creation budget, if any.
+    pub fn entity_budget(&self) -> Option<u64> {
+        self.entity_budget
+    }
+
+    /// The initial [`SystemState`] for this configuration: all cells as in
+    /// Figure 3, the target's `dist` pinned to 0, no entities.
+    pub fn initial_state(&self) -> SystemState {
+        let mut cells = vec![CellState::initial(); self.dims.cell_count()];
+        cells[self.dims.index(self.target)] = CellState::initial_target();
+        SystemState {
+            cells,
+            next_entity_id: 0,
+        }
+    }
+}
+
+/// Error building a [`SystemConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The target identifier lies outside the grid.
+    TargetOutOfBounds {
+        /// The offending target.
+        target: CellId,
+        /// The grid it missed.
+        dims: GridDims,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TargetOutOfBounds { target, dims } => {
+                write!(f, "target {target} is outside the {dims} grid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A complete valuation of all cells' variables — a state `x` of `System`.
+///
+/// `Clone + Eq + Hash` so the model checker can store and deduplicate states.
+/// `next_entity_id` is the source's fresh-identifier counter (the paper draws
+/// identifiers from an infinite pool `P`; we mint them in order).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SystemState {
+    /// Per-cell states, indexed row-major by [`GridDims::index`].
+    pub cells: Vec<CellState>,
+    /// The next fresh [`EntityId`] to mint.
+    pub next_entity_id: u64,
+}
+
+impl SystemState {
+    /// The state of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds for `dims`.
+    pub fn cell(&self, dims: GridDims, id: CellId) -> &CellState {
+        &self.cells[dims.index(id)]
+    }
+
+    /// Mutable access to one cell's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds for `dims`.
+    pub fn cell_mut(&mut self, dims: GridDims, id: CellId) -> &mut CellState {
+        &mut self.cells[dims.index(id)]
+    }
+
+    /// Total number of entities currently in the system.
+    pub fn entity_count(&self) -> usize {
+        self.cells.iter().map(|c| c.members.len()).sum()
+    }
+
+    /// Iterates `(cell, entity)` pairs over the whole grid.
+    pub fn entities<'a>(&'a self, dims: GridDims) -> impl Iterator<Item = (CellId, Entity)> + 'a {
+        self.cells.iter().enumerate().flat_map(move |(k, c)| {
+            let id = dims.id_at(k);
+            c.entities().map(move |e| (id, e))
+        })
+    }
+
+    /// Applies the paper's `fail(⟨i,j⟩)` transition: `failed := true`,
+    /// `dist := ∞`, `next := ⊥`. The cell also stops communicating, so its
+    /// `signal` is cleared (neighbors read silence as `⊥`). Entities on the
+    /// cell remain, frozen. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn fail(&mut self, dims: GridDims, id: CellId) {
+        let c = self.cell_mut(dims, id);
+        c.failed = true;
+        c.dist = Dist::Infinity;
+        c.next = None;
+        c.signal = None;
+    }
+
+    /// Applies the recovery transition of the paper's Section IV failure
+    /// model: `failed := false`, and if `id` is the target, `dist := 0`.
+    /// Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn recover(&mut self, dims: GridDims, id: CellId, target: CellId) {
+        let c = self.cell_mut(dims, id);
+        c.failed = false;
+        if id == target {
+            c.dist = Dist::Finite(0);
+        }
+    }
+}
+
+/// The `System` automaton with its execution bookkeeping: current state,
+/// round number, and cumulative counters — the convenient facade over
+/// [`update`] used by simulations, examples and tests.
+#[derive(Clone, Debug)]
+pub struct System {
+    config: SystemConfig,
+    state: SystemState,
+    round: u64,
+    consumed_total: u64,
+    inserted_total: u64,
+}
+
+impl System {
+    /// Creates a system in the initial state of `config`.
+    pub fn new(config: SystemConfig) -> System {
+        let state = config.initial_state();
+        System {
+            config,
+            state,
+            round: 0,
+            consumed_total: 0,
+            inserted_total: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &SystemState {
+        &self.state
+    }
+
+    /// Replaces the current state (fault injection / replay).
+    pub fn set_state(&mut self, state: SystemState) {
+        assert_eq!(
+            state.cells.len(),
+            self.config.dims().cell_count(),
+            "state size must match the grid"
+        );
+        self.state = state;
+    }
+
+    /// The state of cell `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn cell(&self, id: CellId) -> &CellState {
+        self.state.cell(self.config.dims(), id)
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Total entities consumed by the target since round 0.
+    pub fn consumed_total(&self) -> u64 {
+        self.consumed_total
+    }
+
+    /// Total entities inserted by sources since round 0.
+    pub fn inserted_total(&self) -> u64 {
+        self.inserted_total
+    }
+
+    /// Executes one `update` transition (one synchronous round) and returns
+    /// what happened.
+    pub fn step(&mut self) -> RoundEvents {
+        let (state, events) = update(&self.config, &self.state, self.round);
+        self.state = state;
+        self.round += 1;
+        self.consumed_total += events.consumed.len() as u64;
+        self.inserted_total += events.inserted.len() as u64;
+        events
+    }
+
+    /// Runs `rounds` update transitions.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Crashes cell `id` (see [`SystemState::fail`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn fail(&mut self, id: CellId) {
+        self.state.fail(self.config.dims(), id);
+    }
+
+    /// Recovers cell `id` (see [`SystemState::recover`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn recover(&mut self, id: CellId) {
+        let target = self.config.target();
+        self.state.recover(self.config.dims(), id, target);
+    }
+
+    /// Places an entity with a fresh identifier at `pos` on cell `id`,
+    /// bypassing the source machinery — for test setups and examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` (without modifying anything) if the position violates
+    /// Invariant 1's margins for the cell or the spacing requirement against
+    /// the cell's current members.
+    pub fn seed_entity(&mut self, id: CellId, pos: Point) -> Result<EntityId, SeedError> {
+        let params = self.config.params();
+        if !crate::source::within_cell_margins(params, id, pos) {
+            return Err(SeedError::OutsideMargins);
+        }
+        let dims = self.config.dims();
+        let cell = self.state.cell(dims, id);
+        if !cell
+            .members
+            .values()
+            .all(|&q| cellflow_geom::sep_ok(pos, q, params.d()))
+        {
+            return Err(SeedError::TooClose);
+        }
+        let eid = EntityId(self.state.next_entity_id);
+        self.state.next_entity_id += 1;
+        self.state.cell_mut(dims, id).members.insert(eid, pos);
+        Ok(eid)
+    }
+}
+
+/// Error from [`System::seed_entity`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeedError {
+    /// The footprint would protrude outside the cell (violates Invariant 1).
+    OutsideMargins,
+    /// The position is within `d` of an existing entity on both axes
+    /// (violates `Safe`).
+    TooClose,
+}
+
+impl fmt::Display for SeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            SeedError::OutsideMargins => "position leaves the cell's interior margins",
+            SeedError::TooClose => "position violates the spacing requirement",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for SeedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellflow_geom::Fixed;
+
+    fn config() -> SystemConfig {
+        SystemConfig::new(
+            GridDims::square(4),
+            CellId::new(3, 3),
+            Params::from_milli(250, 50, 100).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = SystemConfig::new(
+            GridDims::square(4),
+            CellId::new(4, 0),
+            Params::from_milli(250, 50, 100).unwrap(),
+        );
+        assert!(matches!(bad, Err(ConfigError::TargetOutOfBounds { .. })));
+        assert!(bad.unwrap_err().to_string().contains("outside"));
+    }
+
+    #[test]
+    #[should_panic(expected = "differ from target")]
+    fn source_equal_to_target_panics() {
+        let _ = config().with_source(CellId::new(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn source_out_of_bounds_panics() {
+        let _ = config().with_source(CellId::new(9, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn tiny_dist_cap_panics() {
+        let _ = config().with_dist_cap(3);
+    }
+
+    #[test]
+    fn initial_state_shape() {
+        let cfg = config().with_source(CellId::new(0, 0));
+        let s = cfg.initial_state();
+        assert_eq!(s.cells.len(), 16);
+        assert_eq!(s.next_entity_id, 0);
+        assert_eq!(s.cell(cfg.dims(), cfg.target()).dist, Dist::Finite(0));
+        assert_eq!(s.cell(cfg.dims(), CellId::new(0, 0)).dist, Dist::Infinity);
+        assert_eq!(s.entity_count(), 0);
+    }
+
+    #[test]
+    fn fail_and_recover_roundtrip() {
+        let cfg = config();
+        let mut s = cfg.initial_state();
+        let victim = CellId::new(1, 1);
+        s.fail(cfg.dims(), victim);
+        assert!(s.cell(cfg.dims(), victim).failed);
+        assert_eq!(s.cell(cfg.dims(), victim).dist, Dist::Infinity);
+        s.recover(cfg.dims(), victim, cfg.target());
+        assert!(!s.cell(cfg.dims(), victim).failed);
+        assert_eq!(s.cell(cfg.dims(), victim).dist, Dist::Infinity); // Route will fix
+
+        // Target recovery resets dist to 0.
+        s.fail(cfg.dims(), cfg.target());
+        assert_eq!(s.cell(cfg.dims(), cfg.target()).dist, Dist::Infinity);
+        s.recover(cfg.dims(), cfg.target(), cfg.target());
+        assert_eq!(s.cell(cfg.dims(), cfg.target()).dist, Dist::Finite(0));
+    }
+
+    #[test]
+    fn seed_entity_validates() {
+        let mut sys = System::new(config());
+        let cell = CellId::new(1, 1);
+        let center = cell.center();
+        let id0 = sys.seed_entity(cell, center).unwrap();
+        assert_eq!(id0, EntityId(0));
+        // Same spot: spacing violation.
+        assert_eq!(sys.seed_entity(cell, center), Err(SeedError::TooClose));
+        // Outside margins.
+        let edge = Point::new(Fixed::from_int(1), Fixed::from_milli(1_500));
+        assert_eq!(sys.seed_entity(cell, edge), Err(SeedError::OutsideMargins));
+        // A d-separated spot works and mints the next id.
+        let ok = center.translate(cellflow_geom::Dir::North, sys.config().params().d());
+        assert_eq!(sys.seed_entity(cell, ok), Ok(EntityId(1)));
+        assert_eq!(sys.state().entity_count(), 2);
+        let listed: Vec<_> = sys.state().entities(sys.config().dims()).collect();
+        assert_eq!(listed.len(), 2);
+        assert!(listed.iter().all(|(c, _)| *c == cell));
+    }
+}

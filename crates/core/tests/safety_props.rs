@@ -1,0 +1,198 @@
+//! Property-based tests of the protocol's safety guarantees (Theorem 5,
+//! Invariants 1–2, predicate H / Lemma 3) under randomized parameters,
+//! topologies, failure schedules, and token policies.
+
+use cellflow_core::{route_phase, safety, signal_phase, Params, System, SystemConfig, TokenPolicy};
+use cellflow_grid::{CellId, GridDims};
+use proptest::prelude::*;
+
+/// Random valid parameter sets, including the paper's corner case v = l.
+fn params() -> impl Strategy<Value = Params> {
+    (50i64..=400, 0i64..=300, prop::bool::ANY)
+        .prop_flat_map(|(l, rs, v_eq_l)| {
+            let rs = rs.min(950 - l); // keep rs + l < 1
+            let v = if v_eq_l {
+                Just(l).boxed()
+            } else {
+                (10i64..=l).boxed()
+            };
+            (Just(l), Just(rs.max(0)), v)
+        })
+        .prop_map(|(l, rs, v)| Params::from_milli(l, rs, v).expect("constructed valid"))
+}
+
+fn policy() -> impl Strategy<Value = TokenPolicy> {
+    prop_oneof![
+        Just(TokenPolicy::RoundRobin),
+        any::<u64>().prop_map(|salt| TokenPolicy::Randomized { salt }),
+        Just(TokenPolicy::FixedPriority),
+    ]
+}
+
+/// A random system: grid up to 6×6, random target/sources, random fallible set.
+#[allow(clippy::type_complexity)]
+fn scenario() -> impl Strategy<Value = (SystemConfig, Vec<(u64, CellId, bool)>)> {
+    (2u16..=6, 2u16..=6, params(), policy())
+        .prop_flat_map(|(nx, ny, params, pol)| {
+            let dims = GridDims::new(nx, ny);
+            let cell = move || (0..nx, 0..ny).prop_map(|(i, j)| CellId::new(i, j));
+            (
+                Just(dims),
+                cell(),
+                proptest::collection::vec(cell(), 1..=3),
+                Just(params),
+                Just(pol),
+                // Failure schedule: (round, cell, recover?) triples.
+                proptest::collection::vec((0u64..60, cell(), prop::bool::ANY), 0..8),
+            )
+        })
+        .prop_map(|(dims, target, sources, params, pol, schedule)| {
+            let mut cfg = SystemConfig::new(dims, target, params)
+                .expect("target in bounds")
+                .with_token_policy(pol);
+            for s in sources {
+                if s != target {
+                    cfg = cfg.with_source(s);
+                }
+            }
+            (cfg, schedule)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 5 + Invariants 1–2 hold at every round of every random run,
+    /// including runs with mid-execution failures and recoveries.
+    #[test]
+    fn safety_holds_every_round((cfg, schedule) in scenario()) {
+        let mut sys = System::new(cfg);
+        for round in 0..60u64 {
+            for (when, cell, recover) in &schedule {
+                if *when == round {
+                    if *recover {
+                        sys.recover(*cell);
+                    } else {
+                        sys.fail(*cell);
+                    }
+                }
+            }
+            sys.step();
+            let (cfg, st) = (sys.config(), sys.state());
+            prop_assert!(safety::check_safe(cfg, st).is_ok(),
+                "round {}: {:?}", round, safety::check_safe(cfg, st));
+            prop_assert!(safety::check_invariant1(cfg, st).is_ok(),
+                "round {}: {:?}", round, safety::check_invariant1(cfg, st));
+            prop_assert!(safety::check_invariant2(cfg, st).is_ok(),
+                "round {}: {:?}", round, safety::check_invariant2(cfg, st));
+        }
+    }
+
+    /// Lemma 3's conclusion: H holds right after Route;Signal, at every round
+    /// of every random run.
+    #[test]
+    fn h_holds_at_signal_time((cfg, schedule) in scenario()) {
+        let mut sys = System::new(cfg);
+        for round in 0..40u64 {
+            for (when, cell, recover) in &schedule {
+                if *when == round {
+                    if *recover { sys.recover(*cell); } else { sys.fail(*cell); }
+                }
+            }
+            // Recompute the intermediate state xS = Signal(Route(x)) and check H.
+            let routed = route_phase(sys.config(), sys.state());
+            let signaled = signal_phase(sys.config(), &routed, round);
+            prop_assert!(
+                safety::check_h(sys.config(), &signaled).is_ok(),
+                "round {}: {:?}", round, safety::check_h(sys.config(), &signaled)
+            );
+            sys.step();
+        }
+    }
+
+    /// Entity conservation: inserted = consumed + in-flight, at every round.
+    #[test]
+    fn entities_are_conserved((cfg, schedule) in scenario()) {
+        let mut sys = System::new(cfg);
+        for round in 0..60u64 {
+            for (when, cell, recover) in &schedule {
+                if *when == round {
+                    if *recover { sys.recover(*cell); } else { sys.fail(*cell); }
+                }
+            }
+            sys.step();
+            prop_assert_eq!(
+                sys.inserted_total(),
+                sys.consumed_total() + sys.state().entity_count() as u64
+            );
+            // Identifiers are minted sequentially.
+            prop_assert_eq!(sys.inserted_total(), sys.state().next_entity_id);
+        }
+    }
+
+    /// Determinism: the same configuration and failure schedule produce the
+    /// identical state trajectory.
+    #[test]
+    fn runs_are_deterministic((cfg, schedule) in scenario()) {
+        let mut a = System::new(cfg.clone());
+        let mut b = System::new(cfg);
+        for round in 0..30u64 {
+            for (when, cell, recover) in &schedule {
+                if *when == round {
+                    if *recover { a.recover(*cell); b.recover(*cell); }
+                    else { a.fail(*cell); b.fail(*cell); }
+                }
+            }
+            a.step();
+            b.step();
+            prop_assert_eq!(a.state(), b.state(), "diverged at round {}", round);
+        }
+    }
+
+    /// Per-round movement is bounded: every entity moves at most v per round
+    /// along one axis (or is transferred/snapped across one boundary).
+    #[test]
+    fn velocity_bound_respected((cfg, _) in scenario()) {
+        let mut sys = System::new(cfg);
+        for _ in 0..30 {
+            let before: std::collections::HashMap<_, _> = sys
+                .state()
+                .entities(sys.config().dims())
+                .map(|(c, e)| (e.id, (c, e.pos)))
+                .collect();
+            let ev = sys.step();
+            let transferred: std::collections::HashSet<_> =
+                ev.transfers.iter().map(|t| t.entity).collect();
+            for (cell, e) in sys.state().entities(sys.config().dims()) {
+                if let Some(&(old_cell, old_pos)) = before.get(&e.id) {
+                    if transferred.contains(&e.id) {
+                        prop_assert!(old_cell.is_neighbor(cell));
+                    } else {
+                        prop_assert_eq!(old_cell, cell);
+                        let dist = old_pos.manhattan(e.pos);
+                        prop_assert!(
+                            dist <= sys.config().params().v(),
+                            "{} moved {} > v", e.id, dist
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Update leaves failed cells' entities frozen in place.
+    #[test]
+    fn failed_cells_freeze_entities((cfg, _) in scenario()) {
+        let mut sys = System::new(cfg);
+        sys.run(20);
+        // Freeze everything and compare entity positions across rounds.
+        let dims = sys.config().dims();
+        for id in dims.iter() {
+            sys.fail(id);
+        }
+        let before: Vec<_> = sys.state().entities(dims).collect();
+        sys.run(5);
+        let after: Vec<_> = sys.state().entities(dims).collect();
+        prop_assert_eq!(before, after);
+    }
+}

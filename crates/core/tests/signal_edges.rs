@@ -1,0 +1,199 @@
+//! Edge cases of the `Signal`/`Move` interplay that the paper's prose leaves
+//! implicit: stale tokens, failed token holders, grants to cells that cannot
+//! use them, and saturation corner cases.
+
+use cellflow_core::{route_phase, signal_phase, update, EntityId, Params, System, SystemConfig};
+use cellflow_geom::{Fixed, Point};
+use cellflow_grid::{CellId, GridDims};
+use cellflow_routing::Dist;
+
+fn params() -> Params {
+    Params::from_milli(250, 50, 100).unwrap()
+}
+
+fn config() -> SystemConfig {
+    SystemConfig::new(GridDims::square(3), CellId::new(2, 1), params()).unwrap()
+}
+
+fn pt(xm: i64, ym: i64) -> Point {
+    Point::new(Fixed::from_milli(xm), Fixed::from_milli(ym))
+}
+
+/// A token pointing at a neighbor that has since emptied (stale token) still
+/// produces a grant — wasted for one round — and then rotates onto the real
+/// contender (the paper's lines 10–12 fix staleness lazily).
+#[test]
+fn stale_token_wastes_one_grant_then_rotates() {
+    let cfg = config();
+    let dims = cfg.dims();
+    let mut s = cfg.initial_state();
+    for _ in 0..6 {
+        s = route_phase(&cfg, &s);
+    }
+    let mid = CellId::new(1, 1);
+    // Two historical contenders; the token sits on ⟨1,0⟩ which is now empty,
+    // while ⟨0,1⟩ holds an entity and routes through mid.
+    s.cell_mut(dims, mid).token = Some(CellId::new(1, 0));
+    s.cell_mut(dims, CellId::new(0, 1)).next = Some(mid);
+    s.cell_mut(dims, CellId::new(0, 1))
+        .members
+        .insert(EntityId(0), pt(500, 1_500));
+
+    let s2 = signal_phase(&cfg, &s, 0);
+    // Wasted grant: the stale holder is granted (its strip is free) …
+    assert_eq!(s2.cell(dims, mid).signal, Some(CellId::new(1, 0)));
+    // … but the rotation lands on the live contender for the next round.
+    assert_eq!(s2.cell(dims, mid).token, Some(CellId::new(0, 1)));
+    assert_eq!(
+        s2.cell(dims, mid)
+            .ne_prev
+            .iter()
+            .copied()
+            .collect::<Vec<_>>(),
+        vec![CellId::new(0, 1)]
+    );
+}
+
+/// A failed neighbor never appears in `NEPrev` (its `next` is `⊥`), so the
+/// token cannot be newly assigned to it.
+#[test]
+fn failed_neighbors_never_enter_ne_prev() {
+    let cfg = config();
+    let dims = cfg.dims();
+    let mut s = cfg.initial_state();
+    for _ in 0..6 {
+        s = route_phase(&cfg, &s);
+    }
+    let mid = CellId::new(1, 1);
+    // ⟨0,1⟩ has an entity and routed through mid — then crashes.
+    s.cell_mut(dims, CellId::new(0, 1)).next = Some(mid);
+    s.cell_mut(dims, CellId::new(0, 1))
+        .members
+        .insert(EntityId(0), pt(500, 1_500));
+    s.fail(dims, CellId::new(0, 1));
+    let s2 = signal_phase(&cfg, &s, 0);
+    assert!(s2.cell(dims, mid).ne_prev.is_empty());
+    assert_eq!(s2.cell(dims, mid).signal, None);
+}
+
+/// A grant to a cell whose own `next` changed away this round is simply
+/// unused: the grantee moves only toward its `next`, and only when that
+/// specific cell granted it.
+#[test]
+fn unused_grants_move_nothing() {
+    let cfg = config();
+    let dims = cfg.dims();
+    let mut s = cfg.initial_state();
+    let a = CellId::new(0, 1);
+    let mid = CellId::new(1, 1);
+    // mid grants a, but a's next points elsewhere (south, say).
+    s.cell_mut(dims, a).next = Some(CellId::new(0, 0));
+    s.cell_mut(dims, a)
+        .members
+        .insert(EntityId(0), pt(500, 1_500));
+    s.cell_mut(dims, mid).signal = Some(a);
+    let out = cellflow_core::move_phase(&cfg, &s);
+    assert!(
+        out.moved.is_empty(),
+        "a grant toward the wrong next must not move"
+    );
+    assert_eq!(
+        out.state.cell(dims, a).members[&EntityId(0)],
+        pt(500, 1_500)
+    );
+}
+
+/// Entities wider apart than `d` on the motion axis cannot both cross in one
+/// round (the double-crossing analysis inside Theorem 5's proof): the
+/// follower always needs at least one more round.
+#[test]
+fn double_crossing_requires_axis_closeness() {
+    let cfg = config();
+    let dims = cfg.dims();
+    let mut s = cfg.initial_state();
+    let a = CellId::new(0, 1);
+    let mid = CellId::new(1, 1);
+    s.cell_mut(dims, a).next = Some(mid);
+    // Leader flush at the margin, follower exactly d behind.
+    s.cell_mut(dims, a)
+        .members
+        .insert(EntityId(0), pt(875, 1_500));
+    s.cell_mut(dims, a)
+        .members
+        .insert(EntityId(1), pt(575, 1_500));
+    s.cell_mut(dims, mid).signal = Some(a);
+    let out = cellflow_core::move_phase(&cfg, &s);
+    let crossed: Vec<EntityId> = out.transfers.iter().map(|t| t.entity).collect();
+    assert_eq!(crossed, vec![EntityId(0)], "only the leader crosses");
+    assert_eq!(out.state.cell(dims, a).members.len(), 1);
+}
+
+/// With the distance cap forced to its minimum legal value, routing on a
+/// fully connected grid still behaves exactly as with the default cap.
+#[test]
+fn minimal_dist_cap_is_transparent_when_connected() {
+    let dims = GridDims::square(3);
+    let base = SystemConfig::new(dims, CellId::new(2, 1), params()).unwrap();
+    let capped = SystemConfig::new(dims, CellId::new(2, 1), params())
+        .unwrap()
+        .with_dist_cap(dims.cell_count() as u32);
+    let mut a = System::new(base);
+    let mut b = System::new(capped);
+    for _ in 0..20 {
+        a.step();
+        b.step();
+        for id in dims.iter() {
+            assert_eq!(a.cell(id).dist, b.cell(id).dist, "{id}");
+            assert_eq!(a.cell(id).next, b.cell(id).next, "{id}");
+        }
+    }
+}
+
+/// The target's variables are never touched by update: dist stays 0, next
+/// stays ⊥, even while it grants and consumes.
+#[test]
+fn target_variables_are_pinned() {
+    let cfg = SystemConfig::new(GridDims::new(4, 1), CellId::new(3, 0), params())
+        .unwrap()
+        .with_source(CellId::new(0, 0));
+    let mut sys = System::new(cfg);
+    for _ in 0..120 {
+        sys.step();
+        let t = sys.cell(CellId::new(3, 0));
+        assert_eq!(t.dist, Dist::Finite(0));
+        assert_eq!(t.next, None);
+        assert!(t.members.is_empty(), "the target consumes instantly");
+    }
+    assert!(sys.consumed_total() > 0);
+}
+
+/// Two sources inserting in the same round mint distinct, ordered ids
+/// (BTreeSet iteration order of `SID`).
+#[test]
+fn simultaneous_insertions_mint_ordered_ids() {
+    let cfg = SystemConfig::new(GridDims::new(3, 2), CellId::new(2, 0), params())
+        .unwrap()
+        .with_source(CellId::new(0, 0))
+        .with_source(CellId::new(0, 1));
+    let (_, events) = update(&cfg, &cfg.initial_state(), 0);
+    assert_eq!(events.inserted.len(), 2);
+    assert_eq!(events.inserted[0], (CellId::new(0, 0), EntityId(0)));
+    assert_eq!(events.inserted[1], (CellId::new(0, 1), EntityId(1)));
+}
+
+/// Re-failing a failed cell and re-recovering a live one are harmless no-ops.
+#[test]
+fn fail_recover_idempotence() {
+    let cfg = config();
+    let mut sys = System::new(cfg);
+    sys.run(5);
+    let victim = CellId::new(1, 1);
+    sys.fail(victim);
+    let snap = sys.state().clone();
+    sys.fail(victim);
+    assert_eq!(sys.state(), &snap);
+    sys.recover(victim);
+    let snap = sys.state().clone();
+    sys.recover(victim);
+    assert_eq!(sys.state(), &snap);
+}

@@ -1,0 +1,132 @@
+//! 3-D analysis helpers: path distance, target connectivity, stabilization.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use cellflow_routing::{route_update, Dist};
+
+use crate::{CellId3, SystemConfig3, SystemState3};
+
+/// The set of currently failed cells.
+pub fn failed_set3(config: &SystemConfig3, state: &SystemState3) -> HashSet<CellId3> {
+    let dims = config.dims();
+    dims.iter()
+        .filter(|&id| state.cell(dims, id).failed)
+        .collect()
+}
+
+/// The 3-D path distance `ρ`: hop distance to the target through non-faulty
+/// cells, `None` for `∞`.
+pub fn rho3(config: &SystemConfig3, state: &SystemState3) -> HashMap<CellId3, u32> {
+    let dims = config.dims();
+    let failed = failed_set3(config, state);
+    let mut out = HashMap::new();
+    if !failed.contains(&config.target()) {
+        out.insert(config.target(), 0u32);
+        let mut queue = VecDeque::from([config.target()]);
+        while let Some(cur) = queue.pop_front() {
+            let next_d = out[&cur] + 1;
+            for nbr in dims.neighbors3(cur) {
+                if !out.contains_key(&nbr) && !failed.contains(&nbr) {
+                    out.insert(nbr, next_d);
+                    queue.push_back(nbr);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The target-connected set `TC` in 3-D.
+pub fn tc3(config: &SystemConfig3, state: &SystemState3) -> HashSet<CellId3> {
+    rho3(config, state).into_keys().collect()
+}
+
+/// `true` if the 3-D routing layer has stabilized: every live cell's `dist`
+/// equals `ρ` (or `∞`), and its `next` is the `(dist, id)`-argmin neighbor.
+pub fn routing_stabilized3(config: &SystemConfig3, state: &SystemState3) -> bool {
+    let dims = config.dims();
+    let rho = rho3(config, state);
+    let expected = |id: CellId3| -> Dist {
+        match rho.get(&id) {
+            Some(&d) => Dist::Finite(d),
+            None => Dist::Infinity,
+        }
+    };
+    dims.iter().all(|id| {
+        let cell = state.cell(dims, id);
+        if cell.failed {
+            return true;
+        }
+        if cell.dist != expected(id) {
+            return false;
+        }
+        if id == config.target() {
+            return true;
+        }
+        let (_, want_next) = route_update(
+            dims.neighbors3(id).map(|n| (n, expected(n))),
+            config.dist_cap(),
+        );
+        cell.next == want_next
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dims3, System3};
+    use cellflow_core::Params;
+
+    fn system() -> System3 {
+        System3::new(
+            SystemConfig3::new(
+                Dims3::new(3, 3, 2),
+                CellId3::new(2, 2, 1),
+                Params::from_milli(250, 50, 200).unwrap(),
+            )
+            .unwrap()
+            .with_source(CellId3::new(0, 0, 0)),
+        )
+    }
+
+    #[test]
+    fn rho_matches_manhattan_without_failures() {
+        let sys = system();
+        let rho = rho3(sys.config(), sys.state());
+        for id in sys.config().dims().iter() {
+            assert_eq!(rho[&id], id.manhattan(sys.config().target()), "{id}");
+        }
+        assert_eq!(tc3(sys.config(), sys.state()).len(), 18);
+    }
+
+    #[test]
+    fn walls_disconnect_in_3d() {
+        let mut sys = system();
+        // Wall off the z = 1 layer except the target itself: the z = 0 layer
+        // can only connect through the remaining openings.
+        for i in 0..3 {
+            for j in 0..3 {
+                let c = CellId3::new(i, j, 1);
+                if c != sys.config().target() {
+                    sys.fail(c);
+                }
+            }
+        }
+        // Target ⟨2,2,1⟩ now connects to z=0 only via ⟨2,2,0⟩.
+        let rho = rho3(sys.config(), sys.state());
+        assert_eq!(rho[&CellId3::new(2, 2, 0)], 1);
+        assert_eq!(rho[&CellId3::new(0, 0, 0)], 5);
+        assert_eq!(failed_set3(sys.config(), sys.state()).len(), 8);
+    }
+
+    #[test]
+    fn stabilization_observer_in_3d() {
+        let mut sys = system();
+        assert!(!routing_stabilized3(sys.config(), sys.state()));
+        sys.run(8); // eccentricity ≤ 5
+        assert!(routing_stabilized3(sys.config(), sys.state()));
+        sys.fail(CellId3::new(1, 1, 0));
+        sys.run(2 * 18 + 2);
+        assert!(routing_stabilized3(sys.config(), sys.state()));
+    }
+}

@@ -1,0 +1,53 @@
+//! Three-dimensional distributed cellular flows.
+//!
+//! The paper's conclusion (§V) states that *"an extension to three dimensional
+//! rectangular partitions follows in an obvious way"*. This crate is that
+//! extension, built for the air-traffic setting the paper opens with: the
+//! space is partitioned into unit **cubes**, entities are `l × l × l` cubes,
+//! and each cell may move its entities along any of the six axis directions.
+//!
+//! Everything transfers from the 2-D protocol:
+//!
+//! * `Route` is unchanged — it was already geometry-free, and this crate
+//!   reuses [`cellflow_routing::route_update`] verbatim over the 6-neighbor
+//!   topology;
+//! * `Signal` checks an empty `d`-slab (instead of a `d`-strip) at the face
+//!   shared with the token holder;
+//! * `Move` translates entities along the granted axis, transferring across
+//!   faces with the same flush-snap rule;
+//! * Safety becomes: two entities on one cell are separated by `d = rs + l`
+//!   along **some** axis — verified by the same style of randomized tests and
+//!   bounded model checking as the 2-D crate.
+//!
+//! # Example
+//!
+//! ```
+//! use cellflow_core::Params;
+//! use cellflow_cube::{CellId3, Dims3, System3, SystemConfig3};
+//!
+//! // A 3×3×3 airspace: launch pad at ground level, vertiport at the top.
+//! let params = Params::from_milli(250, 50, 200)?;
+//! let config = SystemConfig3::new(Dims3::new(3, 3, 3), CellId3::new(1, 1, 2), params)?
+//!     .with_source(CellId3::new(1, 1, 0));
+//! let mut system = System3::new(config);
+//! for _ in 0..200 {
+//!     system.step();
+//! }
+//! assert!(system.consumed_total() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod cell;
+mod geometry;
+mod phases;
+pub mod safety;
+mod system;
+
+pub use cell::CellState3;
+pub use geometry::{sep_ok3, Axis3, CellId3, Dims3, Dir3, Point3};
+pub use phases::{gap_free_toward3, move_phase3, route_phase3, signal_phase3, MoveOutcome3};
+pub use system::{ConfigError3, System3, SystemConfig3, SystemState3};

@@ -1,0 +1,378 @@
+//! The three protocol phases in 3-D: `Route`, `Signal`, `Move`.
+
+use std::collections::BTreeSet;
+
+use cellflow_core::EntityId;
+use cellflow_routing::route_update;
+
+use crate::{CellId3, Dir3, Point3, SystemConfig3, SystemState3};
+
+/// `Route` in 3-D — byte-for-byte the paper's rule over the 6-neighbor
+/// topology, via the shared [`route_update`] kernel.
+pub fn route_phase3(config: &SystemConfig3, state: &SystemState3) -> SystemState3 {
+    let dims = config.dims();
+    let mut out = state.clone();
+    for id in dims.iter() {
+        let cell = state.cell(dims, id);
+        if cell.failed || id == config.target() {
+            continue;
+        }
+        let (dist, next) = route_update(
+            dims.neighbors3(id).map(|n| (n, state.cell(dims, n).dist)),
+            config.dist_cap(),
+        );
+        let c = out.cell_mut(dims, id);
+        c.dist = dist;
+        c.next = next;
+    }
+    out
+}
+
+/// The 3-D gap check: `true` if the slab of thickness `d = rs + l` along the
+/// face of `id` toward `dir` is free of entity footprints.
+pub fn gap_free_toward3<'a, I>(
+    params: cellflow_core::Params,
+    id: CellId3,
+    dir: Dir3,
+    members: I,
+) -> bool
+where
+    I: IntoIterator<Item = &'a Point3>,
+{
+    let boundary = id.boundary(dir);
+    let d = params.d();
+    let h = params.half_l();
+    members.into_iter().all(|p| {
+        let edge = p.along(dir.axis()) + h * dir.sign();
+        if dir.sign() > 0 {
+            edge <= boundary - d
+        } else {
+            edge >= boundary + d
+        }
+    })
+}
+
+/// Cyclic-successor token rotation over 3-D identifiers (the 2-D crate's
+/// `RoundRobin` policy; the only policy this extension ships).
+fn rotate_token(ne_prev: &BTreeSet<CellId3>, current: CellId3) -> Option<CellId3> {
+    match ne_prev.len() {
+        0 => None,
+        1 => ne_prev.first().copied(),
+        _ => ne_prev
+            .range((
+                std::ops::Bound::Excluded(current),
+                std::ops::Bound::Unbounded,
+            ))
+            .next()
+            .or_else(|| ne_prev.iter().find(|&&c| c != current))
+            .copied(),
+    }
+}
+
+/// `Signal` in 3-D: same token/grant/block structure as Figure 5, with the
+/// slab check replacing the strip check.
+pub fn signal_phase3(config: &SystemConfig3, state: &SystemState3) -> SystemState3 {
+    let dims = config.dims();
+    let mut out = state.clone();
+    for id in dims.iter() {
+        if state.cell(dims, id).failed {
+            continue;
+        }
+        let ne_prev: BTreeSet<CellId3> = dims
+            .neighbors3(id)
+            .filter(|&m| {
+                let nbr = state.cell(dims, m);
+                nbr.next == Some(id) && !nbr.members.is_empty()
+            })
+            .collect();
+        let mut token = state.cell(dims, id).token;
+        if token.is_none() {
+            token = ne_prev.first().copied();
+        }
+        let (signal, new_token) = match token {
+            None => (None, None),
+            Some(tok) => {
+                let dir = id.dir_to(tok).expect("token is a neighbor");
+                let members = state.cell(dims, id).members.values();
+                if gap_free_toward3(config.params(), id, dir, members) {
+                    (Some(tok), rotate_token(&ne_prev, tok))
+                } else {
+                    (None, Some(tok))
+                }
+            }
+        };
+        let c = out.cell_mut(dims, id);
+        c.ne_prev = ne_prev;
+        c.token = new_token;
+        c.signal = signal;
+    }
+    out
+}
+
+/// What the 3-D `Move` phase did.
+#[derive(Clone, Debug)]
+pub struct MoveOutcome3 {
+    /// Post-move state.
+    pub state: SystemState3,
+    /// Entities consumed by the target.
+    pub consumed: Vec<EntityId>,
+    /// `(entity, from, to)` transfers.
+    pub transfers: Vec<(EntityId, CellId3, CellId3)>,
+    /// Entities created by sources.
+    pub inserted: Vec<(CellId3, EntityId)>,
+}
+
+/// `Move` in 3-D: permitted cells translate entities by `v` along the granted
+/// axis; entities strictly crossing a face transfer (snapped flush to the
+/// receiving face) or are consumed by the target; then sources insert at the
+/// face opposite their `next` direction.
+pub fn move_phase3(config: &SystemConfig3, state: &SystemState3) -> MoveOutcome3 {
+    let dims = config.dims();
+    let params = config.params();
+    let v = params.v();
+    let h = params.half_l();
+
+    let mut out = state.clone();
+    let mut consumed = Vec::new();
+    let mut transfers = Vec::new();
+    let mut inserted = Vec::new();
+    let mut incoming: Vec<(CellId3, EntityId, Point3)> = Vec::new();
+
+    for id in dims.iter() {
+        let cell = state.cell(dims, id);
+        if cell.failed || cell.members.is_empty() {
+            continue;
+        }
+        let Some(nx) = cell.next else { continue };
+        let nx_cell = state.cell(dims, nx);
+        if nx_cell.failed || nx_cell.signal != Some(id) {
+            continue;
+        }
+        let dir = id.dir_to(nx).expect("next is a neighbor");
+        let boundary = id.boundary(dir);
+        for (&eid, &pos) in &cell.members {
+            let new_pos = pos.translate(dir, v);
+            let far_edge = new_pos.along(dir.axis()) + h * dir.sign();
+            let crossed = if dir.sign() > 0 {
+                far_edge > boundary
+            } else {
+                far_edge < boundary
+            };
+            let members = &mut out.cell_mut(dims, id).members;
+            if crossed {
+                members.remove(&eid);
+                if nx == config.target() {
+                    consumed.push(eid);
+                } else {
+                    let entry = nx.boundary(dir.opposite());
+                    let snapped = new_pos.with_along(dir.axis(), entry + h * dir.sign());
+                    incoming.push((nx, eid, snapped));
+                    transfers.push((eid, id, nx));
+                }
+            } else {
+                members.insert(eid, new_pos);
+            }
+        }
+    }
+
+    for (to, eid, pos) in incoming {
+        out.cell_mut(dims, to).members.insert(eid, pos);
+    }
+
+    // Far-face source insertion.
+    for &s in config.sources() {
+        if state.cell(dims, s).failed {
+            continue;
+        }
+        if let Some(budget) = config.entity_budget() {
+            if out.next_entity_id >= budget {
+                continue;
+            }
+        }
+        let cell = out.cell(dims, s);
+        let pos = match cell.next.and_then(|n| s.dir_to(n)) {
+            Some(dir) => {
+                let back = dir.opposite();
+                let flush = s.boundary(back) - h * back.sign();
+                s.center().with_along(back.axis(), flush)
+            }
+            None => s.center(),
+        };
+        if cell
+            .members
+            .values()
+            .all(|&q| crate::sep_ok3(pos, q, params.d()))
+        {
+            let eid = EntityId(out.next_entity_id);
+            out.next_entity_id += 1;
+            out.cell_mut(dims, s).members.insert(eid, pos);
+            inserted.push((s, eid));
+        }
+    }
+
+    MoveOutcome3 {
+        state: out,
+        consumed,
+        transfers,
+        inserted,
+    }
+}
+
+/// The atomic 3-D `update` transition: `Route; Signal; Move`.
+pub fn update3(config: &SystemConfig3, state: &SystemState3) -> MoveOutcome3 {
+    let routed = route_phase3(config, state);
+    let signaled = signal_phase3(config, &routed);
+    move_phase3(config, &signaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dims3, System3, SystemConfig3};
+    use cellflow_core::Params;
+    use cellflow_geom::Fixed;
+    use cellflow_routing::Dist;
+
+    fn params() -> Params {
+        Params::from_milli(250, 50, 100).unwrap()
+    }
+
+    fn tower() -> SystemConfig3 {
+        // A 1×1×4 vertical shaft: source at the bottom, target at the top.
+        SystemConfig3::new(Dims3::new(1, 1, 4), CellId3::new(0, 0, 3), params())
+            .unwrap()
+            .with_source(CellId3::new(0, 0, 0))
+    }
+
+    #[test]
+    fn route_converges_in_3d() {
+        let cfg = SystemConfig3::new(Dims3::new(3, 3, 3), CellId3::new(1, 1, 1), params()).unwrap();
+        let mut s = cfg.initial_state();
+        for _ in 0..6 {
+            s = route_phase3(&cfg, &s);
+        }
+        for id in cfg.dims().iter() {
+            assert_eq!(
+                s.cell(cfg.dims(), id).dist,
+                Dist::Finite(id.manhattan(cfg.target())),
+                "{id}"
+            );
+        }
+        // The corner has three equal-distance neighbors; the smallest id wins.
+        let corner = CellId3::new(2, 2, 2);
+        assert_eq!(s.cell(cfg.dims(), corner).next, Some(CellId3::new(1, 2, 2)));
+    }
+
+    #[test]
+    fn gap_check_all_six_faces() {
+        let p = params(); // h = 0.125, d = 0.3
+        let id = CellId3::new(1, 1, 1);
+        let center = [id.center()];
+        for dir in Dir3::ALL {
+            assert!(gap_free_toward3(p, id, dir, &center), "{dir}");
+        }
+        // Flush at the top face blocks Up only.
+        let top = [id
+            .center()
+            .with_along(crate::Axis3::Z, Fixed::from_int(2) - p.half_l())];
+        for dir in Dir3::ALL {
+            assert_eq!(gap_free_toward3(p, id, dir, &top), dir != Dir3::Up, "{dir}");
+        }
+    }
+
+    #[test]
+    fn entities_climb_the_tower_and_are_consumed() {
+        let mut sys = System3::new(tower());
+        for _ in 0..200 {
+            sys.step();
+        }
+        assert!(sys.consumed_total() > 0, "nothing reached the top");
+        assert_eq!(
+            sys.inserted_total(),
+            sys.consumed_total() + sys.state().entity_count() as u64
+        );
+    }
+
+    #[test]
+    fn vertical_transfer_snaps_flush() {
+        let cfg = tower();
+        let dims = cfg.dims();
+        let mut s = cfg.initial_state();
+        let low = CellId3::new(0, 0, 0);
+        let mid = CellId3::new(0, 0, 1);
+        s.cell_mut(dims, low).next = Some(mid);
+        s.cell_mut(dims, low).members.insert(
+            EntityId(0),
+            low.center()
+                .with_along(crate::Axis3::Z, Fixed::from_milli(850)),
+        );
+        s.cell_mut(dims, mid).signal = Some(low);
+        let out = move_phase3(&cfg, &s);
+        assert_eq!(out.transfers.len(), 1);
+        let new_pos = out.state.cell(dims, mid).members[&EntityId(0)];
+        assert_eq!(new_pos.z, Fixed::from_int(1) + params().half_l());
+        assert_eq!(new_pos.x, Fixed::HALF);
+    }
+
+    #[test]
+    fn blocked_when_slab_occupied() {
+        let cfg = tower();
+        let dims = cfg.dims();
+        let mut s = cfg.initial_state();
+        for _ in 0..6 {
+            s = route_phase3(&cfg, &s);
+        }
+        let low = CellId3::new(0, 0, 0);
+        let mid = CellId3::new(0, 0, 1);
+        s.cell_mut(dims, low)
+            .members
+            .insert(EntityId(0), low.center());
+        // Occupy mid's bottom slab.
+        s.cell_mut(dims, mid).members.insert(
+            EntityId(1),
+            mid.center()
+                .with_along(crate::Axis3::Z, Fixed::from_int(1) + params().half_l()),
+        );
+        let s2 = signal_phase3(&cfg, &route_phase3(&cfg, &s));
+        assert_eq!(s2.cell(dims, mid).signal, None);
+        assert_eq!(s2.cell(dims, mid).token, Some(low));
+    }
+
+    #[test]
+    fn failed_cells_neither_move_nor_grant() {
+        let cfg = tower();
+        let dims = cfg.dims();
+        let mut s = cfg.initial_state();
+        s.cell_mut(dims, CellId3::new(0, 0, 0))
+            .members
+            .insert(EntityId(0), CellId3::new(0, 0, 0).center());
+        s.fail(dims, CellId3::new(0, 0, 1));
+        let out = update3(&cfg, &s);
+        assert!(out.transfers.is_empty());
+        // Frozen entity stayed exactly put.
+        assert_eq!(
+            out.state.cell(dims, CellId3::new(0, 0, 0)).members[&EntityId(0)],
+            CellId3::new(0, 0, 0).center()
+        );
+    }
+
+    #[test]
+    fn token_rotates_among_3d_contenders() {
+        let set: BTreeSet<CellId3> = [
+            CellId3::new(0, 1, 1),
+            CellId3::new(1, 0, 1),
+            CellId3::new(1, 1, 0),
+        ]
+        .into_iter()
+        .collect();
+        let mut cur = *set.first().unwrap();
+        let mut seen = BTreeSet::from([cur]);
+        for _ in 0..2 {
+            cur = rotate_token(&set, cur).unwrap();
+            assert!(seen.insert(cur));
+        }
+        assert_eq!(seen, set);
+        assert_eq!(rotate_token(&set, cur), Some(*set.first().unwrap()));
+        assert_eq!(rotate_token(&BTreeSet::new(), cur), None);
+    }
+}

@@ -1,0 +1,200 @@
+//! Randomized and exhaustive safety checking of the 3-D extension — the same
+//! obligations the 2-D crate discharges, lifted to cubes.
+
+use cellflow_core::Params;
+use cellflow_cube::safety::{check_h3, check_margins3, check_safe3};
+use cellflow_cube::{
+    route_phase3, signal_phase3, CellId3, Dims3, System3, SystemConfig3, SystemState3,
+};
+use cellflow_dts::{check_invariant, Dts, ExploreConfig};
+use proptest::prelude::*;
+
+fn params() -> impl Strategy<Value = Params> {
+    (100i64..=300, 0i64..=200).prop_flat_map(|(l, rs)| {
+        let rs = rs.min(950 - l).max(0);
+        (Just(l), Just(rs), 10i64..=l)
+            .prop_map(|(l, rs, v)| Params::from_milli(l, rs, v).expect("valid"))
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn scenario() -> impl Strategy<Value = (SystemConfig3, Vec<(u64, CellId3, bool)>)> {
+    (2u16..=4, 2u16..=4, 1u16..=3, params()).prop_flat_map(|(nx, ny, nz, params)| {
+        let dims = Dims3::new(nx, ny, nz);
+        let cell = move || (0..nx, 0..ny, 0..nz).prop_map(|(i, j, k)| CellId3::new(i, j, k));
+        (
+            Just(dims),
+            cell(),
+            proptest::collection::vec(cell(), 1..=2),
+            Just(params),
+            proptest::collection::vec((0u64..40, cell(), prop::bool::ANY), 0..6),
+        )
+            .prop_map(|(dims, target, sources, params, schedule)| {
+                let mut cfg = SystemConfig3::new(dims, target, params).expect("in bounds");
+                for s in sources {
+                    if s != target {
+                        cfg = cfg.with_source(s);
+                    }
+                }
+                (cfg, schedule)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn safety3_holds_every_round((cfg, schedule) in scenario()) {
+        let mut sys = System3::new(cfg);
+        for round in 0..40u64 {
+            for (when, cell, recover) in &schedule {
+                if *when == round {
+                    if *recover { sys.recover(*cell); } else { sys.fail(*cell); }
+                }
+            }
+            sys.step();
+            prop_assert!(check_safe3(sys.config(), sys.state()).is_ok(),
+                "round {}: {:?}", round, check_safe3(sys.config(), sys.state()));
+            prop_assert!(check_margins3(sys.config(), sys.state()).is_ok(),
+                "round {}: {:?}", round, check_margins3(sys.config(), sys.state()));
+        }
+    }
+
+    #[test]
+    fn h3_holds_at_signal_time((cfg, schedule) in scenario()) {
+        let mut sys = System3::new(cfg);
+        for round in 0..30u64 {
+            for (when, cell, recover) in &schedule {
+                if *when == round {
+                    if *recover { sys.recover(*cell); } else { sys.fail(*cell); }
+                }
+            }
+            let signaled = signal_phase3(sys.config(), &route_phase3(sys.config(), sys.state()));
+            prop_assert!(check_h3(sys.config(), &signaled).is_ok());
+            sys.step();
+        }
+    }
+
+    #[test]
+    fn conservation3((cfg, _) in scenario()) {
+        let mut sys = System3::new(cfg);
+        for _ in 0..40 {
+            sys.step();
+            prop_assert_eq!(
+                sys.inserted_total(),
+                sys.consumed_total() + sys.state().entity_count() as u64
+            );
+        }
+    }
+}
+
+/// A bounded 3-D instance as a DTS for exhaustive checking.
+struct Bounded3 {
+    cfg: SystemConfig3,
+    fallible: Vec<CellId3>,
+}
+
+#[derive(Clone, Debug)]
+enum Act {
+    Update,
+    Fail(CellId3),
+    Recover(CellId3),
+}
+
+impl Dts for Bounded3 {
+    type State = SystemState3;
+    type Action = Act;
+
+    fn initial_states(&self) -> Vec<SystemState3> {
+        vec![self.cfg.initial_state()]
+    }
+
+    fn enabled(&self, state: &SystemState3) -> Vec<Act> {
+        let mut acts = vec![Act::Update];
+        for &c in &self.fallible {
+            if state.cell(self.cfg.dims(), c).failed {
+                acts.push(Act::Recover(c));
+            } else {
+                acts.push(Act::Fail(c));
+            }
+        }
+        acts
+    }
+
+    fn apply(&self, state: &SystemState3, action: &Act) -> SystemState3 {
+        match action {
+            Act::Update => {
+                cellflow_cube::move_phase3(
+                    &self.cfg,
+                    &signal_phase3(&self.cfg, &route_phase3(&self.cfg, state)),
+                )
+                .state
+            }
+            Act::Fail(c) => {
+                let mut s = state.clone();
+                s.fail(self.cfg.dims(), *c);
+                s
+            }
+            Act::Recover(c) => {
+                let mut s = state.clone();
+                s.recover(self.cfg.dims(), *c, self.cfg.target());
+                s
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_3d_shaft_safety() {
+    // A 1×1×3 shaft with one fallible mid cell and an entity budget of 2:
+    // full reachable-state verification of the 3-D Theorem 5 analogue.
+    let cfg = SystemConfig3::new(
+        Dims3::new(1, 1, 3),
+        CellId3::new(0, 0, 2),
+        Params::from_milli(250, 50, 200).unwrap(),
+    )
+    .unwrap()
+    .with_source(CellId3::new(0, 0, 0))
+    .with_entity_budget(2);
+    let sys = Bounded3 {
+        cfg: cfg.clone(),
+        fallible: vec![CellId3::new(0, 0, 1)],
+    };
+    let report = check_invariant(
+        &sys,
+        |s| check_safe3(&cfg, s).is_ok() && check_margins3(&cfg, s).is_ok(),
+        &ExploreConfig {
+            max_states: 2_000_000,
+            max_depth: usize::MAX,
+        },
+    )
+    .expect("3-D safety on the shaft");
+    assert!(report.exhaustive);
+    assert!(report.states_explored > 50);
+}
+
+#[test]
+fn progress_through_a_3d_dogleg() {
+    // Entities must climb, jog sideways, and climb again.
+    let dims = Dims3::new(2, 1, 3);
+    let cfg = SystemConfig3::new(
+        dims,
+        CellId3::new(1, 0, 2),
+        Params::from_milli(200, 50, 200).unwrap(),
+    )
+    .unwrap()
+    .with_source(CellId3::new(0, 0, 0));
+    let mut sys = System3::new(cfg);
+    // Block the column above the source so the flow must jog east.
+    sys.fail(CellId3::new(0, 0, 2));
+    for _ in 0..400 {
+        sys.step();
+    }
+    assert!(
+        sys.consumed_total() > 3,
+        "only {} delivered",
+        sys.consumed_total()
+    );
+    assert!(check_safe3(sys.config(), sys.state()).is_ok());
+}

@@ -1,0 +1,129 @@
+//! The discrete transition system trait.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+/// A discrete transition system `⟨X, Q₀, A, →⟩` (paper, Section II).
+///
+/// * `val(X)` — the set of states — is [`Dts::State`];
+/// * `Q₀ ⊆ val(X)` is [`Dts::initial_states`];
+/// * `A` is [`Dts::Action`];
+/// * `→ ⊆ val(X) × A × val(X)` is given by [`Dts::enabled`] (which actions can
+///   fire in a state) together with [`Dts::apply`] (the unique post-state of an
+///   enabled action — per-action determinism; nondeterminism is expressed by
+///   *multiple* enabled actions).
+///
+/// States must be `Eq + Hash` so the model checker can deduplicate them; this
+/// is why the protocol crates use exact fixed-point coordinates rather than
+/// floating point.
+pub trait Dts {
+    /// A valuation of the system's variables.
+    type State: Clone + Eq + Hash + Debug;
+    /// A transition name.
+    type Action: Clone + Debug;
+
+    /// The set of start states `Q₀`.
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// The actions enabled in `state`. An empty vector means `state` is
+    /// terminal (deadlocked).
+    fn enabled(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// The post-state of firing `action` in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action` is not enabled in `state`.
+    fn apply(&self, state: &Self::State, action: &Self::Action) -> Self::State;
+}
+
+#[cfg(test)]
+pub(crate) mod toys {
+    //! Tiny systems shared across this crate's tests.
+
+    use super::Dts;
+
+    /// Counts 0, 1, …, modulus−1, 0, … .
+    pub struct Counter {
+        pub modulus: u32,
+    }
+
+    impl Dts for Counter {
+        type State = u32;
+        type Action = ();
+
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn enabled(&self, _: &u32) -> Vec<()> {
+            vec![()]
+        }
+
+        fn apply(&self, s: &u32, _: &()) -> u32 {
+            (s + 1) % self.modulus
+        }
+    }
+
+    /// Dijkstra-style token ring used to exercise stabilization checking:
+    /// from any configuration of `n` binary flags, the rule "flip the first
+    /// flag that differs from its left neighbor (or flag 0 if all equal)"
+    /// eventually reaches the all-equal configurations and stays legal.
+    pub struct FlipChain {
+        pub n: usize,
+    }
+
+    impl FlipChain {
+        pub fn all_states(&self) -> Vec<Vec<bool>> {
+            (0..(1u32 << self.n))
+                .map(|bits| (0..self.n).map(|k| bits & (1 << k) != 0).collect())
+                .collect()
+        }
+    }
+
+    impl Dts for FlipChain {
+        type State = Vec<bool>;
+        type Action = ();
+
+        fn initial_states(&self) -> Vec<Vec<bool>> {
+            self.all_states()
+        }
+
+        fn enabled(&self, _: &Vec<bool>) -> Vec<()> {
+            vec![()]
+        }
+
+        fn apply(&self, s: &Vec<bool>, _: &()) -> Vec<bool> {
+            let mut out = s.clone();
+            for k in 1..self.n {
+                if out[k] != out[k - 1] {
+                    out[k] = out[k - 1];
+                    return out;
+                }
+            }
+            out
+        }
+    }
+
+    /// A system with genuine branching: at each step, add 1 or 2 (mod `m`).
+    pub struct Branching {
+        pub m: u32,
+    }
+
+    impl Dts for Branching {
+        type State = u32;
+        type Action = u32;
+
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn enabled(&self, _: &u32) -> Vec<u32> {
+            vec![1, 2]
+        }
+
+        fn apply(&self, s: &u32, a: &u32) -> u32 {
+            (s + a) % self.m
+        }
+    }
+}

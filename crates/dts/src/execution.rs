@@ -1,0 +1,130 @@
+//! Recorded executions.
+
+use core::fmt;
+
+use crate::Dts;
+
+/// A finite execution fragment `x₀ —a₀→ x₁ —a₁→ … —aₖ₋₁→ xₖ`.
+///
+/// Holds `k + 1` states and `k` actions. Produced by the model checker as a
+/// counterexample trace, and usable to replay/validate runs.
+#[derive(Clone)]
+pub struct Execution<A: Dts> {
+    states: Vec<A::State>,
+    actions: Vec<A::Action>,
+}
+
+impl<A: Dts> Execution<A> {
+    /// An execution consisting of the single state `start` and no transitions.
+    pub fn new(start: A::State) -> Execution<A> {
+        Execution {
+            states: vec![start],
+            actions: Vec::new(),
+        }
+    }
+
+    /// Appends a transition. The caller asserts `state = apply(last, action)`.
+    pub fn push(&mut self, action: A::Action, state: A::State) {
+        self.actions.push(action);
+        self.states.push(state);
+    }
+
+    /// The states visited, in order.
+    pub fn states(&self) -> &[A::State] {
+        &self.states
+    }
+
+    /// The actions fired, in order.
+    pub fn actions(&self) -> &[A::Action] {
+        &self.actions
+    }
+
+    /// The first state.
+    pub fn first(&self) -> &A::State {
+        &self.states[0]
+    }
+
+    /// The last state.
+    pub fn last(&self) -> &A::State {
+        self.states.last().expect("executions are nonempty")
+    }
+
+    /// Number of transitions (`states().len() − 1`).
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// `true` if no transition has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Re-runs the execution through `sys`, checking every step against
+    /// [`Dts::apply`]. Returns the index of the first inconsistent step.
+    ///
+    /// # Errors
+    ///
+    /// `Err(k)` if step `k`'s recorded post-state differs from
+    /// `sys.apply(states[k], actions[k])`.
+    pub fn validate(&self, sys: &A) -> Result<(), usize> {
+        for k in 0..self.len() {
+            if sys.apply(&self.states[k], &self.actions[k]) != self.states[k + 1] {
+                return Err(k);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<A: Dts> fmt::Debug for Execution<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Execution ({} steps):", self.len())?;
+        for (k, s) in self.states.iter().enumerate() {
+            writeln!(f, "  x{k} = {s:?}")?;
+            if k < self.actions.len() {
+                writeln!(f, "  --{:?}-->", self.actions[k])?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::toys::Counter;
+
+    #[test]
+    fn build_and_inspect() {
+        let sys = Counter { modulus: 3 };
+        let mut exec: Execution<Counter> = Execution::new(0);
+        assert!(exec.is_empty());
+        exec.push((), 1);
+        exec.push((), 2);
+        exec.push((), 0);
+        assert_eq!(exec.len(), 3);
+        assert_eq!(*exec.first(), 0);
+        assert_eq!(*exec.last(), 0);
+        assert_eq!(exec.states(), &[0, 1, 2, 0]);
+        assert_eq!(exec.actions().len(), 3);
+        assert_eq!(exec.validate(&sys), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let sys = Counter { modulus: 3 };
+        let mut exec: Execution<Counter> = Execution::new(0);
+        exec.push((), 1);
+        exec.push((), 1); // wrong: should be 2
+        assert_eq!(exec.validate(&sys), Err(1));
+    }
+
+    #[test]
+    fn debug_output_lists_states() {
+        let mut exec: Execution<Counter> = Execution::new(0);
+        exec.push((), 1);
+        let s = format!("{exec:?}");
+        assert!(s.contains("x0 = 0"));
+        assert!(s.contains("x1 = 1"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Bounded breadth-first state-space exploration.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::{Dts, Execution};
+
+/// Resource bounds for exploration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Stop after this many distinct states have been expanded.
+    pub max_states: usize,
+    /// Do not expand states deeper than this many transitions from `Q₀`.
+    pub max_depth: usize,
+}
+
+impl Default for ExploreConfig {
+    /// Generous defaults for small protocol instances: one million states,
+    /// unbounded-ish depth.
+    fn default() -> ExploreConfig {
+        ExploreConfig {
+            max_states: 1_000_000,
+            max_depth: usize::MAX,
+        }
+    }
+}
+
+/// Why exploration stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExploreOutcome {
+    /// Every reachable state (within the depth bound, which was not hit) was
+    /// visited: the reported set is the full reachable set.
+    Complete,
+    /// The state budget was exhausted; the reachable set may be larger.
+    StateBudgetExhausted,
+    /// Some states at the depth frontier were not expanded.
+    DepthBounded,
+}
+
+/// Statistics from a reachability run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReachReport {
+    /// Distinct states discovered.
+    pub states: usize,
+    /// Transitions fired.
+    pub transitions: usize,
+    /// Greatest depth at which a new state was discovered.
+    pub max_depth_seen: usize,
+    /// Why exploration ended.
+    pub outcome: ExploreOutcome,
+}
+
+/// Breadth-first explorer over a [`Dts`], retaining predecessor links so any
+/// discovered state can be explained by a shortest [`Execution`] from `Q₀`.
+///
+/// ```
+/// use cellflow_dts::{Dts, ExploreConfig, Explorer, ExploreOutcome};
+///
+/// struct TwoBit;
+/// impl Dts for TwoBit {
+///     type State = u8;
+///     type Action = u8;
+///     fn initial_states(&self) -> Vec<u8> { vec![0] }
+///     fn enabled(&self, _: &u8) -> Vec<u8> { vec![1, 2] }
+///     fn apply(&self, s: &u8, a: &u8) -> u8 { (s + a) % 4 }
+/// }
+///
+/// let mut ex = Explorer::new(&TwoBit);
+/// let report = ex.run(&ExploreConfig::default());
+/// assert_eq!(report.states, 4);
+/// assert_eq!(report.outcome, ExploreOutcome::Complete);
+/// assert_eq!(ex.trace_to(&3).unwrap().len(), 2); // 0 →1→ 1 →2→ 3 (shortest)
+/// ```
+pub struct Explorer<'a, A: Dts> {
+    sys: &'a A,
+    /// state → (depth, predecessor state index + action), roots have `None`.
+    seen: HashMap<A::State, Meta<A>>,
+    order: Vec<A::State>,
+}
+
+struct Meta<A: Dts> {
+    depth: usize,
+    pred: Option<(usize, A::Action)>,
+}
+
+impl<'a, A: Dts> Explorer<'a, A> {
+    /// Creates an explorer for `sys`. No work happens until [`Explorer::run`].
+    pub fn new(sys: &'a A) -> Explorer<'a, A> {
+        Explorer {
+            sys,
+            seen: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Runs bounded BFS from `Q₀` and returns statistics.
+    ///
+    /// Calling `run` again re-explores from scratch.
+    pub fn run(&mut self, config: &ExploreConfig) -> ReachReport {
+        self.seen.clear();
+        self.order.clear();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut transitions = 0usize;
+        let mut max_depth_seen = 0usize;
+        let mut outcome = ExploreOutcome::Complete;
+
+        for s in self.sys.initial_states() {
+            self.discover(s, 0, None, &mut queue);
+        }
+
+        'expand: while let Some(idx) = queue.pop_front() {
+            let depth = self.seen[&self.order[idx]].depth;
+            if depth >= config.max_depth {
+                outcome = ExploreOutcome::DepthBounded;
+                continue;
+            }
+            let state = self.order[idx].clone();
+            for action in self.sys.enabled(&state) {
+                let next = self.sys.apply(&state, &action);
+                transitions += 1;
+                if !self.seen.contains_key(&next) {
+                    if self.order.len() >= config.max_states {
+                        outcome = ExploreOutcome::StateBudgetExhausted;
+                        break 'expand;
+                    }
+                    max_depth_seen = max_depth_seen.max(depth + 1);
+                    self.discover(next, depth + 1, Some((idx, action)), &mut queue);
+                }
+            }
+        }
+
+        ReachReport {
+            states: self.order.len(),
+            transitions,
+            max_depth_seen,
+            outcome,
+        }
+    }
+
+    fn discover(
+        &mut self,
+        state: A::State,
+        depth: usize,
+        pred: Option<(usize, A::Action)>,
+        queue: &mut VecDeque<usize>,
+    ) {
+        if self.seen.contains_key(&state) {
+            return;
+        }
+        let idx = self.order.len();
+        self.order.push(state.clone());
+        self.seen.insert(state, Meta { depth, pred });
+        queue.push_back(idx);
+    }
+
+    /// All states discovered so far, in BFS order.
+    pub fn states(&self) -> &[A::State] {
+        &self.order
+    }
+
+    /// `true` if `state` has been discovered.
+    pub fn contains(&self, state: &A::State) -> bool {
+        self.seen.contains_key(state)
+    }
+
+    /// A shortest execution from an initial state to `state`, or `None` if
+    /// `state` has not been discovered.
+    pub fn trace_to(&self, state: &A::State) -> Option<Execution<A>> {
+        self.seen.get(state)?;
+        // Walk predecessor links back to a root.
+        let mut rev: Vec<(A::State, Option<A::Action>)> = Vec::new();
+        let mut cur = state.clone();
+        loop {
+            let meta = self.seen.get(&cur).expect("linked states are discovered");
+            match &meta.pred {
+                None => {
+                    rev.push((cur, None));
+                    break;
+                }
+                Some((pidx, action)) => {
+                    rev.push((cur, Some(action.clone())));
+                    cur = self.order[*pidx].clone();
+                }
+            }
+        }
+        rev.reverse();
+        let mut iter = rev.into_iter();
+        let (root, _) = iter.next().expect("trace has a root");
+        let mut exec = Execution::new(root);
+        for (state, action) in iter {
+            let action = action.expect("non-root states have incoming actions");
+            exec.push(action, state);
+        }
+        Some(exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::toys::{Branching, Counter};
+
+    #[test]
+    fn explores_full_cycle() {
+        let sys = Counter { modulus: 7 };
+        let mut ex = Explorer::new(&sys);
+        let r = ex.run(&ExploreConfig::default());
+        assert_eq!(r.states, 7);
+        assert_eq!(r.transitions, 7); // each state has one outgoing edge
+        assert_eq!(r.outcome, ExploreOutcome::Complete);
+        assert_eq!(r.max_depth_seen, 6);
+        assert!(ex.contains(&6));
+        assert!(!ex.contains(&7));
+    }
+
+    #[test]
+    fn trace_is_shortest_and_valid() {
+        let sys = Branching { m: 10 };
+        let mut ex = Explorer::new(&sys);
+        ex.run(&ExploreConfig::default());
+        // 5 is reachable in 3 steps (2+2+1); BFS must find a 3-step trace.
+        let t = ex.trace_to(&5).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(*t.first(), 0);
+        assert_eq!(*t.last(), 5);
+        assert_eq!(t.validate(&sys), Ok(()));
+        assert!(ex.trace_to(&42).is_none());
+    }
+
+    #[test]
+    fn state_budget_truncates() {
+        let sys = Counter { modulus: 1000 };
+        let mut ex = Explorer::new(&sys);
+        let r = ex.run(&ExploreConfig {
+            max_states: 10,
+            max_depth: usize::MAX,
+        });
+        assert_eq!(r.states, 10);
+        assert_eq!(r.outcome, ExploreOutcome::StateBudgetExhausted);
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let sys = Counter { modulus: 1000 };
+        let mut ex = Explorer::new(&sys);
+        let r = ex.run(&ExploreConfig {
+            max_states: usize::MAX,
+            max_depth: 5,
+        });
+        assert_eq!(r.states, 6); // depths 0..=5
+        assert_eq!(r.outcome, ExploreOutcome::DepthBounded);
+    }
+
+    #[test]
+    fn rerun_resets() {
+        let sys = Counter { modulus: 4 };
+        let mut ex = Explorer::new(&sys);
+        ex.run(&ExploreConfig::default());
+        let r2 = ex.run(&ExploreConfig::default());
+        assert_eq!(r2.states, 4);
+        assert_eq!(ex.states().len(), 4);
+    }
+}

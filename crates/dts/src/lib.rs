@@ -1,0 +1,63 @@
+//! Discrete transition systems and an explicit-state model checker.
+//!
+//! The paper *"Safe and Stabilizing Distributed Cellular Flows"* (ICDCS 2010)
+//! formalizes its system as a **discrete transition system**
+//! `A = ⟨X, Q₀, A, →⟩` (Section II) and proves its properties by assertional
+//! reasoning: an *invariant* holds in every reachable state; a system
+//! *stabilizes to* a stable set `S` if every execution fragment reaches `S`.
+//!
+//! This crate mechanizes that formalism so the proofs can be *checked* on
+//! bounded instances:
+//!
+//! * [`Dts`] — the transition-system trait (states, initial states, enabled
+//!   actions, transition function);
+//! * [`Execution`] — recorded executions (alternating states and actions);
+//! * [`Explorer`] — bounded breadth-first reachability with deduplication;
+//! * [`check_invariant`] — verify a state predicate over all reachable states,
+//!   returning a counterexample [`Execution`] on failure;
+//! * [`is_stable`] / [`always_reaches_within`] — the two halves of the paper's
+//!   "stabilizes to `S`" definition;
+//! * [`check_possibly`] — the CTL property `AG EF goal` (no reachable state
+//!   is ever trapped away from the goal), used to mechanize progress claims;
+//! * [`random_walks`] — Monte-Carlo invariant checking for instances too
+//!   large to enumerate.
+//!
+//! # Example: a wrapping counter
+//!
+//! ```
+//! use cellflow_dts::{check_invariant, Dts, ExploreConfig};
+//!
+//! struct Counter { modulus: u32 }
+//!
+//! impl Dts for Counter {
+//!     type State = u32;
+//!     type Action = ();
+//!     fn initial_states(&self) -> Vec<u32> { vec![0] }
+//!     fn enabled(&self, _: &u32) -> Vec<()> { vec![()] }
+//!     fn apply(&self, s: &u32, _: &()) -> u32 { (s + 1) % self.modulus }
+//! }
+//!
+//! let sys = Counter { modulus: 5 };
+//! let report = check_invariant(&sys, |s| *s < 5, &ExploreConfig::default()).unwrap();
+//! assert_eq!(report.states_explored, 5);
+//! assert!(check_invariant(&sys, |s| *s < 4, &ExploreConfig::default()).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod automaton;
+mod execution;
+mod explore;
+mod invariant;
+mod liveness;
+mod montecarlo;
+mod stabilize;
+
+pub use automaton::Dts;
+pub use execution::Execution;
+pub use explore::{ExploreConfig, ExploreOutcome, Explorer, ReachReport};
+pub use invariant::{check_invariant, InvariantReport, Violation};
+pub use liveness::{check_possibly, LivenessReport, TrappedState};
+pub use montecarlo::{random_walks, WalkConfig, WalkReport};
+pub use stabilize::{always_reaches_within, is_stable, StabilityViolation};

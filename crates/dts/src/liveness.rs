@@ -1,0 +1,210 @@
+//! Liveness checking: possibility-of-progress over the reachable graph.
+//!
+//! The paper's progress result (Theorem 10) is conditional: entities reach
+//! the target *once failures cease*. Over a transition system whose actions
+//! include crashes, the natural unconditional statement is the CTL property
+//! **`AG EF goal`** — *from every reachable state, a goal state remains
+//! reachable* (e.g. "all created entities consumed"). A violation is a
+//! reachable state from which the system can never again make full progress,
+//! no matter how the environment behaves — a trapped state, which is exactly
+//! what the deadlock analyses in `cellflow-multiflow` look for.
+//!
+//! [`check_possibly`] verifies `AG EF goal` by building the reachable graph
+//! and reverse-searching from the goal states.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::{Dts, Execution, ExploreConfig, ExploreOutcome, Explorer};
+
+/// Successful `AG EF goal` check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LivenessReport {
+    /// Distinct reachable states examined.
+    pub states: usize,
+    /// How many of them satisfy the goal themselves.
+    pub goal_states: usize,
+    /// `true` if the whole reachable set was covered (proof-grade for this
+    /// instance); `false` if an exploration bound was hit.
+    pub exhaustive: bool,
+}
+
+/// A reachable state from which no goal state can ever be reached again.
+pub struct TrappedState<A: Dts> {
+    /// The trapped state.
+    pub state: A::State,
+    /// A shortest execution from an initial state into the trap.
+    pub trace: Execution<A>,
+}
+
+impl<A: Dts> core::fmt::Debug for TrappedState<A> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "trapped state (goal unreachable) after {} steps: {:?}",
+            self.trace.len(),
+            self.state
+        )
+    }
+}
+
+/// Checks `AG EF goal`: every reachable state of `sys` can still reach a
+/// state satisfying `goal`.
+///
+/// # Errors
+///
+/// Returns the shallowest [`TrappedState`] if some reachable state has no
+/// path back to the goal set.
+///
+/// ```
+/// use cellflow_dts::{check_possibly, Dts, ExploreConfig};
+///
+/// // A counter that can be incremented or reset — 0 stays reachable forever.
+/// struct Resettable;
+/// impl Dts for Resettable {
+///     type State = u8;
+///     type Action = bool; // true = increment, false = reset
+///     fn initial_states(&self) -> Vec<u8> { vec![0] }
+///     fn enabled(&self, _: &u8) -> Vec<bool> { vec![true, false] }
+///     fn apply(&self, s: &u8, a: &bool) -> u8 { if *a { (s + 1) % 8 } else { 0 } }
+/// }
+/// let report = check_possibly(&Resettable, |s| *s == 0, &ExploreConfig::default()).unwrap();
+/// assert_eq!(report.states, 8);
+/// assert!(report.exhaustive);
+/// ```
+pub fn check_possibly<A, G>(
+    sys: &A,
+    goal: G,
+    config: &ExploreConfig,
+) -> Result<LivenessReport, TrappedState<A>>
+where
+    A: Dts,
+    G: Fn(&A::State) -> bool,
+{
+    let mut explorer = Explorer::new(sys);
+    let report = explorer.run(config);
+    let states: Vec<A::State> = explorer.states().to_vec();
+    let index: HashMap<&A::State, usize> = states.iter().enumerate().map(|(k, s)| (s, k)).collect();
+
+    // Build the reverse adjacency over the explored set. Edges leading out of
+    // the explored set (possible only when a bound truncated exploration) are
+    // ignored — soundness then depends on `exhaustive`, which we report.
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); states.len()];
+    for (from, state) in states.iter().enumerate() {
+        for action in sys.enabled(state) {
+            let next = sys.apply(state, &action);
+            if let Some(&to) = index.get(&next) {
+                reverse[to].push(from);
+            }
+        }
+    }
+
+    // Reverse BFS from all goal states.
+    let mut co_reachable = vec![false; states.len()];
+    let mut queue = VecDeque::new();
+    let mut goal_states = 0usize;
+    for (k, s) in states.iter().enumerate() {
+        if goal(s) {
+            goal_states += 1;
+            co_reachable[k] = true;
+            queue.push_back(k);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        for &prev in &reverse[cur] {
+            if !co_reachable[prev] {
+                co_reachable[prev] = true;
+                queue.push_back(prev);
+            }
+        }
+    }
+
+    // BFS order ⇒ the first non-co-reachable state is shallowest.
+    if let Some(k) = co_reachable.iter().position(|&ok| !ok) {
+        let state = states[k].clone();
+        let trace = explorer
+            .trace_to(&state)
+            .expect("explored states have traces");
+        return Err(TrappedState { state, trace });
+    }
+
+    Ok(LivenessReport {
+        states: states.len(),
+        goal_states,
+        exhaustive: report.outcome == ExploreOutcome::Complete,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::toys::Counter;
+
+    /// Increment, or fall into an absorbing pit from state 3.
+    struct Pitfall;
+    impl Dts for Pitfall {
+        type State = u8;
+        type Action = bool; // true = step, false = fall (only from 3)
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn enabled(&self, s: &u8) -> Vec<bool> {
+            if *s == 3 {
+                vec![true, false]
+            } else {
+                vec![true] // ordinary step, or the pit's self-loop
+            }
+        }
+        fn apply(&self, s: &u8, a: &bool) -> u8 {
+            match (s, a) {
+                (99, _) => 99,
+                (3, false) => 99,
+                (s, _) => (s + 1) % 6,
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_is_always_live() {
+        let sys = Counter { modulus: 5 };
+        let r = check_possibly(&sys, |s| *s == 2, &ExploreConfig::default()).unwrap();
+        assert_eq!(r.states, 5);
+        assert_eq!(r.goal_states, 1);
+        assert!(r.exhaustive);
+    }
+
+    #[test]
+    fn pit_is_detected_with_shortest_trace() {
+        let trap = check_possibly(&Pitfall, |s| *s == 0, &ExploreConfig::default())
+            .expect_err("the pit can never reach 0 again");
+        assert_eq!(trap.state, 99);
+        // Shortest route into the pit: 0→1→2→3→99.
+        assert_eq!(trap.trace.len(), 4);
+        assert_eq!(trap.trace.validate(&Pitfall), Ok(()));
+        assert!(format!("{trap:?}").contains("trapped"));
+    }
+
+    #[test]
+    fn goal_inside_pit_is_fine() {
+        // If the pit itself is a goal, everything stays live.
+        let r =
+            check_possibly(&Pitfall, |s| *s == 99 || *s == 0, &ExploreConfig::default()).unwrap();
+        assert!(r.exhaustive);
+        assert_eq!(r.goal_states, 2);
+    }
+
+    #[test]
+    fn truncated_exploration_reports_non_exhaustive() {
+        let sys = Counter { modulus: 100 };
+        let r = check_possibly(
+            &sys,
+            |_| true,
+            &ExploreConfig {
+                max_states: 10,
+                max_depth: usize::MAX,
+            },
+        )
+        .unwrap();
+        assert!(!r.exhaustive);
+        assert_eq!(r.states, 10);
+    }
+}

@@ -1,0 +1,208 @@
+//! Monte-Carlo invariant checking: randomized walks through the state space.
+//!
+//! Exhaustive exploration ([`Explorer`](crate::Explorer)) proves properties
+//! on *small* instances; plain simulation exercises one schedule. Random
+//! walks sit in between: many independent trajectories with randomly chosen
+//! enabled actions, checking the invariant at every visited state — a cheap
+//! high-coverage smoke test for instances too large to enumerate.
+
+use crate::{Dts, Execution};
+
+/// A deterministic xorshift64* generator — enough randomness for walk
+/// scheduling without pulling a dependency into this crate.
+#[derive(Clone, Debug)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Configuration for [`random_walks`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkConfig {
+    /// Number of independent trajectories.
+    pub walks: usize,
+    /// Transitions per trajectory.
+    pub depth: usize,
+    /// Seed for the walk scheduler.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    /// 64 walks of depth 256.
+    fn default() -> WalkConfig {
+        WalkConfig {
+            walks: 64,
+            depth: 256,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Statistics from a successful [`random_walks`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkReport {
+    /// States on which the invariant was checked (including revisits).
+    pub states_checked: usize,
+    /// Walks that ended early in a deadlock (no enabled actions).
+    pub deadlocked_walks: usize,
+}
+
+/// Runs random walks over `sys`, checking `invariant` at every state.
+///
+/// Each walk starts from a uniformly chosen initial state and repeatedly
+/// fires a uniformly chosen enabled action. Unlike
+/// [`check_invariant`](crate::check_invariant) this is *not* exhaustive — a
+/// clean pass is evidence, not proof — but it scales to instances far beyond
+/// enumeration.
+///
+/// # Errors
+///
+/// Returns the violating [`Execution`] (the full walk up to and including the
+/// bad state).
+///
+/// ```
+/// use cellflow_dts::{random_walks, Dts, WalkConfig};
+/// # struct C;
+/// # impl Dts for C {
+/// #     type State = u32; type Action = u32;
+/// #     fn initial_states(&self) -> Vec<u32> { vec![0] }
+/// #     fn enabled(&self, _: &u32) -> Vec<u32> { vec![1, 2] }
+/// #     fn apply(&self, s: &u32, a: &u32) -> u32 { (s + a) % 97 }
+/// # }
+/// let report = random_walks(&C, |s| *s < 97, &WalkConfig::default()).unwrap();
+/// assert!(report.states_checked > 1_000);
+/// let bad = random_walks(&C, |s| *s != 42, &WalkConfig::default()).unwrap_err();
+/// assert_eq!(*bad.last(), 42);
+/// ```
+pub fn random_walks<A, P>(
+    sys: &A,
+    invariant: P,
+    config: &WalkConfig,
+) -> Result<WalkReport, Execution<A>>
+where
+    A: Dts,
+    P: Fn(&A::State) -> bool,
+{
+    let mut rng = XorShift::new(config.seed);
+    let initials = sys.initial_states();
+    assert!(!initials.is_empty(), "system has no initial states");
+    let mut states_checked = 0usize;
+    let mut deadlocked_walks = 0usize;
+
+    for _ in 0..config.walks {
+        let start = initials[rng.below(initials.len())].clone();
+        let mut exec = Execution::new(start);
+        states_checked += 1;
+        if !invariant(exec.last()) {
+            return Err(exec);
+        }
+        for _ in 0..config.depth {
+            let actions = sys.enabled(exec.last());
+            if actions.is_empty() {
+                deadlocked_walks += 1;
+                break;
+            }
+            let action = actions[rng.below(actions.len())].clone();
+            let next = sys.apply(exec.last(), &action);
+            exec.push(action, next);
+            states_checked += 1;
+            if !invariant(exec.last()) {
+                return Err(exec);
+            }
+        }
+    }
+    Ok(WalkReport {
+        states_checked,
+        deadlocked_walks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::toys::{Branching, Counter};
+
+    #[test]
+    fn clean_pass_reports_counts() {
+        let sys = Counter { modulus: 10 };
+        let cfg = WalkConfig {
+            walks: 10,
+            depth: 50,
+            seed: 7,
+        };
+        let report = random_walks(&sys, |s| *s < 10, &cfg).unwrap();
+        assert_eq!(report.states_checked, 10 * 51);
+        assert_eq!(report.deadlocked_walks, 0);
+    }
+
+    #[test]
+    fn violation_returns_valid_trace() {
+        let sys = Branching { m: 1_000 };
+        let bad = random_walks(&sys, |s| *s < 30, &WalkConfig::default()).unwrap_err();
+        assert!(*bad.last() >= 30);
+        assert_eq!(bad.validate(&sys), Ok(()));
+        // The walk found the violation at its end — everything before is fine.
+        for s in &bad.states()[..bad.states().len() - 1] {
+            assert!(*s < 30);
+        }
+    }
+
+    #[test]
+    fn deadlocks_are_counted_not_fatal() {
+        struct Dead;
+        impl Dts for Dead {
+            type State = u8;
+            type Action = ();
+            fn initial_states(&self) -> Vec<u8> {
+                vec![0]
+            }
+            fn enabled(&self, s: &u8) -> Vec<()> {
+                if *s < 3 {
+                    vec![()]
+                } else {
+                    vec![]
+                }
+            }
+            fn apply(&self, s: &u8, _: &()) -> u8 {
+                s + 1
+            }
+        }
+        let cfg = WalkConfig {
+            walks: 5,
+            depth: 100,
+            seed: 1,
+        };
+        let report = random_walks(&Dead, |_| true, &cfg).unwrap();
+        assert_eq!(report.deadlocked_walks, 5);
+        assert_eq!(report.states_checked, 5 * 4); // 0,1,2,3 each walk
+    }
+
+    #[test]
+    fn walks_are_seed_deterministic() {
+        let sys = Branching { m: 17 };
+        let cfg = WalkConfig {
+            walks: 8,
+            depth: 64,
+            seed: 99,
+        };
+        let a = random_walks(&sys, |_| true, &cfg).unwrap();
+        let b = random_walks(&sys, |_| true, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,221 @@
+//! Stabilization checking: the paper's "A stabilizes to S".
+//!
+//! Section II defines: a set `S` is *stable* if it is closed under transitions,
+//! and `A` *stabilizes to* `S` if `S` is stable and every execution fragment
+//! reaches `S`. Lemma 6 instantiates this for the routing layer: from any state,
+//! fault-free executions stabilize to correct `dist`/`next` values within `h`
+//! rounds. These helpers check both halves on bounded instances.
+
+use std::collections::HashMap;
+
+use crate::Dts;
+
+/// A witness that a candidate set is not closed under transitions.
+pub struct StabilityViolation<A: Dts> {
+    /// A state inside the candidate set…
+    pub inside: A::State,
+    /// …the action that escapes it…
+    pub action: A::Action,
+    /// …and the successor outside the set.
+    pub outside: A::State,
+}
+
+impl<A: Dts> core::fmt::Debug for StabilityViolation<A> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "set not stable: {:?} --{:?}--> {:?}",
+            self.inside, self.action, self.outside
+        )
+    }
+}
+
+/// Checks that the set `{ s | in_set(s) }` is **stable** (closed under every
+/// enabled transition) over the given collection of member states.
+///
+/// The caller supplies the member states to examine — typically the reachable
+/// states from an [`Explorer`](crate::Explorer) run, filtered by `in_set`.
+///
+/// # Errors
+///
+/// Returns the first escaping transition found.
+pub fn is_stable<'s, A, P, I>(sys: &A, in_set: P, members: I) -> Result<(), StabilityViolation<A>>
+where
+    A: Dts,
+    A::State: 's,
+    P: Fn(&A::State) -> bool,
+    I: IntoIterator<Item = &'s A::State>,
+{
+    for s in members {
+        debug_assert!(in_set(s), "members must satisfy the predicate");
+        for action in sys.enabled(s) {
+            let next = sys.apply(s, &action);
+            if !in_set(&next) {
+                return Err(StabilityViolation {
+                    inside: s.clone(),
+                    action,
+                    outside: next,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that **every** execution fragment from `start` reaches the set
+/// `{ s | target(s) }` within at most `bound` transitions — universal
+/// (all-paths) bounded reachability.
+///
+/// Returns `Some(k)` with the smallest `k ≤ bound` such that all executions
+/// from `start` are inside the target set by step `k` in the worst case, or
+/// `None` if some execution can avoid the set for `bound` steps.
+///
+/// ```
+/// use cellflow_dts::{always_reaches_within, Dts};
+/// # struct C;
+/// # impl Dts for C {
+/// #     type State = u32; type Action = u32;
+/// #     fn initial_states(&self) -> Vec<u32> { vec![0] }
+/// #     fn enabled(&self, _: &u32) -> Vec<u32> { vec![1, 2] }
+/// #     fn apply(&self, s: &u32, a: &u32) -> u32 { s + a }
+/// # }
+/// // Adding 1 or 2 each step from 0: all paths reach a value ≥ 4 within 4 steps
+/// // (worst case all-ones), and cannot be guaranteed within 3.
+/// assert_eq!(always_reaches_within(&C, |s| *s >= 4, &0, 4), Some(4));
+/// assert_eq!(always_reaches_within(&C, |s| *s >= 4, &0, 3), None);
+/// ```
+pub fn always_reaches_within<A, P>(
+    sys: &A,
+    target: P,
+    start: &A::State,
+    bound: usize,
+) -> Option<usize>
+where
+    A: Dts,
+    P: Fn(&A::State) -> bool,
+{
+    // worst[s] = max over paths of steps needed from s; None = can exceed budget.
+    // Memoized DFS on (state, remaining budget is implicit: memo stores the
+    // exact worst-case distance when it is ≤ bound).
+    fn go<A: Dts, P: Fn(&A::State) -> bool>(
+        sys: &A,
+        target: &P,
+        state: &A::State,
+        budget: usize,
+        memo: &mut HashMap<A::State, Option<usize>>,
+        in_progress: &mut Vec<A::State>,
+    ) -> Option<usize> {
+        if target(state) {
+            return Some(0);
+        }
+        if budget == 0 {
+            return None;
+        }
+        // A cached worst-case distance is budget-independent when Some; a
+        // cached None was computed with at least as much budget only if we
+        // always call with non-increasing budgets — we don't, so only trust
+        // Some entries.
+        if let Some(Some(d)) = memo.get(state) {
+            return if *d <= budget { Some(*d) } else { None };
+        }
+        if in_progress.contains(state) {
+            // A cycle that avoids the target: with any finite budget this
+            // branch can loop, so it cannot be *guaranteed* to reach.
+            return None;
+        }
+        in_progress.push(state.clone());
+        let mut worst = 0usize;
+        let mut ok = true;
+        let actions = sys.enabled(state);
+        if actions.is_empty() {
+            ok = false; // deadlock outside the target set
+        }
+        for action in actions {
+            let next = sys.apply(state, &action);
+            match go(sys, target, &next, budget - 1, memo, in_progress) {
+                Some(d) => worst = worst.max(d + 1),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        in_progress.pop();
+        if ok {
+            memo.insert(state.clone(), Some(worst));
+            Some(worst)
+        } else {
+            None
+        }
+    }
+
+    let mut memo = HashMap::new();
+    let mut stack = Vec::new();
+    go(sys, &target, start, bound, &mut memo, &mut stack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::toys::{Branching, Counter, FlipChain};
+    use crate::{ExploreConfig, Explorer};
+
+    #[test]
+    fn counter_stabilizes_to_nothing_smaller_than_cycle() {
+        let sys = Counter { modulus: 4 };
+        // The set {0,1,2,3} is trivially stable.
+        let mut ex = Explorer::new(&sys);
+        ex.run(&ExploreConfig::default());
+        assert!(is_stable(&sys, |s| *s < 4, ex.states().iter()).is_ok());
+        // The set {0} is not stable: 0 → 1 escapes.
+        let members = [0u32];
+        let v = is_stable(&sys, |s| *s == 0, members.iter()).unwrap_err();
+        assert_eq!(v.inside, 0);
+        assert_eq!(v.outside, 1);
+        assert!(format!("{v:?}").contains("not stable"));
+    }
+
+    #[test]
+    fn flip_chain_stabilizes_to_uniform_states() {
+        // The paper's notion: S = uniform flag configurations is stable, and
+        // every execution reaches S within n−1 rounds.
+        let sys = FlipChain { n: 5 };
+        let uniform = |s: &Vec<bool>| s.iter().all(|&b| b == s[0]);
+        let all = sys.all_states();
+        let members: Vec<_> = all.iter().filter(|s| uniform(s)).collect();
+        assert!(is_stable(&sys, uniform, members.into_iter()).is_ok());
+        for start in &all {
+            let k = always_reaches_within(&sys, uniform, start, 4)
+                .unwrap_or_else(|| panic!("{start:?} fails to stabilize"));
+            assert!(k <= 4);
+        }
+        // Worst case: one leading mismatch that has to ripple down the whole
+        // chain, e.g. [T,F,F,F,F] takes exactly n−1 = 4 rounds.
+        let ripple = vec![true, false, false, false, false];
+        assert_eq!(always_reaches_within(&sys, uniform, &ripple, 4), Some(4));
+        assert_eq!(always_reaches_within(&sys, uniform, &ripple, 3), None);
+    }
+
+    #[test]
+    fn branching_worst_case_counts_all_paths() {
+        let sys = Branching { m: 1_000 };
+        assert_eq!(always_reaches_within(&sys, |s| *s >= 6, &0, 6), Some(6));
+        assert_eq!(always_reaches_within(&sys, |s| *s >= 6, &0, 5), None);
+    }
+
+    #[test]
+    fn cycles_that_avoid_target_fail() {
+        let sys = Counter { modulus: 4 };
+        // From 0, the execution cycles 0,1,2,3,… and never reaches 9.
+        assert_eq!(always_reaches_within(&sys, |s| *s == 9, &0, 50), None);
+        // …but reaches 3 in exactly 3 steps.
+        assert_eq!(always_reaches_within(&sys, |s| *s == 3, &0, 50), Some(3));
+    }
+
+    #[test]
+    fn already_inside_needs_zero_steps() {
+        let sys = Counter { modulus: 4 };
+        assert_eq!(always_reaches_within(&sys, |s| *s == 2, &2, 0), Some(0));
+        assert_eq!(always_reaches_within(&sys, |s| *s == 3, &2, 0), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! Exact fixed-point planar geometry for distributed cellular flows.
+//!
+//! This crate is the geometric substrate of the `cellular-flows` workspace, a
+//! reproduction of *"Safe and Stabilizing Distributed Cellular Flows"* (Johnson,
+//! Mitra, Manamcheri; ICDCS 2010). The paper models vehicles ("entities") as
+//! `l × l` squares with centers in the Euclidean plane, moving in steps of an
+//! exact velocity `v` inside unit-square cells.
+//!
+//! All coordinates here use [`Fixed`], an exact fixed-point scalar with a
+//! resolution of one millionth of a cell side. Every parameter value used in the
+//! paper's evaluation (`0.05`, `0.1`, `0.2`, `0.25`, …) is representable exactly,
+//! so 20 000-round simulations are bit-reproducible and system states are
+//! hashable — a requirement of the explicit-state model checker in
+//! `cellflow-dts`.
+//!
+//! # Quick example
+//!
+//! ```
+//! use cellflow_geom::{Fixed, Point, Dir, sep_ok};
+//!
+//! // Entity length l = 0.25, safety gap rs = 0.05 → center spacing d = 0.3.
+//! let l = Fixed::from_milli(250);
+//! let rs = Fixed::from_milli(50);
+//! let d = l + rs;
+//!
+//! let p = Point::new(Fixed::from_milli(1_500), Fixed::from_milli(500));
+//! let q = p.translate(Dir::East, d);
+//! assert!(sep_ok(p, q, d)); // spaced exactly d apart along x
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod direction;
+mod fixed;
+mod point;
+mod square;
+
+pub use direction::{Axis, Dir};
+pub use fixed::{Fixed, FixedParseError, TryFromF64Error};
+pub use point::Point;
+pub use square::{sep_ok, Square};

@@ -1,0 +1,129 @@
+//! Additional property tests for `Fixed` full multiplication/division and
+//! the square primitives — the operations the first property file
+//! (`props.rs`) doesn't cover.
+
+use cellflow_geom::{Dir, Fixed, Point, Square};
+use proptest::prelude::*;
+
+/// Values small enough that products stay exact through the i128 widening.
+fn fixed_mid() -> impl Strategy<Value = Fixed> {
+    (-2_000_000_000i64..=2_000_000_000).prop_map(Fixed::from_raw)
+}
+
+fn fixed_nonzero() -> impl Strategy<Value = Fixed> {
+    prop_oneof![
+        (1i64..=2_000_000_000).prop_map(Fixed::from_raw),
+        (-2_000_000_000i64..=-1).prop_map(Fixed::from_raw),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mul_identity_and_zero(a in fixed_mid()) {
+        prop_assert_eq!(a * Fixed::ONE, a);
+        prop_assert_eq!(Fixed::ONE * a, a);
+        prop_assert_eq!(a * Fixed::ZERO, Fixed::ZERO);
+    }
+
+    #[test]
+    fn mul_commutes(a in fixed_mid(), b in fixed_mid()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_sign_rules(a in fixed_nonzero(), b in fixed_nonzero()) {
+        let product = a * b;
+        if product != Fixed::ZERO {
+            prop_assert_eq!(product.signum(), a.signum() * b.signum());
+        }
+    }
+
+    #[test]
+    fn div_identity(a in fixed_mid()) {
+        prop_assert_eq!(a / Fixed::ONE, a);
+        prop_assert_eq!(a / 1i64, a);
+    }
+
+    #[test]
+    fn self_division_is_one(a in fixed_nonzero()) {
+        prop_assert_eq!(a / a, Fixed::ONE);
+    }
+
+    #[test]
+    fn mul_div_round_trip_within_truncation(a in fixed_mid(), b in fixed_nonzero()) {
+        // (a * b) / b equals a up to one unit of truncation per operation.
+        let round_tripped = (a * b) / b;
+        let err = (round_tripped - a).abs();
+        // Each truncating op loses < 1 raw unit scaled by the operand ratio;
+        // bound generously by the magnitude of b in whole units plus one.
+        let bound = Fixed::from_raw(b.raw().abs() / 1_000_000 + 2);
+        prop_assert!(err <= bound, "err {err} for a={a}, b={b}");
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_add(a in fixed_mid(), k in 0i64..=50) {
+        let mut acc = Fixed::ZERO;
+        for _ in 0..k {
+            acc += a;
+        }
+        prop_assert_eq!(a * k, acc);
+    }
+
+    #[test]
+    fn halve_bounds(a in fixed_mid()) {
+        let h = a.halve();
+        // h + h differs from a by at most one raw unit (odd truncation).
+        prop_assert!((h + h - a).abs() <= Fixed::from_raw(1));
+    }
+
+    #[test]
+    fn rem_decomposition(a in fixed_mid(), b in fixed_nonzero()) {
+        // `%` follows the raw integers: |r| < |b|, r carries the dividend's
+        // sign (or is zero), and a − r is an exact multiple of b.
+        let r = a % b;
+        prop_assert!(r.abs() < b.abs());
+        if r != Fixed::ZERO {
+            prop_assert_eq!(r.signum(), a.signum());
+        }
+        prop_assert_eq!((a - r).raw() % b.raw(), 0);
+    }
+
+    #[test]
+    fn square_edges_are_consistent(
+        x in -1_000_000i64..=1_000_000,
+        y in -1_000_000i64..=1_000_000,
+        side in 1i64..=1_000_000,
+    ) {
+        let s = Square::new(
+            Point::new(Fixed::from_raw(x), Fixed::from_raw(y)),
+            Fixed::from_raw(side),
+        );
+        prop_assert!(s.low_x() <= s.high_x());
+        prop_assert!(s.low_y() <= s.high_y());
+        // Width equals the side up to halving truncation.
+        prop_assert!((s.high_x() - s.low_x() - s.side()).abs() <= Fixed::from_raw(1));
+        for d in Dir::ALL {
+            let e = s.edge_toward(d);
+            prop_assert!(s.low_x() <= e || s.low_y() <= e);
+        }
+        prop_assert!(s.overlaps(s));
+        prop_assert!(s.contained_in(s));
+    }
+
+    #[test]
+    fn translated_square_still_contains_shrunk_self(
+        x in -1_000_000i64..=1_000_000,
+        side in 2i64..=1_000_000,
+        step in 0i64..=1_000,
+    ) {
+        let outer = Square::new(
+            Point::new(Fixed::from_raw(x), Fixed::ZERO),
+            Fixed::from_raw(side),
+        );
+        let moved = outer.translate(Dir::East, Fixed::from_raw(step));
+        // A square moved less than its half-side still overlaps itself.
+        if Fixed::from_raw(step) < outer.half_side() {
+            prop_assert!(outer.overlaps(moved));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the geometry substrate.
+
+use cellflow_geom::{sep_ok, Axis, Dir, Fixed, Point, Square};
+use proptest::prelude::*;
+
+/// Raw units kept small enough that sums/products never overflow `i64`.
+fn fixed_small() -> impl Strategy<Value = Fixed> {
+    (-1_000_000_000i64..=1_000_000_000).prop_map(Fixed::from_raw)
+}
+
+fn fixed_positive() -> impl Strategy<Value = Fixed> {
+    (1i64..=1_000_000_000).prop_map(Fixed::from_raw)
+}
+
+fn point_small() -> impl Strategy<Value = Point> {
+    (fixed_small(), fixed_small()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn dir() -> impl Strategy<Value = Dir> {
+    prop::sample::select(&Dir::ALL[..])
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in fixed_small(), b in fixed_small()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associates(a in fixed_small(), b in fixed_small(), c in fixed_small()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn sub_is_add_neg(a in fixed_small(), b in fixed_small()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn scalar_mul_distributes(a in fixed_small(), b in fixed_small(), k in -1_000i64..=1_000) {
+        prop_assert_eq!((a + b) * k, a * k + b * k);
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in fixed_small()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Fixed>().unwrap(), a);
+    }
+
+    #[test]
+    fn ordering_respects_addition(a in fixed_small(), b in fixed_small(), c in fixed_small()) {
+        if a <= b {
+            prop_assert!(a + c <= b + c);
+        }
+    }
+
+    #[test]
+    fn abs_is_nonnegative(a in fixed_small()) {
+        prop_assert!(a.abs() >= Fixed::ZERO);
+        prop_assert_eq!(a.abs(), (-a).abs());
+    }
+
+    #[test]
+    fn floor_cells_bounds(a in fixed_small()) {
+        let fl = a.floor_cells();
+        prop_assert!(Fixed::from_int(fl) <= a);
+        prop_assert!(a < Fixed::from_int(fl + 1));
+    }
+
+    #[test]
+    fn translate_round_trip(p in point_small(), d in dir(), step in fixed_positive()) {
+        prop_assert_eq!(p.translate(d, step).translate(d.opposite(), step), p);
+    }
+
+    #[test]
+    fn translate_changes_only_one_axis(p in point_small(), d in dir(), step in fixed_positive()) {
+        let q = p.translate(d, step);
+        match d.axis() {
+            Axis::X => prop_assert_eq!(p.y, q.y),
+            Axis::Y => prop_assert_eq!(p.x, q.x),
+        }
+        prop_assert_eq!(p.manhattan(q), step);
+    }
+
+    #[test]
+    fn manhattan_symmetric(p in point_small(), q in point_small()) {
+        prop_assert_eq!(p.manhattan(q), q.manhattan(p));
+    }
+
+    #[test]
+    fn manhattan_triangle(p in point_small(), q in point_small(), r in point_small()) {
+        prop_assert!(p.manhattan(r) <= p.manhattan(q) + q.manhattan(r));
+    }
+
+    #[test]
+    fn sep_ok_symmetric(p in point_small(), q in point_small(), d in fixed_positive()) {
+        prop_assert_eq!(sep_ok(p, q, d), sep_ok(q, p, d));
+    }
+
+    #[test]
+    fn sep_ok_monotone_in_d(p in point_small(), q in point_small(), d in fixed_positive()) {
+        // If separated at distance d, also separated at any smaller distance.
+        if sep_ok(p, q, d) {
+            prop_assert!(sep_ok(p, q, d.halve().max(Fixed::from_raw(1))));
+        }
+    }
+
+    #[test]
+    fn overlap_symmetric(
+        p in point_small(),
+        q in point_small(),
+        s1 in fixed_positive(),
+        s2 in fixed_positive(),
+    ) {
+        let a = Square::new(p, s1);
+        let b = Square::new(q, s2);
+        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+    }
+
+    #[test]
+    fn separated_squares_do_not_overlap(
+        p in point_small(),
+        q in point_small(),
+        side in fixed_positive(),
+        gap in fixed_positive(),
+    ) {
+        // If centers are >= side + gap apart on some axis, the l×l squares are disjoint.
+        let d = side + gap;
+        if sep_ok(p, q, d) {
+            let a = Square::new(p, side);
+            let b = Square::new(q, side);
+            prop_assert!(!a.overlaps(b));
+        }
+    }
+
+    #[test]
+    fn containment_shrinks(p in point_small(), side in fixed_positive(), shrink in fixed_positive()) {
+        let outer = Square::new(p, side + shrink);
+        let inner = Square::new(p, side);
+        prop_assert!(inner.contained_in(outer));
+        if shrink > Fixed::ZERO {
+            prop_assert!(!outer.contained_in(inner));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Path distance `ρ` and the target-connected set `TC` (paper §III-B).
+//!
+//! The paper defines, for a state `x`, the *path distance* `ρ(x, ⟨i,j⟩)` of a
+//! cell as its hop distance to the target through non-faulty cells (`∞` for
+//! failed or disconnected cells), and `TC(x)` as the set of cells with finite
+//! path distance. Both the stabilization analysis (Lemma 6, Corollary 7) and
+//! the progress theorem (Theorem 10) are stated over `TC`.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::{CellId, GridDims};
+
+/// Dense per-cell distances produced by [`path_distances`].
+///
+/// `None` means `ρ = ∞` (failed or not connected to the target).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Distances {
+    dims: GridDims,
+    dist: Vec<Option<u32>>,
+}
+
+impl Distances {
+    /// The path distance `ρ` of `cell`, or `None` for `∞`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    #[inline]
+    pub fn get(&self, cell: CellId) -> Option<u32> {
+        self.dist[self.dims.index(cell)]
+    }
+
+    /// `true` if `cell` is target-connected (`ρ < ∞`).
+    #[inline]
+    pub fn is_connected(&self, cell: CellId) -> bool {
+        self.get(cell).is_some()
+    }
+
+    /// The grid dimensions these distances were computed for.
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// The largest finite distance, or `None` if nothing is connected.
+    pub fn eccentricity(&self) -> Option<u32> {
+        self.dist.iter().flatten().copied().max()
+    }
+
+    /// Iterates over `(cell, ρ(cell))` pairs with finite distance.
+    pub fn iter_connected(&self) -> impl Iterator<Item = (CellId, u32)> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter_map(move |(k, d)| d.map(|d| (self.dims.id_at(k), d)))
+    }
+}
+
+/// Computes the paper's path distance `ρ` from every cell to `target` through
+/// non-faulty cells, by breadth-first search.
+///
+/// `failed` is the set `F(x)` of crashed cells; they and anything they isolate
+/// get distance `None` (`∞`). A failed target yields all-`None`.
+///
+/// # Panics
+///
+/// Panics if `target` is out of bounds.
+///
+/// ```
+/// use cellflow_grid::{path_distances, CellId, GridDims};
+/// use std::collections::HashSet;
+///
+/// let dims = GridDims::square(3);
+/// let failed: HashSet<_> = [CellId::new(1, 0), CellId::new(1, 1)].into();
+/// let rho = path_distances(dims, CellId::new(0, 0), &failed);
+/// assert_eq!(rho.get(CellId::new(0, 0)), Some(0));
+/// // ⟨2,0⟩ must route around the failed column, over the top row:
+/// // ⟨2,0⟩→⟨2,1⟩→⟨2,2⟩→⟨1,2⟩→⟨0,2⟩→⟨0,1⟩→⟨0,0⟩.
+/// assert_eq!(rho.get(CellId::new(2, 0)), Some(6));
+/// assert_eq!(rho.get(CellId::new(1, 0)), None); // failed ⇒ ∞
+/// ```
+pub fn path_distances(dims: GridDims, target: CellId, failed: &HashSet<CellId>) -> Distances {
+    assert!(
+        dims.contains(target),
+        "target {target} out of {dims} bounds"
+    );
+    let mut dist = vec![None; dims.cell_count()];
+    if !failed.contains(&target) {
+        dist[dims.index(target)] = Some(0);
+        let mut queue = VecDeque::from([target]);
+        while let Some(cur) = queue.pop_front() {
+            let next_d = dist[dims.index(cur)].expect("queued cells have distances") + 1;
+            for nbr in dims.neighbors(cur) {
+                let slot = &mut dist[dims.index(nbr)];
+                if slot.is_none() && !failed.contains(&nbr) {
+                    *slot = Some(next_d);
+                    queue.push_back(nbr);
+                }
+            }
+        }
+    }
+    Distances { dims, dist }
+}
+
+/// The target-connected set `TC(x)`: all cells with finite path distance.
+///
+/// ```
+/// use cellflow_grid::{target_connected, CellId, GridDims};
+/// use std::collections::HashSet;
+///
+/// let dims = GridDims::square(2);
+/// let tc = target_connected(dims, CellId::new(0, 0), &HashSet::new());
+/// assert_eq!(tc.len(), 4);
+/// ```
+pub fn target_connected(
+    dims: GridDims,
+    target: CellId,
+    failed: &HashSet<CellId>,
+) -> HashSet<CellId> {
+    path_distances(dims, target, failed)
+        .iter_connected()
+        .map(|(c, _)| c)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u16, j: u16) -> CellId {
+        CellId::new(i, j)
+    }
+
+    #[test]
+    fn no_failures_is_manhattan() {
+        let dims = GridDims::square(5);
+        let target = id(2, 2);
+        let rho = path_distances(dims, target, &HashSet::new());
+        for c in dims.iter() {
+            assert_eq!(rho.get(c), Some(c.manhattan(target)), "cell {c}");
+        }
+        assert_eq!(rho.eccentricity(), Some(4));
+    }
+
+    #[test]
+    fn failed_cells_are_infinite() {
+        let dims = GridDims::square(3);
+        let failed: HashSet<_> = [id(1, 1)].into();
+        let rho = path_distances(dims, id(0, 0), &failed);
+        assert_eq!(rho.get(id(1, 1)), None);
+        assert!(!rho.is_connected(id(1, 1)));
+        // Others take detours around the failed center.
+        assert_eq!(rho.get(id(2, 2)), Some(4));
+    }
+
+    #[test]
+    fn wall_disconnects_region() {
+        let dims = GridDims::square(3);
+        // Vertical wall at column 1 separates column 2 from the target at 0,1.
+        let failed: HashSet<_> = [id(1, 0), id(1, 1), id(1, 2)].into();
+        let rho = path_distances(dims, id(0, 1), &failed);
+        for j in 0..3 {
+            assert_eq!(rho.get(id(2, j)), None, "⟨2,{j}⟩ should be isolated");
+            assert!(rho.is_connected(id(0, j)));
+        }
+        let tc = target_connected(dims, id(0, 1), &failed);
+        assert_eq!(tc.len(), 3);
+    }
+
+    #[test]
+    fn failed_target_disconnects_everything() {
+        let dims = GridDims::square(2);
+        let failed: HashSet<_> = [id(0, 0)].into();
+        let rho = path_distances(dims, id(0, 0), &failed);
+        for c in dims.iter() {
+            assert_eq!(rho.get(c), None);
+        }
+        assert_eq!(rho.eccentricity(), None);
+        assert!(target_connected(dims, id(0, 0), &failed).is_empty());
+    }
+
+    #[test]
+    fn iter_connected_lists_pairs() {
+        let dims = GridDims::square(2);
+        let rho = path_distances(dims, id(1, 1), &HashSet::new());
+        let mut pairs: Vec<_> = rho.iter_connected().collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![(id(0, 0), 2), (id(0, 1), 1), (id(1, 0), 1), (id(1, 1), 0)]
+        );
+        assert_eq!(rho.dims(), dims);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_bounds_target_panics() {
+        path_distances(GridDims::square(2), id(2, 2), &HashSet::new());
+    }
+}

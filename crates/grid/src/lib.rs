@@ -1,0 +1,40 @@
+//! Partitioned-plane grid substrate for distributed cellular flows.
+//!
+//! The paper *"Safe and Stabilizing Distributed Cellular Flows"* (ICDCS 2010)
+//! partitions the plane into an `N × N` grid of unit-square cells, identified by
+//! `ID = [N−1] × [N−1]`. This crate provides:
+//!
+//! * [`CellId`] — the identifier `⟨i, j⟩` of a cell, with the geometric
+//!   relationship to its unit square in the plane;
+//! * [`GridDims`] — grid dimensions, bounds checking, and neighbor enumeration
+//!   (the paper's `Nbrs`, i.e. cells at Manhattan distance 1);
+//! * [`Path`] — simple paths of adjacent cells with *turn counting* (the path
+//!   complexity measure of the paper's Figure 8) and generators for the
+//!   evaluation scenarios;
+//! * [`connectivity`] — the path distance `ρ` through non-faulty cells and the
+//!   target-connected set `TC` from Section III-B.
+//!
+//! # Example
+//!
+//! ```
+//! use cellflow_grid::{CellId, GridDims, Path};
+//!
+//! let dims = GridDims::square(8);
+//! let path = Path::with_turns(dims, CellId::new(0, 0), 8, 2).unwrap();
+//! assert_eq!(path.len(), 8);
+//! assert_eq!(path.turns(), 2);
+//! assert!(path.cells().iter().all(|&c| dims.contains(c)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell_id;
+pub mod connectivity;
+mod dims;
+mod path;
+
+pub use cell_id::CellId;
+pub use connectivity::{path_distances, target_connected, Distances};
+pub use dims::GridDims;
+pub use path::{Path, PathError};

@@ -1,0 +1,57 @@
+//! Multi-type distributed cellular flows.
+//!
+//! The paper's conclusion (§V) calls for *"algorithms for flow control of
+//! multiple types of entities with arbitrary flow patterns … specified for
+//! each type"*. This crate implements that extension for source–destination
+//! flows: every entity carries a [`FlowType`], every type has its own target
+//! cell, and cells maintain a **routing layer per type** (the unchanged
+//! `Route` rule, once per type).
+//!
+//! The interesting constraint is the paper's coupling: *all entities on a cell
+//! move identically*. With mixed types wanting different directions, a cell
+//! must pick whom to serve. This implementation serves the type of the
+//! **oldest entity on the cell** (minimum [`EntityId`](cellflow_core::EntityId)), a FIFO head-of-line
+//! discipline: deterministic, starvation-resistant in practice, and — crucial
+//! for safety — entirely inside the existing `Signal`/`Move` envelope, so the
+//! paper's safety argument is untouched (the gap check is type-agnostic).
+//! Entities of other types ride along (coupled motion) and are re-routed by
+//! later cells; progress for mixed flows is a heuristic, validated empirically
+//! by this crate's drain tests, not proved — exactly the open problem the
+//! paper states.
+//!
+//! # Example
+//!
+//! ```
+//! use cellflow_core::Params;
+//! use cellflow_grid::{CellId, GridDims};
+//! use cellflow_multiflow::{FlowType, MultiConfig, MultiSystem};
+//!
+//! // Two crossing flows on a 5×5 grid: type 0 west→east, type 1 south→north.
+//! let params = Params::from_milli(200, 50, 150)?;
+//! let config = MultiConfig::new(GridDims::square(5), params)?
+//!     .with_flow(FlowType(0), CellId::new(0, 2), CellId::new(4, 2))?
+//!     .with_flow(FlowType(1), CellId::new(2, 0), CellId::new(2, 4))?;
+//! let mut system = MultiSystem::new(config);
+//! for _ in 0..400 {
+//!     system.step();
+//! }
+//! assert!(system.consumed(FlowType(0)) > 0);
+//! assert!(system.consumed(FlowType(1)) > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod config;
+mod phases;
+pub mod safety;
+mod types;
+
+pub use cell::MultiCellState;
+pub use config::{MultiConfig, MultiConfigError, MultiState, MultiSystem};
+pub use phases::{
+    move_phase_multi, route_phase_multi, served_dir, signal_phase_multi, update_multi, MultiOutcome,
+};
+pub use types::{FlowType, TypedEntity};

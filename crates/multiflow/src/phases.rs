@@ -1,0 +1,468 @@
+//! The protocol phases with per-type routing layers and head-of-line service.
+
+use std::collections::BTreeSet;
+
+use cellflow_core::{gap_free_toward, EntityId};
+use cellflow_grid::CellId;
+use cellflow_routing::route_update;
+
+use crate::{FlowType, MultiConfig, MultiState, TypedEntity};
+
+/// `Route`, once per flow type: each layer runs the unchanged rule over the
+/// same topology (a failed cell is `∞` in every layer; each target anchors
+/// its own layer at 0 and participates as an ordinary router in the others).
+pub fn route_phase_multi(config: &MultiConfig, state: &MultiState) -> MultiState {
+    let dims = config.dims();
+    let mut out = state.clone();
+    let types: Vec<FlowType> = config.types().collect();
+    for id in dims.iter() {
+        if state.cell(dims, id).failed {
+            continue;
+        }
+        for &ty in &types {
+            if config.target_of(ty) == Some(id) {
+                continue; // this layer's anchor
+            }
+            let (dist, next) = route_update(
+                dims.neighbors(id)
+                    .map(|n| (n, state.cell(dims, n).dist[&ty])),
+                config.dist_cap(),
+            );
+            let c = out.cell_mut(dims, id);
+            c.dist.insert(ty, dist);
+            c.next.insert(ty, next);
+        }
+    }
+    out
+}
+
+/// The direction cell `id` actually attempts this round: its effective next,
+/// with **head-on yielding**.
+///
+/// With one routing layer per type, two adjacent cells can want to move into
+/// each other (eastbound meets westbound). Unlike the single-flow protocol —
+/// where stabilized routing is a DAG, so mutual `next` pointers cannot
+/// persist — this is a steady state for crossing commodities, and it
+/// deadlocks: each cell's resident occupies the strip the other needs free.
+///
+/// Resolution: in a mutual pair, the **larger identifier yields** — it
+/// redirects toward its best alternative live neighbor (minimizing its served
+/// type's `dist`, ties by identifier), pulling its entities out of the lane;
+/// the opposing flow then passes through the vacated cell. In a width-1
+/// corridor there is no alternative neighbor and the deadlock is inherent
+/// (two opposing flows genuinely cannot swap) — the pair stays blocked, which
+/// is safe. Yielding is stateless and deterministic, computed fresh from the
+/// snapshot each round, and it only changes *where* a cell moves — the
+/// `Signal` gap check still guards every transfer, so safety is untouched.
+pub fn served_dir(config: &MultiConfig, state: &MultiState, id: CellId) -> Option<CellId> {
+    let dims = config.dims();
+    let cell = state.cell(dims, id);
+    let nx = cell.effective_next()?;
+    let partner = state.cell(dims, nx);
+    let head_on = !partner.failed && partner.effective_next() == Some(id);
+    if !head_on || id < nx {
+        return Some(nx);
+    }
+    // We are the yielding side: detour toward the best other live neighbor.
+    let ty = cell.serve_type()?;
+    dims.neighbors(id)
+        .filter(|&n| n != nx && !state.cell(dims, n).failed)
+        .min_by_key(|&n| (state.cell(dims, n).dist[&ty], n))
+        .or(Some(nx))
+}
+
+/// `Signal` with the served direction: `NEPrev` collects nonempty neighbors
+/// whose **served direction** ([`served_dir`], i.e. the `next` of their
+/// head-of-line type after head-on yielding) points here. Token rotation and
+/// the gap check are exactly the single-flow rule — the gap check is
+/// type-agnostic, so the safety argument is unchanged.
+pub fn signal_phase_multi(config: &MultiConfig, state: &MultiState) -> MultiState {
+    let dims = config.dims();
+    let mut out = state.clone();
+    for id in dims.iter() {
+        if state.cell(dims, id).failed {
+            continue;
+        }
+        let ne_prev: BTreeSet<CellId> = dims
+            .neighbors(id)
+            .filter(|&m| {
+                let nbr = state.cell(dims, m);
+                !nbr.failed && !nbr.members.is_empty() && served_dir(config, state, m) == Some(id)
+            })
+            .collect();
+        let mut token = state.cell(dims, id).token;
+        if token.is_none() {
+            token = ne_prev.first().copied();
+        }
+        let (signal, new_token) = match token {
+            None => (None, None),
+            Some(tok) => {
+                let dir = id.dir_to(tok).expect("token is a neighbor");
+                let positions: Vec<cellflow_geom::Point> = state
+                    .cell(dims, id)
+                    .members
+                    .values()
+                    .map(|e| e.pos)
+                    .collect();
+                // Deviation from Figure 5 line 14: the token rotates on a
+                // *blocked* grant too. The single-flow protocol retains it so
+                // the blocked neighbor cannot be starved by fresh arrivals
+                // from other directions (Lemma 9's argument). With multiple
+                // commodities, retention is worse than starvation: the token
+                // can fixate on a neighbor whose entry strip is occupied by
+                // an entity that is itself waiting on a *different* neighbor
+                // of this cell — a circular wait that deadlocks whole flows.
+                // Rotating on block breaks the cycle; every contender's strip
+                // is re-examined infinitely often.
+                let rotated = rotate(&ne_prev, tok);
+                // Capacity admission (see MultiConfig::with_cell_capacity):
+                // a full cell never grants, so member footprints can never
+                // grow to span the interior and immobilize the cell.
+                let has_room = state.cell(dims, id).members.len() < config.cell_capacity();
+                if has_room && gap_free_toward(config.params(), id, dir, positions.iter()) {
+                    (Some(tok), rotated)
+                } else {
+                    (None, rotated)
+                }
+            }
+        };
+        let c = out.cell_mut(dims, id);
+        c.ne_prev = ne_prev;
+        c.token = new_token;
+        c.signal = signal;
+    }
+    out
+}
+
+/// Cyclic-successor rotation over the contender set.
+fn rotate(ne_prev: &BTreeSet<CellId>, current: CellId) -> Option<CellId> {
+    match ne_prev.len() {
+        0 => None,
+        1 => ne_prev.first().copied(),
+        _ => ne_prev
+            .range((
+                std::ops::Bound::Excluded(current),
+                std::ops::Bound::Unbounded,
+            ))
+            .next()
+            .or_else(|| ne_prev.iter().find(|&&c| c != current))
+            .copied(),
+    }
+}
+
+/// What one multi-type round did.
+#[derive(Clone, Debug, Default)]
+pub struct MultiOutcome {
+    /// Post-round state.
+    pub state: MultiState,
+    /// `(entity, type)` consumed by their targets.
+    pub consumed: Vec<(EntityId, FlowType)>,
+    /// `(entity, from → to)` transfers.
+    pub transfers: Vec<(EntityId, CellId, CellId)>,
+    /// `(cell, entity, type)` created by sources.
+    pub inserted: Vec<(CellId, EntityId, FlowType)>,
+}
+
+/// `Move` with coupled mixed types: a permitted cell translates **all** its
+/// entities toward its effective next; a crossing entity is consumed iff the
+/// receiving cell is the target *of that entity's type*, and transferred
+/// otherwise (so a type-A target forwards type-B entities like any other
+/// cell). Sources then insert at the far edge of their type's route.
+///
+/// # The back-off maneuver
+///
+/// A cell that is **blocked both ways** — it holds a token but withheld its
+/// signal because its *own* members occupy the promised strip, and it
+/// received no grant itself — performs a grant-free *back-off*: it translates
+/// all members `v` **away from the token boundary**, provided every footprint
+/// stays inside the cell.
+///
+/// This departs from the paper (which only ever moves under a grant), but it
+/// is safe without one: (i) no entity crosses any boundary, so no transfer
+/// happens and Invariants 1–2 are untouched; (ii) no entity can enter this
+/// cell this round, because entering requires *this cell's* grant, which was
+/// withheld; (iii) internal pairwise distances are preserved by rigid
+/// translation. It exists because multi-commodity wait graphs have cycles: a
+/// resident can sit in its own cell's entry strip while waiting, circularly,
+/// for the neighbors it blocks — the gridlock single-flow routing (a DAG
+/// anchored at an always-granting target) can never form.
+pub fn move_phase_multi(config: &MultiConfig, state: &MultiState) -> MultiOutcome {
+    let dims = config.dims();
+    let params = config.params();
+    let v = params.v();
+    let h = params.half_l();
+
+    let mut out = state.clone();
+    let mut consumed = Vec::new();
+    let mut transfers = Vec::new();
+    let mut inserted = Vec::new();
+    let mut incoming: Vec<(CellId, EntityId, TypedEntity)> = Vec::new();
+
+    for id in dims.iter() {
+        let cell = state.cell(dims, id);
+        if cell.failed || cell.members.is_empty() {
+            continue;
+        }
+        let granted = served_dir(config, state, id).filter(|&nx| {
+            let nx_cell = state.cell(dims, nx);
+            !nx_cell.failed && nx_cell.signal == Some(id)
+        });
+        let Some(nx) = granted else {
+            // Blocked: if we are also blocking (token held, signal withheld
+            // because our own members sit in the strip), back off.
+            if cell.signal.is_none() {
+                if let Some(holder) = cell.token {
+                    if let Some(toward) = id.dir_to(holder) {
+                        let away = toward.opposite();
+                        // Every footprint must stay inside the cell: the edge
+                        // facing `away` must not pass that boundary.
+                        let wall = id.boundary(away);
+                        let fits = cell.members.values().all(|e| {
+                            let moved = e.pos.translate(away, v);
+                            let edge = moved.along(away.axis()) + h * away.sign();
+                            if away.sign() > 0 {
+                                edge <= wall
+                            } else {
+                                edge >= wall
+                            }
+                        });
+                        if fits {
+                            let members = &mut out.cell_mut(dims, id).members;
+                            let snapshot: Vec<(EntityId, TypedEntity)> =
+                                cell.members.iter().map(|(&k, &e)| (k, e)).collect();
+                            for (eid, e) in snapshot {
+                                members
+                                    .insert(eid, TypedEntity::new(e.pos.translate(away, v), e.ty));
+                            }
+                        }
+                    }
+                }
+            }
+            continue;
+        };
+        let dir = id.dir_to(nx).expect("next is a neighbor");
+        let boundary = id.boundary(dir);
+        for (&eid, &entity) in &cell.members {
+            let new_pos = entity.pos.translate(dir, v);
+            let far_edge = new_pos.along(dir.axis()) + h * dir.sign();
+            let crossed = if dir.sign() > 0 {
+                far_edge > boundary
+            } else {
+                far_edge < boundary
+            };
+            let members = &mut out.cell_mut(dims, id).members;
+            if crossed {
+                members.remove(&eid);
+                if config.target_of(entity.ty) == Some(nx) {
+                    consumed.push((eid, entity.ty));
+                } else {
+                    let entry = nx.boundary(dir.opposite());
+                    let snapped = new_pos.with_along(dir.axis(), entry + h * dir.sign());
+                    incoming.push((nx, eid, TypedEntity::new(snapped, entity.ty)));
+                    transfers.push((eid, id, nx));
+                }
+            } else {
+                members.insert(eid, TypedEntity::new(new_pos, entity.ty));
+            }
+        }
+    }
+
+    for (to, eid, entity) in incoming {
+        out.cell_mut(dims, to).members.insert(eid, entity);
+    }
+
+    // Per-type far-edge source insertion, with admission control: a source
+    // only injects into an *empty* source cell. Unmetered injection keeps
+    // pumping entities into a contended region until cells are physically
+    // full (no internal translation can free any strip) — the multi-commodity
+    // analogue of highway on-ramps causing gridlock, solved the same way
+    // (ramp metering). The single-flow protocol needs no meter because its
+    // DAG routing drains congestion toward an always-granting target.
+    for (&ty, &s) in config.sources() {
+        if state.cell(dims, s).failed {
+            continue;
+        }
+        if !out.cell(dims, s).members.is_empty() {
+            continue;
+        }
+        if let Some(budget) = config.entity_budget() {
+            if out.next_entity_id >= budget {
+                continue;
+            }
+        }
+        let cell = out.cell(dims, s);
+        let pos = match cell
+            .next
+            .get(&ty)
+            .copied()
+            .flatten()
+            .and_then(|n| s.dir_to(n))
+        {
+            Some(dir) => {
+                let back = dir.opposite();
+                let flush = s.boundary(back) - h * back.sign();
+                s.center().with_along(back.axis(), flush)
+            }
+            None => s.center(),
+        };
+        if cell
+            .members
+            .values()
+            .all(|e| cellflow_geom::sep_ok(pos, e.pos, params.d()))
+        {
+            let eid = EntityId(out.next_entity_id);
+            out.next_entity_id += 1;
+            out.cell_mut(dims, s)
+                .members
+                .insert(eid, TypedEntity::new(pos, ty));
+            inserted.push((s, eid, ty));
+        }
+    }
+
+    MultiOutcome {
+        state: out,
+        consumed,
+        transfers,
+        inserted,
+    }
+}
+
+/// The atomic multi-type `update`: `Route; Signal; Move`.
+pub fn update_multi(config: &MultiConfig, state: &MultiState) -> MultiOutcome {
+    let routed = route_phase_multi(config, state);
+    let signaled = signal_phase_multi(config, &routed);
+    move_phase_multi(config, &signaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultiSystem;
+    use cellflow_core::Params;
+    use cellflow_grid::GridDims;
+    use cellflow_routing::Dist;
+
+    fn crossing() -> MultiConfig {
+        MultiConfig::new(
+            GridDims::square(5),
+            Params::from_milli(200, 50, 150).unwrap(),
+        )
+        .unwrap()
+        .with_flow(FlowType(0), CellId::new(0, 2), CellId::new(4, 2))
+        .unwrap()
+        .with_flow(FlowType(1), CellId::new(2, 0), CellId::new(2, 4))
+        .unwrap()
+    }
+
+    #[test]
+    fn each_layer_routes_to_its_own_target() {
+        let cfg = crossing();
+        let mut s = cfg.initial_state();
+        for _ in 0..12 {
+            s = route_phase_multi(&cfg, &s);
+        }
+        let dims = cfg.dims();
+        for id in dims.iter() {
+            assert_eq!(
+                s.cell(dims, id).dist[&FlowType(0)],
+                Dist::Finite(id.manhattan(CellId::new(4, 2))),
+                "{id} layer 0"
+            );
+            assert_eq!(
+                s.cell(dims, id).dist[&FlowType(1)],
+                Dist::Finite(id.manhattan(CellId::new(2, 4))),
+                "{id} layer 1"
+            );
+        }
+        // A type-0 target routes type 1 normally: both ⟨3,2⟩ and ⟨4,3⟩ are at
+        // layer-1 distance 3; the identifier tie-break picks ⟨3,2⟩.
+        assert_eq!(
+            s.cell(dims, CellId::new(4, 2)).next[&FlowType(1)],
+            Some(CellId::new(3, 2))
+        );
+    }
+
+    #[test]
+    fn crossing_flows_both_deliver() {
+        let mut sys = MultiSystem::new(crossing());
+        sys.run(600);
+        assert!(sys.consumed(FlowType(0)) > 3, "type 0 starved");
+        assert!(sys.consumed(FlowType(1)) > 3, "type 1 starved");
+        // Conservation per type.
+        for ty in [FlowType(0), FlowType(1)] {
+            assert_eq!(
+                sys.inserted(ty),
+                sys.consumed(ty) + sys.state().entity_count_of(ty) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_type_passes_through_a_target() {
+        // Drop a type-1 entity right on type 0's target: it must be forwarded,
+        // not consumed.
+        let cfg = crossing();
+        let mut sys = MultiSystem::new(cfg);
+        sys.run(12); // stabilize routing
+        let t0 = CellId::new(4, 2);
+        let stray = sys.seed_entity(t0, t0.center(), FlowType(1));
+        let mut consumed_by_own_target = false;
+        for _ in 0..400 {
+            let out = sys.step();
+            assert!(
+                !out.consumed.contains(&(stray, FlowType(0))),
+                "the stray was eaten by the wrong target"
+            );
+            if out.consumed.contains(&(stray, FlowType(1))) {
+                consumed_by_own_target = true;
+                break;
+            }
+        }
+        assert!(
+            consumed_by_own_target,
+            "the stray entity never reached τ1's target"
+        );
+    }
+
+    #[test]
+    fn coupled_motion_drags_mixed_types_together() {
+        // Two types on one cell: a grant moves both identically.
+        let cfg = crossing();
+        let dims = cfg.dims();
+        let mut s = cfg.initial_state();
+        for _ in 0..12 {
+            s = route_phase_multi(&cfg, &s);
+        }
+        let c = CellId::new(1, 2); // routes east for type 0
+        let p0 = c.center();
+        let p1 = p0.translate(cellflow_geom::Dir::North, cfg.params().d());
+        s.cell_mut(dims, c)
+            .members
+            .insert(EntityId(0), TypedEntity::new(p0, FlowType(0)));
+        s.cell_mut(dims, c)
+            .members
+            .insert(EntityId(1), TypedEntity::new(p1, FlowType(1)));
+        // Grant from the east neighbor (type 0's direction — entity 0 is oldest).
+        assert_eq!(s.cell(dims, c).effective_next(), Some(CellId::new(2, 2)));
+        s.cell_mut(dims, CellId::new(2, 2)).signal = Some(c);
+        let out = move_phase_multi(&cfg, &s);
+        let m = &out.state.cell(dims, c).members;
+        let v = cfg.params().v();
+        assert_eq!(
+            m[&EntityId(0)].pos,
+            p0.translate(cellflow_geom::Dir::East, v)
+        );
+        assert_eq!(
+            m[&EntityId(1)].pos,
+            p1.translate(cellflow_geom::Dir::East, v)
+        );
+    }
+
+    #[test]
+    fn budget_limits_all_sources_jointly() {
+        let cfg = crossing().with_entity_budget(3);
+        let mut sys = MultiSystem::new(cfg);
+        sys.run(200);
+        assert_eq!(sys.inserted(FlowType(0)) + sys.inserted(FlowType(1)), 3);
+    }
+}

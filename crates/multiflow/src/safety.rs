@@ -1,0 +1,105 @@
+//! Safety predicates for the multi-type system.
+//!
+//! Safety is **type-agnostic**: the separation requirement is between entity
+//! footprints regardless of commodity, so the predicates mirror the
+//! single-flow ones exactly.
+
+use cellflow_core::EntityId;
+use cellflow_geom::sep_ok;
+use cellflow_grid::CellId;
+
+use crate::{MultiConfig, MultiState};
+
+/// Checks `Safe` over all cells: any two entities on one cell differ by at
+/// least `d` along some axis.
+///
+/// # Errors
+///
+/// Returns `(cell, a, b)` for the first violating pair.
+pub fn check_safe_multi(
+    config: &MultiConfig,
+    state: &MultiState,
+) -> Result<(), (CellId, EntityId, EntityId)> {
+    let dims = config.dims();
+    let d = config.params().d();
+    for id in dims.iter() {
+        let entities: Vec<_> = state.cell(dims, id).members.iter().collect();
+        for (ai, (&a_id, a)) in entities.iter().enumerate() {
+            for (&b_id, b) in &entities[ai + 1..] {
+                if !sep_ok(a.pos, b.pos, d) {
+                    return Err((id, a_id, b_id));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Invariant 1: footprints stay within their cell's margins.
+///
+/// # Errors
+///
+/// Returns `(cell, entity)` for the first protruding footprint.
+pub fn check_margins_multi(
+    config: &MultiConfig,
+    state: &MultiState,
+) -> Result<(), (CellId, EntityId)> {
+    let dims = config.dims();
+    let h = config.params().half_l();
+    for id in dims.iter() {
+        for (&eid, e) in &state.cell(dims, id).members {
+            let lo_x = cellflow_geom::Fixed::from_int(id.i() as i64) + h;
+            let hi_x = cellflow_geom::Fixed::from_int(id.i() as i64 + 1) - h;
+            let lo_y = cellflow_geom::Fixed::from_int(id.j() as i64) + h;
+            let hi_y = cellflow_geom::Fixed::from_int(id.j() as i64 + 1) - h;
+            if e.pos.x < lo_x || e.pos.x > hi_x || e.pos.y < lo_y || e.pos.y > hi_y {
+                return Err((id, eid));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowType, MultiSystem, TypedEntity};
+    use cellflow_core::Params;
+    use cellflow_grid::GridDims;
+
+    fn system() -> MultiSystem {
+        MultiSystem::new(
+            MultiConfig::new(
+                GridDims::square(4),
+                Params::from_milli(200, 50, 100).unwrap(),
+            )
+            .unwrap()
+            .with_flow(FlowType(0), CellId::new(0, 0), CellId::new(3, 3))
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn accepts_valid_rejects_close() {
+        let mut sys = system();
+        let c = CellId::new(1, 1);
+        sys.seed_entity(c, c.center(), FlowType(0));
+        assert!(check_safe_multi(sys.config(), sys.state()).is_ok());
+        assert!(check_margins_multi(sys.config(), sys.state()).is_ok());
+        // Direct surgery to make a violation.
+        let dims = sys.config().dims();
+        let mut bad = sys.state().clone();
+        bad.cell_mut(dims, c).members.insert(
+            EntityId(9),
+            TypedEntity::new(
+                c.center().translate(
+                    cellflow_geom::Dir::East,
+                    cellflow_geom::Fixed::from_milli(100),
+                ),
+                FlowType(0),
+            ),
+        );
+        let cfg = sys.config().clone();
+        assert_eq!(check_safe_multi(&cfg, &bad).unwrap_err().0, c);
+    }
+}

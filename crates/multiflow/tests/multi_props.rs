@@ -1,0 +1,222 @@
+//! Property-based safety and progress tests for the multi-type extension.
+
+use cellflow_core::Params;
+use cellflow_grid::{CellId, GridDims};
+use cellflow_multiflow::safety::{check_margins_multi, check_safe_multi};
+use cellflow_multiflow::{FlowType, MultiConfig, MultiSystem};
+use proptest::prelude::*;
+
+#[allow(clippy::type_complexity)]
+fn scenario() -> impl Strategy<Value = (MultiConfig, Vec<(u64, CellId, bool)>)> {
+    (3u16..=6, 3u16..=6, 1usize..=3).prop_flat_map(|(nx, ny, n_types)| {
+        let dims = GridDims::new(nx, ny);
+        let cell = move || (0..nx, 0..ny).prop_map(|(i, j)| CellId::new(i, j));
+        (
+            Just(dims),
+            proptest::collection::vec((cell(), cell()), n_types..=n_types),
+            (100i64..=250, 0i64..=150, prop::bool::ANY),
+            proptest::collection::vec((0u64..50, cell(), prop::bool::ANY), 0..6),
+        )
+            .prop_filter_map(
+                "flows must have distinct endpoints",
+                |(dims, flows, (l, rs, v_eq_l), schedule)| {
+                    let v = if v_eq_l { l } else { l / 2 + 5 };
+                    let params = Params::from_milli(l, rs.min(900 - l).max(0), v).ok()?;
+                    let mut cfg = MultiConfig::new(dims, params).ok()?;
+                    for (k, &(src, tgt)) in flows.iter().enumerate() {
+                        if src == tgt {
+                            return None;
+                        }
+                        cfg = cfg.with_flow(FlowType(k as u8), src, tgt).ok()?;
+                    }
+                    Some((cfg, schedule))
+                },
+            )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The type-agnostic Safe predicate holds every round, across types,
+    /// yields, head-on encounters, failures, and recoveries.
+    #[test]
+    fn multi_safety_every_round((cfg, schedule) in scenario()) {
+        let mut sys = MultiSystem::new(cfg);
+        for round in 0..60u64 {
+            for (when, cell, recover) in &schedule {
+                if *when == round {
+                    if *recover { sys.recover(*cell); } else { sys.fail(*cell); }
+                }
+            }
+            sys.step();
+            prop_assert!(check_safe_multi(sys.config(), sys.state()).is_ok(),
+                "round {}: {:?}", round, check_safe_multi(sys.config(), sys.state()));
+            prop_assert!(check_margins_multi(sys.config(), sys.state()).is_ok(),
+                "round {}: {:?}", round, check_margins_multi(sys.config(), sys.state()));
+        }
+    }
+
+    /// Per-type conservation: inserted = consumed + in-flight, for each type.
+    #[test]
+    fn multi_conservation((cfg, _) in scenario()) {
+        let types: Vec<FlowType> = cfg.types().collect();
+        let mut sys = MultiSystem::new(cfg);
+        for _ in 0..60 {
+            sys.step();
+            for &ty in &types {
+                prop_assert_eq!(
+                    sys.inserted(ty),
+                    sys.consumed(ty) + sys.state().entity_count_of(ty) as u64
+                );
+            }
+        }
+    }
+
+    /// Determinism: identical runs produce identical states.
+    #[test]
+    fn multi_determinism((cfg, schedule) in scenario()) {
+        let mut a = MultiSystem::new(cfg.clone());
+        let mut b = MultiSystem::new(cfg);
+        for round in 0..30u64 {
+            for (when, cell, recover) in &schedule {
+                if *when == round {
+                    if *recover { a.recover(*cell); b.recover(*cell); }
+                    else { a.fail(*cell); b.fail(*cell); }
+                }
+            }
+            a.step();
+            b.step();
+            prop_assert_eq!(a.state(), b.state());
+        }
+    }
+}
+
+/// Deterministic regression: opposing flows on a wide corridor make progress
+/// in both directions thanks to head-on yielding.
+#[test]
+fn opposing_flows_on_wide_corridor_both_progress() {
+    // 6×2 corridor: type 0 goes west→east on the grid, type 1 east→west.
+    let params = Params::from_milli(200, 50, 150).unwrap();
+    let cfg = MultiConfig::new(GridDims::new(6, 2), params)
+        .unwrap()
+        .with_flow(FlowType(0), CellId::new(0, 0), CellId::new(5, 0))
+        .unwrap()
+        .with_flow(FlowType(1), CellId::new(5, 1), CellId::new(0, 1))
+        .unwrap();
+    let mut sys = MultiSystem::new(cfg);
+    sys.run(1_500);
+    assert!(
+        sys.consumed(FlowType(0)) > 5,
+        "eastbound starved: {}",
+        sys.consumed(FlowType(0))
+    );
+    assert!(
+        sys.consumed(FlowType(1)) > 5,
+        "westbound starved: {}",
+        sys.consumed(FlowType(1))
+    );
+    assert!(check_safe_multi(sys.config(), sys.state()).is_ok());
+}
+
+/// Deterministic regression: the head-on deadlock that motivated yielding —
+/// two single entities aimed at each other on a 2-wide board resolve.
+#[test]
+fn head_on_pair_resolves_via_yield() {
+    let params = Params::from_milli(200, 50, 150).unwrap();
+    let cfg = MultiConfig::new(GridDims::new(4, 2), params)
+        .unwrap()
+        .with_flow(FlowType(0), CellId::new(0, 0), CellId::new(3, 0))
+        .unwrap()
+        .with_flow(FlowType(1), CellId::new(3, 0), CellId::new(0, 0))
+        .unwrap()
+        .with_entity_budget(2);
+    let mut sys = MultiSystem::new(cfg);
+    let mut rounds = 0;
+    while sys.consumed(FlowType(0)) + sys.consumed(FlowType(1)) < 2 {
+        sys.step();
+        rounds += 1;
+        assert!(
+            rounds < 2_000,
+            "head-on pair deadlocked: consumed {}/{}",
+            sys.consumed(FlowType(0)),
+            sys.consumed(FlowType(1))
+        );
+    }
+}
+
+/// Documented limitation: a width-1 corridor with opposing flows genuinely
+/// deadlocks (no passing place) — but stays safe forever.
+#[test]
+fn width_one_opposing_corridor_deadlocks_safely() {
+    let params = Params::from_milli(200, 50, 150).unwrap();
+    let cfg = MultiConfig::new(GridDims::new(5, 1), params)
+        .unwrap()
+        .with_flow(FlowType(0), CellId::new(0, 0), CellId::new(4, 0))
+        .unwrap()
+        .with_flow(FlowType(1), CellId::new(4, 0), CellId::new(0, 0))
+        .unwrap();
+    let mut sys = MultiSystem::new(cfg);
+    sys.run(1_000);
+    // Nothing ever breaks, even though the two columns can't pass each other.
+    assert!(check_safe_multi(sys.config(), sys.state()).is_ok());
+    assert!(check_margins_multi(sys.config(), sys.state()).is_ok());
+}
+
+/// Long-run fluidity regression: the antagonistic 3-flow pattern (head-on +
+/// double crossing) keeps delivering linearly under the default capacity-1
+/// admission — the configuration that motivated the anti-deadlock design
+/// (yield, rotate-on-block, back-off, occupancy cap).
+#[test]
+fn antagonistic_three_flows_sustain_progress() {
+    let params = Params::from_milli(200, 50, 150).unwrap();
+    let cfg = MultiConfig::new(GridDims::square(7), params)
+        .unwrap()
+        .with_flow(FlowType(0), CellId::new(0, 3), CellId::new(6, 3))
+        .unwrap()
+        .with_flow(FlowType(1), CellId::new(3, 0), CellId::new(3, 6))
+        .unwrap()
+        .with_flow(FlowType(2), CellId::new(6, 4), CellId::new(0, 4))
+        .unwrap();
+    let mut sys = MultiSystem::new(cfg);
+    sys.run(2_000);
+    let at_2k: Vec<u64> = (0..3).map(|t| sys.consumed(FlowType(t))).collect();
+    sys.run(2_000);
+    let at_4k: Vec<u64> = (0..3).map(|t| sys.consumed(FlowType(t))).collect();
+    for t in 0..3 {
+        assert!(at_2k[t] > 30, "τ{t} too slow by 2k rounds: {:?}", at_2k);
+        // Still delivering in the second half — no creeping gridlock.
+        assert!(
+            at_4k[t] as f64 > at_2k[t] as f64 * 1.7,
+            "τ{t} stalled: {:?} → {:?}",
+            at_2k,
+            at_4k
+        );
+    }
+    assert!(check_safe_multi(sys.config(), sys.state()).is_ok());
+}
+
+/// The capacity ablation in miniature: with an occupancy cap of 8 the same
+/// pattern clots (store-and-forward / span-immobility deadlocks), while
+/// staying safe — the trade documented on `with_cell_capacity`.
+#[test]
+fn high_capacity_clots_but_stays_safe() {
+    let params = Params::from_milli(200, 50, 150).unwrap();
+    let cfg = MultiConfig::new(GridDims::square(7), params)
+        .unwrap()
+        .with_flow(FlowType(0), CellId::new(0, 3), CellId::new(6, 3))
+        .unwrap()
+        .with_flow(FlowType(1), CellId::new(3, 0), CellId::new(3, 6))
+        .unwrap()
+        .with_flow(FlowType(2), CellId::new(6, 4), CellId::new(0, 4))
+        .unwrap()
+        .with_cell_capacity(8);
+    let mut sys = MultiSystem::new(cfg);
+    sys.run(3_000);
+    let mid: Vec<u64> = (0..3).map(|t| sys.consumed(FlowType(t))).collect();
+    sys.run(1_000);
+    let end: Vec<u64> = (0..3).map(|t| sys.consumed(FlowType(t))).collect();
+    assert_eq!(mid, end, "expected the uncapped pattern to clot");
+    assert!(check_safe_multi(sys.config(), sys.state()).is_ok());
+    assert!(check_margins_multi(sys.config(), sys.state()).is_ok());
+}

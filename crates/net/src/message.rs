@@ -1,0 +1,103 @@
+//! The wire protocol between neighboring cells.
+
+use cellflow_core::EntityId;
+use cellflow_geom::Point;
+use cellflow_grid::CellId;
+use cellflow_routing::Dist;
+
+/// A message between adjacent cells. One round consists of three exchanges;
+/// each variant carries exactly the shared variables the corresponding phase
+/// of the paper's protocol reads (Figure 2's read arrows, serialized).
+///
+/// A **failed cell sends nothing** — the paper's "a failed cell … never
+/// communicates". Receivers treat silence as `dist = ∞`, `next = ⊥`,
+/// `signal = ⊥` (the paper's footnote 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Exchange 1 (before `Route`): the sender's current distance estimate.
+    DistAnnounce {
+        /// Sending cell.
+        from: CellId,
+        /// Its `dist` at the start of the round.
+        dist: Dist,
+    },
+    /// Exchange 2 (before `Signal`): the sender's freshly routed `next`
+    /// pointer and whether it holds any entities.
+    RouteAnnounce {
+        /// Sending cell.
+        from: CellId,
+        /// Its `next` after this round's `Route`.
+        next: Option<CellId>,
+        /// `Members ≠ ∅`.
+        nonempty: bool,
+    },
+    /// Exchange 3 (before `Move`): the sender's freshly computed signal.
+    SignalAnnounce {
+        /// Sending cell.
+        from: CellId,
+        /// Its `signal` after this round's `Signal`.
+        signal: Option<CellId>,
+    },
+    /// During `Move`: an entity crossing the shared boundary, already snapped
+    /// flush to the receiver's near edge by the sender.
+    Transfer {
+        /// Sending cell.
+        from: CellId,
+        /// The entity's identifier.
+        entity: EntityId,
+        /// Its position in the receiver's frame (snap applied).
+        pos: Point,
+    },
+    /// End-of-move marker: the sender has finished its `Move` phase and will
+    /// send no more transfers this round (receivers need a deterministic
+    /// end-of-stream signal per neighbor).
+    MoveDone {
+        /// Sending cell.
+        from: CellId,
+    },
+}
+
+impl Message {
+    /// The sending cell of any message variant.
+    pub fn sender(&self) -> CellId {
+        match *self {
+            Message::DistAnnounce { from, .. }
+            | Message::RouteAnnounce { from, .. }
+            | Message::SignalAnnounce { from, .. }
+            | Message::Transfer { from, .. }
+            | Message::MoveDone { from } => from,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellflow_geom::Fixed;
+
+    #[test]
+    fn sender_is_uniform_across_variants() {
+        let from = CellId::new(2, 3);
+        let msgs = [
+            Message::DistAnnounce {
+                from,
+                dist: Dist::Finite(4),
+            },
+            Message::RouteAnnounce {
+                from,
+                next: Some(CellId::new(2, 4)),
+                nonempty: true,
+            },
+            Message::SignalAnnounce { from, signal: None },
+            Message::Transfer {
+                from,
+                entity: EntityId(7),
+                pos: Point::new(Fixed::HALF, Fixed::HALF),
+            },
+            Message::MoveDone { from },
+        ];
+        for m in msgs {
+            assert_eq!(m.sender(), from);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The concurrent runtime: one thread per cell, channels along grid edges,
+//! barrier-synchronized rounds.
+
+use std::collections::HashMap;
+use std::sync::Barrier;
+
+use cellflow_core::{CellState, SystemConfig, SystemState};
+use cellflow_grid::CellId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::{CellNode, Message};
+
+/// The result of a message-passing run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetReport {
+    /// The assembled final system state (every node's local state).
+    pub state: SystemState,
+    /// Entities consumed by the target.
+    pub consumed: u64,
+    /// Entities inserted by sources.
+    pub inserted: u64,
+}
+
+/// Error from a message-passing run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// A cell thread panicked (carries the panic message when printable).
+    NodePanicked(String),
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetError::NodePanicked(msg) => write!(f, "a cell thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A message-passing deployment of the protocol: `N²` independent cell
+/// threads that share **nothing** and communicate only over per-edge
+/// channels, synchronized into rounds by barriers (the paper's synchrony
+/// assumption).
+///
+/// See the crate docs for the three-exchange round structure and the
+/// equivalence guarantee against the shared-variable reference.
+pub struct NetSystem {
+    config: SystemConfig,
+    schedule: Vec<(u64, CellId, bool)>,
+}
+
+impl NetSystem {
+    /// Creates a deployment of `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config carries an entity budget — budgets are a global
+    /// counter, which a shared-nothing deployment cannot implement (they
+    /// exist for the model checker).
+    pub fn new(config: SystemConfig) -> NetSystem {
+        assert!(
+            config.entity_budget().is_none(),
+            "entity budgets are global state; not supported by the distributed runtime"
+        );
+        NetSystem {
+            config,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// Adds a crash/recovery schedule: `(round, cell, recover?)` transitions,
+    /// applied by each affected cell locally at the start of that round.
+    pub fn with_schedule<I: IntoIterator<Item = (u64, CellId, bool)>>(
+        mut self,
+        schedule: I,
+    ) -> NetSystem {
+        self.schedule = schedule.into_iter().collect();
+        self
+    }
+
+    /// Runs `rounds` rounds and returns the assembled outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NodePanicked`] if any cell thread panicked.
+    pub fn run(&self, rounds: u64) -> Result<NetReport, NetError> {
+        let dims = self.config.dims();
+        let cells: Vec<CellId> = dims.iter().collect();
+        let n = cells.len();
+
+        // One inbox per cell; every neighbor holds a sender clone.
+        let mut senders: HashMap<CellId, Sender<Message>> = HashMap::with_capacity(n);
+        let mut inboxes: HashMap<CellId, Receiver<Message>> = HashMap::with_capacity(n);
+        for &c in &cells {
+            let (tx, rx) = unbounded();
+            senders.insert(c, tx);
+            inboxes.insert(c, rx);
+        }
+
+        // send-phase and drain-phase barriers shared by all nodes.
+        let barrier = Barrier::new(n);
+        let (result_tx, result_rx) = unbounded::<(CellId, CellState, u64, u64)>();
+
+        let outcome = crossbeam::thread::scope(|scope| {
+            for &id in &cells {
+                let inbox = inboxes.remove(&id).expect("one inbox per cell");
+                let mut node = CellNode::new(id, &self.config);
+                let peers: HashMap<CellId, Sender<Message>> = node
+                    .neighbors()
+                    .iter()
+                    .map(|&nb| (nb, senders[&nb].clone()))
+                    .collect();
+                let barrier = &barrier;
+                let schedule = &self.schedule;
+                let result_tx = result_tx.clone();
+                scope.spawn(move |_| {
+                    for round in 0..rounds {
+                        // Local fail/recover transitions for this round.
+                        for &(when, cell, recover) in schedule {
+                            if when == round && cell == id {
+                                if recover {
+                                    node.recover();
+                                } else {
+                                    node.fail();
+                                }
+                            }
+                        }
+
+                        // Exchange 1: dist → Route.
+                        if let Some(dist) = node.announce_dist() {
+                            for tx in peers.values() {
+                                tx.send(Message::DistAnnounce { from: id, dist }).ok();
+                            }
+                        }
+                        barrier.wait();
+                        let mut dists = HashMap::new();
+                        for msg in inbox.try_iter() {
+                            if let Message::DistAnnounce { from, dist } = msg {
+                                dists.insert(from, dist);
+                            }
+                        }
+                        barrier.wait();
+                        node.route_step(&dists);
+
+                        // Exchange 2: (next, nonempty) → Signal.
+                        if let Some((next, nonempty)) = node.announce_route() {
+                            for tx in peers.values() {
+                                tx.send(Message::RouteAnnounce {
+                                    from: id,
+                                    next,
+                                    nonempty,
+                                })
+                                .ok();
+                            }
+                        }
+                        barrier.wait();
+                        let mut routes = HashMap::new();
+                        for msg in inbox.try_iter() {
+                            if let Message::RouteAnnounce {
+                                from,
+                                next,
+                                nonempty,
+                            } = msg
+                            {
+                                routes.insert(from, (next, nonempty));
+                            }
+                        }
+                        barrier.wait();
+                        node.signal_step(&routes);
+
+                        // Exchange 3: signal → Move.
+                        if let Some(signal) = node.announce_signal() {
+                            for tx in peers.values() {
+                                tx.send(Message::SignalAnnounce { from: id, signal }).ok();
+                            }
+                        }
+                        barrier.wait();
+                        let mut signals = HashMap::new();
+                        for msg in inbox.try_iter() {
+                            if let Message::SignalAnnounce { from, signal } = msg {
+                                signals.insert(from, signal);
+                            }
+                        }
+                        barrier.wait();
+
+                        // Move: transfers travel as messages.
+                        for (to, entity, pos) in node.move_step(&signals) {
+                            peers[&to]
+                                .send(Message::Transfer {
+                                    from: id,
+                                    entity,
+                                    pos,
+                                })
+                                .ok();
+                        }
+                        barrier.wait();
+                        let transfers: Vec<_> = inbox
+                            .try_iter()
+                            .filter_map(|msg| match msg {
+                                Message::Transfer { entity, pos, .. } => Some((entity, pos)),
+                                _ => None,
+                            })
+                            .collect();
+                        barrier.wait();
+                        node.receive_transfers(transfers);
+                        node.source_step();
+                        node.finish_round();
+                    }
+                    result_tx
+                        .send((id, node.state().clone(), node.consumed, node.inserted))
+                        .expect("coordinator outlives nodes");
+                });
+            }
+            drop(result_tx);
+
+            // Assemble the final snapshot.
+            let mut states: HashMap<CellId, CellState> = HashMap::with_capacity(n);
+            let mut consumed = 0u64;
+            let mut inserted = 0u64;
+            for _ in 0..n {
+                let (id, state, c, i) = result_rx.recv().expect("every node reports exactly once");
+                consumed += c;
+                inserted += i;
+                states.insert(id, state);
+            }
+            let state = SystemState {
+                cells: cells
+                    .iter()
+                    .map(|&c| states.remove(&c).expect("every cell reported"))
+                    .collect(),
+                // The distributed runtime has no global counter; expose the
+                // number of insertions instead (identifiers come from
+                // per-source pools).
+                next_entity_id: inserted,
+            };
+            NetReport {
+                state,
+                consumed,
+                inserted,
+            }
+        });
+
+        outcome.map_err(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            NetError::NodePanicked(msg)
+        })
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellflow_core::Params;
+    use cellflow_grid::GridDims;
+
+    fn config(n: u16) -> SystemConfig {
+        SystemConfig::new(
+            GridDims::square(n),
+            CellId::new(1, n - 1),
+            Params::from_milli(250, 50, 200).unwrap(),
+        )
+        .unwrap()
+        .with_source(CellId::new(1, 0))
+    }
+
+    #[test]
+    fn traffic_flows_through_the_deployment() {
+        let report = NetSystem::new(config(4)).run(150).unwrap();
+        assert!(report.consumed > 0, "nothing was delivered");
+        assert_eq!(
+            report.inserted,
+            report.consumed + report.state.entity_count() as u64
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_despite_threading() {
+        let a = NetSystem::new(config(4)).run(100).unwrap();
+        let b = NetSystem::new(config(4)).run(100).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schedule_applies_failures_locally() {
+        let schedule = [
+            (10u64, CellId::new(1, 2), false),
+            (60, CellId::new(1, 2), true),
+        ];
+        let report = NetSystem::new(config(4))
+            .with_schedule(schedule)
+            .run(200)
+            .unwrap();
+        // The cell recovered and traffic resumed.
+        let dims = GridDims::square(4);
+        assert!(!report.state.cell(dims, CellId::new(1, 2)).failed);
+        assert!(report.consumed > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "global state")]
+    fn entity_budgets_are_rejected() {
+        let _ = NetSystem::new(config(4).with_entity_budget(3));
+    }
+}

@@ -1,0 +1,46 @@
+//! Self-stabilizing distance-vector routing with crash failures.
+//!
+//! This crate is the routing substrate of the `cellular-flows` workspace. The
+//! paper's `Route` function (Figure 4) maintains, at every non-faulty cell, an
+//! estimated hop distance to the target and a `next` pointer:
+//!
+//! ```text
+//! dist_{i,j} := 1 + min over neighbors of dist_{m,n}        (∞ for failed cells)
+//! next_{i,j} := argmin over neighbors of (dist_{m,n}, ⟨m,n⟩), or ⊥ if dist = ∞
+//! ```
+//!
+//! Run synchronously each round, this rule is *self-stabilizing* (Lemma 6): `h`
+//! rounds after failures cease, every cell whose shortest live path to the
+//! target has length `h` holds exact values, so all target-connected cells
+//! stabilize within `O(N²)` rounds (Corollary 7).
+//!
+//! The implementation is generic over a [`Topology`] so it is usable beyond the
+//! paper's grid; [`cellflow_grid::GridDims`] implements [`Topology`] here. The
+//! single-node update kernel [`route_update`] is exported so the protocol crate
+//! applies *literally the same rule* inside its composed `update` transition.
+//!
+//! # Example
+//!
+//! ```
+//! use cellflow_grid::{CellId, GridDims};
+//! use cellflow_routing::{Dist, RoutingTable};
+//!
+//! let dims = GridDims::square(4);
+//! let mut table = RoutingTable::new(dims, CellId::new(2, 2));
+//! // From the all-∞ initial state, stabilize:
+//! let rounds = table.run_to_fixpoint(64).expect("stabilizes");
+//! assert!(rounds <= 16);
+//! assert_eq!(table.dist(CellId::new(0, 0)), Dist::Finite(4));
+//! assert_eq!(table.next(CellId::new(2, 0)), Some(CellId::new(2, 1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dist;
+mod table;
+mod topology;
+
+pub use dist::{route_update, Dist};
+pub use table::RoutingTable;
+pub use topology::{LineTopology, Topology};

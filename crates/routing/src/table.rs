@@ -1,0 +1,414 @@
+//! The synchronous distance-vector routing table.
+
+use std::collections::HashMap;
+
+use crate::{route_update, Dist, Topology};
+
+/// Per-node routing state driven by the paper's `Route` rule.
+///
+/// The table holds, for every node, the triple `(dist, next, failed)` and
+/// advances it one synchronous round at a time with [`RoutingTable::step`]:
+/// all nodes read their neighbors' *previous-round* `dist` values and update
+/// simultaneously, exactly like the message-passing implementation sketched in
+/// the paper (broadcast at the beginning of the round, then compute).
+///
+/// The target's `dist` is pinned to `0` while the target is alive; `Route`
+/// never recomputes it (Figure 4 guards on `⟨i,j⟩ ≠ tid`), and a recovery of
+/// the target resets it to `0` (Section IV).
+///
+/// # Self-stabilization
+///
+/// From *any* assignment of distances (see [`RoutingTable::set_entry`] for
+/// fault injection), a node whose live shortest path to the target has length
+/// `h` holds the exact distance after `h` rounds — Lemma 6. Integration tests
+/// in this crate verify the bound; `cellflow-core` reuses [`route_update`] so
+/// the property transfers to the full protocol.
+pub struct RoutingTable<T: Topology> {
+    topology: T,
+    target: T::Node,
+    cap: u32,
+    entries: HashMap<T::Node, Entry<T::Node>>,
+}
+
+/// One node's routing state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry<N> {
+    dist: Dist,
+    next: Option<N>,
+    failed: bool,
+}
+
+impl<T: Topology> RoutingTable<T> {
+    /// Creates a table over `topology` routing toward `target`, with all
+    /// non-target distances `∞` (the paper's initial state) and the
+    /// `∞`-saturation cap set to `node_count + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a node of `topology`.
+    pub fn new(topology: T, target: T::Node) -> RoutingTable<T> {
+        let cap = topology.node_count() as u32 + 1;
+        Self::with_cap(topology, target, cap)
+    }
+
+    /// Like [`RoutingTable::new`] with an explicit saturation cap. The cap
+    /// must exceed every realizable path length for routing to be exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a node of `topology` or `cap == 0`.
+    pub fn with_cap(topology: T, target: T::Node, cap: u32) -> RoutingTable<T> {
+        assert!(cap > 0, "cap must be positive");
+        let nodes = topology.nodes();
+        assert!(nodes.contains(&target), "target must be a topology node");
+        let mut entries = HashMap::with_capacity(nodes.len());
+        for n in nodes {
+            entries.insert(
+                n,
+                Entry {
+                    dist: if n == target {
+                        Dist::Finite(0)
+                    } else {
+                        Dist::Infinity
+                    },
+                    next: None,
+                    failed: false,
+                },
+            );
+        }
+        RoutingTable {
+            topology,
+            target,
+            cap,
+            entries,
+        }
+    }
+
+    /// The routing target.
+    pub fn target(&self) -> T::Node {
+        self.target
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &T {
+        &self.topology
+    }
+
+    /// Current distance estimate of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the topology.
+    pub fn dist(&self, node: T::Node) -> Dist {
+        self.entry(node).dist
+    }
+
+    /// Current `next` pointer of `node` (`None` is the paper's `⊥`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the topology.
+    pub fn next(&self, node: T::Node) -> Option<T::Node> {
+        self.entry(node).next
+    }
+
+    /// `true` if `node` is currently crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the topology.
+    pub fn is_failed(&self, node: T::Node) -> bool {
+        self.entry(node).failed
+    }
+
+    fn entry(&self, node: T::Node) -> &Entry<T::Node> {
+        self.entries
+            .get(&node)
+            .unwrap_or_else(|| panic!("{node:?} is not a topology node"))
+    }
+
+    /// Crashes `node`: the paper's `fail` transition sets `failed := true`,
+    /// `dist := ∞`, `next := ⊥`. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the topology.
+    pub fn fail(&mut self, node: T::Node) {
+        let e = self.entries.get_mut(&node).expect("topology node");
+        e.failed = true;
+        e.dist = Dist::Infinity;
+        e.next = None;
+    }
+
+    /// Recovers `node`: clears `failed`; if `node` is the target, resets its
+    /// distance to `0` (Section IV's recovery model). Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the topology.
+    pub fn recover(&mut self, node: T::Node) {
+        let target = self.target;
+        let e = self.entries.get_mut(&node).expect("topology node");
+        e.failed = false;
+        if node == target {
+            e.dist = Dist::Finite(0);
+        }
+    }
+
+    /// Overwrites one node's `(dist, next)` — fault injection for
+    /// self-stabilization experiments (corrupted state the rule must recover
+    /// from). Does not touch the failed flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in the topology.
+    pub fn set_entry(&mut self, node: T::Node, dist: Dist, next: Option<T::Node>) {
+        let e = self.entries.get_mut(&node).expect("topology node");
+        e.dist = dist;
+        e.next = next;
+    }
+
+    /// Advances one synchronous round of the `Route` rule for all non-faulty
+    /// nodes. Returns `true` if any `(dist, next)` changed.
+    pub fn step(&mut self) -> bool {
+        let snapshot: HashMap<T::Node, Dist> =
+            self.entries.iter().map(|(&n, e)| (n, e.dist)).collect();
+        let mut changed = false;
+        let nodes = self.topology.nodes();
+        for n in nodes {
+            let failed = self.entries[&n].failed;
+            if failed || n == self.target {
+                continue;
+            }
+            let (dist, next) = route_update(
+                self.topology
+                    .neighbors(n)
+                    .into_iter()
+                    .map(|m| (m, snapshot[&m])),
+                self.cap,
+            );
+            let e = self.entries.get_mut(&n).expect("topology node");
+            if e.dist != dist || e.next != next {
+                changed = true;
+            }
+            e.dist = dist;
+            e.next = next;
+        }
+        changed
+    }
+
+    /// Steps until a fixpoint, returning the number of rounds taken, or `None`
+    /// if no fixpoint was reached within `max_rounds`.
+    pub fn run_to_fixpoint(&mut self, max_rounds: u32) -> Option<u32> {
+        #[allow(clippy::manual_find)] // side-effectful step(); a loop reads clearer
+        for k in 0..=max_rounds {
+            if !self.step() {
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Ground-truth path distances `ρ` by BFS through non-failed nodes — what
+    /// the table must converge to.
+    pub fn expected(&self) -> HashMap<T::Node, Dist> {
+        let mut out: HashMap<T::Node, Dist> = self
+            .topology
+            .nodes()
+            .into_iter()
+            .map(|n| (n, Dist::Infinity))
+            .collect();
+        if !self.entries[&self.target].failed {
+            out.insert(self.target, Dist::Finite(0));
+            let mut queue = std::collections::VecDeque::from([self.target]);
+            while let Some(cur) = queue.pop_front() {
+                let d = out[&cur].finite().expect("queued nodes are finite") + 1;
+                for m in self.topology.neighbors(cur) {
+                    if out[&m] == Dist::Infinity && !self.entries[&m].failed {
+                        out.insert(m, Dist::Finite(d));
+                        queue.push_back(m);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if every node's `dist` equals the BFS ground truth and every
+    /// finite-distance node's `next` points at its `(dist, id)`-minimal
+    /// neighbor — the stable set `S` of Lemma 6, for the whole graph.
+    pub fn is_stabilized(&self) -> bool {
+        let expected = self.expected();
+        self.topology.nodes().into_iter().all(|n| {
+            let e = &self.entries[&n];
+            if e.failed || n == self.target {
+                return e.dist == expected[&n];
+            }
+            if e.dist != expected[&n] {
+                return false;
+            }
+            let (_, want_next) = route_update(
+                self.topology
+                    .neighbors(n)
+                    .into_iter()
+                    .map(|m| (m, expected[&m])),
+                self.cap,
+            );
+            e.next == want_next
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LineTopology;
+    use cellflow_grid::{CellId, GridDims};
+
+    #[test]
+    fn line_stabilizes_in_diameter_rounds() {
+        let mut t = RoutingTable::new(LineTopology { n: 6 }, 0);
+        let rounds = t.run_to_fixpoint(100).unwrap();
+        assert!(rounds <= 6, "took {rounds}");
+        for k in 0..6u32 {
+            assert_eq!(t.dist(k), Dist::Finite(k));
+        }
+        assert_eq!(t.next(3), Some(2));
+        assert_eq!(t.next(0), None); // the target has no next
+        assert!(t.is_stabilized());
+    }
+
+    #[test]
+    fn grid_matches_bfs_after_convergence() {
+        let dims = GridDims::square(5);
+        let target = CellId::new(2, 2);
+        let mut t = RoutingTable::new(dims, target);
+        t.run_to_fixpoint(200).unwrap();
+        let exp = t.expected();
+        for c in dims.iter() {
+            assert_eq!(t.dist(c), exp[&c], "cell {c}");
+        }
+        assert!(t.is_stabilized());
+        // next always decreases distance by one.
+        for c in dims.iter() {
+            if c != target {
+                let n = t.next(c).unwrap();
+                assert_eq!(t.dist(n).finite().unwrap() + 1, t.dist(c).finite().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn failure_reroutes_and_recovery_restores() {
+        let dims = GridDims::square(3);
+        let target = CellId::new(0, 0);
+        let mut t = RoutingTable::new(dims, target);
+        t.run_to_fixpoint(100).unwrap();
+        assert_eq!(t.dist(CellId::new(2, 0)), Dist::Finite(2));
+
+        // Fail the two inner neighbors of the target's row/column corner.
+        t.fail(CellId::new(1, 0));
+        assert!(t.is_failed(CellId::new(1, 0)));
+        assert_eq!(t.dist(CellId::new(1, 0)), Dist::Infinity);
+        t.run_to_fixpoint(100).unwrap();
+        // ⟨2,0⟩ must now go up and around: ρ = 4.
+        assert_eq!(t.dist(CellId::new(2, 0)), Dist::Finite(4));
+        assert!(t.is_stabilized());
+
+        t.recover(CellId::new(1, 0));
+        t.run_to_fixpoint(100).unwrap();
+        assert_eq!(t.dist(CellId::new(2, 0)), Dist::Finite(2));
+        assert!(t.is_stabilized());
+    }
+
+    #[test]
+    fn disconnection_saturates_to_infinity() {
+        let mut t = RoutingTable::new(LineTopology { n: 5 }, 0);
+        t.run_to_fixpoint(100).unwrap();
+        // Cut node 2: nodes 3 and 4 are isolated from the target.
+        t.fail(2);
+        let rounds = t.run_to_fixpoint(100).unwrap();
+        assert_eq!(t.dist(3), Dist::Infinity);
+        assert_eq!(t.dist(4), Dist::Infinity);
+        assert_eq!(t.next(3), None);
+        // Count-to-infinity is bounded by the cap.
+        assert!(rounds <= 10, "saturation took {rounds} rounds");
+        assert!(t.is_stabilized());
+    }
+
+    #[test]
+    fn failed_target_takes_everything_down() {
+        let mut t = RoutingTable::new(LineTopology { n: 4 }, 0);
+        t.run_to_fixpoint(100).unwrap();
+        t.fail(0);
+        t.run_to_fixpoint(100).unwrap();
+        for k in 0..4 {
+            assert_eq!(t.dist(k), Dist::Infinity, "node {k}");
+        }
+        // Recovery of the target restores dist 0 and reconvergence.
+        t.recover(0);
+        assert_eq!(t.dist(0), Dist::Finite(0));
+        t.run_to_fixpoint(100).unwrap();
+        assert_eq!(t.dist(3), Dist::Finite(3));
+    }
+
+    #[test]
+    fn lemma6_h_round_bound_from_corrupted_state() {
+        // Scramble all non-target entries, then check: a node at path distance
+        // h holds the exact value at every round ≥ h.
+        let dims = GridDims::square(4);
+        let target = CellId::new(0, 0);
+        let mut t = RoutingTable::new(dims, target);
+        // Adversarial corruption: everything claims distance 0 or a lie.
+        for (k, c) in dims.iter().enumerate() {
+            if c != target {
+                let lie = if k % 2 == 0 {
+                    Dist::Finite(0)
+                } else {
+                    Dist::Finite(17)
+                };
+                t.set_entry(c, lie, Some(target));
+            }
+        }
+        let expected = t.expected();
+        let max_h = 6u32; // eccentricity of ⟨0,0⟩ in a 4×4 grid
+        for round in 1u32..=max_h + 2 {
+            t.step();
+            for c in dims.iter() {
+                let h = expected[&c].finite().unwrap();
+                if round >= h {
+                    assert_eq!(
+                        t.dist(c),
+                        expected[&c],
+                        "cell {c} with ρ={h} wrong at round {round}"
+                    );
+                }
+            }
+        }
+        assert!(t.is_stabilized());
+    }
+
+    #[test]
+    fn tie_breaking_is_by_identifier() {
+        // In a 3×3 grid with target at the center, corner ⟨2,2⟩ has two
+        // neighbors at distance 1: ⟨1,2⟩ and ⟨2,1⟩. Lexicographic order picks ⟨1,2⟩.
+        let dims = GridDims::square(3);
+        let mut t = RoutingTable::new(dims, CellId::new(1, 1));
+        t.run_to_fixpoint(100).unwrap();
+        assert_eq!(t.next(CellId::new(2, 2)), Some(CellId::new(1, 2)));
+        assert_eq!(t.next(CellId::new(0, 0)), Some(CellId::new(0, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a topology node")]
+    fn unknown_node_panics() {
+        let t = RoutingTable::new(LineTopology { n: 3 }, 0);
+        let _ = t.dist(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be a topology node")]
+    fn bad_target_panics() {
+        let _ = RoutingTable::new(LineTopology { n: 3 }, 9);
+    }
+}

@@ -1,0 +1,112 @@
+//! The topology abstraction routing runs over.
+
+use cellflow_grid::{CellId, GridDims};
+
+/// A finite graph the distance-vector rule can route over.
+///
+/// The paper's system is an `N × N` grid, but nothing in `Route` depends on
+/// grid structure — only on a neighbor relation. Implementations must be
+/// undirected (if `b ∈ neighbors(a)` then `a ∈ neighbors(b)`) for the
+/// stabilization bounds to hold.
+pub trait Topology {
+    /// Node identifier. `Ord` is required because the routing rule breaks
+    /// distance ties by identifier.
+    type Node: Copy + Ord + core::hash::Hash + core::fmt::Debug;
+
+    /// All nodes, in a deterministic order.
+    fn nodes(&self) -> Vec<Self::Node>;
+
+    /// The neighbors of `node`, in a deterministic order.
+    fn neighbors(&self, node: Self::Node) -> Vec<Self::Node>;
+
+    /// Number of nodes (used as the default `∞`-saturation cap).
+    fn node_count(&self) -> usize {
+        self.nodes().len()
+    }
+}
+
+impl Topology for GridDims {
+    type Node = CellId;
+
+    fn nodes(&self) -> Vec<CellId> {
+        self.iter().collect()
+    }
+
+    fn neighbors(&self, node: CellId) -> Vec<CellId> {
+        GridDims::neighbors(*self, node).collect()
+    }
+
+    fn node_count(&self) -> usize {
+        self.cell_count()
+    }
+}
+
+/// A line graph `0 — 1 — … — n−1`, useful in tests and as a second topology
+/// exercising the generic rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineTopology {
+    /// Number of nodes on the line.
+    pub n: u32,
+}
+
+impl Topology for LineTopology {
+    type Node = u32;
+
+    fn nodes(&self) -> Vec<u32> {
+        (0..self.n).collect()
+    }
+
+    fn neighbors(&self, node: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(2);
+        if node > 0 {
+            out.push(node - 1);
+        }
+        if node + 1 < self.n {
+            out.push(node + 1);
+        }
+        out
+    }
+
+    fn node_count(&self) -> usize {
+        self.n as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_topology_matches_dims() {
+        let d = GridDims::square(3);
+        assert_eq!(d.node_count(), 9);
+        assert_eq!(Topology::nodes(&d).len(), 9);
+        let nbrs = Topology::neighbors(&d, CellId::new(1, 1));
+        assert_eq!(nbrs.len(), 4);
+    }
+
+    #[test]
+    fn line_topology_endpoints() {
+        let line = LineTopology { n: 4 };
+        assert_eq!(line.neighbors(0), vec![1]);
+        assert_eq!(line.neighbors(3), vec![2]);
+        assert_eq!(line.neighbors(1), vec![0, 2]);
+        assert_eq!(line.node_count(), 4);
+    }
+
+    #[test]
+    fn topologies_are_undirected() {
+        let d = GridDims::new(4, 3);
+        for a in Topology::nodes(&d) {
+            for b in Topology::neighbors(&d, a) {
+                assert!(Topology::neighbors(&d, b).contains(&a));
+            }
+        }
+        let line = LineTopology { n: 6 };
+        for a in line.nodes() {
+            for b in line.neighbors(a) {
+                assert!(line.neighbors(b).contains(&a));
+            }
+        }
+    }
+}

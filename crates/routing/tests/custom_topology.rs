@@ -1,0 +1,78 @@
+//! The routing substrate is generic over [`Topology`] — verified here by
+//! implementing one from scratch (a ring) the way a downstream user would,
+//! and checking the stabilization story holds on it.
+
+use cellflow_routing::{Dist, RoutingTable, Topology};
+
+/// A ring of `n` nodes: `k` neighbors `(k±1) mod n`.
+struct Ring {
+    n: u32,
+}
+
+impl Topology for Ring {
+    type Node = u32;
+
+    fn nodes(&self) -> Vec<u32> {
+        (0..self.n).collect()
+    }
+
+    fn neighbors(&self, node: u32) -> Vec<u32> {
+        if self.n == 1 {
+            return Vec::new();
+        }
+        if self.n == 2 {
+            return vec![1 - node];
+        }
+        vec![(node + self.n - 1) % self.n, (node + 1) % self.n]
+    }
+
+    fn node_count(&self) -> usize {
+        self.n as usize
+    }
+}
+
+#[test]
+fn ring_distances_wrap_both_ways() {
+    let mut t = RoutingTable::new(Ring { n: 8 }, 0);
+    let rounds = t.run_to_fixpoint(64).expect("rings stabilize");
+    assert!(rounds <= 8, "took {rounds}");
+    // Distance is min(k, n−k) around the ring.
+    for k in 0..8u32 {
+        assert_eq!(t.dist(k), Dist::Finite(k.min(8 - k)), "node {k}");
+    }
+    // Antipodal node 4 ties between neighbors 3 and 5; id break picks 3.
+    assert_eq!(t.next(4), Some(3));
+    assert!(t.is_stabilized());
+}
+
+#[test]
+fn cutting_the_ring_makes_it_a_line() {
+    let mut t = RoutingTable::new(Ring { n: 8 }, 0);
+    t.run_to_fixpoint(64).unwrap();
+    // Cut between 3 and 4 by failing node 4: nodes 5..7 must reroute the
+    // long way round (through 7 → 0).
+    t.fail(4);
+    t.run_to_fixpoint(64).unwrap();
+    assert_eq!(t.dist(5), Dist::Finite(3)); // 5 → 6 → 7 → 0
+    assert_eq!(t.dist(3), Dist::Finite(3)); // unchanged short way
+    assert_eq!(t.next(5), Some(6));
+    assert!(t.is_stabilized());
+    // Recovery restores the short path.
+    t.recover(4);
+    t.run_to_fixpoint(64).unwrap();
+    assert_eq!(t.dist(5), Dist::Finite(3).min(Dist::Finite(3)));
+    assert_eq!(t.dist(4), Dist::Finite(4));
+}
+
+#[test]
+fn degenerate_rings() {
+    // A single node that is its own target.
+    let mut solo = RoutingTable::new(Ring { n: 1 }, 0);
+    assert_eq!(solo.run_to_fixpoint(4), Some(0));
+    assert_eq!(solo.dist(0), Dist::Finite(0));
+    // Two nodes.
+    let mut pair = RoutingTable::new(Ring { n: 2 }, 0);
+    pair.run_to_fixpoint(8).unwrap();
+    assert_eq!(pair.dist(1), Dist::Finite(1));
+    assert_eq!(pair.next(1), Some(0));
+}

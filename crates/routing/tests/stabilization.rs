@@ -1,0 +1,154 @@
+//! Property-based stabilization tests: Lemma 6 and Corollary 7 on random
+//! grids, failure patterns, and corrupted initial states.
+
+use cellflow_grid::{CellId, GridDims};
+use cellflow_routing::{Dist, RoutingTable, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn grid_case() -> impl Strategy<Value = (GridDims, CellId, Vec<CellId>, u64)> {
+    (2u16..=8, 2u16..=8)
+        .prop_flat_map(|(nx, ny)| {
+            let dims = GridDims::new(nx, ny);
+            (
+                Just(dims),
+                (0..nx, 0..ny).prop_map(|(i, j)| CellId::new(i, j)),
+                proptest::collection::vec(
+                    (0..nx, 0..ny).prop_map(|(i, j)| CellId::new(i, j)),
+                    0..=(nx as usize * ny as usize) / 3,
+                ),
+                any::<u64>(),
+            )
+        })
+        .prop_filter("target must stay alive", |(_, t, failed, _)| {
+            !failed.contains(t)
+        })
+}
+
+fn scramble(table: &mut RoutingTable<GridDims>, seed: u64) {
+    let dims = *table.topology();
+    let target = table.target();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for c in dims.iter() {
+        // Failed cells pin dist = ∞ (the fail transition wrote it and Route
+        // skips them); corrupting them would leave the model's state space.
+        if c == target || table.is_failed(c) {
+            continue;
+        }
+        let dist = if rng.gen_bool(0.3) {
+            Dist::Infinity
+        } else {
+            Dist::Finite(rng.gen_range(0..50))
+        };
+        let nbrs: Vec<_> = Topology::neighbors(&dims, c);
+        let next = if rng.gen_bool(0.5) {
+            Some(nbrs[rng.gen_range(0..nbrs.len())])
+        } else {
+            None
+        };
+        table.set_entry(c, dist, next);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Corollary 7: within O(N²) rounds of the last failure, routing reaches a
+    /// fixpoint that matches BFS ground truth.
+    #[test]
+    fn corollary7_fixpoint_within_n_squared((dims, target, failed, seed) in grid_case()) {
+        let mut t = RoutingTable::new(dims, target);
+        for f in &failed {
+            t.fail(*f);
+        }
+        scramble(&mut t, seed);
+        let bound = 2 * dims.cell_count() as u32 + 2;
+        let rounds = t.run_to_fixpoint(bound);
+        prop_assert!(rounds.is_some(), "no fixpoint within {bound} rounds");
+        prop_assert!(t.is_stabilized());
+        let expected = t.expected();
+        for c in dims.iter() {
+            prop_assert_eq!(t.dist(c), expected[&c], "cell {}", c);
+        }
+    }
+
+    /// Lemma 6: a cell at live path distance h holds the exact distance value
+    /// at every round ≥ h, regardless of the initial (corrupted) state.
+    #[test]
+    fn lemma6_per_cell_h_round_bound((dims, target, failed, seed) in grid_case()) {
+        let mut t = RoutingTable::new(dims, target);
+        for f in &failed {
+            t.fail(*f);
+        }
+        scramble(&mut t, seed);
+        let expected = t.expected();
+        let max_h = expected
+            .values()
+            .filter_map(|d| d.finite())
+            .max()
+            .unwrap_or(0);
+        for round in 1..=max_h + 1 {
+            t.step();
+            for c in dims.iter() {
+                if let Some(h) = expected[&c].finite() {
+                    if round >= h {
+                        prop_assert_eq!(
+                            t.dist(c),
+                            expected[&c],
+                            "cell {} with ρ={} at round {}", c, h, round
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// next pointers always step strictly downhill once stabilized, so routes
+    /// are loop-free and reach the target in exactly dist hops.
+    #[test]
+    fn routes_are_loop_free((dims, target, failed, seed) in grid_case()) {
+        let mut t = RoutingTable::new(dims, target);
+        for f in &failed {
+            t.fail(*f);
+        }
+        scramble(&mut t, seed);
+        t.run_to_fixpoint(2 * dims.cell_count() as u32 + 2).unwrap();
+        for c in dims.iter() {
+            if let Some(h) = t.dist(c).finite() {
+                // Follow next pointers; must hit the target in exactly h hops.
+                let mut cur = c;
+                for step in 0..h {
+                    let nxt = t.next(cur)
+                        .unwrap_or_else(|| panic!("{cur} lacks next at hop {step}"));
+                    prop_assert_eq!(
+                        t.dist(nxt).finite().unwrap() + 1,
+                        t.dist(cur).finite().unwrap()
+                    );
+                    cur = nxt;
+                }
+                prop_assert_eq!(cur, target);
+            }
+        }
+    }
+
+    /// Failing and recovering arbitrary cells always re-stabilizes.
+    #[test]
+    fn churn_then_stabilize((dims, target, failed, seed) in grid_case()) {
+        let mut t = RoutingTable::new(dims, target);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Churn: interleave failures, recoveries, and steps.
+        for f in &failed {
+            t.fail(*f);
+            if rng.gen_bool(0.5) {
+                t.step();
+            }
+            if rng.gen_bool(0.3) {
+                t.recover(*f);
+            }
+        }
+        let bound = 2 * dims.cell_count() as u32 + 2;
+        prop_assert!(t.run_to_fixpoint(bound).is_some());
+        prop_assert!(t.is_stabilized());
+    }
+}

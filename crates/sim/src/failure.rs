@@ -1,0 +1,273 @@
+//! Crash/recovery models.
+
+use cellflow_core::System;
+use cellflow_grid::CellId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What a failure model did to the system this round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureEvents {
+    /// Cells crashed this round.
+    pub failed: Vec<CellId>,
+    /// Cells recovered this round.
+    pub recovered: Vec<CellId>,
+}
+
+impl FailureEvents {
+    /// `true` if nothing happened.
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty() && self.recovered.is_empty()
+    }
+}
+
+/// A source of crash and recovery transitions, applied before each round.
+///
+/// Implementations mutate the system through [`System::fail`] /
+/// [`System::recover`] only.
+pub trait FailureModel {
+    /// Applies this round's failures/recoveries to `system`.
+    fn apply(&mut self, system: &mut System, round: u64) -> FailureEvents;
+}
+
+/// No failures ever — the environment of Figures 7 and 8.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoFailures;
+
+impl FailureModel for NoFailures {
+    fn apply(&mut self, _system: &mut System, _round: u64) -> FailureEvents {
+        FailureEvents::default()
+    }
+}
+
+/// The random fail/recover model of Figure 9 (and of DeVille & Mitra,
+/// SSS 2009): each round, every live cell fails with probability `pf` and
+/// every failed cell recovers with probability `pr`, independently.
+///
+/// The target may fail too (its recovery resets `dist_tid = 0`, exactly as
+/// the paper describes); set `protect_target` to exclude it, and
+/// `protect_sources` to keep sources alive.
+#[derive(Clone, Debug)]
+pub struct RandomFailRecover {
+    /// Per-round, per-cell failure probability.
+    pub pf: f64,
+    /// Per-round, per-cell recovery probability.
+    pub pr: f64,
+    /// Never fail the target cell.
+    pub protect_target: bool,
+    /// Never fail source cells.
+    pub protect_sources: bool,
+    rng: SmallRng,
+}
+
+impl RandomFailRecover {
+    /// Creates the model with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pf` or `pr` is outside `[0, 1]`.
+    pub fn new(pf: f64, pr: f64, seed: u64) -> RandomFailRecover {
+        assert!(
+            (0.0..=1.0).contains(&pf),
+            "pf must be a probability, got {pf}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&pr),
+            "pr must be a probability, got {pr}"
+        );
+        RandomFailRecover {
+            pf,
+            pr,
+            protect_target: false,
+            protect_sources: false,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Builder: never crash the target.
+    pub fn protect_target(mut self) -> RandomFailRecover {
+        self.protect_target = true;
+        self
+    }
+
+    /// Builder: never crash sources.
+    pub fn protect_sources(mut self) -> RandomFailRecover {
+        self.protect_sources = true;
+        self
+    }
+}
+
+impl FailureModel for RandomFailRecover {
+    fn apply(&mut self, system: &mut System, _round: u64) -> FailureEvents {
+        let dims = system.config().dims();
+        let target = system.config().target();
+        let sources = system.config().sources().clone();
+        let mut events = FailureEvents::default();
+        for id in dims.iter() {
+            let failed = system.cell(id).failed;
+            if failed {
+                if self.rng.gen_bool(self.pr) {
+                    system.recover(id);
+                    events.recovered.push(id);
+                }
+            } else {
+                if self.protect_target && id == target {
+                    continue;
+                }
+                if self.protect_sources && sources.contains(&id) {
+                    continue;
+                }
+                if self.rng.gen_bool(self.pf) {
+                    system.fail(id);
+                    events.failed.push(id);
+                }
+            }
+        }
+        events
+    }
+}
+
+/// A scripted schedule of fail/recover transitions: `(round, cell, recover?)`.
+/// Used to carve paths (Figure 8) and to build reproducible churn tests.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    entries: Vec<(u64, CellId, bool)>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Schedule {
+        Schedule::default()
+    }
+
+    /// Adds a crash of `cell` at `round`.
+    pub fn fail_at(mut self, round: u64, cell: CellId) -> Schedule {
+        self.entries.push((round, cell, false));
+        self
+    }
+
+    /// Adds a recovery of `cell` at `round`.
+    pub fn recover_at(mut self, round: u64, cell: CellId) -> Schedule {
+        self.entries.push((round, cell, true));
+        self
+    }
+
+    /// Adds crashes of all `cells` at round 0 — the path-carving helper.
+    pub fn carve<I: IntoIterator<Item = CellId>>(mut self, cells: I) -> Schedule {
+        for c in cells {
+            self.entries.push((0, c, false));
+        }
+        self
+    }
+}
+
+impl FailureModel for Schedule {
+    fn apply(&mut self, system: &mut System, round: u64) -> FailureEvents {
+        let mut events = FailureEvents::default();
+        for &(when, cell, recover) in &self.entries {
+            if when == round {
+                if recover {
+                    system.recover(cell);
+                    events.recovered.push(cell);
+                } else {
+                    system.fail(cell);
+                    events.failed.push(cell);
+                }
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellflow_core::{Params, SystemConfig};
+    use cellflow_grid::GridDims;
+
+    fn system() -> System {
+        System::new(
+            SystemConfig::new(
+                GridDims::square(4),
+                CellId::new(3, 3),
+                Params::from_milli(250, 50, 100).unwrap(),
+            )
+            .unwrap()
+            .with_source(CellId::new(0, 0)),
+        )
+    }
+
+    #[test]
+    fn no_failures_is_a_noop() {
+        let mut sys = system();
+        let ev = NoFailures.apply(&mut sys, 0);
+        assert!(ev.is_empty());
+        assert!(sys.config().dims().iter().all(|c| !sys.cell(c).failed));
+    }
+
+    #[test]
+    fn random_model_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut sys = system();
+            let mut model = RandomFailRecover::new(0.2, 0.3, seed);
+            let mut log = Vec::new();
+            for round in 0..50 {
+                log.push(model.apply(&mut sys, round));
+            }
+            log
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ");
+    }
+
+    #[test]
+    fn random_model_respects_protections() {
+        let mut sys = system();
+        let mut model = RandomFailRecover::new(1.0, 0.0, 1)
+            .protect_target()
+            .protect_sources();
+        let ev = model.apply(&mut sys, 0);
+        assert!(!ev.failed.contains(&CellId::new(3, 3)));
+        assert!(!ev.failed.contains(&CellId::new(0, 0)));
+        assert_eq!(ev.failed.len(), 14); // 16 − target − source
+        assert!(!sys.cell(CellId::new(3, 3)).failed);
+    }
+
+    #[test]
+    fn certain_recovery_heals_everything() {
+        let mut sys = system();
+        let mut kill = RandomFailRecover::new(1.0, 0.0, 1);
+        kill.apply(&mut sys, 0);
+        let mut heal = RandomFailRecover::new(0.0, 1.0, 2);
+        let ev = heal.apply(&mut sys, 1);
+        assert!(ev.failed.is_empty());
+        assert!(!ev.recovered.is_empty());
+        assert!(sys.config().dims().iter().all(|c| !sys.cell(c).failed));
+    }
+
+    #[test]
+    fn schedule_fires_at_exact_rounds() {
+        let mut sys = system();
+        let mut sched = Schedule::new()
+            .fail_at(2, CellId::new(1, 1))
+            .recover_at(5, CellId::new(1, 1))
+            .carve([CellId::new(2, 2)]);
+        for round in 0..8 {
+            let ev = sched.apply(&mut sys, round);
+            match round {
+                0 => assert_eq!(ev.failed, vec![CellId::new(2, 2)]),
+                2 => assert_eq!(ev.failed, vec![CellId::new(1, 1)]),
+                5 => assert_eq!(ev.recovered, vec![CellId::new(1, 1)]),
+                _ => assert!(ev.is_empty()),
+            }
+        }
+        assert!(sys.cell(CellId::new(2, 2)).failed);
+        assert!(!sys.cell(CellId::new(1, 1)).failed);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        let _ = RandomFailRecover::new(1.5, 0.0, 1);
+    }
+}

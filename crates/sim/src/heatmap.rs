@@ -1,0 +1,178 @@
+//! Occupancy heat maps: where congestion lives on the grid.
+
+use cellflow_core::{SystemConfig, SystemState};
+use cellflow_grid::{CellId, GridDims};
+
+/// Accumulates per-cell entity-rounds over a run and renders them as a
+/// digit heat map — the congestion picture behind throughput numbers.
+///
+/// One `entity-round` is one entity spending one round on a cell; dividing by
+/// the recorded rounds gives the mean occupancy.
+///
+/// ```
+/// use cellflow_core::{Params, System, SystemConfig};
+/// use cellflow_grid::{CellId, GridDims};
+/// use cellflow_sim::heatmap::OccupancyGrid;
+///
+/// let config = SystemConfig::new(
+///     GridDims::square(4),
+///     CellId::new(3, 0),
+///     Params::from_milli(250, 50, 200)?,
+/// )?
+/// .with_source(CellId::new(0, 0));
+/// let mut system = System::new(config);
+/// let mut heat = OccupancyGrid::new(system.config().dims());
+/// for _ in 0..200 {
+///     system.step();
+///     heat.record(system.config(), system.state());
+/// }
+/// // The corridor row carries all the traffic.
+/// assert!(heat.mean_occupancy(CellId::new(1, 0)) > heat.mean_occupancy(CellId::new(1, 3)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct OccupancyGrid {
+    dims: GridDims,
+    entity_rounds: Vec<u64>,
+    rounds: u64,
+}
+
+impl OccupancyGrid {
+    /// An empty accumulator for `dims`.
+    pub fn new(dims: GridDims) -> OccupancyGrid {
+        OccupancyGrid {
+            dims,
+            entity_rounds: vec![0; dims.cell_count()],
+            rounds: 0,
+        }
+    }
+
+    /// Records one round's occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not match the accumulator's grid.
+    pub fn record(&mut self, config: &SystemConfig, state: &SystemState) {
+        assert_eq!(config.dims(), self.dims, "grid mismatch");
+        for id in self.dims.iter() {
+            self.entity_rounds[self.dims.index(id)] +=
+                state.cell(self.dims, id).members.len() as u64;
+        }
+        self.rounds += 1;
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total entity-rounds accumulated on `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    pub fn entity_rounds(&self, cell: CellId) -> u64 {
+        self.entity_rounds[self.dims.index(cell)]
+    }
+
+    /// Mean number of entities on `cell` per round (0 if nothing recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    pub fn mean_occupancy(&self, cell: CellId) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.entity_rounds(cell) as f64 / self.rounds as f64
+        }
+    }
+
+    /// The cell with the highest accumulated occupancy (ties: smallest id).
+    pub fn hottest(&self) -> CellId {
+        self.dims
+            .iter()
+            .max_by_key(|&c| (self.entity_rounds(c), std::cmp::Reverse(c)))
+            .expect("grids are nonempty")
+    }
+
+    /// Renders a digit heat map: each cell shows `0`–`9` scaled linearly to
+    /// the hottest cell (`.` for exactly zero). North at the top.
+    pub fn render(&self) -> String {
+        let max = self.entity_rounds.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for j in (0..self.dims.ny()).rev() {
+            for i in 0..self.dims.nx() {
+                let v = self.entity_rounds(CellId::new(i, j));
+                let ch = if v == 0 {
+                    '.'
+                } else {
+                    char::from_digit(((v * 9) / max).clamp(1, 9) as u32, 10)
+                        .expect("digit in range")
+                };
+                out.push(ch);
+                out.push(' ');
+            }
+            out.pop();
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellflow_core::{Params, System};
+
+    fn corridor() -> System {
+        System::new(
+            SystemConfig::new(
+                GridDims::new(4, 2),
+                CellId::new(3, 0),
+                Params::from_milli(250, 50, 200).unwrap(),
+            )
+            .unwrap()
+            .with_source(CellId::new(0, 0)),
+        )
+    }
+
+    #[test]
+    fn accumulates_where_traffic_flows() {
+        let mut sys = corridor();
+        let mut heat = OccupancyGrid::new(sys.config().dims());
+        for _ in 0..150 {
+            sys.step();
+            heat.record(sys.config(), sys.state());
+        }
+        assert_eq!(heat.rounds(), 150);
+        // All traffic lives on row 0; row 1 never sees an entity.
+        for i in 0..4 {
+            assert_eq!(heat.entity_rounds(CellId::new(i, 1)), 0, "row 1 cell {i}");
+        }
+        assert!(heat.entity_rounds(CellId::new(0, 0)) > 0);
+        assert_eq!(heat.hottest().j(), 0);
+        // Render shape: 2 lines of 4 cells; top line (row 1) all dots.
+        let pic = heat.render();
+        let lines: Vec<&str> = pic.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], ". . . .");
+        assert!(lines[1].chars().any(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn empty_grid_renders_dots() {
+        let heat = OccupancyGrid::new(GridDims::square(2));
+        assert_eq!(heat.render(), ". .\n. .\n");
+        assert_eq!(heat.mean_occupancy(CellId::new(0, 0)), 0.0);
+        assert_eq!(heat.hottest(), CellId::new(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid mismatch")]
+    fn mismatched_grid_panics() {
+        let sys = corridor();
+        let mut heat = OccupancyGrid::new(GridDims::square(8));
+        heat.record(sys.config(), sys.state());
+    }
+}

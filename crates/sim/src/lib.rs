@@ -1,0 +1,51 @@
+//! Simulation engine and experiment harness for distributed cellular flows.
+//!
+//! This crate drives the protocol from `cellflow-core` through the
+//! experiments of the paper's evaluation (Section IV):
+//!
+//! * [`Simulation`] — a [`cellflow_core::System`] plus a [`FailureModel`],
+//!   per-round [`Metrics`], and an optional [`TraceRecorder`];
+//! * [`failure`] — crash/recovery models, including the per-round
+//!   `(p_f, p_r)` random model of Figure 9 (after DeVille & Mitra, SSS 2009);
+//! * [`metrics`] — K-round and average throughput exactly as defined in §IV;
+//! * [`baseline`] — an omniscient centralized controller with the same
+//!   physics, the comparator for the distributed protocol's signaling cost;
+//! * [`scenario`] — builders reproducing every experiment in the paper
+//!   (Figures 7, 8, 9) plus the ablations in `DESIGN.md`;
+//! * [`sweep`] — a multi-threaded parameter-sweep runner;
+//! * [`render`] — an ASCII visualization of system states;
+//! * [`heatmap`] — per-cell occupancy accumulation and heat-map rendering;
+//! * [`stats`] — replicated-run summaries (mean ± CI) for stochastic
+//!   experiments;
+//! * [`table`] — plain-text / CSV series output for the figure harness.
+//!
+//! # Example: one Figure 7 data point
+//!
+//! ```
+//! use cellflow_sim::scenario;
+//!
+//! // Throughput at rs = 0.05, v = 0.2 (a short run for the doctest).
+//! let spec = scenario::fig7_point(50, 200);
+//! let outcome = scenario::run_spec(&spec, 300, 7);
+//! assert!(outcome.throughput > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod failure;
+pub mod heatmap;
+pub mod metrics;
+pub mod render;
+mod runner;
+pub mod scenario;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+mod trace;
+
+pub use failure::FailureModel;
+pub use metrics::Metrics;
+pub use runner::Simulation;
+pub use trace::{TraceEvent, TraceRecorder};

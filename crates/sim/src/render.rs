@@ -1,0 +1,163 @@
+//! ASCII rendering of system states (the Figure 1 schematic, in a terminal).
+
+use cellflow_core::{SystemConfig, SystemState};
+use cellflow_geom::Dir;
+
+/// Renders the grid with per-cell contents:
+///
+/// * `T` marks the target cell, `S` a source cell;
+/// * failed cells are filled with `x`;
+/// * entities appear as `o` at their approximate position within the cell;
+/// * an empty live cell shows its `next` direction as an arrow.
+///
+/// Rows print north (largest `j`) at the top, matching the paper's figures.
+///
+/// ```
+/// use cellflow_sim::{render, scenario};
+///
+/// let sys = scenario::fig1_demo();
+/// let picture = render::render(sys.config(), sys.state());
+/// assert!(picture.contains('T'));
+/// assert!(picture.contains('x')); // the failed cell ⟨2,1⟩
+/// ```
+pub fn render(config: &SystemConfig, state: &SystemState) -> String {
+    const CELL_W: usize = 8; // inner width
+    const CELL_H: usize = 3; // inner height
+    let dims = config.dims();
+    let (nx, ny) = (dims.nx() as usize, dims.ny() as usize);
+    let width = nx * (CELL_W + 1) + 1;
+    let height = ny * (CELL_H + 1) + 1;
+    let mut canvas = vec![vec![' '; width]; height];
+
+    // Borders.
+    for gy in 0..=ny {
+        let row = gy * (CELL_H + 1);
+        for (x, c) in canvas[row].iter_mut().enumerate() {
+            *c = if x % (CELL_W + 1) == 0 { '+' } else { '-' };
+        }
+    }
+    for (y, line) in canvas.iter_mut().enumerate() {
+        if y % (CELL_H + 1) != 0 {
+            for gx in 0..=nx {
+                line[gx * (CELL_W + 1)] = '|';
+            }
+        }
+    }
+
+    for id in dims.iter() {
+        let cell = state.cell(dims, id);
+        let (i, j) = (id.i() as usize, id.j() as usize);
+        // Canvas origin (top-left inner corner) of this cell.
+        let top = (ny - 1 - j) * (CELL_H + 1) + 1;
+        let left = i * (CELL_W + 1) + 1;
+
+        if cell.failed {
+            for dy in 0..CELL_H {
+                for dx in 0..CELL_W {
+                    canvas[top + dy][left + dx] = 'x';
+                }
+            }
+            continue;
+        }
+
+        // Role label in the corner.
+        if id == config.target() {
+            canvas[top][left] = 'T';
+        } else if config.sources().contains(&id) {
+            canvas[top][left] = 'S';
+        }
+
+        // Entities at approximate sub-cell positions.
+        for pos in cell.members.values() {
+            let fx = (pos.x - cellflow_geom::Fixed::from_int(i as i64)).to_f64();
+            let fy = (pos.y - cellflow_geom::Fixed::from_int(j as i64)).to_f64();
+            let dx = ((fx * CELL_W as f64) as usize).min(CELL_W - 1);
+            let dy = (((1.0 - fy) * CELL_H as f64) as usize).min(CELL_H - 1);
+            canvas[top + dy][left + dx] = 'o';
+        }
+
+        // Next-direction arrow in the center of empty cells.
+        if cell.members.is_empty() {
+            if let Some(dir) = cell.next.and_then(|n| id.dir_to(n)) {
+                let arrow = match dir {
+                    Dir::East => '>',
+                    Dir::West => '<',
+                    Dir::North => '^',
+                    Dir::South => 'v',
+                };
+                canvas[top + CELL_H / 2][left + CELL_W / 2] = arrow;
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(height * (width + 1));
+    for line in canvas {
+        out.extend(line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellflow_core::{Params, System, SystemConfig};
+    use cellflow_grid::{CellId, GridDims};
+
+    fn small_system() -> System {
+        System::new(
+            SystemConfig::new(
+                GridDims::square(3),
+                CellId::new(2, 2),
+                Params::from_milli(250, 50, 100).unwrap(),
+            )
+            .unwrap()
+            .with_source(CellId::new(0, 0)),
+        )
+    }
+
+    #[test]
+    fn renders_roles_and_grid() {
+        let sys = small_system();
+        let pic = render(sys.config(), sys.state());
+        assert!(pic.contains('T'));
+        assert!(pic.contains('S'));
+        assert!(pic.contains('+'));
+        // 3 cells × (3+1) + 1 rows.
+        assert_eq!(pic.lines().count(), 13);
+        // No entities yet.
+        assert!(!pic.contains('o'));
+    }
+
+    #[test]
+    fn renders_failed_cells_and_entities() {
+        let mut sys = small_system();
+        sys.fail(CellId::new(1, 1));
+        sys.seed_entity(CellId::new(0, 1), CellId::new(0, 1).center())
+            .unwrap();
+        let pic = render(sys.config(), sys.state());
+        assert!(pic.contains('x'));
+        assert!(pic.contains('o'));
+    }
+
+    #[test]
+    fn arrows_appear_after_routing() {
+        let mut sys = small_system();
+        sys.run(6);
+        let pic = render(sys.config(), sys.state());
+        assert!(
+            pic.contains('^') || pic.contains('>') || pic.contains('<') || pic.contains('v'),
+            "expected routing arrows in:\n{pic}"
+        );
+    }
+
+    #[test]
+    fn target_row_is_at_top() {
+        // Target ⟨2,2⟩ has j = 2 = top row; its 'T' must appear in the first
+        // cell band (rows 1–3 of the canvas).
+        let sys = small_system();
+        let pic = render(sys.config(), sys.state());
+        let first_band: Vec<&str> = pic.lines().take(4).collect();
+        assert!(first_band.iter().any(|l| l.contains('T')), "{pic}");
+    }
+}

@@ -1,0 +1,222 @@
+//! The simulation driver.
+
+use cellflow_core::{safety, RoundEvents, System, SystemConfig, TokenPolicy};
+
+use crate::failure::{FailureModel, NoFailures};
+use crate::{Metrics, TraceRecorder};
+
+/// A [`System`] under a [`FailureModel`], with metrics and optional tracing.
+///
+/// Each [`Simulation::step`] applies the failure model for the round, then one
+/// `update` transition, then records metrics/trace. With `check_safety`
+/// enabled (default in debug builds), every round asserts the paper's `Safe`
+/// predicate and Invariants 1–2 — so any safety regression aborts loudly
+/// instead of producing silently wrong throughput numbers.
+///
+/// ```
+/// use cellflow_core::{Params, SystemConfig};
+/// use cellflow_grid::{CellId, GridDims};
+/// use cellflow_sim::Simulation;
+///
+/// let config = SystemConfig::new(
+///     GridDims::square(8),
+///     CellId::new(1, 7),
+///     Params::from_milli(250, 50, 200)?,
+/// )?
+/// .with_source(CellId::new(1, 0));
+/// let mut sim = Simulation::new(config, 42);
+/// sim.run(500);
+/// assert!(sim.metrics().throughput() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Simulation {
+    system: System,
+    failure: Box<dyn FailureModel>,
+    metrics: Metrics,
+    trace: Option<TraceRecorder>,
+    check_safety: bool,
+}
+
+impl Simulation {
+    /// Creates a failure-free simulation of `config`.
+    ///
+    /// `seed` parameterizes the randomized token policy if the config uses
+    /// one; with the default deterministic policies it is absorbed into the
+    /// `Randomized` salt only when you opt in via
+    /// [`Simulation::with_randomized_tokens`].
+    pub fn new(config: SystemConfig, seed: u64) -> Simulation {
+        let _ = seed;
+        Simulation {
+            system: System::new(config),
+            failure: Box::new(NoFailures),
+            metrics: Metrics::new(),
+            trace: None,
+            check_safety: cfg!(debug_assertions),
+        }
+    }
+
+    /// Replaces the failure model.
+    pub fn with_failure_model<F: FailureModel + 'static>(mut self, model: F) -> Simulation {
+        self.failure = Box::new(model);
+        self
+    }
+
+    /// Switches the system's token policy to `Randomized` with this salt.
+    pub fn with_randomized_tokens(mut self, salt: u64) -> Simulation {
+        let config = self
+            .system
+            .config()
+            .clone()
+            .with_token_policy(TokenPolicy::Randomized { salt });
+        let state = self.system.state().clone();
+        let mut system = System::new(config);
+        system.set_state(state);
+        self.system = system;
+        self
+    }
+
+    /// Attaches a trace recorder.
+    pub fn with_trace(mut self, trace: TraceRecorder) -> Simulation {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Forces per-round safety checking on or off (defaults to on in debug
+    /// builds, off in release).
+    pub fn with_safety_checks(mut self, on: bool) -> Simulation {
+        self.check_safety = on;
+        self
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Mutable access to the underlying system (seeding entities, manual
+    /// failures).
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.system
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The trace recorder, if attached.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.as_ref()
+    }
+
+    /// Executes one round: failures, then `update`, then bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// With safety checks enabled, panics if `Safe`, Invariant 1, or
+    /// Invariant 2 is violated after the round — which the protocol
+    /// guarantees never happens (Theorem 5); a panic here is a bug.
+    pub fn step(&mut self) -> RoundEvents {
+        let round = self.system.round();
+        let failures = self.failure.apply(&mut self.system, round);
+        let events = self.system.step();
+        self.metrics.record(&events);
+        if let Some(tr) = &mut self.trace {
+            tr.record(round, &failures, &events);
+        }
+        if self.check_safety {
+            let (cfg, st) = (self.system.config(), self.system.state());
+            if let Err(v) = safety::check_safe(cfg, st) {
+                panic!("safety violated at round {round}: {v}");
+            }
+            if let Err(v) = safety::check_invariant1(cfg, st) {
+                panic!("Invariant 1 violated at round {round}: {v}");
+            }
+            if let Err(v) = safety::check_invariant2(cfg, st) {
+                panic!("Invariant 2 violated at round {round}: {v}");
+            }
+        }
+        events
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{RandomFailRecover, Schedule};
+    use cellflow_core::Params;
+    use cellflow_grid::{CellId, GridDims};
+
+    fn config() -> SystemConfig {
+        SystemConfig::new(
+            GridDims::square(8),
+            CellId::new(1, 7),
+            Params::from_milli(250, 50, 200).unwrap(),
+        )
+        .unwrap()
+        .with_source(CellId::new(1, 0))
+    }
+
+    #[test]
+    fn simulation_accumulates_metrics() {
+        let mut sim = Simulation::new(config(), 1).with_safety_checks(true);
+        sim.run(400);
+        assert_eq!(sim.metrics().rounds(), 400);
+        assert!(sim.metrics().throughput() > 0.0);
+        assert_eq!(
+            sim.metrics().consumed_total(),
+            sim.system().consumed_total()
+        );
+    }
+
+    #[test]
+    fn trace_validates_on_long_run() {
+        let mut sim = Simulation::new(config(), 1)
+            .with_trace(TraceRecorder::new())
+            .with_safety_checks(true);
+        sim.run(300);
+        let checked = sim.trace().unwrap().validate().expect("trace consistent");
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn random_failures_never_break_safety() {
+        let mut sim = Simulation::new(config(), 3)
+            .with_failure_model(RandomFailRecover::new(0.05, 0.1, 99))
+            .with_safety_checks(true);
+        sim.run(500); // step() panics on any violation
+        assert_eq!(sim.metrics().rounds(), 500);
+    }
+
+    #[test]
+    fn scheduled_carving_pins_flow() {
+        let dims = GridDims::square(8);
+        let path =
+            cellflow_grid::Path::straight(CellId::new(1, 0), cellflow_geom::Dir::North, 8).unwrap();
+        let mut sim = Simulation::new(config(), 1)
+            .with_failure_model(Schedule::new().carve(path.carve_failures(dims)))
+            .with_safety_checks(true);
+        sim.run(400);
+        assert!(sim.metrics().throughput() > 0.0);
+        // Entities only ever lived on path cells.
+        for (cell, _) in sim.system().state().entities(dims) {
+            assert!(path.contains(cell), "entity off the carved path at {cell}");
+        }
+    }
+
+    #[test]
+    fn randomized_tokens_still_safe_and_productive() {
+        let mut sim = Simulation::new(config(), 1)
+            .with_randomized_tokens(1234)
+            .with_safety_checks(true);
+        sim.run(400);
+        assert!(sim.metrics().throughput() > 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration across the simulation crate's surfaces: runner + failure
+//! models + metrics + heatmap + stats + baseline working together.
+
+use cellflow_core::SystemConfig;
+use cellflow_grid::{CellId, GridDims};
+use cellflow_sim::baseline::CentralizedBaseline;
+use cellflow_sim::failure::{RandomFailRecover, Schedule};
+use cellflow_sim::heatmap::OccupancyGrid;
+use cellflow_sim::scenario::{self, fig7_point};
+use cellflow_sim::stats::{replicated_throughput, Summary};
+use cellflow_sim::{Simulation, TraceRecorder};
+
+fn fig7_config() -> SystemConfig {
+    fig7_point(50, 200).config
+}
+
+#[test]
+fn heatmap_matches_trace_occupancy() {
+    // The heat map's per-cell entity-rounds must equal what replaying the
+    // trace implies: every entity contributes one round to exactly one cell
+    // from its insertion round until its consumption round.
+    let mut sim = Simulation::new(fig7_config(), 3).with_trace(TraceRecorder::new());
+    let mut heat = OccupancyGrid::new(GridDims::square(8));
+    let rounds = 400u64;
+    let mut total_entity_rounds = 0u64;
+    for _ in 0..rounds {
+        sim.step();
+        heat.record(sim.system().config(), sim.system().state());
+        total_entity_rounds += sim.system().state().entity_count() as u64;
+    }
+    let heat_total: u64 = GridDims::square(8)
+        .iter()
+        .map(|c| heat.entity_rounds(c))
+        .sum();
+    assert_eq!(heat_total, total_entity_rounds);
+    // All heat concentrates on the corridor column (i = 1).
+    let hottest = heat.hottest();
+    assert_eq!(hottest.i(), 1, "hot spot off the corridor: {hottest}");
+    sim.trace().unwrap().validate().unwrap();
+}
+
+#[test]
+fn stats_summary_tracks_actual_spread() {
+    let spec = scenario::fig9_point(0.03, 0.1);
+    let summary: Summary = replicated_throughput(&spec, 400, &[1, 2, 3, 4, 5], 4);
+    assert_eq!(summary.n, 5);
+    assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+    assert!(summary.std_dev > 0.0, "stochastic churn must show spread");
+    assert!(summary.ci95_half_width() > 0.0);
+    // The failure-free spec has zero spread across seeds (deterministic).
+    let fixed = replicated_throughput(&fig7_point(50, 200), 400, &[1, 2, 3], 2);
+    assert_eq!(fixed.std_dev, 0.0);
+    assert_eq!(fixed.min, fixed.max);
+}
+
+#[test]
+fn scheduled_and_random_failures_compose_with_metrics() {
+    // A scripted outage inside an otherwise healthy run: throughput during
+    // the outage window drops to zero, and recovers after.
+    let outage_start = 150u64;
+    let outage_end = 400u64;
+    let mut sched = Schedule::new();
+    for j in 0..8 {
+        sched = sched
+            .fail_at(outage_start, CellId::new(1, j))
+            .recover_at(outage_end, CellId::new(1, j));
+    }
+    let mut sim = Simulation::new(fig7_config(), 1).with_failure_model(sched);
+    sim.run(outage_start + 60);
+    let during = sim.metrics().tail_throughput(40);
+    assert_eq!(during, 0.0, "the whole corridor is down");
+    sim.run(outage_end - (outage_start + 60) + 400);
+    let after = sim.metrics().tail_throughput(200);
+    assert!(after > 0.0, "no recovery after the outage");
+}
+
+#[test]
+fn baseline_and_distributed_share_failure_semantics() {
+    let mut base = CentralizedBaseline::new(fig7_config());
+    base.run(30);
+    base.fail(CellId::new(1, 3));
+    base.run(80);
+    base.recover(CellId::new(1, 3));
+    base.run(120);
+    // Same dance through the distributed runner.
+    let mut dist = Simulation::new(fig7_config(), 1);
+    dist.run(30);
+    dist.system_mut().fail(CellId::new(1, 3));
+    dist.run(80);
+    dist.system_mut().recover(CellId::new(1, 3));
+    dist.run(120);
+    // Both deliver despite the outage; the baseline at least as much.
+    assert!(dist.metrics().consumed_total() > 0);
+    assert!(base.consumed_total() >= dist.metrics().consumed_total());
+}
+
+#[test]
+fn random_churn_metrics_are_internally_consistent() {
+    let mut sim = Simulation::new(fig7_config(), 9)
+        .with_failure_model(RandomFailRecover::new(0.03, 0.15, 17));
+    sim.run(1_000);
+    let m = sim.metrics();
+    assert_eq!(m.rounds(), 1_000);
+    assert_eq!(
+        m.consumed_total(),
+        m.consumed_history().iter().map(|&c| c as u64).sum::<u64>()
+    );
+    assert!(m.throughput() <= 1.0, "one source inserts at most 1/round");
+    assert_eq!(
+        m.inserted_total(),
+        sim.system().consumed_total() + sim.system().state().entity_count() as u64
+    );
+}

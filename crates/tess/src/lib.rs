@@ -1,0 +1,55 @@
+//! Cellular flows over arbitrary **rectangular tessellations**.
+//!
+//! The paper's conclusion (§V) raises *"the case for arbitrary tessellations
+//! of the plane"*. The fully general case (hexagons, triangles) breaks the
+//! paper's safety argument: the `Safe` predicate and the snap-on-transfer
+//! rule rely on the motion axes being **orthogonal**, so that snapping the
+//! crossing coordinate leaves the transverse separation untouched. Under
+//! non-orthogonal tilings, simultaneous transfers can erode separation by a
+//! `v`-dependent term — genuinely new protocol design, which is exactly why
+//! the paper calls it challenging.
+//!
+//! What *does* carry over verbatim is the step from unit squares to
+//! **arbitrary axis-aligned rectangles**: columns of heterogeneous widths and
+//! rows of heterogeneous heights (highway segments of different lengths,
+//! warehouse aisles of different pitches). Every lemma survives unchanged —
+//! boundaries are still axis-aligned lines, the gap check is still a
+//! `d`-strip, snapping still preserves the transverse coordinate — provided
+//! each cell dimension exceeds the spacing requirement `d = rs + l` (the
+//! generalization of the paper's `rs + l < 1`).
+//!
+//! This crate implements that generalization. With the all-unit tessellation
+//! it reproduces `cellflow-core` **bit for bit** (equivalence-tested); with
+//! heterogeneous sizes it powers the cell-size ablation in `EXPERIMENTS.md`.
+//!
+//! ```
+//! use cellflow_core::Params;
+//! use cellflow_geom::Fixed;
+//! use cellflow_grid::CellId;
+//! use cellflow_tess::{Tessellation, TessSystem};
+//!
+//! // A 4-cell highway with a long middle segment.
+//! let params = Params::from_milli(250, 50, 200)?;
+//! let tess = Tessellation::new(
+//!     vec![Fixed::ONE, Fixed::from_milli(2_500), Fixed::ONE, Fixed::ONE],
+//!     vec![Fixed::ONE],
+//!     params,
+//! )?;
+//! let mut system = TessSystem::new(tess, CellId::new(3, 0), params)?
+//!     .with_source(CellId::new(0, 0));
+//! for _ in 0..300 { system.step(); }
+//! assert!(system.consumed_total() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod phases;
+pub mod safety;
+mod system;
+mod tessellation;
+
+pub use phases::TessOutcome;
+pub use system::{TessConfigError, TessSystem};
+pub use tessellation::{Tessellation, TessellationError};

@@ -1,0 +1,99 @@
+//! Safety predicates over a tessellation.
+
+use cellflow_core::{EntityId, Params, SystemState};
+use cellflow_geom::sep_ok;
+use cellflow_grid::CellId;
+
+use crate::Tessellation;
+
+/// Checks the paper's `Safe` predicate over a tessellation: any two entities
+/// on one cell are `d`-separated along some axis. (The predicate itself is
+/// geometry-independent; only the cell membership comes from the
+/// tessellation.)
+///
+/// # Errors
+///
+/// Returns the first violating `(cell, a, b)` triple.
+pub fn check_safe_tess(
+    tess: &Tessellation,
+    params: Params,
+    state: &SystemState,
+) -> Result<(), (CellId, EntityId, EntityId)> {
+    let dims = tess.dims();
+    let d = params.d();
+    for id in dims.iter() {
+        let entities: Vec<_> = state.cell(dims, id).members.iter().collect();
+        for (ai, (&a_id, &a_pos)) in entities.iter().enumerate() {
+            for &(&b_id, &b_pos) in &entities[ai + 1..] {
+                if !sep_ok(a_pos, b_pos, d) {
+                    return Err((id, a_id, b_id));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the tessellation analogue of Invariant 1: every footprint lies
+/// within its cell's rectangle.
+///
+/// # Errors
+///
+/// Returns the first protruding `(cell, entity)`.
+pub fn check_margins_tess(
+    tess: &Tessellation,
+    params: Params,
+    state: &SystemState,
+) -> Result<(), (CellId, EntityId)> {
+    let dims = tess.dims();
+    for id in dims.iter() {
+        for (&eid, &pos) in &state.cell(dims, id).members {
+            if !tess.within_margins(params, id, pos) {
+                return Err((id, eid));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TessSystem;
+    use cellflow_geom::{Fixed, Point};
+
+    #[test]
+    fn detects_violations_in_wide_cells() {
+        let params = Params::from_milli(250, 50, 200).unwrap();
+        let tess =
+            Tessellation::new(vec![Fixed::from_milli(3_000)], vec![Fixed::ONE], params).unwrap();
+        let mut sys = TessSystem::new(tess.clone(), CellId::new(0, 0), params).unwrap();
+        // Target cells can hold seeded entities for checking purposes.
+        sys.seed_entity(CellId::new(0, 0), Point::new(Fixed::ONE, Fixed::HALF));
+        sys.seed_entity(
+            CellId::new(0, 0),
+            Point::new(Fixed::from_milli(1_300), Fixed::HALF),
+        );
+        assert!(check_safe_tess(&tess, params, sys.state()).is_ok());
+        assert!(check_margins_tess(&tess, params, sys.state()).is_ok());
+
+        // Surgery: push the second within d on both axes.
+        let dims = tess.dims();
+        let mut bad = sys.state().clone();
+        bad.cell_mut(dims, CellId::new(0, 0)).members.insert(
+            EntityId(1),
+            Point::new(Fixed::from_milli(1_100), Fixed::from_milli(600)),
+        );
+        let (cell, _, _) = check_safe_tess(&tess, params, &bad).unwrap_err();
+        assert_eq!(cell, CellId::new(0, 0));
+        // And out past the wide cell's margin.
+        bad.cell_mut(dims, CellId::new(0, 0)).members.insert(
+            EntityId(2),
+            Point::new(Fixed::from_milli(2_950), Fixed::HALF),
+        );
+        assert_eq!(
+            check_margins_tess(&tess, params, &bad).unwrap_err().1,
+            EntityId(2)
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! The tessellation system facade.
+
+use core::fmt;
+use std::collections::BTreeSet;
+
+use cellflow_core::{CellState, EntityId, Params, SystemState};
+use cellflow_geom::Point;
+use cellflow_grid::CellId;
+
+use crate::phases::{initial_state, update_tess, TessOutcome};
+use crate::Tessellation;
+
+/// Internal configuration bundle shared by the phases.
+#[derive(Clone, Debug)]
+pub(crate) struct TessSystemConfig {
+    pub(crate) tess: Tessellation,
+    pub(crate) target: CellId,
+    pub(crate) sources: BTreeSet<CellId>,
+    pub(crate) params: Params,
+    pub(crate) dist_cap: u32,
+}
+
+/// A cellular-flows system over a rectangular tessellation — the facade
+/// mirroring [`cellflow_core::System`], with geometry supplied by a
+/// [`Tessellation`].
+#[derive(Clone, Debug)]
+pub struct TessSystem {
+    config: TessSystemConfig,
+    state: SystemState,
+    round: u64,
+    consumed_total: u64,
+    inserted_total: u64,
+}
+
+impl TessSystem {
+    /// Creates a system over `tess` routing toward `target`.
+    ///
+    /// # Errors
+    ///
+    /// [`TessConfigError::TargetOutOfBounds`] if `target` is not a cell of
+    /// the tessellation.
+    pub fn new(
+        tess: Tessellation,
+        target: CellId,
+        params: Params,
+    ) -> Result<TessSystem, TessConfigError> {
+        let dims = tess.dims();
+        if !dims.contains(target) {
+            return Err(TessConfigError::TargetOutOfBounds { target });
+        }
+        let config = TessSystemConfig {
+            dist_cap: dims.cell_count() as u32 + 1,
+            tess,
+            target,
+            sources: BTreeSet::new(),
+            params,
+        };
+        let state = initial_state(&config);
+        Ok(TessSystem {
+            config,
+            state,
+            round: 0,
+            consumed_total: 0,
+            inserted_total: 0,
+        })
+    }
+
+    /// Adds a source cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of bounds or equals the target.
+    pub fn with_source(mut self, source: CellId) -> TessSystem {
+        assert!(
+            self.config.tess.dims().contains(source),
+            "source {source} out of bounds"
+        );
+        assert!(
+            source != self.config.target,
+            "source must differ from target"
+        );
+        self.config.sources.insert(source);
+        self
+    }
+
+    /// The tessellation.
+    pub fn tessellation(&self) -> &Tessellation {
+        &self.config.tess
+    }
+
+    /// The target cell.
+    pub fn target(&self) -> CellId {
+        self.config.target
+    }
+
+    /// The physical parameters.
+    pub fn params(&self) -> Params {
+        self.config.params
+    }
+
+    /// The current state.
+    pub fn state(&self) -> &SystemState {
+        &self.state
+    }
+
+    /// One cell's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn cell(&self, id: CellId) -> &CellState {
+        self.state.cell(self.config.tess.dims(), id)
+    }
+
+    /// Rounds executed.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Entities consumed so far.
+    pub fn consumed_total(&self) -> u64 {
+        self.consumed_total
+    }
+
+    /// Entities inserted so far.
+    pub fn inserted_total(&self) -> u64 {
+        self.inserted_total
+    }
+
+    /// One synchronous round.
+    pub fn step(&mut self) -> TessOutcome {
+        let outcome = update_tess(&self.config, &self.state, self.round);
+        self.state = outcome.state.clone();
+        self.round += 1;
+        self.consumed_total += outcome.consumed.len() as u64;
+        self.inserted_total += outcome.inserted.len() as u64;
+        outcome
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Crashes a cell (the paper's `fail` transition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn fail(&mut self, id: CellId) {
+        self.state.fail(self.config.tess.dims(), id);
+    }
+
+    /// Recovers a cell; the target re-anchors at distance 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn recover(&mut self, id: CellId) {
+        let t = self.config.target;
+        self.state.recover(self.config.tess.dims(), id, t);
+    }
+
+    /// Seeds an entity at `pos` on cell `id` (test/example setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position violates the cell's margins or the spacing
+    /// requirement against existing members.
+    pub fn seed_entity(&mut self, id: CellId, pos: Point) -> EntityId {
+        assert!(
+            self.config.tess.within_margins(self.config.params, id, pos),
+            "entity would protrude from {id}"
+        );
+        let dims = self.config.tess.dims();
+        assert!(
+            self.state
+                .cell(dims, id)
+                .members
+                .values()
+                .all(|&q| cellflow_geom::sep_ok(pos, q, self.config.params.d())),
+            "seed violates spacing"
+        );
+        let eid = EntityId(self.state.next_entity_id);
+        self.state.next_entity_id += 1;
+        self.state.cell_mut(dims, id).members.insert(eid, pos);
+        eid
+    }
+}
+
+/// Error building a [`TessSystem`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TessConfigError {
+    /// The target is not a cell of the tessellation.
+    TargetOutOfBounds {
+        /// The offending target.
+        target: CellId,
+    },
+}
+
+impl fmt::Display for TessConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TessConfigError::TargetOutOfBounds { target } => {
+                write!(f, "target {target} is outside the tessellation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TessConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellflow_geom::Fixed;
+
+    fn params() -> Params {
+        Params::from_milli(250, 50, 200).unwrap()
+    }
+
+    fn corridor() -> TessSystem {
+        let tess = Tessellation::new(
+            vec![Fixed::ONE, Fixed::from_milli(1_500), Fixed::ONE],
+            vec![Fixed::ONE],
+            params(),
+        )
+        .unwrap();
+        TessSystem::new(tess, CellId::new(2, 0), params())
+            .unwrap()
+            .with_source(CellId::new(0, 0))
+    }
+
+    #[test]
+    fn config_validates_target() {
+        let tess = Tessellation::unit(2, 2, params());
+        assert!(matches!(
+            TessSystem::new(tess, CellId::new(2, 0), params()),
+            Err(TessConfigError::TargetOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "differ from target")]
+    fn source_equals_target_panics() {
+        let tess = Tessellation::unit(2, 1, params());
+        let _ = TessSystem::new(tess, CellId::new(1, 0), params())
+            .unwrap()
+            .with_source(CellId::new(1, 0));
+    }
+
+    #[test]
+    fn corridor_delivers_and_conserves() {
+        let mut sys = corridor();
+        sys.run(400);
+        assert!(sys.consumed_total() > 0);
+        assert_eq!(
+            sys.inserted_total(),
+            sys.consumed_total() + sys.state().entity_count() as u64
+        );
+        assert!(
+            crate::safety::check_safe_tess(sys.tessellation(), sys.params(), sys.state()).is_ok()
+        );
+    }
+
+    #[test]
+    fn fail_recover_roundtrip() {
+        let mut sys = corridor();
+        sys.run(10);
+        sys.fail(CellId::new(1, 0));
+        sys.run(40);
+        // Corridor is cut: nothing new arrives while failed.
+        let before = sys.consumed_total();
+        sys.run(40);
+        assert_eq!(sys.consumed_total(), before);
+        sys.recover(CellId::new(1, 0));
+        sys.run(80);
+        assert!(
+            sys.consumed_total() > before,
+            "recovery should restore flow"
+        );
+    }
+
+    #[test]
+    fn seeding_validates_against_tess_margins() {
+        let mut sys = corridor();
+        let wide = CellId::new(1, 0); // x ∈ [1, 2.5]
+        let eid = sys.seed_entity(wide, Point::new(Fixed::from_milli(2_300), Fixed::HALF));
+        assert_eq!(sys.cell(wide).members.len(), 1);
+        assert_eq!(eid, EntityId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "protrude")]
+    fn seeding_rejects_out_of_margin() {
+        let mut sys = corridor();
+        // x = 2.45 + l/2 = 2.575 > 2.5: protrudes from the wide cell.
+        sys.seed_entity(
+            CellId::new(1, 0),
+            Point::new(Fixed::from_milli(2_450), Fixed::HALF),
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! With the all-unit tessellation, `cellflow-tess` must reproduce the
+//! reference `cellflow-core` implementation **bit for bit** — the same kind
+//! of pinning test the message-passing crate uses. Heterogeneous
+//! tessellations then get randomized safety checks of their own.
+
+use cellflow_core::{Params, System, SystemConfig};
+use cellflow_geom::Fixed;
+use cellflow_grid::{CellId, GridDims};
+use cellflow_tess::safety::{check_margins_tess, check_safe_tess};
+use cellflow_tess::{TessSystem, Tessellation};
+use proptest::prelude::*;
+
+#[test]
+fn unit_tessellation_is_bit_identical_to_core() {
+    let params = Params::from_milli(250, 50, 200).unwrap();
+    let core_cfg = SystemConfig::new(GridDims::square(5), CellId::new(1, 4), params)
+        .unwrap()
+        .with_source(CellId::new(1, 0));
+    let mut core = System::new(core_cfg);
+
+    let mut tess = TessSystem::new(Tessellation::unit(5, 5, params), CellId::new(1, 4), params)
+        .unwrap()
+        .with_source(CellId::new(1, 0));
+
+    for round in 0..200u64 {
+        // Interleave identical failures.
+        if round == 30 {
+            core.fail(CellId::new(1, 2));
+            tess.fail(CellId::new(1, 2));
+        }
+        if round == 90 {
+            core.recover(CellId::new(1, 2));
+            tess.recover(CellId::new(1, 2));
+        }
+        core.step();
+        tess.step();
+        assert_eq!(core.state(), tess.state(), "diverged at round {round}");
+    }
+    assert_eq!(core.consumed_total(), tess.consumed_total());
+    assert_eq!(core.inserted_total(), tess.inserted_total());
+}
+
+fn widths() -> impl Strategy<Value = Vec<Fixed>> {
+    proptest::collection::vec((400i64..=3_000).prop_map(Fixed::from_milli), 2..=6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Safety and conservation hold over random heterogeneous tessellations
+    /// with random failure schedules.
+    #[test]
+    fn random_tessellations_stay_safe(
+        cols in widths(),
+        rows in widths(),
+        schedule in proptest::collection::vec((0u64..60, 0usize..36, prop::bool::ANY), 0..5),
+    ) {
+        let params = Params::from_milli(250, 50, 200).unwrap();
+        // Filter: all dimensions must exceed d = 0.3 — guaranteed by widths().
+        let tess = Tessellation::new(cols.clone(), rows.clone(), params).unwrap();
+        let dims = tess.dims();
+        let target = CellId::new(dims.nx() - 1, dims.ny() - 1);
+        let mut sys = TessSystem::new(tess.clone(), target, params)
+            .unwrap()
+            .with_source(CellId::new(0, 0));
+        for round in 0..60u64 {
+            for &(when, raw, recover) in &schedule {
+                if when == round {
+                    let cell = dims.id_at(raw % dims.cell_count());
+                    if recover { sys.recover(cell); } else { sys.fail(cell); }
+                }
+            }
+            sys.step();
+            prop_assert!(check_safe_tess(&tess, params, sys.state()).is_ok(),
+                "round {}: {:?}", round, check_safe_tess(&tess, params, sys.state()));
+            prop_assert!(check_margins_tess(&tess, params, sys.state()).is_ok(),
+                "round {}: {:?}", round, check_margins_tess(&tess, params, sys.state()));
+            prop_assert_eq!(
+                sys.inserted_total(),
+                sys.consumed_total() + sys.state().entity_count() as u64
+            );
+        }
+    }
+
+    /// Progress on heterogeneous corridors: every corridor of 3–6 cells with
+    /// arbitrary widths delivers entities.
+    #[test]
+    fn heterogeneous_corridors_deliver(cols in widths()) {
+        let params = Params::from_milli(250, 50, 200).unwrap();
+        let n = cols.len() as u16;
+        let tess = Tessellation::new(cols, vec![Fixed::ONE], params).unwrap();
+        let mut sys = TessSystem::new(tess, CellId::new(n - 1, 0), params)
+            .unwrap()
+            .with_source(CellId::new(0, 0));
+        sys.run(800);
+        prop_assert!(sys.consumed_total() > 0, "corridor never delivered");
+    }
+}

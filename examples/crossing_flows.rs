@@ -1,0 +1,54 @@
+//! Crossing commodities: the multi-type extension (paper §V). Two flows cross
+//! at the center of the grid; a third runs against the first. Head-of-line
+//! service plus head-on yielding keeps all three moving, and the type-agnostic
+//! separation guarantee holds throughout.
+//!
+//! ```sh
+//! cargo run --example crossing_flows
+//! ```
+
+use cellular_flows::core::Params;
+use cellular_flows::grid::{CellId, GridDims};
+use cellular_flows::multiflow::safety::check_safe_multi;
+use cellular_flows::multiflow::{FlowType, MultiConfig, MultiSystem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = Params::from_milli(200, 50, 150)?;
+    let config = MultiConfig::new(GridDims::square(7), params)?
+        // τ0: west → east across the middle row.
+        .with_flow(FlowType(0), CellId::new(0, 3), CellId::new(6, 3))?
+        // τ1: south → north across the middle column (crosses τ0 at ⟨3,3⟩).
+        .with_flow(FlowType(1), CellId::new(3, 0), CellId::new(3, 6))?
+        // τ2: east → west along the row above — *against* τ0's direction and
+        // across τ1: the hardest pattern (head-on + double crossing).
+        .with_flow(FlowType(2), CellId::new(6, 4), CellId::new(0, 4))?;
+    let mut system = MultiSystem::new(config);
+
+    for checkpoint in 1..=5u64 {
+        system.run(400);
+        check_safe_multi(system.config(), system.state())
+            .map_err(|(c, a, b)| format!("separation violated on {c}: {a} vs {b}"))?;
+        println!(
+            "after {:4} rounds: τ0 delivered {:3}, τ1 delivered {:3}, τ2 delivered {:3} (in flight: {})",
+            checkpoint * 400,
+            system.consumed(FlowType(0)),
+            system.consumed(FlowType(1)),
+            system.consumed(FlowType(2)),
+            system.state().entity_count(),
+        );
+    }
+
+    for ty in [FlowType(0), FlowType(1), FlowType(2)] {
+        assert!(
+            system.consumed(ty) > 0,
+            "{ty} starved — the crossing arbitration failed"
+        );
+        // Per-type conservation.
+        assert_eq!(
+            system.inserted(ty),
+            system.consumed(ty) + system.state().entity_count_of(ty) as u64
+        );
+    }
+    println!("\nall three commodities flowed through shared cells, never closer than d");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Drone corridor: the 3-D extension (paper §V) in the air-traffic setting
+//! the paper opens with. A 4×4×3 block of airspace cells; drones launch from
+//! two ground pads, climb to the transit layer, cross the block, and descend
+//! into a rooftop vertiport that consumes them.
+//!
+//! ```sh
+//! cargo run --example drone_corridor
+//! ```
+
+use cellular_flows::core::Params;
+use cellular_flows::cube::safety::{check_h3, check_margins3, check_safe3};
+use cellular_flows::cube::{route_phase3, signal_phase3, CellId3, Dims3, System3, SystemConfig3};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Drones are 0.2-cell cubes keeping a 0.05 gap, moving 0.15 per round.
+    let params = Params::from_milli(200, 50, 150)?;
+    let airspace = Dims3::new(4, 4, 3);
+    let vertiport = CellId3::new(3, 3, 2);
+    let config = SystemConfig3::new(airspace, vertiport, params)?
+        .with_source(CellId3::new(0, 0, 0))
+        .with_source(CellId3::new(3, 0, 0));
+    let mut sky = System3::new(config);
+
+    println!(
+        "airspace: {} cells, vertiport at {vertiport}",
+        airspace.cell_count()
+    );
+
+    // A mid-air cell goes dark (equipment failure) part-way through.
+    for round in 1..=600u64 {
+        if round == 150 {
+            println!("round 150: cell ⟨2, 2, 2⟩ lost — traffic reroutes");
+            sky.fail(CellId3::new(2, 2, 2));
+        }
+        if round == 350 {
+            println!("round 350: cell ⟨2, 2, 2⟩ restored");
+            sky.recover(CellId3::new(2, 2, 2));
+        }
+        let (consumed, _) = sky.step();
+        if consumed > 0 && round % 50 < 2 {
+            println!("round {round:3}: {consumed} drone(s) landed");
+        }
+        // The 3-D safety predicate is checked continuously.
+        check_safe3(sky.config(), sky.state()).map_err(|v| format!("separation violated: {v}"))?;
+        check_margins3(sky.config(), sky.state())
+            .map_err(|(c, e)| format!("{e} overflew cell {c}"))?;
+    }
+
+    // And the 3-D H predicate holds at signal time.
+    let signaled = signal_phase3(sky.config(), &route_phase3(sky.config(), sky.state()));
+    assert!(check_h3(sky.config(), &signaled).is_ok());
+
+    println!("\nlaunched:  {}", sky.inserted_total());
+    println!("landed:    {}", sky.consumed_total());
+    println!("airborne:  {}", sky.state().entity_count());
+    println!("min-separation maintained every round (3-D Theorem 5 analogue)");
+    Ok(())
+}

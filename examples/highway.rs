@@ -1,0 +1,60 @@
+//! Highway scenario: the paper's §I motivation. A dense single-lane flow at
+//! high velocity, showing how the blocking signal prevents the "abrupt phase
+//! transition" of uncontrolled traffic: upstream cells are throttled exactly
+//! when the downstream boundary strip is occupied.
+//!
+//! ```sh
+//! cargo run --example highway
+//! ```
+//!
+//! Prints a time series of throughput and blocked-signal counts for two
+//! velocity regimes, then the steady-state comparison.
+
+use cellular_flows::core::{Params, SystemConfig};
+use cellular_flows::grid::{CellId, GridDims};
+use cellular_flows::sim::{Metrics, Simulation};
+
+/// An 8-cell "highway": a 1×8 corridor, source at the west end, exit (target)
+/// at the east end.
+fn highway(v_milli: i64) -> Result<SystemConfig, Box<dyn std::error::Error>> {
+    let params = Params::from_milli(250, 50, v_milli)?;
+    Ok(
+        SystemConfig::new(GridDims::new(8, 1), CellId::new(7, 0), params)?
+            .with_source(CellId::new(0, 0)),
+    )
+}
+
+fn drive(v_milli: i64, rounds: u64) -> Result<Metrics, Box<dyn std::error::Error>> {
+    let mut sim = Simulation::new(highway(v_milli)?, 1);
+    println!("— highway at v = {} —", v_milli as f64 / 1000.0);
+    let window = 200;
+    for chunk in 0..(rounds / window) {
+        sim.run(window);
+        println!(
+            "  rounds {:5}: throughput so far {:.4}, blocked/round {:.2}, cars on road {}",
+            (chunk + 1) * window,
+            sim.metrics().throughput(),
+            sim.metrics().mean_blocked(),
+            sim.system().state().entity_count(),
+        );
+    }
+    Ok(sim.metrics().clone())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let slow = drive(50, 1_000)?;
+    let fast = drive(250, 1_000)?;
+
+    println!("\nsteady-state (last 500 rounds):");
+    println!("  v=0.05: {:.4} vehicles/round", slow.tail_throughput(500));
+    println!("  v=0.25: {:.4} vehicles/round", fast.tail_throughput(500));
+    println!(
+        "\nFaster cells move more vehicles ({}x here), but the protocol throttles\n\
+         upstream cells whenever the downstream gap closes — blocked signals per\n\
+         round: {:.2} (slow) vs {:.2} (fast) — so separation never breaks.",
+        (fast.tail_throughput(500) / slow.tail_throughput(500)).round(),
+        slow.mean_blocked(),
+        fast.mean_blocked(),
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build the paper's Figure 1 world, run it, watch entities flow.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! A 4×4 grid with a source at ⟨1,0⟩, the target at ⟨2,2⟩, and cell ⟨2,1⟩
+//! crashed — exactly the schematic the paper opens with. The protocol routes
+//! around the failure, keeps every pair of entities separated by `d = rs + l`,
+//! and delivers everything to the target.
+
+use cellular_flows::core::{safety, Params, System, SystemConfig};
+use cellular_flows::grid::{CellId, GridDims};
+use cellular_flows::sim::render;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // l = 0.2, rs = 0.05, v = 0.1 (all in cell-side units).
+    let params = Params::from_milli(200, 50, 100)?;
+    let config = SystemConfig::new(GridDims::square(4), CellId::new(2, 2), params)?
+        .with_source(CellId::new(1, 0));
+    let mut system = System::new(config);
+
+    // Crash the cell from the schematic.
+    system.fail(CellId::new(2, 1));
+
+    println!("Initial state (T target, S source, x failed):\n");
+    println!("{}", render::render(system.config(), system.state()));
+
+    for round in 1..=120u64 {
+        let events = system.step();
+        for entity in &events.consumed {
+            println!("round {round:3}: target consumed {entity}");
+        }
+        if round % 40 == 0 {
+            println!("\nAfter {round} rounds:\n");
+            println!("{}", render::render(system.config(), system.state()));
+        }
+    }
+
+    println!("inserted: {}", system.inserted_total());
+    println!("consumed: {}", system.consumed_total());
+    println!("in flight: {}", system.state().entity_count());
+
+    // The protocol's headline guarantee, checked mechanically:
+    safety::check_safe(system.config(), system.state())?;
+    println!("safety: OK — every entity pair is d-separated (Theorem 5)");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Resilience scenario: crash cells mid-flow, watch routing stabilize around
+//! the hole (Lemma 6 / Corollary 7), recover them, and verify that every
+//! entity with a live route is eventually delivered (Theorem 10) — while the
+//! safety predicate is checked every single round.
+//!
+//! ```sh
+//! cargo run --example resilience
+//! ```
+
+use cellular_flows::core::{analysis, Params, SourcePolicy, System, SystemConfig};
+use cellular_flows::grid::{CellId, GridDims};
+use cellular_flows::sim::{render, Simulation};
+
+fn config() -> Result<SystemConfig, Box<dyn std::error::Error>> {
+    let params = Params::from_milli(250, 50, 200)?;
+    Ok(
+        SystemConfig::new(GridDims::square(8), CellId::new(1, 7), params)?
+            .with_source(CellId::new(1, 0)),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = Simulation::new(config()?, 1).with_safety_checks(true);
+
+    println!("Phase 1 — normal operation (straight route up column 1):");
+    sim.run(60);
+    println!(
+        "  60 rounds: {} delivered, routing stabilized: {}",
+        sim.metrics().consumed_total(),
+        analysis::routing_stabilized(sim.system().config(), sim.system().state()),
+    );
+
+    println!("\nPhase 2 — crash ⟨1,3⟩ and ⟨1,4⟩ (cutting the straight route):");
+    sim.system_mut().fail(CellId::new(1, 3));
+    sim.system_mut().fail(CellId::new(1, 4));
+    let consumed_before = sim.metrics().consumed_total();
+    sim.run(160);
+    println!(
+        "{}",
+        render::render(sim.system().config(), sim.system().state())
+    );
+    println!(
+        "  traffic rerouted around the hole: {} more deliveries, stabilized: {}",
+        sim.metrics().consumed_total() - consumed_before,
+        analysis::routing_stabilized(sim.system().config(), sim.system().state()),
+    );
+
+    println!("\nPhase 3 — recover both cells; routes snap back within O(N²) rounds:");
+    sim.system_mut().recover(CellId::new(1, 3));
+    sim.system_mut().recover(CellId::new(1, 4));
+    let bound = 2 * 64 + 2;
+    sim.run(bound);
+    assert!(analysis::routing_stabilized(
+        sim.system().config(),
+        sim.system().state()
+    ));
+    println!("  stabilized again after at most {bound} rounds (Corollary 7)");
+
+    println!("\nPhase 4 — stop the source and drain (Theorem 10):");
+    let drain_config = config()?.with_source_policy(SourcePolicy::Disabled);
+    let mut drain = System::new(drain_config);
+    drain.set_state(sim.system().state().clone());
+    let mut rounds = 0u64;
+    while analysis::entities_on_tc(drain.config(), drain.state()) > 0 {
+        drain.step();
+        rounds += 1;
+        assert!(rounds < 5_000, "progress violated?!");
+    }
+    println!("  all in-flight entities delivered after {rounds} drain rounds");
+    println!("\nEvery round of all phases passed the Safe/Invariant checks.");
+    Ok(())
+}

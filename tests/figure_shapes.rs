@@ -1,0 +1,148 @@
+//! Figure-shape regression tests: the qualitative claims of the paper's
+//! Section IV, checked at reduced K so they run in CI. The full-K numbers are
+//! recorded in `EXPERIMENTS.md` (regenerate with the `cellflow-bench` bins).
+
+use cellflow_bench as bench;
+
+const K: u64 = 1_000;
+const THREADS: usize = 8;
+
+/// Figure 7: throughput decreases with `rs` and generally increases with `v`;
+/// the curves saturate at large `rs` (one entity per cell regime).
+#[test]
+fn fig7_shape() {
+    let series = bench::fig7(K, THREADS);
+    assert_eq!(series.len(), 4);
+    for s in &series {
+        let ys: Vec<f64> = s.ys().collect();
+        // Weak monotonicity: first point strictly above last, and no increase
+        // larger than noise between consecutive points.
+        assert!(
+            ys.first().unwrap() > ys.last().unwrap(),
+            "{}: not decreasing overall",
+            s.label
+        );
+        for w in ys.windows(2) {
+            assert!(
+                w[1] <= w[0] * 1.10 + 1e-9,
+                "{}: throughput rose sharply within the rs sweep: {w:?}",
+                s.label
+            );
+        }
+        // Saturation: the last three points are nearly equal.
+        let tail = &ys[ys.len() - 3..];
+        let spread = tail.iter().cloned().fold(f64::MIN, f64::max)
+            - tail.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            spread <= tail[0] * 0.15 + 1e-9,
+            "{}: no saturation at high rs: {tail:?}",
+            s.label
+        );
+    }
+    // Velocity ordering at moderate rs (index 3 → rs = 0.2): v=0.25 ≥ v=0.2 ≥
+    // v=0.1 ≥ v=0.05. (The paper notes possible inversions only at tiny rs.)
+    let at = |i: usize| series[i].points[3].1;
+    assert!(
+        at(3) >= at(2) && at(2) >= at(1) && at(1) >= at(0),
+        "velocity ordering broken: {:?}",
+        (at(0), at(1), at(2), at(3))
+    );
+}
+
+/// Figure 8: throughput is non-increasing in the number of turns (up to
+/// noise) and saturates at high turn counts.
+#[test]
+fn fig8_shape() {
+    let series = bench::fig8(K, THREADS);
+    assert_eq!(series.len(), 4);
+    for s in &series {
+        let ys: Vec<f64> = s.ys().collect();
+        assert_eq!(ys.len(), 7);
+        assert!(
+            ys[0] >= *ys.last().unwrap() * 0.98,
+            "{}: straight path slower than serpentine: {ys:?}",
+            s.label
+        );
+        // No sharp increases along the sweep.
+        for w in ys.windows(2) {
+            assert!(
+                w[1] <= w[0] * 1.15 + 1e-9,
+                "{}: throughput increased with turns: {ys:?}",
+                s.label
+            );
+        }
+    }
+    // Series ordering: (l=0.2, v=0.2) dominates (l=0.2, v=0.1) everywhere.
+    for (a, b) in series[0].points.iter().zip(series[1].points.iter()) {
+        assert!(
+            a.1 >= b.1 * 0.98,
+            "faster series dipped below slower: {a:?} vs {b:?}"
+        );
+    }
+}
+
+/// Figure 9: throughput decreases with failure rate `pf` and increases with
+/// recovery rate `pr`, with diminishing returns in `pr`.
+#[test]
+fn fig9_shape() {
+    // More smoothing here: stochastic churn at small K is noisy.
+    let series = bench::fig9(2_000, THREADS, 3);
+    assert_eq!(series.len(), 4);
+    for s in &series {
+        let ys: Vec<f64> = s.ys().collect();
+        // Overall decreasing: first two average above last two.
+        let head = (ys[0] + ys[1]) / 2.0;
+        let tail = (ys[ys.len() - 2] + ys[ys.len() - 1]) / 2.0;
+        assert!(head > tail, "{}: not decreasing in pf: {ys:?}", s.label);
+    }
+    // pr ordering at the median pf (index 4): higher pr ⇒ higher throughput.
+    let at = |i: usize| series[i].points[4].1;
+    assert!(
+        at(3) > at(0),
+        "pr=0.2 should beat pr=0.05: {} vs {}",
+        at(3),
+        at(0)
+    );
+    // Diminishing returns: gain from pr 0.05→0.1 exceeds gain 0.15→0.2,
+    // averaged across the pf sweep (the paper's "marginal return" remark).
+    let avg = |i: usize| -> f64 {
+        let ys: Vec<f64> = series[i].ys().collect();
+        ys.iter().sum::<f64>() / ys.len() as f64
+    };
+    let first_gain = avg(1) - avg(0);
+    let last_gain = avg(3) - avg(2);
+    assert!(
+        first_gain >= last_gain - 0.002,
+        "no diminishing returns: Δ(0.05→0.1)={first_gain:.4} Δ(0.15→0.2)={last_gain:.4}"
+    );
+}
+
+/// §IV: throughput is independent of (sufficient) path length.
+#[test]
+fn path_length_independence() {
+    let s = bench::path_length(K, THREADS);
+    let pipelined: Vec<f64> = s
+        .points
+        .iter()
+        .filter(|&&(len, _)| len >= 4.0)
+        .map(|&(_, y)| y)
+        .collect();
+    let max = pipelined.iter().cloned().fold(f64::MIN, f64::max);
+    let min = pipelined.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        min > 0.0 && max / min < 1.1,
+        "length dependence: {pipelined:?}"
+    );
+}
+
+/// Ablation B: the centralized baseline weakly dominates the distributed
+/// protocol but does not crush it — the distributed penalty is a constant
+/// factor, not an asymptotic loss.
+#[test]
+fn baseline_dominates_but_close() {
+    let (dist, central) = bench::baseline_comparison(K, THREADS);
+    let d: f64 = dist.ys().sum::<f64>() / dist.points.len() as f64;
+    let c: f64 = central.ys().sum::<f64>() / central.points.len() as f64;
+    assert!(c >= d * 0.95, "centralized lost: {c} vs {d}");
+    assert!(c <= d * 3.0, "distributed unreasonably slow: {c} vs {d}");
+}

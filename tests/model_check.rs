@@ -1,0 +1,181 @@
+//! Workspace-level model checking: Theorem 5 verified exhaustively on several
+//! bounded instances, across crates (`core` + `dts`).
+
+use cellular_flows::core::mc::BoundedSystem;
+use cellular_flows::core::{safety, Params, SystemConfig};
+use cellular_flows::dts::{check_invariant, ExploreConfig, Explorer};
+use cellular_flows::grid::{CellId, GridDims};
+
+fn explore_cfg() -> ExploreConfig {
+    ExploreConfig {
+        max_states: 3_000_000,
+        max_depth: usize::MAX,
+    }
+}
+
+fn safe_everywhere(cfg: &SystemConfig) -> impl Fn(&cellular_flows::core::SystemState) -> bool + '_ {
+    move |s| {
+        safety::check_safe(cfg, s).is_ok()
+            && safety::check_invariant1(cfg, s).is_ok()
+            && safety::check_invariant2(cfg, s).is_ok()
+    }
+}
+
+#[test]
+fn corridor_3x1_with_failures_and_recovery() {
+    let cfg = SystemConfig::new(
+        GridDims::new(3, 1),
+        CellId::new(2, 0),
+        Params::from_milli(250, 50, 200).unwrap(),
+    )
+    .unwrap()
+    .with_source(CellId::new(0, 0))
+    .with_entity_budget(2);
+    let sys =
+        BoundedSystem::new(cfg.clone()).with_fallible([CellId::new(1, 0), CellId::new(2, 0)], true);
+    let report = check_invariant(&sys, safe_everywhere(&cfg), &explore_cfg())
+        .expect("Theorem 5 on the failing corridor");
+    assert!(report.exhaustive);
+    assert!(report.states_explored > 100);
+}
+
+#[test]
+fn square_2x2_diagonal_flow() {
+    let cfg = SystemConfig::new(
+        GridDims::square(2),
+        CellId::new(1, 1),
+        Params::from_milli(300, 100, 300).unwrap(), // v = l corner case
+    )
+    .unwrap()
+    .with_source(CellId::new(0, 0))
+    .with_entity_budget(2);
+    let sys = BoundedSystem::new(cfg.clone()).with_fallible([CellId::new(1, 0)], true);
+    let report = check_invariant(&sys, safe_everywhere(&cfg), &explore_cfg())
+        .expect("Theorem 5 on the 2x2 grid with v = l");
+    assert!(report.exhaustive);
+}
+
+#[test]
+fn l_corridor_3x2_two_sources() {
+    // Two sources merging, plus one fallible mid cell, without recovery.
+    let cfg = SystemConfig::new(
+        GridDims::new(3, 2),
+        CellId::new(2, 0),
+        Params::from_milli(250, 50, 250).unwrap(),
+    )
+    .unwrap()
+    .with_source(CellId::new(0, 0))
+    .with_source(CellId::new(0, 1))
+    .with_entity_budget(2);
+    let sys = BoundedSystem::new(cfg.clone()).with_fallible([CellId::new(1, 0)], false);
+    let report = check_invariant(&sys, safe_everywhere(&cfg), &explore_cfg())
+        .expect("Theorem 5 with merging sources");
+    assert!(report.exhaustive);
+    assert!(report.states_explored > 100);
+}
+
+#[test]
+fn h_predicate_after_signal_reachable_states() {
+    // Lemma 3 mechanized: from every reachable state, applying Route+Signal
+    // yields a state satisfying H. (H need not hold in the reachable states
+    // themselves, which are post-Move.)
+    let cfg = SystemConfig::new(
+        GridDims::new(3, 1),
+        CellId::new(2, 0),
+        Params::from_milli(250, 50, 200).unwrap(),
+    )
+    .unwrap()
+    .with_source(CellId::new(0, 0))
+    .with_entity_budget(2);
+    let sys = BoundedSystem::new(cfg.clone());
+    let mut ex = Explorer::new(&sys);
+    let report = ex.run(&explore_cfg());
+    assert!(report.states > 0);
+    for state in ex.states() {
+        let routed = cellular_flows::core::route_phase(&cfg, state);
+        let signaled = cellular_flows::core::signal_phase(&cfg, &routed, 0);
+        assert!(
+            safety::check_h(&cfg, &signaled).is_ok(),
+            "H broken after Signal from reachable state: {:?}",
+            safety::check_h(&cfg, &signaled)
+        );
+    }
+}
+
+#[test]
+fn progress_reachable_in_model() {
+    // In the failure-free corridor, some reachable state has everything
+    // consumed — the model-level witness of Theorem 10.
+    let cfg = SystemConfig::new(
+        GridDims::new(4, 1),
+        CellId::new(3, 0),
+        Params::from_milli(250, 50, 200).unwrap(),
+    )
+    .unwrap()
+    .with_source(CellId::new(0, 0))
+    .with_entity_budget(2);
+    let sys = BoundedSystem::new(cfg);
+    let mut ex = Explorer::new(&sys);
+    ex.run(&explore_cfg());
+    assert!(ex
+        .states()
+        .iter()
+        .any(|s| s.next_entity_id == 2 && s.entity_count() == 0));
+}
+
+#[test]
+fn theorem10_model_level_liveness() {
+    // AG EF "everything consumed": from every reachable state of the
+    // budgeted corridor — including states with crashed cells, because
+    // recovery is enabled — full consumption remains possible. This is the
+    // model-level form of Theorem 10's "once failures cease, entities reach
+    // the target".
+    use cellular_flows::dts::check_possibly;
+    let cfg = SystemConfig::new(
+        GridDims::new(3, 1),
+        CellId::new(2, 0),
+        Params::from_milli(250, 50, 200).unwrap(),
+    )
+    .unwrap()
+    .with_source(CellId::new(0, 0))
+    .with_entity_budget(2);
+    let sys =
+        BoundedSystem::new(cfg.clone()).with_fallible([CellId::new(1, 0), CellId::new(2, 0)], true);
+    let report = check_possibly(
+        &sys,
+        |s| s.next_entity_id == 2 && s.entity_count() == 0,
+        &explore_cfg(),
+    )
+    .expect("no reachable state is trapped away from full consumption");
+    assert!(report.exhaustive, "proof-grade for this instance");
+    assert!(report.goal_states > 0);
+}
+
+#[test]
+fn liveness_fails_without_recovery() {
+    // Sanity: with recovery disabled, crashing the corridor's middle cell
+    // traps in-flight entities — the checker must find that trap.
+    use cellular_flows::dts::check_possibly;
+    let cfg = SystemConfig::new(
+        GridDims::new(3, 1),
+        CellId::new(2, 0),
+        Params::from_milli(250, 50, 200).unwrap(),
+    )
+    .unwrap()
+    .with_source(CellId::new(0, 0))
+    .with_entity_budget(1);
+    let sys = BoundedSystem::new(cfg.clone()).with_fallible([CellId::new(1, 0)], false);
+    let trap = check_possibly(
+        &sys,
+        |s| s.next_entity_id == 1 && s.entity_count() == 0,
+        &explore_cfg(),
+    )
+    .expect_err("permanent mid-corridor crash must trap the entity");
+    // The trapped state indeed has the middle cell down with cargo stranded.
+    assert!(
+        trap.state
+            .cell(GridDims::new(3, 1), CellId::new(1, 0))
+            .failed
+            || trap.state.entity_count() > 0
+    );
+}

@@ -1,0 +1,83 @@
+//! Scale smoke tests: the full stack on grids larger than the paper's, with
+//! churn — catching anything that only breaks beyond toy sizes.
+
+use cellular_flows::core::{analysis, safety, Params, SystemConfig};
+use cellular_flows::grid::{CellId, GridDims};
+use cellular_flows::net::NetSystem;
+use cellular_flows::sim::failure::RandomFailRecover;
+use cellular_flows::sim::Simulation;
+
+#[test]
+fn sixteen_by_sixteen_with_four_sources_and_churn() {
+    let params = Params::from_milli(200, 50, 150).unwrap();
+    let config = SystemConfig::new(GridDims::square(16), CellId::new(8, 8), params)
+        .unwrap()
+        .with_sources([
+            CellId::new(0, 0),
+            CellId::new(15, 0),
+            CellId::new(0, 15),
+            CellId::new(15, 15),
+        ]);
+    let mut sim = Simulation::new(config, 5)
+        .with_failure_model(RandomFailRecover::new(0.005, 0.1, 21).protect_target())
+        .with_safety_checks(true); // every round, all 256 cells
+    sim.run(1_500);
+    assert!(
+        sim.metrics().consumed_total() > 100,
+        "only {} delivered",
+        sim.metrics().consumed_total()
+    );
+    assert_eq!(
+        sim.system().inserted_total(),
+        sim.system().consumed_total() + sim.system().state().entity_count() as u64
+    );
+}
+
+#[test]
+fn large_grid_stabilizes_in_quadratic_bound() {
+    let params = Params::from_milli(250, 50, 200).unwrap();
+    let config = SystemConfig::new(GridDims::square(20), CellId::new(10, 10), params).unwrap();
+    let mut sim = Simulation::new(config, 1).with_safety_checks(false);
+    // Carve a big random hole pattern, then verify Corollary 7's bound.
+    for k in 0..40u16 {
+        let c = CellId::new((k * 7) % 20, (k * 13) % 20);
+        if c != CellId::new(10, 10) {
+            sim.system_mut().fail(c);
+        }
+    }
+    let bound = 2 * 400 + 2;
+    sim.run(bound);
+    assert!(analysis::routing_stabilized(
+        sim.system().config(),
+        sim.system().state()
+    ));
+}
+
+#[test]
+fn twelve_by_twelve_deployment_matches_reference() {
+    // 144 threads exchanging ~3·4·144 messages per round, still bit-identical.
+    let params = Params::from_milli(250, 50, 200).unwrap();
+    let config = SystemConfig::new(GridDims::square(12), CellId::new(6, 11), params)
+        .unwrap()
+        .with_source(CellId::new(6, 0));
+    let report = NetSystem::new(config.clone())
+        .with_schedule([
+            (20u64, CellId::new(6, 5), false),
+            (70, CellId::new(6, 5), true),
+        ])
+        .run(150)
+        .unwrap();
+    let mut reference = cellular_flows::core::System::new(config);
+    for round in 0..150u64 {
+        if round == 20 {
+            reference.fail(CellId::new(6, 5));
+        }
+        if round == 70 {
+            reference.recover(CellId::new(6, 5));
+        }
+        reference.step();
+    }
+    assert_eq!(report.state.cells, reference.state().cells);
+    assert_eq!(report.consumed, reference.consumed_total());
+    assert!(safety::check_safe(reference.config(), reference.state()).is_ok());
+}

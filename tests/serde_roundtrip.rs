@@ -1,0 +1,96 @@
+//! Serde round-trips for the workspace's data types.
+//!
+//! Runs only with `--features serde`; uses `serde_json` (dev-dependency,
+//! justified in `DESIGN.md`) as the transport.
+
+#![cfg(feature = "serde")]
+
+use cellular_flows::core::{CellState, Params, System, SystemConfig, SystemState};
+use cellular_flows::cube::{CellId3, Dims3, Point3};
+use cellular_flows::geom::{Dir, Fixed, Point, Square};
+use cellular_flows::grid::{CellId, GridDims, Path};
+use cellular_flows::multiflow::{FlowType, TypedEntity};
+use cellular_flows::routing::Dist;
+
+fn roundtrip<T>(value: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(value).expect("serializable");
+    let back: T = serde_json::from_str(&json).expect("deserializable");
+    assert_eq!(&back, value, "round-trip changed the value: {json}");
+}
+
+#[test]
+fn geometry_types_roundtrip() {
+    roundtrip(&Fixed::from_milli(1_250));
+    roundtrip(&(-Fixed::HALF));
+    roundtrip(&Point::new(Fixed::HALF, Fixed::from_milli(2_750)));
+    roundtrip(&Square::unit_cell(3, 4));
+    for d in Dir::ALL {
+        roundtrip(&d);
+    }
+}
+
+#[test]
+fn grid_types_roundtrip() {
+    roundtrip(&CellId::new(7, 11));
+    roundtrip(&GridDims::new(8, 3));
+    roundtrip(&Path::straight(CellId::new(1, 0), Dir::North, 5).unwrap());
+    roundtrip(&Dist::Finite(9));
+    roundtrip(&Dist::Infinity);
+}
+
+#[test]
+fn protocol_state_roundtrips_mid_execution() {
+    let params = Params::from_milli(250, 50, 200).unwrap();
+    roundtrip(&params);
+    let cfg = SystemConfig::new(GridDims::square(5), CellId::new(1, 4), params)
+        .unwrap()
+        .with_source(CellId::new(1, 0));
+    roundtrip(&cfg);
+    // A populated, mid-flight state with failures: the interesting case.
+    let mut sys = System::new(cfg);
+    sys.run(20);
+    sys.fail(CellId::new(2, 2));
+    sys.run(10);
+    let state: SystemState = sys.state().clone();
+    assert!(state.entity_count() > 0, "want a nontrivial state");
+    roundtrip(&state);
+    roundtrip(&CellState::initial_target());
+}
+
+#[test]
+fn extension_types_roundtrip() {
+    roundtrip(&CellId3::new(1, 2, 3));
+    roundtrip(&Dims3::new(4, 4, 2));
+    roundtrip(&Point3::new(
+        Fixed::ONE,
+        Fixed::HALF,
+        Fixed::from_milli(250),
+    ));
+    roundtrip(&FlowType(3));
+    roundtrip(&TypedEntity::new(
+        Point::new(Fixed::HALF, Fixed::HALF),
+        FlowType(1),
+    ));
+}
+
+#[test]
+fn resumed_state_continues_identically() {
+    // The operational payoff: snapshot a running system to JSON, restore it,
+    // and verify the continuation is bit-identical to never having stopped.
+    let params = Params::from_milli(250, 50, 200).unwrap();
+    let cfg = SystemConfig::new(GridDims::square(5), CellId::new(1, 4), params)
+        .unwrap()
+        .with_source(CellId::new(1, 0));
+    let mut original = System::new(cfg.clone());
+    original.run(30);
+    let snapshot = serde_json::to_string(original.state()).unwrap();
+
+    let mut resumed = System::new(cfg);
+    resumed.set_state(serde_json::from_str(&snapshot).unwrap());
+    original.run(40);
+    resumed.run(40);
+    assert_eq!(original.state(), resumed.state());
+}
