@@ -162,6 +162,7 @@ fn bench_deployment_overhead(c: &mut Criterion) {
     group.bench_function("message_passing_100_rounds", |b| {
         b.iter(|| {
             cellflow_net::NetSystem::new(config.clone())
+                .expect("no entity budget")
                 .run(100)
                 .expect("no node panics")
                 .consumed

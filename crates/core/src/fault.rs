@@ -1,0 +1,559 @@
+//! A shared fault-schedule vocabulary (the paper's §IV failure model, made
+//! injectable).
+//!
+//! The paper proves safety *despite* crashes (Theorem 5) and stabilization
+//! *after* they cease (Lemma 6, Theorem 10). A [`FaultPlan`] is a scripted
+//! sequence of fail/recover transitions — burst crashes, region blackouts,
+//! flapping cells, adversarial kills — that the shared-variable reference
+//! (`cellflow-sim`'s `FailureModel`), the message-passing runtime
+//! (`cellflow-net`), and the `cellflow chaos` CLI all consume **identically**,
+//! so differential tests can drive both implementations through the same
+//! adversity.
+//!
+//! Two fault severities go beyond the paper's polite crash flag:
+//!
+//! * [`FaultKind::HardCrash`] — the deployment actually kills the cell's
+//!   thread (state is lost until the paired [`FaultKind::Recover`] re-spawns
+//!   it from a checkpoint). The reference models it as an ordinary crash,
+//!   which is exactly the paper's reading: a failed cell is silent and
+//!   frozen.
+//! * [`FaultKind::Kill`] — the cell vanishes *forever* and never recovers;
+//!   the runtime must degrade via timeouts instead of deadlocking. There is
+//!   no reference equivalent (the run ends with a typed error), so plans
+//!   with kills are excluded from differential comparisons.
+
+use std::collections::BTreeSet;
+
+use cellflow_grid::CellId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SystemConfig;
+
+/// The kind of a scripted fault transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// The paper's `fail(⟨i,j⟩)`: the cell sets its flag, pins `dist = ∞`,
+    /// and goes silent. State (members, token, `NEPrev`) is retained.
+    Crash,
+    /// The paper's recovery transition: `failed := false` (the target
+    /// re-anchors `dist = 0`). Also the re-spawn point of a [`HardCrash`].
+    ///
+    /// [`HardCrash`]: FaultKind::HardCrash
+    Recover,
+    /// A crash that a deployment realizes by terminating the cell's thread;
+    /// the paired [`Recover`] re-spawns it. Observationally identical to
+    /// [`Crash`] in the shared-variable model.
+    ///
+    /// [`Crash`]: FaultKind::Crash
+    /// [`Recover`]: FaultKind::Recover
+    HardCrash,
+    /// An unrecoverable disappearance: the cell becomes permanently
+    /// unreachable. Deployments degrade via timeouts (footnote 1's "no
+    /// timely response") and report a typed error instead of hanging.
+    Kill,
+}
+
+/// One scripted transition: `kind` applied to `cell` at the start of `round`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultEvent {
+    /// The round at whose start the transition fires.
+    pub round: u64,
+    /// The affected cell.
+    pub cell: CellId,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of [`FaultEvent`]s, consumed identically by the
+/// lockstep simulator, the message-passing runtime, and the chaos CLI.
+///
+/// Built with chainable constructors:
+///
+/// ```
+/// use cellflow_core::fault::{FaultKind, FaultPlan};
+/// use cellflow_grid::CellId;
+///
+/// let plan = FaultPlan::new()
+///     .crash_at(5, CellId::new(1, 1))
+///     .recover_at(30, CellId::new(1, 1))
+///     .hard_crash_at(10, CellId::new(2, 0))
+///     .recover_at(40, CellId::new(2, 0));
+/// assert_eq!(plan.len(), 4);
+/// assert_eq!(plan.last_event_round(), Some(40));
+/// assert_eq!(plan.respawn_round_after(CellId::new(2, 0), 10), Some(40));
+/// assert!(!plan.has_kills());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults ever).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds an arbitrary event.
+    pub fn with_event(mut self, round: u64, cell: CellId, kind: FaultKind) -> FaultPlan {
+        self.events.push(FaultEvent { round, cell, kind });
+        self
+    }
+
+    /// Adds a [`FaultKind::Crash`] of `cell` at `round`.
+    pub fn crash_at(self, round: u64, cell: CellId) -> FaultPlan {
+        self.with_event(round, cell, FaultKind::Crash)
+    }
+
+    /// Adds a [`FaultKind::Recover`] of `cell` at `round`.
+    pub fn recover_at(self, round: u64, cell: CellId) -> FaultPlan {
+        self.with_event(round, cell, FaultKind::Recover)
+    }
+
+    /// Adds a [`FaultKind::HardCrash`] of `cell` at `round`.
+    pub fn hard_crash_at(self, round: u64, cell: CellId) -> FaultPlan {
+        self.with_event(round, cell, FaultKind::HardCrash)
+    }
+
+    /// Adds a [`FaultKind::Kill`] of `cell` at `round`.
+    pub fn kill_at(self, round: u64, cell: CellId) -> FaultPlan {
+        self.with_event(round, cell, FaultKind::Kill)
+    }
+
+    /// Crashes all `cells` at round 0 — the path-carving helper (Figure 8).
+    pub fn carve<I: IntoIterator<Item = CellId>>(mut self, cells: I) -> FaultPlan {
+        for c in cells {
+            self.events.push(FaultEvent {
+                round: 0,
+                cell: c,
+                kind: FaultKind::Crash,
+            });
+        }
+        self
+    }
+
+    /// A burst: every cell in `cells` crashes at `round` and recovers
+    /// together at `round + outage`.
+    pub fn burst<I: IntoIterator<Item = CellId>>(
+        mut self,
+        round: u64,
+        cells: I,
+        outage: u64,
+    ) -> FaultPlan {
+        for c in cells {
+            self.events.push(FaultEvent {
+                round,
+                cell: c,
+                kind: FaultKind::Crash,
+            });
+            self.events.push(FaultEvent {
+                round: round + outage,
+                cell: c,
+                kind: FaultKind::Recover,
+            });
+        }
+        self
+    }
+
+    /// A region blackout: the axis-aligned rectangle spanned by `a` and `b`
+    /// (inclusive) crashes at `round` and recovers at `round + outage`.
+    pub fn blackout(self, round: u64, a: CellId, b: CellId, outage: u64) -> FaultPlan {
+        let (i0, i1) = (a.i().min(b.i()), a.i().max(b.i()));
+        let (j0, j1) = (a.j().min(b.j()), a.j().max(b.j()));
+        let region =
+            (i0..=i1).flat_map(move |i| (j0..=j1).map(move |j| CellId::new(i, j)));
+        self.burst(round, region, outage)
+    }
+
+    /// A flapping cell: starting at `start`, `cell` crashes and recovers
+    /// `flips` times with `half_period` rounds between each transition.
+    pub fn flapping(
+        mut self,
+        cell: CellId,
+        start: u64,
+        half_period: u64,
+        flips: u32,
+    ) -> FaultPlan {
+        let step = half_period.max(1);
+        for k in 0..flips as u64 {
+            self.events.push(FaultEvent {
+                round: start + 2 * k * step,
+                cell,
+                kind: FaultKind::Crash,
+            });
+            self.events.push(FaultEvent {
+                round: start + (2 * k + 1) * step,
+                cell,
+                kind: FaultKind::Recover,
+            });
+        }
+        self
+    }
+
+    /// Appends every event of `other`.
+    pub fn merge(mut self, other: FaultPlan) -> FaultPlan {
+        self.events.extend(other.events);
+        self
+    }
+
+    /// All events, in insertion order (the order they are applied within a
+    /// round).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The events firing at the start of `round`, in insertion order.
+    pub fn events_at(&self, round: u64) -> impl Iterator<Item = FaultEvent> + '_ {
+        self.events.iter().copied().filter(move |e| e.round == round)
+    }
+
+    /// The events affecting `cell` at the start of `round`.
+    pub fn events_at_for(&self, round: u64, cell: CellId) -> impl Iterator<Item = FaultEvent> + '_ {
+        self.events_at(round).filter(move |e| e.cell == cell)
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no events are scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The round of the last scripted event — the moment "failures cease"
+    /// from which the Theorem 10 stabilization clock starts. `None` for an
+    /// empty plan.
+    pub fn last_event_round(&self) -> Option<u64> {
+        self.events.iter().map(|e| e.round).max()
+    }
+
+    /// The earliest [`FaultKind::Recover`] of `cell` strictly after `round` —
+    /// where a hard-crashed cell's thread re-spawns. `None` means the cell
+    /// stays dead.
+    pub fn respawn_round_after(&self, cell: CellId, round: u64) -> Option<u64> {
+        self.events
+            .iter()
+            .filter(|e| e.cell == cell && e.kind == FaultKind::Recover && e.round > round)
+            .map(|e| e.round)
+            .min()
+    }
+
+    /// `true` if the plan contains any [`FaultKind::Kill`] (such plans end a
+    /// deployment run with a timeout error by design).
+    pub fn has_kills(&self) -> bool {
+        self.events.iter().any(|e| e.kind == FaultKind::Kill)
+    }
+
+    /// `true` if the plan contains any [`FaultKind::HardCrash`].
+    pub fn has_hard_crashes(&self) -> bool {
+        self.events.iter().any(|e| e.kind == FaultKind::HardCrash)
+    }
+
+    /// Cells that are hard-dead (between a [`FaultKind::HardCrash`] /
+    /// [`FaultKind::Kill`] and their next recovery, if any) at the start of
+    /// `round`, *after* this round's events fire.
+    pub fn hard_dead_at(&self, round: u64) -> BTreeSet<CellId> {
+        let mut dead = BTreeSet::new();
+        for e in self.events.iter().filter(|e| e.round <= round) {
+            match e.kind {
+                FaultKind::HardCrash | FaultKind::Kill => {
+                    dead.insert(e.cell);
+                }
+                FaultKind::Recover => {
+                    dead.remove(&e.cell);
+                }
+                FaultKind::Crash => {}
+            }
+        }
+        dead
+    }
+
+    /// Counts per kind: `(crashes, recoveries, hard_crashes, kills)`.
+    pub fn census(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for e in &self.events {
+            match e.kind {
+                FaultKind::Crash => c.0 += 1,
+                FaultKind::Recover => c.1 += 1,
+                FaultKind::HardCrash => c.2 += 1,
+                FaultKind::Kill => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Shape parameters for [`FaultPlan::random_campaign`]: how much adversity a
+/// generated campaign contains. All faults land in `[0, active_rounds)`; the
+/// tail of a run after that is the fault-free window in which the Theorem 10
+/// stabilization clock must expire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Faults only fire before this round (recoveries included).
+    pub active_rounds: u64,
+    /// Number of burst crashes (a clump of cells failing together).
+    pub bursts: u32,
+    /// Cells per burst.
+    pub burst_size: u32,
+    /// Number of rectangular region blackouts.
+    pub blackouts: u32,
+    /// Number of flapping cells (repeated crash/recover).
+    pub flappers: u32,
+    /// Number of hard crashes (thread-killing, with scripted re-spawn).
+    pub hard_crashes: u32,
+    /// Number of unrecoverable kills (the run is expected to end in a
+    /// timeout error; keep 0 for differential campaigns).
+    pub kills: u32,
+    /// Never fault the target (an adversarial target kill otherwise
+    /// disconnects everything).
+    pub protect_target: bool,
+    /// Never fault source cells.
+    pub protect_sources: bool,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> CampaignSpec {
+        CampaignSpec {
+            active_rounds: 100,
+            bursts: 2,
+            burst_size: 3,
+            blackouts: 1,
+            flappers: 1,
+            hard_crashes: 1,
+            kills: 0,
+            protect_target: true,
+            protect_sources: true,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Generates a seeded random campaign over `config`'s grid following
+    /// `spec`. Deterministic: the same `(config, spec, seed)` triple always
+    /// yields the same plan.
+    ///
+    /// Hard-crash and kill victims are kept disjoint from each other and
+    /// from every flag-fault generator, so a hard-crashed cell's scripted
+    /// re-spawn is never confused with a foreign recovery.
+    pub fn random_campaign(config: &SystemConfig, spec: &CampaignSpec, seed: u64) -> FaultPlan {
+        let dims = config.dims();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let horizon = spec.active_rounds.max(2);
+        let protected: BTreeSet<CellId> = {
+            let mut p = BTreeSet::new();
+            if spec.protect_target {
+                p.insert(config.target());
+            }
+            if spec.protect_sources {
+                p.extend(config.sources().iter().copied());
+            }
+            p
+        };
+        let pool: Vec<CellId> = dims.iter().filter(|c| !protected.contains(c)).collect();
+        if pool.is_empty() {
+            return FaultPlan::new();
+        }
+        let mut plan = FaultPlan::new();
+        // Hard crashes and kills first, drawing exclusive victims.
+        let mut exclusive: Vec<CellId> = pool.clone();
+        let mut taken = BTreeSet::new();
+        for _ in 0..spec.hard_crashes {
+            if exclusive.is_empty() {
+                break;
+            }
+            let cell = exclusive.swap_remove(rng.gen_range(0..exclusive.len()));
+            taken.insert(cell);
+            let down = rng.gen_range(0..horizon / 2);
+            let up = rng.gen_range(down + 1..horizon);
+            plan = plan.hard_crash_at(down, cell).recover_at(up, cell);
+        }
+        for _ in 0..spec.kills {
+            if exclusive.is_empty() {
+                break;
+            }
+            let cell = exclusive.swap_remove(rng.gen_range(0..exclusive.len()));
+            taken.insert(cell);
+            plan = plan.kill_at(rng.gen_range(0..horizon), cell);
+        }
+        // Flag faults over the remaining pool.
+        let flaggable: Vec<CellId> = pool.iter().copied().filter(|c| !taken.contains(c)).collect();
+        if flaggable.is_empty() {
+            return plan;
+        }
+        for _ in 0..spec.bursts {
+            let when = rng.gen_range(0..horizon / 2);
+            let outage = rng.gen_range(1..(horizon - when).max(2));
+            let mut victims = BTreeSet::new();
+            for _ in 0..spec.burst_size {
+                victims.insert(flaggable[rng.gen_range(0..flaggable.len())]);
+            }
+            plan = plan.burst(when, victims, outage);
+        }
+        for _ in 0..spec.blackouts {
+            let a = flaggable[rng.gen_range(0..flaggable.len())];
+            let span = rng.gen_range(0..2u16);
+            let b = CellId::new(
+                (a.i() + span).min(dims.nx() - 1),
+                (a.j() + span).min(dims.ny() - 1),
+            );
+            let when = rng.gen_range(0..horizon / 2);
+            let outage = rng.gen_range(1..(horizon - when).max(2));
+            // Clip the rectangle to unprotected, non-exclusive cells.
+            let (i0, i1) = (a.i().min(b.i()), a.i().max(b.i()));
+            let (j0, j1) = (a.j().min(b.j()), a.j().max(b.j()));
+            let region: Vec<CellId> = (i0..=i1)
+                .flat_map(|i| (j0..=j1).map(move |j| CellId::new(i, j)))
+                .filter(|c| !protected.contains(c) && !taken.contains(c))
+                .collect();
+            plan = plan.burst(when, region, outage);
+        }
+        for _ in 0..spec.flappers {
+            let cell = flaggable[rng.gen_range(0..flaggable.len())];
+            let flips = rng.gen_range(1..=3u32);
+            let half = rng.gen_range(1..=(horizon / (2 * flips as u64 + 1)).max(1));
+            let latest_start = horizon.saturating_sub(2 * flips as u64 * half).max(1);
+            let start = rng.gen_range(0..latest_start);
+            plan = plan.flapping(cell, start, half, flips);
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Params;
+    use cellflow_grid::GridDims;
+
+    fn config() -> SystemConfig {
+        SystemConfig::new(
+            GridDims::square(6),
+            CellId::new(1, 5),
+            Params::from_milli(250, 50, 200).unwrap(),
+        )
+        .unwrap()
+        .with_source(CellId::new(1, 0))
+    }
+
+    #[test]
+    fn builders_compose() {
+        let plan = FaultPlan::new()
+            .burst(10, [CellId::new(2, 2), CellId::new(3, 3)], 5)
+            .blackout(20, CellId::new(0, 0), CellId::new(1, 1), 3)
+            .flapping(CellId::new(4, 4), 30, 2, 2)
+            .kill_at(50, CellId::new(5, 5));
+        let (crashes, recoveries, hard, kills) = plan.census();
+        assert_eq!(crashes, 2 + 4 + 2);
+        assert_eq!(recoveries, 2 + 4 + 2);
+        assert_eq!(hard, 0);
+        assert_eq!(kills, 1);
+        assert!(plan.has_kills());
+        assert_eq!(plan.last_event_round(), Some(50));
+    }
+
+    #[test]
+    fn events_at_preserves_insertion_order() {
+        let plan = FaultPlan::new()
+            .crash_at(3, CellId::new(1, 1))
+            .recover_at(3, CellId::new(2, 2))
+            .crash_at(3, CellId::new(0, 0));
+        let at3: Vec<CellId> = plan.events_at(3).map(|e| e.cell).collect();
+        assert_eq!(
+            at3,
+            vec![CellId::new(1, 1), CellId::new(2, 2), CellId::new(0, 0)]
+        );
+        assert_eq!(plan.events_at_for(3, CellId::new(0, 0)).count(), 1);
+        assert_eq!(plan.events_at(4).count(), 0);
+    }
+
+    #[test]
+    fn respawn_finds_next_recovery() {
+        let c = CellId::new(2, 3);
+        let plan = FaultPlan::new()
+            .hard_crash_at(5, c)
+            .recover_at(12, c)
+            .hard_crash_at(20, c)
+            .recover_at(33, c);
+        assert_eq!(plan.respawn_round_after(c, 5), Some(12));
+        assert_eq!(plan.respawn_round_after(c, 20), Some(33));
+        assert_eq!(plan.respawn_round_after(c, 33), None);
+        assert!(plan.hard_dead_at(7).contains(&c));
+        assert!(!plan.hard_dead_at(12).contains(&c));
+        assert!(plan.hard_dead_at(40).is_empty());
+    }
+
+    #[test]
+    fn campaign_is_seed_deterministic() {
+        let cfg = config();
+        let spec = CampaignSpec::default();
+        let a = FaultPlan::random_campaign(&cfg, &spec, 42);
+        let b = FaultPlan::random_campaign(&cfg, &spec, 42);
+        assert_eq!(a, b);
+        let c = FaultPlan::random_campaign(&cfg, &spec, 43);
+        assert_ne!(a, c, "different seeds should differ");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn campaign_respects_protections_and_window() {
+        let cfg = config();
+        let spec = CampaignSpec {
+            active_rounds: 60,
+            kills: 1,
+            ..CampaignSpec::default()
+        };
+        for seed in 0..20 {
+            let plan = FaultPlan::random_campaign(&cfg, &spec, seed);
+            for e in plan.events() {
+                assert_ne!(e.cell, cfg.target(), "seed {seed}: target faulted");
+                assert!(
+                    !cfg.sources().contains(&e.cell),
+                    "seed {seed}: source faulted"
+                );
+                assert!(e.round < 60, "seed {seed}: event outside active window");
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_keeps_hard_victims_exclusive() {
+        let cfg = config();
+        let spec = CampaignSpec {
+            hard_crashes: 3,
+            kills: 2,
+            ..CampaignSpec::default()
+        };
+        for seed in 0..20 {
+            let plan = FaultPlan::random_campaign(&cfg, &spec, seed);
+            let hard: Vec<CellId> = plan
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::HardCrash | FaultKind::Kill))
+                .map(|e| e.cell)
+                .collect();
+            let unique: BTreeSet<CellId> = hard.iter().copied().collect();
+            assert_eq!(hard.len(), unique.len(), "seed {seed}: duplicate victim");
+            // No flag fault ever touches a hard victim.
+            for e in plan.events() {
+                if e.kind == FaultKind::Crash {
+                    assert!(!unique.contains(&e.cell), "seed {seed}: overlap");
+                }
+            }
+            // Every hard crash has a scripted respawn; kills never do.
+            for e in plan.events() {
+                match e.kind {
+                    FaultKind::HardCrash => {
+                        assert!(plan.respawn_round_after(e.cell, e.round).is_some())
+                    }
+                    FaultKind::Kill => {
+                        assert!(plan.respawn_round_after(e.cell, e.round).is_none())
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

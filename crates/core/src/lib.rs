@@ -49,7 +49,9 @@
 pub mod analysis;
 mod cell;
 mod entity;
+pub mod fault;
 pub mod mc;
+pub mod monitor;
 mod move_fn;
 mod params;
 mod route;
@@ -62,6 +64,8 @@ mod update;
 
 pub use cell::CellState;
 pub use cellflow_routing::Dist;
+pub use fault::{CampaignSpec, FaultEvent, FaultKind, FaultPlan};
+pub use monitor::{standard_monitors, Monitor, MonitorCtx, MonitorViolation};
 pub use entity::{Entity, EntityId};
 pub use move_fn::{move_phase, MoveOutcome, Transfer};
 pub use params::{Params, ParamsError};

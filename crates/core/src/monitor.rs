@@ -1,0 +1,591 @@
+//! Online invariant monitors: the paper's theorems as per-round runtime
+//! checks.
+//!
+//! The proofs in the paper are offline arguments about all reachable states;
+//! a [`Monitor`] turns each into an *online* observer evaluated against every
+//! round of an actual execution — by the lockstep simulator, the
+//! message-passing runtime's collector thread, and the `cellflow chaos` CLI
+//! alike:
+//!
+//! * [`SafetyMonitor`] — Theorem 5's `Safe(x)` plus Invariants 1 and 2, which
+//!   hold in **every** reachable state despite crashes;
+//! * [`RoutingMonitor`] — structural routing sanity derived from the Route
+//!   function's definition (Figure 4) and the §IV failure model: pointers
+//!   stay on the grid, `dist = 0` exactly at the live target, failed cells
+//!   stay pinned at `∞`/`⊥`;
+//! * [`ConservationMonitor`] — no entity is minted or destroyed outside the
+//!   source/target protocol (`inserted − consumed = population`);
+//! * [`StabilizationMonitor`] — a stopwatch for Lemma 6 / Corollary 7:
+//!   routing must re-stabilize within `2·N² + 2` rounds of the last fault
+//!   transition.
+//!
+//! Predicate `H` is deliberately **not** monitored here: Lemma 3 establishes
+//! it at signal-computation time, and it legitimately fails in end-of-round
+//! states (granted cells' entities move within the same round), which is all
+//! a monitor gets to see.
+
+use core::fmt;
+
+use cellflow_grid::CellId;
+use cellflow_routing::Dist;
+
+use crate::{analysis, safety, SystemConfig, SystemState};
+
+/// Everything a monitor may inspect about one completed round.
+///
+/// `round` is 1-based: after the first `update` transition the observers see
+/// `round = 1`. `failed` / `recovered` list the fault transitions applied at
+/// the start of that round (empty when the round ran undisturbed).
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorCtx<'a> {
+    /// The static configuration.
+    pub config: &'a SystemConfig,
+    /// The end-of-round state.
+    pub state: &'a SystemState,
+    /// Rounds completed so far (1-based).
+    pub round: u64,
+    /// Cells crashed at the start of this round.
+    pub failed: &'a [CellId],
+    /// Cells recovered at the start of this round.
+    pub recovered: &'a [CellId],
+    /// `true` while ambient message chaos (dropped/delayed announcements)
+    /// is active — the stabilization stopwatch treats such rounds as
+    /// ongoing disturbance, since Lemma 6 only promises convergence once
+    /// communication is reliable again.
+    pub ambient_chaos: bool,
+    /// Cumulative entities consumed by the target since round 0.
+    pub consumed_total: u64,
+    /// Cumulative entities inserted by sources since round 0.
+    pub inserted_total: u64,
+}
+
+/// One property violation flagged by a monitor.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MonitorViolation {
+    /// [`Monitor::name`] of the reporting monitor.
+    pub monitor: &'static str,
+    /// The (1-based) round whose end state violated the property.
+    pub round: u64,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for MonitorViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} @ round {}] {}", self.monitor, self.round, self.detail)
+    }
+}
+
+/// An online observer of a protocol execution.
+///
+/// `Send` so the message-passing runtime can evaluate monitors on its
+/// collector thread while node threads keep running.
+pub trait Monitor: Send {
+    /// Short stable identifier (used in reports and violations).
+    fn name(&self) -> &'static str;
+
+    /// Inspects one completed round; returns any violations it implies.
+    fn observe(&mut self, ctx: &MonitorCtx<'_>) -> Vec<MonitorViolation>;
+
+    /// One-line human-readable outcome for the final report.
+    fn summary(&self) -> String;
+}
+
+/// Theorem 5 safety plus Invariants 1–2, checked every round.
+#[derive(Debug, Default)]
+pub struct SafetyMonitor {
+    rounds: u64,
+    violations: u64,
+}
+
+impl SafetyMonitor {
+    /// A fresh monitor.
+    pub fn new() -> SafetyMonitor {
+        SafetyMonitor::default()
+    }
+}
+
+impl Monitor for SafetyMonitor {
+    fn name(&self) -> &'static str {
+        "safety"
+    }
+
+    fn observe(&mut self, ctx: &MonitorCtx<'_>) -> Vec<MonitorViolation> {
+        self.rounds += 1;
+        let mut out = Vec::new();
+        if let Err(v) = safety::check_safe(ctx.config, ctx.state) {
+            out.push(MonitorViolation {
+                monitor: self.name(),
+                round: ctx.round,
+                detail: format!("Theorem 5 violated: {v}"),
+            });
+        }
+        if let Err(v) = safety::check_invariant1(ctx.config, ctx.state) {
+            out.push(MonitorViolation {
+                monitor: self.name(),
+                round: ctx.round,
+                detail: format!("Invariant 1 violated: {v}"),
+            });
+        }
+        if let Err(v) = safety::check_invariant2(ctx.config, ctx.state) {
+            out.push(MonitorViolation {
+                monitor: self.name(),
+                round: ctx.round,
+                detail: format!("Invariant 2 violated: {v}"),
+            });
+        }
+        self.violations += out.len() as u64;
+        out
+    }
+
+    fn summary(&self) -> String {
+        format!(
+            "safety: {} rounds checked, {} violations",
+            self.rounds, self.violations
+        )
+    }
+}
+
+/// Structural routing sanity that holds in *every* reachable state,
+/// stabilized or not (Figure 4's Route plus the §IV fail/recover
+/// transitions):
+///
+/// * `next` and `signal`, when set, point at grid neighbors;
+/// * the live target has `dist = 0`; no other live cell ever does;
+/// * a failed cell stays pinned at `dist = ∞`, `next = ⊥` (nothing but
+///   recovery may touch it).
+#[derive(Debug, Default)]
+pub struct RoutingMonitor {
+    rounds: u64,
+    violations: u64,
+}
+
+impl RoutingMonitor {
+    /// A fresh monitor.
+    pub fn new() -> RoutingMonitor {
+        RoutingMonitor::default()
+    }
+}
+
+impl Monitor for RoutingMonitor {
+    fn name(&self) -> &'static str {
+        "routing"
+    }
+
+    fn observe(&mut self, ctx: &MonitorCtx<'_>) -> Vec<MonitorViolation> {
+        self.rounds += 1;
+        let dims = ctx.config.dims();
+        let target = ctx.config.target();
+        let mut out = Vec::new();
+        let mut flag = |round: u64, detail: String| {
+            out.push(MonitorViolation {
+                monitor: "routing",
+                round,
+                detail,
+            });
+        };
+        for id in dims.iter() {
+            let cell = ctx.state.cell(dims, id);
+            if cell.failed {
+                if cell.dist != Dist::Infinity || cell.next.is_some() {
+                    flag(
+                        ctx.round,
+                        format!(
+                            "failed cell {id} not pinned: dist={:?} next={:?}",
+                            cell.dist, cell.next
+                        ),
+                    );
+                }
+                continue;
+            }
+            if let Some(n) = cell.next {
+                if !id.is_neighbor(n) {
+                    flag(ctx.round, format!("cell {id} routes to non-neighbor {n}"));
+                }
+            }
+            if let Some(s) = cell.signal {
+                if !id.is_neighbor(s) {
+                    flag(ctx.round, format!("cell {id} grants non-neighbor {s}"));
+                }
+            }
+            if id == target {
+                if cell.dist != Dist::Finite(0) {
+                    flag(
+                        ctx.round,
+                        format!("live target {id} has dist {:?}, expected 0", cell.dist),
+                    );
+                }
+            } else if cell.dist == Dist::Finite(0) {
+                flag(ctx.round, format!("non-target cell {id} claims dist 0"));
+            }
+        }
+        self.violations += out.len() as u64;
+        out
+    }
+
+    fn summary(&self) -> String {
+        format!(
+            "routing: {} rounds checked, {} violations",
+            self.rounds, self.violations
+        )
+    }
+}
+
+/// Entity conservation: starting from the empty initial state, the current
+/// population must equal `inserted − consumed` — transfers move entities,
+/// never mint or destroy them.
+#[derive(Debug, Default)]
+pub struct ConservationMonitor {
+    rounds: u64,
+    violations: u64,
+}
+
+impl ConservationMonitor {
+    /// A fresh monitor.
+    pub fn new() -> ConservationMonitor {
+        ConservationMonitor::default()
+    }
+}
+
+impl Monitor for ConservationMonitor {
+    fn name(&self) -> &'static str {
+        "conservation"
+    }
+
+    fn observe(&mut self, ctx: &MonitorCtx<'_>) -> Vec<MonitorViolation> {
+        self.rounds += 1;
+        let population = ctx.state.entity_count() as u64;
+        let expected = ctx.inserted_total - ctx.consumed_total.min(ctx.inserted_total);
+        let mut out = Vec::new();
+        if population != expected {
+            out.push(MonitorViolation {
+                monitor: self.name(),
+                round: ctx.round,
+                detail: format!(
+                    "population {population} ≠ inserted {} − consumed {}",
+                    ctx.inserted_total, ctx.consumed_total
+                ),
+            });
+            self.violations += 1;
+        }
+        out
+    }
+
+    fn summary(&self) -> String {
+        format!(
+            "conservation: {} rounds checked, {} violations",
+            self.rounds, self.violations
+        )
+    }
+}
+
+/// The round budget the [`StabilizationMonitor`] grants after a disturbance:
+/// `2·cell_count + 2`, a conservative executable form of Lemma 6 /
+/// Corollary 7's `O(N²)` routing-stabilization bound.
+pub fn stabilization_bound(config: &SystemConfig) -> u64 {
+    2 * config.dims().cell_count() as u64 + 2
+}
+
+/// A stopwatch for Lemma 6 / Corollary 7: after the last fault transition,
+/// routing (in the sense of [`analysis::routing_stabilized`]) must
+/// re-stabilize within [`stabilization_bound`] rounds. Reports at most one
+/// violation per disturbance epoch.
+#[derive(Debug)]
+pub struct StabilizationMonitor {
+    bound: u64,
+    last_disturbance: u64,
+    stabilized_at: Option<u64>,
+    reported_epoch: bool,
+    violations: u64,
+}
+
+impl StabilizationMonitor {
+    /// A stopwatch with the standard bound for `config`.
+    pub fn new(config: &SystemConfig) -> StabilizationMonitor {
+        StabilizationMonitor::with_bound(stabilization_bound(config))
+    }
+
+    /// A stopwatch with an explicit round budget.
+    pub fn with_bound(bound: u64) -> StabilizationMonitor {
+        StabilizationMonitor {
+            bound,
+            last_disturbance: 0,
+            stabilized_at: None,
+            reported_epoch: false,
+            violations: 0,
+        }
+    }
+
+    /// The round budget in force.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// The round at which the current quiet epoch stabilized, if it has.
+    pub fn stabilized_at(&self) -> Option<u64> {
+        self.stabilized_at
+    }
+
+    /// Rounds from the last disturbance to stabilization, if stabilized.
+    pub fn rounds_to_stabilize(&self) -> Option<u64> {
+        self.stabilized_at.map(|r| r - self.last_disturbance)
+    }
+}
+
+impl Monitor for StabilizationMonitor {
+    fn name(&self) -> &'static str {
+        "stabilization"
+    }
+
+    fn observe(&mut self, ctx: &MonitorCtx<'_>) -> Vec<MonitorViolation> {
+        if !ctx.failed.is_empty() || !ctx.recovered.is_empty() || ctx.ambient_chaos {
+            // A new epoch starts; the clock restarts at this round.
+            self.last_disturbance = ctx.round;
+            self.stabilized_at = None;
+            self.reported_epoch = false;
+        }
+        if analysis::routing_stabilized(ctx.config, ctx.state) {
+            if self.stabilized_at.is_none() {
+                self.stabilized_at = Some(ctx.round);
+            }
+            return Vec::new();
+        }
+        self.stabilized_at = None;
+        let elapsed = ctx.round - self.last_disturbance;
+        if elapsed > self.bound && !self.reported_epoch {
+            self.reported_epoch = true;
+            self.violations += 1;
+            return vec![MonitorViolation {
+                monitor: self.name(),
+                round: ctx.round,
+                detail: format!(
+                    "routing not stabilized {elapsed} rounds after the \
+                     disturbance at round {} (bound {})",
+                    self.last_disturbance, self.bound
+                ),
+            }];
+        }
+        Vec::new()
+    }
+
+    fn summary(&self) -> String {
+        match self.rounds_to_stabilize() {
+            Some(rounds) => format!(
+                "stabilization: stabilized {rounds} rounds after the last \
+                 disturbance (bound {})",
+                self.bound
+            ),
+            None => format!(
+                "stabilization: NOT stabilized (last disturbance round {}, \
+                 bound {}, {} violations)",
+                self.last_disturbance, self.bound, self.violations
+            ),
+        }
+    }
+}
+
+/// The standard monitor suite: safety, routing sanity, conservation, and the
+/// stabilization stopwatch for `config`.
+pub fn standard_monitors(config: &SystemConfig) -> Vec<Box<dyn Monitor>> {
+    vec![
+        Box::new(SafetyMonitor::new()),
+        Box::new(RoutingMonitor::new()),
+        Box::new(ConservationMonitor::new()),
+        Box::new(StabilizationMonitor::new(config)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Params, System, SystemConfig};
+    use cellflow_grid::{CellId, GridDims};
+
+    fn config() -> SystemConfig {
+        SystemConfig::new(
+            GridDims::square(4),
+            CellId::new(3, 3),
+            Params::from_milli(250, 50, 100).unwrap(),
+        )
+        .unwrap()
+        .with_source(CellId::new(0, 0))
+    }
+
+    fn observe_run(monitors: &mut [Box<dyn Monitor>], rounds: u64) -> Vec<MonitorViolation> {
+        let mut sys = System::new(config());
+        let mut all = Vec::new();
+        for _ in 0..rounds {
+            sys.step();
+            let ctx = MonitorCtx {
+                config: sys.config(),
+                state: sys.state(),
+                round: sys.round(),
+                failed: &[],
+                recovered: &[],
+            ambient_chaos: false,
+                consumed_total: sys.consumed_total(),
+                inserted_total: sys.inserted_total(),
+            };
+            for m in monitors.iter_mut() {
+                all.extend(m.observe(&ctx));
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn clean_run_fires_no_monitor() {
+        let cfg = config();
+        let mut monitors = standard_monitors(&cfg);
+        let violations = observe_run(&mut monitors, 60);
+        assert_eq!(violations, Vec::new());
+        for m in &monitors {
+            assert!(m.summary().contains("0 violations") || m.name() == "stabilization");
+        }
+    }
+
+    #[test]
+    fn safety_monitor_flags_seeded_overlap() {
+        let mut sys = System::new(config());
+        // Bypass the protocol: plant two coincident entities by hand.
+        let dims = sys.config().dims();
+        let cell = CellId::new(1, 1);
+        let mut state = sys.state().clone();
+        state
+            .cell_mut(dims, cell)
+            .members
+            .insert(crate::EntityId(900), cell.center());
+        state
+            .cell_mut(dims, cell)
+            .members
+            .insert(crate::EntityId(901), cell.center());
+        sys.set_state(state);
+        let mut m = SafetyMonitor::new();
+        let ctx = MonitorCtx {
+            config: sys.config(),
+            state: sys.state(),
+            round: 1,
+            failed: &[],
+            recovered: &[],
+            ambient_chaos: false,
+            consumed_total: 0,
+            inserted_total: 2,
+        };
+        let vs = m.observe(&ctx);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("Theorem 5"));
+        assert!(m.summary().contains("1 violations"));
+        assert!(vs[0].to_string().contains("safety"));
+    }
+
+    #[test]
+    fn routing_monitor_flags_corrupted_pointer() {
+        let sys = System::new(config());
+        let dims = sys.config().dims();
+        let mut state = sys.state().clone();
+        // ⟨0,0⟩ pointing at the far corner is never a legal route pointer.
+        state.cell_mut(dims, CellId::new(0, 0)).next = Some(CellId::new(3, 3));
+        let mut m = RoutingMonitor::new();
+        let ctx = MonitorCtx {
+            config: sys.config(),
+            state: &state,
+            round: 3,
+            failed: &[],
+            recovered: &[],
+            ambient_chaos: false,
+            consumed_total: 0,
+            inserted_total: 0,
+        };
+        let vs = m.observe(&ctx);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("non-neighbor"));
+    }
+
+    #[test]
+    fn conservation_monitor_flags_count_mismatch() {
+        let sys = System::new(config());
+        let mut m = ConservationMonitor::new();
+        let ctx = MonitorCtx {
+            config: sys.config(),
+            state: sys.state(),
+            round: 1,
+            failed: &[],
+            recovered: &[],
+            ambient_chaos: false,
+            consumed_total: 0,
+            inserted_total: 5, // claims 5 inserted but the state is empty
+        };
+        let vs = m.observe(&ctx);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("population"));
+    }
+
+    #[test]
+    fn stabilization_stopwatch_restarts_on_disturbance() {
+        let cfg = config();
+        let mut sys = System::new(cfg.clone());
+        let mut m = StabilizationMonitor::new(&cfg);
+        assert_eq!(m.bound(), 2 * 16 + 2);
+        // Quiet start: stabilizes well within the bound.
+        for _ in 0..10 {
+            sys.step();
+            let ctx = MonitorCtx {
+                config: sys.config(),
+                state: sys.state(),
+                round: sys.round(),
+                failed: &[],
+                recovered: &[],
+            ambient_chaos: false,
+                consumed_total: sys.consumed_total(),
+                inserted_total: sys.inserted_total(),
+            };
+            assert_eq!(m.observe(&ctx), Vec::new());
+        }
+        assert!(m.rounds_to_stabilize().is_some());
+        // A crash restarts the clock.
+        let victim = CellId::new(2, 2);
+        sys.fail(victim);
+        sys.step();
+        let ctx = MonitorCtx {
+            config: sys.config(),
+            state: sys.state(),
+            round: sys.round(),
+            failed: &[victim],
+            recovered: &[],
+            ambient_chaos: false,
+            consumed_total: sys.consumed_total(),
+            inserted_total: sys.inserted_total(),
+        };
+        m.observe(&ctx);
+        assert_eq!(m.stabilized_at().is_some(), {
+            // Whatever the immediate verdict, the epoch must have restarted.
+            self::analysis::routing_stabilized(sys.config(), sys.state())
+        });
+        assert!(m.summary().contains("bound 34"));
+    }
+
+    #[test]
+    fn stabilization_stopwatch_fires_past_bound() {
+        // A tight artificial bound of 1 must fire on the unstabilized start.
+        let mut m = StabilizationMonitor::with_bound(1);
+        let mut sys = System::new(config());
+        let mut fired = Vec::new();
+        for _ in 0..4 {
+            sys.step();
+            let ctx = MonitorCtx {
+                config: sys.config(),
+                state: sys.state(),
+                round: sys.round(),
+                failed: &[],
+                recovered: &[],
+            ambient_chaos: false,
+                consumed_total: sys.consumed_total(),
+                inserted_total: sys.inserted_total(),
+            };
+            fired.extend(m.observe(&ctx));
+        }
+        // Fires exactly once per epoch, not once per late round.
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].detail.contains("bound 1"));
+    }
+}

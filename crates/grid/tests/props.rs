@@ -58,18 +58,10 @@ proptest! {
             prop_assert_eq!(*p.source(), start);
             // Validity: re-validate through the constructor.
             prop_assert!(Path::new(p.cells().to_vec()).is_ok());
-        } else {
-            // If the generator fails it must be because the spec is impossible
-            // for a staircase from this corner: too many turns for the length,
-            // or the staircase leaves the grid.
-            prop_assert!(
-                len == 0
-                    || (len == 1 && turns > 0)
-                    || (len >= 2 && turns > len - 2)
-                    || len > d.nx() as usize + d.ny() as usize
-                    || true // staircases may also simply not fit; nothing to assert
-            );
         }
+        // When the generator declines, the spec was impossible for a
+        // staircase from this corner (too many turns for the length, or the
+        // staircase leaves the grid); there is nothing further to assert.
     }
 
     #[test]

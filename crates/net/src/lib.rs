@@ -24,6 +24,31 @@
 //! Barriers separate the exchanges, mirroring the paper's synchrony
 //! assumption (bounded message delay, instantaneous computation).
 //!
+//! # Faults, chaos, and timeouts
+//!
+//! Messages travel over a pluggable [`Transport`]. The default
+//! [`PerfectTransport`] delivers everything instantly; [`ChaosTransport`]
+//! injects seeded, deterministic message faults (drop, delay, duplicate,
+//! reorder) per edge, exempting entity transfers so conservation holds.
+//! A cell that receives nothing from a neighbor treats it exactly as the
+//! paper's footnote 1 prescribes for a failed cell — reads `dist = ∞` and
+//! `signal = ⊥` — so lost messages degrade safely instead of corrupting
+//! state.
+//!
+//! Scripted faults come from a [`FaultPlan`](cellflow_core::FaultPlan):
+//! protocol-level crash/recover flags, *hard* crashes that kill the cell's
+//! thread and re-spawn a successor from a checkpoint at the scripted
+//! recovery round, and unrecoverable kills. Round synchronization uses a
+//! timeout-guarded barrier ([`sync::RoundBarrier`]): a silent neighbor
+//! poisons the barrier and the run returns a typed
+//! [`NetError::Timeout`] instead of deadlocking.
+//!
+//! [`NetSystem::run_monitored`] additionally streams per-round snapshots to
+//! a collector thread that reassembles the global state and evaluates
+//! online [`Monitor`](cellflow_core::Monitor)s — safety (Theorem 5),
+//! routing sanity, conservation, and the stabilization stopwatch
+//! (Theorem 10) — reporting violations in the [`NetReport`].
+//!
 //! # Equivalence
 //!
 //! The observable behavior is **bit-identical** to the reference
@@ -44,7 +69,7 @@
 //!     Params::from_milli(250, 50, 200)?,
 //! )?
 //! .with_source(CellId::new(0, 0));
-//! let report = NetSystem::new(config).run(120)?;
+//! let report = NetSystem::new(config)?.run(120)?;
 //! assert!(report.consumed > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -55,7 +80,13 @@
 mod message;
 mod node;
 mod runtime;
+pub mod sync;
+mod transport;
 
-pub use message::Message;
-pub use node::CellNode;
+pub use message::{Envelope, Message};
+pub use node::{CellNode, NodeCheckpoint};
 pub use runtime::{NetError, NetReport, NetSystem};
+pub use sync::{PoisonInfo, WAITS_PER_ROUND};
+pub use transport::{
+    ChaosConfig, ChaosStats, ChaosTransport, EdgeLink, PerfectTransport, Transport,
+};

@@ -57,6 +57,21 @@ pub enum Message {
     },
 }
 
+/// A [`Message`] tagged with the round it belongs to.
+///
+/// The chaos transport may hold a message back and deliver it during a later
+/// exchange; the round tag lets receivers recognize such stragglers and
+/// discard them, so a delayed announcement degrades to the paper's
+/// footnote-1 silence (`dist = ∞`, `next/signal = ⊥`) instead of smuggling a
+/// stale value into the wrong round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// The round in which the message was sent.
+    pub round: u64,
+    /// The payload.
+    pub msg: Message,
+}
+
 impl Message {
     /// The sending cell of any message variant.
     pub fn sender(&self) -> CellId {

@@ -261,6 +261,51 @@ impl CellNode {
     pub fn into_state(self) -> CellState {
         self.state
     }
+
+    /// Captures everything a re-spawned thread needs to impersonate this
+    /// node: the protocol state plus the private counters (source pool
+    /// position, consumed/inserted tallies).
+    ///
+    /// Taken at the moment of a hard crash — after [`CellNode::fail`], so
+    /// the checkpointed state is the *failed* state, exactly what the
+    /// paper's failure model says survives a crash (members frozen, flag
+    /// set, `dist = ∞`).
+    pub fn checkpoint(&self) -> NodeCheckpoint {
+        NodeCheckpoint {
+            state: self.state.clone(),
+            source_seq: self.source_seq,
+            consumed: self.consumed,
+            inserted: self.inserted,
+        }
+    }
+
+    /// Rebuilds the node for `id` from a checkpoint, resuming at
+    /// `resume_round` (the round the re-spawned thread participates in
+    /// first; the internal round counter feeds the token policy, so it must
+    /// match the global round, not the crash round).
+    pub fn restore(
+        id: CellId,
+        config: &SystemConfig,
+        checkpoint: NodeCheckpoint,
+        resume_round: u64,
+    ) -> CellNode {
+        let mut node = CellNode::new(id, config);
+        node.state = checkpoint.state;
+        node.source_seq = checkpoint.source_seq;
+        node.consumed = checkpoint.consumed;
+        node.inserted = checkpoint.inserted;
+        node.round = resume_round;
+        node
+    }
+}
+
+/// A crashed node's preserved identity — see [`CellNode::checkpoint`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeCheckpoint {
+    state: CellState,
+    source_seq: u64,
+    consumed: u64,
+    inserted: u64,
 }
 
 #[cfg(test)]

@@ -1,17 +1,23 @@
-//! The concurrent runtime: one thread per cell, channels along grid edges,
-//! barrier-synchronized rounds.
+//! The concurrent runtime: one thread per cell, transport links along grid
+//! edges, timeout-guarded barrier-synchronized rounds, scripted faults, and
+//! an optional monitor collector.
 
 use std::collections::HashMap;
-use std::sync::Barrier;
+use std::time::Duration;
 
-use cellflow_core::{CellState, SystemConfig, SystemState};
+use cellflow_core::fault::{FaultKind, FaultPlan};
+use cellflow_core::monitor::{Monitor, MonitorCtx, MonitorViolation};
+use cellflow_core::{CellState, Dist, SystemConfig, SystemState};
 use cellflow_grid::CellId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use crate::{CellNode, Message};
+use crate::message::{Envelope, Message};
+use crate::sync::{RoundBarrier, WAITS_PER_ROUND};
+use crate::transport::{ChaosConfig, ChaosStats, ChaosTransport, PerfectTransport, Transport};
+use crate::{CellNode, NodeCheckpoint};
 
 /// The result of a message-passing run.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NetReport {
     /// The assembled final system state (every node's local state).
     pub state: SystemState,
@@ -19,6 +25,12 @@ pub struct NetReport {
     pub consumed: u64,
     /// Entities inserted by sources.
     pub inserted: u64,
+    /// Faults the chaos transport injected (all zero on a perfect fabric).
+    pub chaos: ChaosStats,
+    /// Violations flagged by the monitors (empty when none were installed).
+    pub violations: Vec<MonitorViolation>,
+    /// One summary line per installed monitor.
+    pub monitor_summaries: Vec<String>,
 }
 
 /// Error from a message-passing run.
@@ -26,235 +38,662 @@ pub struct NetReport {
 pub enum NetError {
     /// A cell thread panicked (carries the panic message when printable).
     NodePanicked(String),
+    /// A round failed to complete within the round timeout: some cell
+    /// stopped responding without a scripted hand-over (e.g. a
+    /// [`FaultKind::Kill`]), and the survivors degraded instead of
+    /// deadlocking.
+    Timeout {
+        /// The round that never completed.
+        round: u64,
+        /// The cell whose wait detected the stall (the detector — the
+        /// culprit is whoever went silent).
+        cell: CellId,
+    },
+    /// The run's plumbing disconnected unexpectedly (a node exited without
+    /// reporting and without poisoning the barrier).
+    Disconnected {
+        /// Results received before the disconnect.
+        reported: u64,
+        /// Results expected.
+        expected: u64,
+    },
+    /// The configuration cannot be deployed distributedly.
+    UnsupportedConfig(String),
 }
 
 impl core::fmt::Display for NetError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             NetError::NodePanicked(msg) => write!(f, "a cell thread panicked: {msg}"),
+            NetError::Timeout { round, cell } => write!(
+                f,
+                "round {round} timed out (detected by cell {cell}): a neighbor went silent"
+            ),
+            NetError::Disconnected { reported, expected } => write!(
+                f,
+                "deployment disconnected: {reported} of {expected} cells reported"
+            ),
+            NetError::UnsupportedConfig(msg) => write!(f, "unsupported configuration: {msg}"),
         }
     }
 }
 
 impl std::error::Error for NetError {}
 
+/// Default per-wait round timeout: far above any healthy round (microseconds
+/// of compute), low enough that a wedged deployment dies promptly.
+const DEFAULT_ROUND_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// A message-passing deployment of the protocol: `N²` independent cell
 /// threads that share **nothing** and communicate only over per-edge
-/// channels, synchronized into rounds by barriers (the paper's synchrony
-/// assumption).
+/// transport links, synchronized into rounds by a timeout-guarded barrier.
 ///
-/// See the crate docs for the three-exchange round structure and the
-/// equivalence guarantee against the shared-variable reference.
+/// See the crate docs for the round structure and the equivalence guarantee
+/// against the shared-variable reference; see [`FaultPlan`] for scripting
+/// crashes, hard thread-killing crashes with checkpointed re-spawn, and
+/// unrecoverable kills, and [`ChaosConfig`] for message-level fault
+/// injection.
+#[derive(Debug)]
 pub struct NetSystem {
     config: SystemConfig,
-    schedule: Vec<(u64, CellId, bool)>,
+    plan: FaultPlan,
+    chaos: Option<ChaosConfig>,
+    round_timeout: Duration,
 }
 
 impl NetSystem {
     /// Creates a deployment of `config`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the config carries an entity budget — budgets are a global
-    /// counter, which a shared-nothing deployment cannot implement (they
-    /// exist for the model checker).
-    pub fn new(config: SystemConfig) -> NetSystem {
-        assert!(
-            config.entity_budget().is_none(),
-            "entity budgets are global state; not supported by the distributed runtime"
-        );
-        NetSystem {
-            config,
-            schedule: Vec::new(),
+    /// [`NetError::UnsupportedConfig`] if the config carries an entity
+    /// budget — budgets are a global counter, which a shared-nothing
+    /// deployment cannot implement (they exist for the model checker).
+    pub fn new(config: SystemConfig) -> Result<NetSystem, NetError> {
+        if config.entity_budget().is_some() {
+            return Err(NetError::UnsupportedConfig(
+                "entity budgets are global state; not supported by the distributed runtime"
+                    .to_string(),
+            ));
         }
+        Ok(NetSystem {
+            config,
+            plan: FaultPlan::new(),
+            chaos: None,
+            round_timeout: DEFAULT_ROUND_TIMEOUT,
+        })
     }
 
     /// Adds a crash/recovery schedule: `(round, cell, recover?)` transitions,
     /// applied by each affected cell locally at the start of that round.
+    /// Convenience wrapper over [`NetSystem::with_plan`].
     pub fn with_schedule<I: IntoIterator<Item = (u64, CellId, bool)>>(
         mut self,
         schedule: I,
     ) -> NetSystem {
-        self.schedule = schedule.into_iter().collect();
+        let mut plan = FaultPlan::new();
+        for (round, cell, recover) in schedule {
+            plan = if recover {
+                plan.recover_at(round, cell)
+            } else {
+                plan.crash_at(round, cell)
+            };
+        }
+        self.plan = plan;
         self
     }
 
-    /// Runs `rounds` rounds and returns the assembled outcome.
-    ///
-    /// # Errors
-    ///
-    /// [`NetError::NodePanicked`] if any cell thread panicked.
-    pub fn run(&self, rounds: u64) -> Result<NetReport, NetError> {
-        let dims = self.config.dims();
-        let cells: Vec<CellId> = dims.iter().collect();
-        let n = cells.len();
+    /// Scripts the run's fault plan (crashes, hard crashes with re-spawn,
+    /// kills). Replaces any earlier plan or schedule.
+    pub fn with_plan(mut self, plan: FaultPlan) -> NetSystem {
+        self.plan = plan;
+        self
+    }
 
-        // One inbox per cell; every neighbor holds a sender clone.
-        let mut senders: HashMap<CellId, Sender<Message>> = HashMap::with_capacity(n);
-        let mut inboxes: HashMap<CellId, Receiver<Message>> = HashMap::with_capacity(n);
-        for &c in &cells {
-            let (tx, rx) = unbounded();
-            senders.insert(c, tx);
-            inboxes.insert(c, rx);
-        }
+    /// Injects message-level chaos through a [`ChaosTransport`].
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> NetSystem {
+        self.chaos = Some(chaos);
+        self
+    }
 
-        // send-phase and drain-phase barriers shared by all nodes.
-        let barrier = Barrier::new(n);
-        let (result_tx, result_rx) = unbounded::<(CellId, CellState, u64, u64)>();
-
-        let outcome = crossbeam::thread::scope(|scope| {
-            for &id in &cells {
-                let inbox = inboxes.remove(&id).expect("one inbox per cell");
-                let mut node = CellNode::new(id, &self.config);
-                let peers: HashMap<CellId, Sender<Message>> = node
-                    .neighbors()
-                    .iter()
-                    .map(|&nb| (nb, senders[&nb].clone()))
-                    .collect();
-                let barrier = &barrier;
-                let schedule = &self.schedule;
-                let result_tx = result_tx.clone();
-                scope.spawn(move |_| {
-                    for round in 0..rounds {
-                        // Local fail/recover transitions for this round.
-                        for &(when, cell, recover) in schedule {
-                            if when == round && cell == id {
-                                if recover {
-                                    node.recover();
-                                } else {
-                                    node.fail();
-                                }
-                            }
-                        }
-
-                        // Exchange 1: dist → Route.
-                        if let Some(dist) = node.announce_dist() {
-                            for tx in peers.values() {
-                                tx.send(Message::DistAnnounce { from: id, dist }).ok();
-                            }
-                        }
-                        barrier.wait();
-                        let mut dists = HashMap::new();
-                        for msg in inbox.try_iter() {
-                            if let Message::DistAnnounce { from, dist } = msg {
-                                dists.insert(from, dist);
-                            }
-                        }
-                        barrier.wait();
-                        node.route_step(&dists);
-
-                        // Exchange 2: (next, nonempty) → Signal.
-                        if let Some((next, nonempty)) = node.announce_route() {
-                            for tx in peers.values() {
-                                tx.send(Message::RouteAnnounce {
-                                    from: id,
-                                    next,
-                                    nonempty,
-                                })
-                                .ok();
-                            }
-                        }
-                        barrier.wait();
-                        let mut routes = HashMap::new();
-                        for msg in inbox.try_iter() {
-                            if let Message::RouteAnnounce {
-                                from,
-                                next,
-                                nonempty,
-                            } = msg
-                            {
-                                routes.insert(from, (next, nonempty));
-                            }
-                        }
-                        barrier.wait();
-                        node.signal_step(&routes);
-
-                        // Exchange 3: signal → Move.
-                        if let Some(signal) = node.announce_signal() {
-                            for tx in peers.values() {
-                                tx.send(Message::SignalAnnounce { from: id, signal }).ok();
-                            }
-                        }
-                        barrier.wait();
-                        let mut signals = HashMap::new();
-                        for msg in inbox.try_iter() {
-                            if let Message::SignalAnnounce { from, signal } = msg {
-                                signals.insert(from, signal);
-                            }
-                        }
-                        barrier.wait();
-
-                        // Move: transfers travel as messages.
-                        for (to, entity, pos) in node.move_step(&signals) {
-                            peers[&to]
-                                .send(Message::Transfer {
-                                    from: id,
-                                    entity,
-                                    pos,
-                                })
-                                .ok();
-                        }
-                        barrier.wait();
-                        let transfers: Vec<_> = inbox
-                            .try_iter()
-                            .filter_map(|msg| match msg {
-                                Message::Transfer { entity, pos, .. } => Some((entity, pos)),
-                                _ => None,
-                            })
-                            .collect();
-                        barrier.wait();
-                        node.receive_transfers(transfers);
-                        node.source_step();
-                        node.finish_round();
-                    }
-                    result_tx
-                        .send((id, node.state().clone(), node.consumed, node.inserted))
-                        .expect("coordinator outlives nodes");
-                });
-            }
-            drop(result_tx);
-
-            // Assemble the final snapshot.
-            let mut states: HashMap<CellId, CellState> = HashMap::with_capacity(n);
-            let mut consumed = 0u64;
-            let mut inserted = 0u64;
-            for _ in 0..n {
-                let (id, state, c, i) = result_rx.recv().expect("every node reports exactly once");
-                consumed += c;
-                inserted += i;
-                states.insert(id, state);
-            }
-            let state = SystemState {
-                cells: cells
-                    .iter()
-                    .map(|&c| states.remove(&c).expect("every cell reported"))
-                    .collect(),
-                // The distributed runtime has no global counter; expose the
-                // number of insertions instead (identifiers come from
-                // per-source pools).
-                next_entity_id: inserted,
-            };
-            NetReport {
-                state,
-                consumed,
-                inserted,
-            }
-        });
-
-        outcome.map_err(|panic| {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "opaque panic payload".to_string());
-            NetError::NodePanicked(msg)
-        })
+    /// Overrides the per-wait round timeout (default 5 s).
+    pub fn with_round_timeout(mut self, timeout: Duration) -> NetSystem {
+        self.round_timeout = timeout;
+        self
     }
 
     /// The wrapped configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
     }
+
+    /// The scripted fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Runs `rounds` rounds and returns the assembled outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NodePanicked`] if a cell thread panicked;
+    /// [`NetError::Timeout`] if a cell went silent without a scripted
+    /// hand-over (e.g. [`FaultKind::Kill`]) and the survivors timed out.
+    pub fn run(&self, rounds: u64) -> Result<NetReport, NetError> {
+        self.run_monitored(rounds, Vec::new())
+    }
+
+    /// Runs `rounds` rounds with online monitors: a collector thread
+    /// assembles every round's global state from per-node snapshots and
+    /// evaluates each monitor against it. Violations and per-monitor
+    /// summaries land in the report.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetSystem::run`].
+    pub fn run_monitored(
+        &self,
+        rounds: u64,
+        monitors: Vec<Box<dyn Monitor>>,
+    ) -> Result<NetReport, NetError> {
+        let dims = self.config.dims();
+        let cells: Vec<CellId> = dims.iter().collect();
+        let n = cells.len();
+        let collect = !monitors.is_empty();
+
+        // The fabric: perfect unless chaos is configured.
+        let chaos_transport = self.chaos.map(ChaosTransport::new);
+        let transport: &dyn Transport = match &chaos_transport {
+            Some(t) => t,
+            None => &PerfectTransport,
+        };
+
+        // One inbox per cell; every neighbor will hold a link to it.
+        let mut senders: HashMap<CellId, Sender<Envelope>> = HashMap::with_capacity(n);
+        let mut inboxes: HashMap<CellId, Receiver<Envelope>> = HashMap::with_capacity(n);
+        for &c in &cells {
+            let (tx, rx) = unbounded();
+            senders.insert(c, tx);
+            inboxes.insert(c, rx);
+        }
+
+        let barrier = RoundBarrier::new(n, self.round_timeout);
+        let (result_tx, result_rx) = unbounded::<(CellId, CellState, u64, u64)>();
+        let (snap_tx, snap_rx) = unbounded::<Snapshot>();
+
+        let outcome = crossbeam::thread::scope(|scope| {
+            let ctx = RunCtx {
+                config: &self.config,
+                plan: &self.plan,
+                barrier: &barrier,
+                rounds,
+                collect,
+            };
+            for &id in &cells {
+                let inbox = inboxes.remove(&id).expect("one inbox per cell");
+                let node = CellNode::new(id, &self.config);
+                let links = node
+                    .neighbors()
+                    .iter()
+                    .map(|&nb| (nb, transport.link(id, nb, senders[&nb].clone())))
+                    .collect();
+                let seat = Seat {
+                    inbox,
+                    links,
+                    result_tx: result_tx.clone(),
+                    snap_tx: snap_tx.clone(),
+                };
+                scope.spawn(move |scope| drive(scope, ctx, node, seat, 0));
+            }
+            drop(result_tx);
+            drop(snap_tx);
+
+            // Ambient message chaos, per round, for the stabilization clock:
+            // only drops/delays count (dup/reorder are absorbed by drains).
+            let noisy_until = match &self.chaos {
+                Some(c) if !c.is_lossless() => Some(c.until_round.unwrap_or(u64::MAX)),
+                _ => None,
+            };
+            let collector = collect.then(|| {
+                let patience = self.round_timeout.saturating_mul(16);
+                let config = &self.config;
+                let plan = &self.plan;
+                let cells = &cells;
+                scope.spawn(move |_| {
+                    collect_rounds(
+                        config,
+                        plan,
+                        rounds,
+                        cells,
+                        snap_rx,
+                        monitors,
+                        noisy_until,
+                        patience,
+                    )
+                })
+            });
+
+            // Assemble the final snapshot; every cell (or its last
+            // incarnation) reports exactly once on the success path.
+            let mut states: HashMap<CellId, CellState> = HashMap::with_capacity(n);
+            let mut consumed = 0u64;
+            let mut inserted = 0u64;
+            let mut reported = 0u64;
+            let run_result = loop {
+                if reported == n as u64 {
+                    break Ok(());
+                }
+                match result_rx.recv() {
+                    Ok((id, state, c, i)) => {
+                        reported += 1;
+                        consumed += c;
+                        inserted += i;
+                        states.insert(id, state);
+                    }
+                    // All node threads exited without all reporting: the
+                    // barrier poison tells us why; otherwise a thread
+                    // panicked (the scope join will surface the payload).
+                    Err(_) => match barrier.poison() {
+                        Some(p) => {
+                            break Err(NetError::Timeout {
+                                round: p.round(),
+                                cell: p.cell,
+                            })
+                        }
+                        None => {
+                            break Err(NetError::Disconnected {
+                                reported,
+                                expected: n as u64,
+                            })
+                        }
+                    },
+                }
+            };
+
+            let (violations, monitor_summaries) = match collector {
+                Some(handle) => handle
+                    .join()
+                    .unwrap_or_else(|_| (Vec::new(), vec!["collector panicked".to_string()])),
+                None => (Vec::new(), Vec::new()),
+            };
+
+            run_result.map(|()| NetReport {
+                state: SystemState {
+                    cells: cells
+                        .iter()
+                        .map(|&c| states.remove(&c).expect("every cell reported"))
+                        .collect(),
+                    // The distributed runtime has no global counter; expose
+                    // the number of insertions instead (identifiers come
+                    // from per-source pools).
+                    next_entity_id: inserted,
+                },
+                consumed,
+                inserted,
+                chaos: ChaosStats::default(),
+                violations,
+                monitor_summaries,
+            })
+        });
+
+        let mut report = match outcome {
+            Ok(inner) => inner?,
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                return Err(NetError::NodePanicked(msg));
+            }
+        };
+        if let Some(t) = &chaos_transport {
+            report.chaos = t.stats();
+        }
+        Ok(report)
+    }
+}
+
+/// Run-wide immutable context shared by every node thread.
+#[derive(Clone, Copy)]
+struct RunCtx<'a> {
+    config: &'a SystemConfig,
+    plan: &'a FaultPlan,
+    barrier: &'a RoundBarrier,
+    rounds: u64,
+    collect: bool,
+}
+
+/// One node thread's connections (everything but the node itself, which a
+/// hard-crash re-spawn replaces from a checkpoint).
+struct Seat {
+    inbox: Receiver<Envelope>,
+    links: Vec<(CellId, Box<dyn crate::transport::EdgeLink>)>,
+    result_tx: Sender<(CellId, CellState, u64, u64)>,
+    snap_tx: Sender<Snapshot>,
+}
+
+impl Seat {
+    fn broadcast(&mut self, round: u64, make: impl Fn() -> Message) {
+        for (_, link) in self.links.iter_mut() {
+            link.send(Envelope { round, msg: make() });
+        }
+    }
+
+    fn flush(&mut self) {
+        for (_, link) in self.links.iter_mut() {
+            link.flush();
+        }
+    }
+}
+
+/// One node's end-of-round report to the monitor collector.
+struct Snapshot {
+    round: u64,
+    id: CellId,
+    state: CellState,
+    consumed: u64,
+    inserted: u64,
+}
+
+/// The per-cell thread body, resumable: a hard-crash re-spawn re-enters it
+/// at `start_round` with the restored node. Exits silently when the barrier
+/// poisons (the coordinator reads the poison) or a scripted kill fires.
+fn drive<'scope, 'env>(
+    scope: &crossbeam::thread::Scope<'scope, 'env>,
+    ctx: RunCtx<'scope>,
+    mut node: CellNode,
+    mut seat: Seat,
+    start_round: u64,
+) {
+    let id = node.id();
+    for round in start_round..ctx.rounds {
+        // Scripted fault transitions at the start of the round.
+        for event in ctx.plan.events_at_for(round, id) {
+            match event.kind {
+                FaultKind::Crash => node.fail(),
+                FaultKind::Recover => node.recover(),
+                FaultKind::HardCrash => {
+                    // The deployment-level crash: apply the protocol `fail`
+                    // (so the checkpoint is the paper's frozen failed
+                    // state), checkpoint, hand the barrier seat over to the
+                    // scripted re-spawn (if any), and let this thread die.
+                    node.fail();
+                    let checkpoint = node.checkpoint();
+                    match ctx.plan.respawn_round_after(id, round) {
+                        Some(respawn) => {
+                            ctx.barrier.leave_and_rejoin_at(respawn * WAITS_PER_ROUND);
+                            scope.spawn(move |scope| {
+                                respawn_cell(scope, ctx, id, checkpoint, seat, respawn)
+                            });
+                        }
+                        None => {
+                            ctx.barrier.leave();
+                            // Report the frozen final state now; nobody
+                            // else will speak for this cell.
+                            let (c, i) = (node.consumed, node.inserted);
+                            seat.result_tx.send((id, node.into_state(), c, i)).ok();
+                        }
+                    }
+                    return;
+                }
+                FaultKind::Kill => {
+                    // Vanish without ceremony: no leave, no report. The
+                    // neighbors' next barrier wait times out and the run
+                    // degrades to a typed error instead of deadlocking.
+                    return;
+                }
+            }
+        }
+
+        // Exchange 1: dist → Route.
+        if let Some(dist) = node.announce_dist() {
+            seat.broadcast(round, || Message::DistAnnounce { from: id, dist });
+        }
+        seat.flush();
+        if ctx.barrier.wait(id).is_err() {
+            return;
+        }
+        let mut dists = HashMap::new();
+        for env in seat.inbox.try_iter() {
+            if env.round != round {
+                continue; // a delayed straggler: footnote-1 silence
+            }
+            if let Message::DistAnnounce { from, dist } = env.msg {
+                dists.insert(from, dist);
+            }
+        }
+        if ctx.barrier.wait(id).is_err() {
+            return;
+        }
+        node.route_step(&dists);
+
+        // Exchange 2: (next, nonempty) → Signal.
+        if let Some((next, nonempty)) = node.announce_route() {
+            seat.broadcast(round, || Message::RouteAnnounce {
+                from: id,
+                next,
+                nonempty,
+            });
+        }
+        seat.flush();
+        if ctx.barrier.wait(id).is_err() {
+            return;
+        }
+        let mut routes = HashMap::new();
+        for env in seat.inbox.try_iter() {
+            if env.round != round {
+                continue;
+            }
+            if let Message::RouteAnnounce {
+                from,
+                next,
+                nonempty,
+            } = env.msg
+            {
+                routes.insert(from, (next, nonempty));
+            }
+        }
+        if ctx.barrier.wait(id).is_err() {
+            return;
+        }
+        node.signal_step(&routes);
+
+        // Exchange 3: signal → Move.
+        if let Some(signal) = node.announce_signal() {
+            seat.broadcast(round, || Message::SignalAnnounce { from: id, signal });
+        }
+        seat.flush();
+        if ctx.barrier.wait(id).is_err() {
+            return;
+        }
+        let mut signals = HashMap::new();
+        for env in seat.inbox.try_iter() {
+            if env.round != round {
+                continue;
+            }
+            if let Message::SignalAnnounce { from, signal } = env.msg {
+                signals.insert(from, signal);
+            }
+        }
+        if ctx.barrier.wait(id).is_err() {
+            return;
+        }
+
+        // Exchange 4: Move — transfers travel as (chaos-exempt) messages.
+        for (to, entity, pos) in node.move_step(&signals) {
+            let link = seat
+                .links
+                .iter_mut()
+                .find(|(nb, _)| *nb == to)
+                .map(|(_, l)| l)
+                .expect("transfers go to neighbors");
+            link.send(Envelope {
+                round,
+                msg: Message::Transfer {
+                    from: id,
+                    entity,
+                    pos,
+                },
+            });
+        }
+        seat.flush();
+        if ctx.barrier.wait(id).is_err() {
+            return;
+        }
+        let transfers: Vec<_> = seat
+            .inbox
+            .try_iter()
+            .filter_map(|env| match env.msg {
+                Message::Transfer { entity, pos, .. } if env.round == round => {
+                    Some((entity, pos))
+                }
+                _ => None,
+            })
+            .collect();
+        if ctx.barrier.wait(id).is_err() {
+            return;
+        }
+        node.receive_transfers(transfers);
+        node.source_step();
+        node.finish_round();
+
+        if ctx.collect {
+            seat.snap_tx
+                .send(Snapshot {
+                    round,
+                    id,
+                    state: node.state().clone(),
+                    consumed: node.consumed,
+                    inserted: node.inserted,
+                })
+                .ok();
+        }
+    }
+    let (c, i) = (node.consumed, node.inserted);
+    seat.result_tx.send((id, node.into_state(), c, i)).ok();
+}
+
+/// The re-spawned incarnation of a hard-crashed cell: waits for its reserved
+/// barrier seat to activate, restores the node from the checkpoint, and
+/// resumes the ordinary drive loop (whose first action at `respawn` is
+/// applying that round's scripted events — including the Recover that
+/// un-fails the restored state).
+fn respawn_cell<'scope, 'env>(
+    scope: &crossbeam::thread::Scope<'scope, 'env>,
+    ctx: RunCtx<'scope>,
+    id: CellId,
+    checkpoint: NodeCheckpoint,
+    seat: Seat,
+    respawn: u64,
+) {
+    if ctx
+        .barrier
+        .wait_for_generation(id, respawn * WAITS_PER_ROUND)
+        .is_err()
+    {
+        return;
+    }
+    let node = CellNode::restore(id, ctx.config, checkpoint, respawn);
+    drive(scope, ctx, node, seat, respawn);
+}
+
+/// The monitor collector: reassembles each round's global state from node
+/// snapshots and feeds it to the monitors. Hard-dead cells (between a
+/// hard crash and its re-spawn) send nothing; the collector carries their
+/// last reported state forward with the `fail` transition applied, which is
+/// exactly the shared-variable reference's reading of those rounds.
+#[allow(clippy::too_many_arguments)]
+fn collect_rounds(
+    config: &SystemConfig,
+    plan: &FaultPlan,
+    rounds: u64,
+    cells: &[CellId],
+    snap_rx: Receiver<Snapshot>,
+    mut monitors: Vec<Box<dyn Monitor>>,
+    noisy_until: Option<u64>,
+    patience: Duration,
+) -> (Vec<MonitorViolation>, Vec<String>) {
+    let n = cells.len();
+    let mut last: HashMap<CellId, (CellState, u64, u64)> = cells
+        .iter()
+        .map(|&c| {
+            let state = if c == config.target() {
+                CellState::initial_target()
+            } else {
+                CellState::initial()
+            };
+            (c, (state, 0, 0))
+        })
+        .collect();
+    let mut violations = Vec::new();
+    'rounds: for round in 0..rounds {
+        let dead = plan.hard_dead_at(round);
+        let expect = n - dead.len();
+        for _ in 0..expect {
+            match snap_rx.recv_timeout(patience) {
+                Ok(snap) => {
+                    debug_assert_eq!(snap.round, round, "snapshots arrive in round order");
+                    last.insert(snap.id, (snap.state, snap.consumed, snap.inserted));
+                }
+                // The run aborted (timeout/kill/panic): report what the
+                // completed rounds established.
+                Err(_) => break 'rounds,
+            }
+        }
+        let mut consumed_total = 0;
+        let mut inserted_total = 0;
+        let assembled: Vec<CellState> = cells
+            .iter()
+            .map(|&c| {
+                let (state, consumed, inserted) = &last[&c];
+                consumed_total += consumed;
+                inserted_total += inserted;
+                let mut state = state.clone();
+                if dead.contains(&c) {
+                    state.failed = true;
+                    state.dist = Dist::Infinity;
+                    state.next = None;
+                    state.signal = None;
+                }
+                state
+            })
+            .collect();
+        let state = SystemState {
+            cells: assembled,
+            next_entity_id: inserted_total,
+        };
+        let failed: Vec<CellId> = plan
+            .events_at(round)
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::Crash | FaultKind::HardCrash | FaultKind::Kill
+                )
+            })
+            .map(|e| e.cell)
+            .collect();
+        let recovered: Vec<CellId> = plan
+            .events_at(round)
+            .filter(|e| e.kind == FaultKind::Recover)
+            .map(|e| e.cell)
+            .collect();
+        let ctx = MonitorCtx {
+            config,
+            state: &state,
+            round: round + 1,
+            failed: &failed,
+            recovered: &recovered,
+            ambient_chaos: noisy_until.is_some_and(|limit| round < limit),
+            consumed_total,
+            inserted_total,
+        };
+        for monitor in monitors.iter_mut() {
+            violations.extend(monitor.observe(&ctx));
+        }
+    }
+    let summaries = monitors.iter().map(|m| m.summary()).collect();
+    (violations, summaries)
 }
 
 #[cfg(test)]
@@ -275,18 +714,20 @@ mod tests {
 
     #[test]
     fn traffic_flows_through_the_deployment() {
-        let report = NetSystem::new(config(4)).run(150).unwrap();
+        let report = NetSystem::new(config(4)).unwrap().run(150).unwrap();
         assert!(report.consumed > 0, "nothing was delivered");
         assert_eq!(
             report.inserted,
             report.consumed + report.state.entity_count() as u64
         );
+        assert_eq!(report.chaos, ChaosStats::default());
+        assert!(report.violations.is_empty());
     }
 
     #[test]
     fn runs_are_deterministic_despite_threading() {
-        let a = NetSystem::new(config(4)).run(100).unwrap();
-        let b = NetSystem::new(config(4)).run(100).unwrap();
+        let a = NetSystem::new(config(4)).unwrap().run(100).unwrap();
+        let b = NetSystem::new(config(4)).unwrap().run(100).unwrap();
         assert_eq!(a, b);
     }
 
@@ -297,6 +738,7 @@ mod tests {
             (60, CellId::new(1, 2), true),
         ];
         let report = NetSystem::new(config(4))
+            .unwrap()
             .with_schedule(schedule)
             .run(200)
             .unwrap();
@@ -307,8 +749,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "global state")]
     fn entity_budgets_are_rejected() {
-        let _ = NetSystem::new(config(4).with_entity_budget(3));
+        let err = NetSystem::new(config(4).with_entity_budget(3)).unwrap_err();
+        assert!(matches!(err, NetError::UnsupportedConfig(_)));
+        assert!(err.to_string().contains("global state"));
+    }
+
+    #[test]
+    fn monitored_clean_run_reports_summaries() {
+        let cfg = config(4);
+        let monitors = cellflow_core::standard_monitors(&cfg);
+        let report = NetSystem::new(cfg)
+            .unwrap()
+            .run_monitored(80, monitors)
+            .unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.monitor_summaries.len(), 4);
+        assert!(report.monitor_summaries[0].contains("80 rounds"));
+        assert!(report
+            .monitor_summaries
+            .iter()
+            .any(|s| s.contains("stabilized")));
     }
 }

@@ -1,0 +1,394 @@
+//! The transport abstraction: how envelopes travel along grid edges.
+//!
+//! The runtime does not talk to channels directly; every directed edge
+//! `(from, to)` gets an [`EdgeLink`] from the configured [`Transport`]:
+//!
+//! * [`PerfectTransport`] — the synchrony assumption of the paper taken at
+//!   face value: every message arrives, exactly once, within its exchange.
+//! * [`ChaosTransport`] — a seeded adversary that drops, duplicates, delays
+//!   (into a later exchange, where the round tag makes receivers discard
+//!   the straggler), and reorders announcement traffic per edge.
+//!
+//! # Determinism
+//!
+//! Each edge owns a private [`SmallRng`] seeded from
+//! `(seed, from, to)`, and fault decisions consume only that stream in the
+//! sending node's program order. Thread interleaving therefore cannot
+//! change which messages are dropped: two runs with the same seed make
+//! byte-identical fault decisions.
+//!
+//! # What chaos never touches
+//!
+//! [`Message::Transfer`] and [`Message::MoveDone`] are exempt. A transfer
+//! *is* the entity: dropping it would destroy the entity, duplicating it
+//! would clone the entity — violations of the model (the paper's Move
+//! function relocates entities; it cannot lose them), not interesting
+//! network weather. The announcement exchanges are precisely the traffic
+//! whose loss the protocol is specified to tolerate (footnote 1: silence
+//! reads as `∞`/`⊥`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cellflow_grid::CellId;
+use crossbeam::channel::Sender;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::message::{Envelope, Message};
+
+/// A directed edge's sending endpoint, as seen by one node thread.
+///
+/// Messages queue with [`EdgeLink::send`] and hit the wire at
+/// [`EdgeLink::flush`], called once per exchange right before the node
+/// enters the exchange's barrier — the point after which receivers drain.
+pub trait EdgeLink: Send {
+    /// Queues one envelope for the current exchange.
+    fn send(&mut self, env: Envelope);
+
+    /// Delivers the exchange's queued traffic (applying any faults).
+    fn flush(&mut self);
+}
+
+/// A factory of [`EdgeLink`]s — the deployment's network fabric.
+pub trait Transport: Sync {
+    /// Creates the link for the directed edge `from → to` over the raw
+    /// channel `tx`.
+    fn link(&self, from: CellId, to: CellId, tx: Sender<Envelope>) -> Box<dyn EdgeLink>;
+}
+
+/// The faithful fabric: immediate, exactly-once, in-order delivery.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerfectTransport;
+
+struct PerfectLink {
+    tx: Sender<Envelope>,
+}
+
+impl EdgeLink for PerfectLink {
+    fn send(&mut self, env: Envelope) {
+        // A receiver that already exited (aborted run) makes sends fail;
+        // that is fine, the sender will observe the abort at its barrier.
+        self.tx.send(env).ok();
+    }
+
+    fn flush(&mut self) {}
+}
+
+impl Transport for PerfectTransport {
+    fn link(&self, _from: CellId, _to: CellId, tx: Sender<Envelope>) -> Box<dyn EdgeLink> {
+        Box::new(PerfectLink { tx })
+    }
+}
+
+/// Fault rates and seed for a [`ChaosTransport`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for the per-edge fault streams.
+    pub seed: u64,
+    /// Probability an announcement is dropped outright.
+    pub drop_rate: f64,
+    /// Probability an announcement is held back and delivered during a
+    /// later exchange (where the round/variant filter discards it — the
+    /// mechanically-honest version of a message "too late to matter").
+    pub delay_rate: f64,
+    /// Probability a delivered announcement is sent twice.
+    pub dup_rate: f64,
+    /// Probability a flush's queued messages are emitted in reversed order.
+    pub reorder_rate: f64,
+    /// Chaos applies only to rounds `< until_round` (`None` = all rounds).
+    /// A quiet tail lets stabilization measurements run on a calm network.
+    pub until_round: Option<u64>,
+}
+
+impl ChaosConfig {
+    /// A configuration with every rate zero (useful as a base to tweak).
+    pub fn quiet(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            until_round: None,
+        }
+    }
+
+    /// `true` if no fault can ever fire.
+    pub fn is_quiet(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.dup_rate == 0.0
+            && self.reorder_rate == 0.0
+    }
+
+    /// `true` if drops and delays are impossible (duplication and
+    /// reordering alone are absorbed by the receivers' keyed drains, so
+    /// such runs stay bit-identical to the reference).
+    pub fn is_lossless(&self) -> bool {
+        self.drop_rate == 0.0 && self.delay_rate == 0.0
+    }
+
+    fn active(&self, round: u64) -> bool {
+        match self.until_round {
+            Some(limit) => round < limit,
+            None => true,
+        }
+    }
+}
+
+/// Tallies of the faults a [`ChaosTransport`] actually injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Announcements dropped.
+    pub dropped: u64,
+    /// Announcements delivered twice.
+    pub duplicated: u64,
+    /// Announcements delivered one exchange late (read as silence).
+    pub delayed: u64,
+    /// Flushes whose queue was emitted reversed.
+    pub reordered: u64,
+}
+
+#[derive(Default)]
+struct StatsCells {
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    reordered: AtomicU64,
+}
+
+/// The adversarial fabric. Create per run; collect the tally with
+/// [`ChaosTransport::stats`] after the run completes.
+pub struct ChaosTransport {
+    config: ChaosConfig,
+    stats: Arc<StatsCells>,
+}
+
+impl ChaosTransport {
+    /// A fabric injecting faults per `config`.
+    pub fn new(config: ChaosConfig) -> ChaosTransport {
+        ChaosTransport {
+            config,
+            stats: Arc::new(StatsCells::default()),
+        }
+    }
+
+    /// The injected-fault tally so far (complete once all links are done).
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            dropped: self.stats.dropped.load(Ordering::Relaxed),
+            duplicated: self.stats.duplicated.load(Ordering::Relaxed),
+            delayed: self.stats.delayed.load(Ordering::Relaxed),
+            reordered: self.stats.reordered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Splitmix-style mix of the run seed and the directed edge's endpoints, so
+/// every edge draws from a distinct, schedule-independent stream.
+fn edge_seed(seed: u64, from: CellId, to: CellId) -> u64 {
+    let mut z = seed
+        ^ ((from.i() as u64) << 48)
+        ^ ((from.j() as u64) << 32)
+        ^ ((to.i() as u64) << 16)
+        ^ (to.j() as u64);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct ChaosLink {
+    tx: Sender<Envelope>,
+    rng: SmallRng,
+    config: ChaosConfig,
+    stats: Arc<StatsCells>,
+    /// Messages queued since the last flush.
+    queue: Vec<Envelope>,
+    /// Messages held back by a delay fault, delivered (stale) next flush.
+    held: Vec<Envelope>,
+}
+
+fn is_exempt(msg: &Message) -> bool {
+    matches!(msg, Message::Transfer { .. } | Message::MoveDone { .. })
+}
+
+impl EdgeLink for ChaosLink {
+    fn send(&mut self, env: Envelope) {
+        self.queue.push(env);
+    }
+
+    fn flush(&mut self) {
+        // Stragglers from the previous exchange go out first; their round
+        // and variant no longer match what the receiver drains for, so they
+        // are read as silence — exactly footnote 1's "no timely response".
+        for env in self.held.drain(..) {
+            self.tx.send(env).ok();
+        }
+        let mut queue = std::mem::take(&mut self.queue);
+        if queue.len() > 1 && self.rng.gen_bool(self.config.reorder_rate) {
+            queue.reverse();
+            self.stats.reordered.fetch_add(1, Ordering::Relaxed);
+        }
+        for env in queue {
+            if is_exempt(&env.msg) || !self.config.active(env.round) {
+                self.tx.send(env).ok();
+                continue;
+            }
+            if self.rng.gen_bool(self.config.drop_rate) {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if self.rng.gen_bool(self.config.delay_rate) {
+                self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+                self.held.push(env);
+                continue;
+            }
+            let dup = self.rng.gen_bool(self.config.dup_rate);
+            self.tx.send(env.clone()).ok();
+            if dup {
+                self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                self.tx.send(env).ok();
+            }
+        }
+    }
+}
+
+impl Transport for ChaosTransport {
+    fn link(&self, from: CellId, to: CellId, tx: Sender<Envelope>) -> Box<dyn EdgeLink> {
+        Box::new(ChaosLink {
+            tx,
+            rng: SmallRng::seed_from_u64(edge_seed(self.config.seed, from, to)),
+            config: self.config,
+            stats: self.stats.clone(),
+            queue: Vec::new(),
+            held: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cellflow_routing::Dist;
+    use crossbeam::channel::unbounded;
+
+    fn announce(round: u64) -> Envelope {
+        Envelope {
+            round,
+            msg: Message::DistAnnounce {
+                from: CellId::new(0, 0),
+                dist: Dist::Finite(3),
+            },
+        }
+    }
+
+    fn transfer(round: u64) -> Envelope {
+        Envelope {
+            round,
+            msg: Message::Transfer {
+                from: CellId::new(0, 0),
+                entity: cellflow_core::EntityId(1),
+                pos: CellId::new(0, 1).center(),
+            },
+        }
+    }
+
+    #[test]
+    fn perfect_link_delivers_immediately() {
+        let (tx, rx) = unbounded();
+        let mut link = PerfectTransport.link(CellId::new(0, 0), CellId::new(0, 1), tx);
+        link.send(announce(0));
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn chaos_drops_at_rate_one_but_never_transfers() {
+        let transport = ChaosTransport::new(ChaosConfig {
+            drop_rate: 1.0,
+            ..ChaosConfig::quiet(42)
+        });
+        let (tx, rx) = unbounded();
+        let mut link = transport.link(CellId::new(0, 0), CellId::new(0, 1), tx);
+        for round in 0..10 {
+            link.send(announce(round));
+            link.send(transfer(round));
+            link.flush();
+        }
+        let received: Vec<Envelope> = rx.try_iter().collect();
+        assert_eq!(received.len(), 10, "transfers are exempt from chaos");
+        assert!(received
+            .iter()
+            .all(|e| matches!(e.msg, Message::Transfer { .. })));
+        assert_eq!(transport.stats().dropped, 10);
+    }
+
+    #[test]
+    fn delayed_messages_arrive_stale_next_flush() {
+        let transport = ChaosTransport::new(ChaosConfig {
+            delay_rate: 1.0,
+            ..ChaosConfig::quiet(7)
+        });
+        let (tx, rx) = unbounded();
+        let mut link = transport.link(CellId::new(0, 0), CellId::new(0, 1), tx);
+        link.send(announce(0));
+        link.flush();
+        assert_eq!(rx.try_iter().count(), 0, "held back");
+        link.flush();
+        let late: Vec<Envelope> = rx.try_iter().collect();
+        assert_eq!(late.len(), 1, "straggler delivered exactly once");
+        assert_eq!(late[0].round, 0, "still tagged with its original round");
+        assert_eq!(transport.stats().delayed, 1);
+    }
+
+    #[test]
+    fn duplication_doubles_delivery() {
+        let transport = ChaosTransport::new(ChaosConfig {
+            dup_rate: 1.0,
+            ..ChaosConfig::quiet(9)
+        });
+        let (tx, rx) = unbounded();
+        let mut link = transport.link(CellId::new(0, 0), CellId::new(0, 1), tx);
+        link.send(announce(0));
+        link.flush();
+        assert_eq!(rx.try_iter().count(), 2);
+        assert_eq!(transport.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn until_round_quiets_the_tail() {
+        let transport = ChaosTransport::new(ChaosConfig {
+            drop_rate: 1.0,
+            until_round: Some(5),
+            ..ChaosConfig::quiet(3)
+        });
+        let (tx, rx) = unbounded();
+        let mut link = transport.link(CellId::new(0, 0), CellId::new(0, 1), tx);
+        for round in 0..10 {
+            link.send(announce(round));
+            link.flush();
+        }
+        assert_eq!(rx.try_iter().count(), 5, "rounds 5..10 fly clean");
+        assert_eq!(transport.stats().dropped, 5);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let run = |seed| {
+            let transport = ChaosTransport::new(ChaosConfig {
+                drop_rate: 0.5,
+                ..ChaosConfig::quiet(seed)
+            });
+            let (tx, rx) = unbounded();
+            let mut link = transport.link(CellId::new(1, 2), CellId::new(1, 3), tx);
+            for round in 0..100 {
+                link.send(announce(round));
+                link.flush();
+            }
+            rx.try_iter().map(|e| e.round).collect::<Vec<u64>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds differ somewhere");
+    }
+}

@@ -53,7 +53,7 @@ fn reference_run(
 fn single_source_states_are_bit_identical() {
     for rounds in [1u64, 7, 40, 150] {
         let cfg = single_source_config(5);
-        let net = NetSystem::new(cfg.clone()).run(rounds).unwrap();
+        let net = NetSystem::new(cfg.clone()).unwrap().run(rounds).unwrap();
         let (ref_state, ref_consumed, ref_inserted) = reference_run(&cfg, rounds, &[]);
         assert_eq!(net.state.cells, ref_state.cells, "diverged at K={rounds}");
         assert_eq!(net.consumed, ref_consumed);
@@ -70,7 +70,7 @@ fn single_source_with_failures_bit_identical() {
         (55, CellId::new(1, 4), false),
     ];
     let cfg = single_source_config(5);
-    let net = NetSystem::new(cfg.clone())
+    let net = NetSystem::new(cfg.clone()).unwrap()
         .with_schedule(schedule.clone())
         .run(120)
         .unwrap();
@@ -124,7 +124,7 @@ fn multi_source_equivalent_modulo_ids() {
     .with_source(CellId::new(0, 0))
     .with_source(CellId::new(5, 0))
     .with_source(CellId::new(0, 5));
-    let net = NetSystem::new(cfg.clone()).run(200).unwrap();
+    let net = NetSystem::new(cfg.clone()).unwrap().run(200).unwrap();
     let (ref_state, ref_consumed, ref_inserted) = reference_run(&cfg, 200, &[]);
     assert_eq!(erased(&net.state), erased(&ref_state));
     assert_eq!(net.consumed, ref_consumed);
@@ -154,7 +154,7 @@ proptest! {
             .into_iter()
             .map(|(when, (i, j), rec)| (when, CellId::new(i % n, j % n), rec))
             .collect();
-        let net = NetSystem::new(cfg.clone())
+        let net = NetSystem::new(cfg.clone()).unwrap()
             .with_schedule(schedule.clone())
             .run(rounds)
             .unwrap();
@@ -179,7 +179,7 @@ fn randomized_token_policy_equivalent() {
     .with_source(CellId::new(0, 2))
     .with_source(CellId::new(2, 0))
     .with_token_policy(TokenPolicy::Randomized { salt: 0xFEED });
-    let net = NetSystem::new(cfg.clone()).run(150).unwrap();
+    let net = NetSystem::new(cfg.clone()).unwrap().run(150).unwrap();
     let (ref_state, ref_consumed, _) = reference_run(&cfg, 150, &[]);
     assert_eq!(erased(&net.state), erased(&ref_state));
     assert_eq!(net.consumed, ref_consumed);

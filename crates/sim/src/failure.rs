@@ -1,5 +1,6 @@
 //! Crash/recovery models.
 
+use cellflow_core::fault::{FaultKind, FaultPlan};
 use cellflow_core::System;
 use cellflow_grid::CellId;
 use rand::rngs::SmallRng;
@@ -179,6 +180,33 @@ impl FailureModel for Schedule {
     }
 }
 
+/// A [`FaultPlan`] drives the shared-variable reference too: the same
+/// scripted campaign that the message-passing runtime executes mechanically
+/// (thread death, barrier leave/re-join, silence) reads here as plain
+/// fail/recover transitions — which is exactly the abstraction the paper's
+/// model makes. This is what the differential tests lean on: one plan, two
+/// runtimes, identical observable behavior.
+impl FailureModel for FaultPlan {
+    fn apply(&mut self, system: &mut System, round: u64) -> FailureEvents {
+        let mut events = FailureEvents::default();
+        for event in self.events_at(round) {
+            match event.kind {
+                FaultKind::Recover => {
+                    system.recover(event.cell);
+                    events.recovered.push(event.cell);
+                }
+                // Crash, HardCrash, and Kill are indistinguishable in the
+                // shared-variable model: the cell's state freezes at `fail`.
+                FaultKind::Crash | FaultKind::HardCrash | FaultKind::Kill => {
+                    system.fail(event.cell);
+                    events.failed.push(event.cell);
+                }
+            }
+        }
+        events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +297,25 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn bad_probability_panics() {
         let _ = RandomFailRecover::new(1.5, 0.0, 1);
+    }
+
+    #[test]
+    fn fault_plan_drives_the_reference() {
+        let mut sys = system();
+        let mut plan = FaultPlan::new()
+            .crash_at(1, CellId::new(1, 1))
+            .hard_crash_at(2, CellId::new(2, 2))
+            .recover_at(4, CellId::new(1, 1));
+        for round in 0..6 {
+            let ev = plan.apply(&mut sys, round);
+            match round {
+                1 => assert_eq!(ev.failed, vec![CellId::new(1, 1)]),
+                2 => assert_eq!(ev.failed, vec![CellId::new(2, 2)]),
+                4 => assert_eq!(ev.recovered, vec![CellId::new(1, 1)]),
+                _ => assert!(ev.is_empty()),
+            }
+        }
+        assert!(!sys.cell(CellId::new(1, 1)).failed);
+        assert!(sys.cell(CellId::new(2, 2)).failed, "hard crash reads as fail");
     }
 }

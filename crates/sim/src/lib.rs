@@ -6,7 +6,10 @@
 //! * [`Simulation`] — a [`cellflow_core::System`] plus a [`FailureModel`],
 //!   per-round [`Metrics`], and an optional [`TraceRecorder`];
 //! * [`failure`] — crash/recovery models, including the per-round
-//!   `(p_f, p_r)` random model of Figure 9 (after DeVille & Mitra, SSS 2009);
+//!   `(p_f, p_r)` random model of Figure 9 (after DeVille & Mitra, SSS 2009)
+//!   and the shared [`FaultPlan`](cellflow_core::FaultPlan) chaos vocabulary
+//!   (bursts, blackouts, flapping, hard crashes), which drives this
+//!   reference runtime and the `cellflow-net` deployment identically;
 //! * [`metrics`] — K-round and average throughput exactly as defined in §IV;
 //! * [`baseline`] — an omniscient centralized controller with the same
 //!   physics, the comparator for the distributed protocol's signaling cost;
@@ -45,7 +48,11 @@ pub mod sweep;
 pub mod table;
 mod trace;
 
-pub use failure::FailureModel;
+pub use failure::{FailureEvents, FailureModel};
 pub use metrics::Metrics;
 pub use runner::Simulation;
 pub use trace::{TraceEvent, TraceRecorder};
+
+// The chaos vocabulary is shared with the message-passing runtime; re-export
+// it so campaign code needs only this crate.
+pub use cellflow_core::{CampaignSpec, FaultEvent, FaultKind, FaultPlan};

@@ -7,6 +7,8 @@
 
 use cellflow_core::RoundEvents;
 
+use crate::failure::FailureEvents;
+
 /// Per-round counters accumulated over a simulation.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -16,6 +18,8 @@ pub struct Metrics {
     blocked_per_round: Vec<u32>,
     grants_per_round: Vec<u32>,
     moved_per_round: Vec<u32>,
+    #[cfg_attr(feature = "serde", serde(skip))]
+    failures_per_round: Vec<FailureEvents>,
 }
 
 impl Metrics {
@@ -31,6 +35,34 @@ impl Metrics {
         self.blocked_per_round.push(events.blocked.len() as u32);
         self.grants_per_round.push(events.grants.len() as u32);
         self.moved_per_round.push(events.moved.len() as u32);
+    }
+
+    /// Records the round's failure-model activity alongside the protocol
+    /// events, so traces carry *why* throughput dipped, not just that it
+    /// did. Call once per round, before or after [`Metrics::record`].
+    pub fn record_failures(&mut self, events: &FailureEvents) {
+        self.failures_per_round.push(events.clone());
+    }
+
+    /// Per-round failure-model activity, when recorded (empty otherwise).
+    pub fn failure_history(&self) -> &[FailureEvents] {
+        &self.failures_per_round
+    }
+
+    /// Total cells crashed by the failure model over the run.
+    pub fn failed_total(&self) -> u64 {
+        self.failures_per_round
+            .iter()
+            .map(|e| e.failed.len() as u64)
+            .sum()
+    }
+
+    /// Total cells recovered by the failure model over the run.
+    pub fn recovered_total(&self) -> u64 {
+        self.failures_per_round
+            .iter()
+            .map(|e| e.recovered.len() as u64)
+            .sum()
     }
 
     /// Rounds recorded so far (the `K` of K-round throughput).
@@ -166,5 +198,23 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_window_panics() {
         Metrics::new().tail_throughput(0);
+    }
+
+    #[test]
+    fn failure_history_accumulates() {
+        let mut m = Metrics::new();
+        m.record_failures(&FailureEvents::default());
+        m.record_failures(&FailureEvents {
+            failed: vec![CellId::new(1, 1), CellId::new(2, 2)],
+            recovered: vec![],
+        });
+        m.record_failures(&FailureEvents {
+            failed: vec![],
+            recovered: vec![CellId::new(1, 1)],
+        });
+        assert_eq!(m.failure_history().len(), 3);
+        assert_eq!(m.failed_total(), 2);
+        assert_eq!(m.recovered_total(), 1);
+        assert!(m.failure_history()[0].is_empty());
     }
 }

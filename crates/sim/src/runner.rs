@@ -1,5 +1,6 @@
 //! The simulation driver.
 
+use cellflow_core::monitor::{Monitor, MonitorCtx, MonitorViolation};
 use cellflow_core::{safety, RoundEvents, System, SystemConfig, TokenPolicy};
 
 use crate::failure::{FailureModel, NoFailures};
@@ -35,6 +36,8 @@ pub struct Simulation {
     metrics: Metrics,
     trace: Option<TraceRecorder>,
     check_safety: bool,
+    monitors: Vec<Box<dyn Monitor>>,
+    violations: Vec<MonitorViolation>,
 }
 
 impl Simulation {
@@ -52,6 +55,8 @@ impl Simulation {
             metrics: Metrics::new(),
             trace: None,
             check_safety: cfg!(debug_assertions),
+            monitors: Vec::new(),
+            violations: Vec::new(),
         }
     }
 
@@ -88,6 +93,19 @@ impl Simulation {
         self
     }
 
+    /// Installs online monitors, evaluated against the global state after
+    /// every round. Unlike [`Simulation::with_safety_checks`] (which panics),
+    /// monitors *accumulate* violations — see [`Simulation::violations`] —
+    /// which is what a chaos campaign wants: run to completion, then report.
+    ///
+    /// These are the same monitors the message-passing runtime evaluates in
+    /// [`NetSystem::run_monitored`](../cellflow_net/struct.NetSystem.html),
+    /// so a campaign can be judged identically on both runtimes.
+    pub fn with_monitors(mut self, monitors: Vec<Box<dyn Monitor>>) -> Simulation {
+        self.monitors = monitors;
+        self
+    }
+
     /// The underlying system.
     pub fn system(&self) -> &System {
         &self.system
@@ -109,6 +127,16 @@ impl Simulation {
         self.trace.as_ref()
     }
 
+    /// Violations accumulated by the installed monitors.
+    pub fn violations(&self) -> &[MonitorViolation] {
+        &self.violations
+    }
+
+    /// One summary line per installed monitor.
+    pub fn monitor_summaries(&self) -> Vec<String> {
+        self.monitors.iter().map(|m| m.summary()).collect()
+    }
+
     /// Executes one round: failures, then `update`, then bookkeeping.
     ///
     /// # Panics
@@ -121,8 +149,26 @@ impl Simulation {
         let failures = self.failure.apply(&mut self.system, round);
         let events = self.system.step();
         self.metrics.record(&events);
+        self.metrics.record_failures(&failures);
         if let Some(tr) = &mut self.trace {
             tr.record(round, &failures, &events);
+        }
+        if !self.monitors.is_empty() {
+            let ctx = MonitorCtx {
+                config: self.system.config(),
+                state: self.system.state(),
+                round: self.system.round(),
+                failed: &failures.failed,
+                recovered: &failures.recovered,
+                // The shared-variable model has no message fabric to be
+                // noisy; failures are the only disturbance.
+                ambient_chaos: false,
+                consumed_total: self.system.consumed_total(),
+                inserted_total: self.system.inserted_total(),
+            };
+            for monitor in self.monitors.iter_mut() {
+                self.violations.extend(monitor.observe(&ctx));
+            }
         }
         if self.check_safety {
             let (cfg, st) = (self.system.config(), self.system.state());
@@ -209,6 +255,26 @@ mod tests {
         for (cell, _) in sim.system().state().entities(dims) {
             assert!(path.contains(cell), "entity off the carved path at {cell}");
         }
+    }
+
+    #[test]
+    fn monitors_stay_quiet_on_a_healthy_run() {
+        let cfg = config();
+        let monitors = cellflow_core::standard_monitors(&cfg);
+        let mut sim = Simulation::new(cfg, 1)
+            .with_failure_model(
+                cellflow_core::FaultPlan::new()
+                    .crash_at(30, CellId::new(3, 3))
+                    .recover_at(60, CellId::new(3, 3)),
+            )
+            .with_monitors(monitors);
+        sim.run(300);
+        assert!(sim.violations().is_empty(), "{:?}", sim.violations());
+        assert_eq!(sim.metrics().failed_total(), 1);
+        assert_eq!(sim.metrics().recovered_total(), 1);
+        let summaries = sim.monitor_summaries();
+        assert_eq!(summaries.len(), 4);
+        assert!(summaries.iter().any(|s| s.contains("stabilized")));
     }
 
     #[test]

@@ -61,6 +61,7 @@ fn twelve_by_twelve_deployment_matches_reference() {
         .unwrap()
         .with_source(CellId::new(6, 0));
     let report = NetSystem::new(config.clone())
+        .unwrap()
         .with_schedule([
             (20u64, CellId::new(6, 5), false),
             (70, CellId::new(6, 5), true),

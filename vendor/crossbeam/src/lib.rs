@@ -1,0 +1,133 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate.
+//!
+//! This workspace builds in hermetic environments with no access to
+//! crates.io, so external dependencies are replaced by vendored stubs via
+//! `[patch.crates-io]` (see `vendor/README.md`). This stub provides the two
+//! crossbeam facilities the workspace uses — unbounded MPSC channels and
+//! scoped threads — implemented directly on `std`:
+//!
+//! * [`channel::unbounded`] wraps [`std::sync::mpsc::channel`] (which, since
+//!   Rust 1.67, *is* crossbeam's channel implementation upstreamed into std);
+//! * [`thread::scope`] wraps [`std::thread::scope`], adapting the panic
+//!   contract: crossbeam returns `Err(payload)` when a spawned thread
+//!   panicked, where std re-raises, so the wrapper catches the unwind.
+//!
+//! Only the APIs this repository calls are exposed.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (the subset of `crossbeam::channel` in use).
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// An unbounded sender. Cloneable; sending never blocks.
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    /// The receiving end (supports `recv`, `recv_timeout`, `try_iter`, …).
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Scoped threads (the subset of `crossbeam::thread` in use).
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Alias of [`std::thread::Result`]: `Err` carries a panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle; spawned closures receive a reference to it so they
+    /// can spawn further scoped threads (crossbeam's signature).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, so nested
+        /// spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing locals can be
+    /// spawned; joins them all before returning. Returns `Err(payload)` if
+    /// any spawned thread (or `f` itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channels_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<i32>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn scope_joins_and_catches_panics() {
+        let mut data = vec![0u64; 4];
+        let ok = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter_mut()
+                .enumerate()
+                .map(|(k, slot)| s.spawn(move |_| *slot = k as u64 + 1))
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            42
+        });
+        assert_eq!(ok.unwrap(), 42);
+        assert_eq!(data, vec![1, 2, 3, 4]);
+
+        let err = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_handle() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,945 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! This workspace builds in hermetic environments with no access to
+//! crates.io (see `vendor/README.md`). The real proptest brings a large
+//! dependency tree and a shrinking engine; this stub implements the subset
+//! of the proptest 1.x API the workspace's property tests use as a plain
+//! seeded random-sampling harness:
+//!
+//! - [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_filter` / `boxed`
+//! - strategies for integer ranges, tuples (arity 1–6), [`Just`],
+//!   `prop_oneof!` unions, `collection::vec`, `collection::hash_set`,
+//!   `sample::select`, `bool::ANY`, and `any::<T>()`
+//! - [`test_runner::TestRunner`], [`test_runner::ProptestConfig`],
+//!   [`test_runner::TestCaseError`]
+//! - the `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_oneof!`
+//!   macros
+//!
+//! There is **no shrinking**: a failing case reports its seed and inputs
+//! (via the assertion message) but is not minimized. Each test function is
+//! deterministically seeded from its module path and name, so failures
+//! reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+
+pub mod test_runner {
+    //! The execution harness: RNG, config, and error types.
+
+    use std::fmt;
+
+    /// Deterministic splitmix64 RNG used to sample strategies.
+    #[derive(Clone, Debug)]
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// Creates an RNG from an explicit seed.
+        pub fn from_seed(seed: u64) -> Rng {
+            Rng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Creates an RNG deterministically seeded from a test's identity,
+        /// so each property test gets a distinct but reproducible stream.
+        pub fn seeded_for(name: &str) -> Rng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Rng::from_seed(h)
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Multiply-shift reduction; bias is negligible for test sampling.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Subset of proptest's per-test configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // Lighter than upstream's 256: these tests run in CI on every
+            // push and the harness does no shrinking to amortize.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A rejected or failed test case.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The input was rejected (unused by this stub's strategies).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail<S: Into<String>>(msg: S) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject<S: Into<String>>(msg: S) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    /// A failed property run: the case error plus the seed that produced it.
+    #[derive(Clone, Debug)]
+    pub struct TestError {
+        /// What went wrong.
+        pub error: TestCaseError,
+        /// RNG seed of the failing run (reproduce by rerunning the test).
+        pub seed: u64,
+    }
+
+    impl fmt::Display for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{} (harness seed {:#x})", self.error, self.seed)
+        }
+    }
+
+    /// Drives a strategy through repeated sampled runs.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: Rng,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> TestRunner {
+            TestRunner::new(ProptestConfig::default())
+        }
+    }
+
+    impl TestRunner {
+        /// Runner with the given config and a fixed default seed.
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            TestRunner {
+                config,
+                rng: Rng::from_seed(0x5eed_cafe_f00d_d00d),
+            }
+        }
+
+        /// Runner with an explicit seed (this stub's extension, used by the
+        /// `proptest!` macro to seed per-test streams).
+        pub fn with_rng(config: ProptestConfig, rng: Rng) -> TestRunner {
+            TestRunner { config, rng }
+        }
+
+        /// Runs `test` against `config.cases` sampled values. Returns the
+        /// first failure, if any.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: crate::Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for _ in 0..self.config.cases {
+                let case_seed = self.rng.state;
+                let value = strategy.sample(&mut self.rng);
+                if let Err(error) = test(value) {
+                    if let TestCaseError::Reject(_) = error {
+                        continue;
+                    }
+                    return Err(TestError {
+                        error,
+                        seed: case_seed,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+use test_runner::Rng;
+
+/// How many re-samples `prop_filter` attempts before giving up.
+const FILTER_MAX_RETRIES: u32 = 10_000;
+
+/// A generator of random values of type `Value`.
+///
+/// Unlike real proptest there is no value tree or shrinking: a strategy is
+/// just a seeded sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then a dependent strategy from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Re-samples until `pred` accepts a value (bounded retries).
+    fn prop_filter<R, F>(self, reason: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Maps values through `f`, re-sampling whenever it returns `None`
+    /// (bounded retries).
+    fn prop_filter_map<R, O, F>(self, reason: R, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(move |rng: &mut Rng| self.sample(rng)),
+        }
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut Rng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut Rng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// `prop_filter` adapter.
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut Rng) -> S::Value {
+        for _ in 0..FILTER_MAX_RETRIES {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter exhausted {FILTER_MAX_RETRIES} retries: {}",
+            self.reason
+        );
+    }
+}
+
+/// `prop_filter_map` adapter.
+#[derive(Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut Rng) -> O {
+        for _ in 0..FILTER_MAX_RETRIES {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map exhausted {FILTER_MAX_RETRIES} retries: {}",
+            self.reason
+        );
+    }
+}
+
+/// A type-erased strategy (cheaply clonable).
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Fn(&mut Rng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut Rng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from its arms; must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut Rng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Integer types sampleable uniformly from a range.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_below(rng: &mut Rng, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_below(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as u128) - (lo as u128);
+                lo + (((rng.next_u64() as u128 * span) >> 64) as $t)
+            }
+            fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (((rng.next_u64() as u128 * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_below(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (((rng.next_u64() as u128 * span) >> 64) as i128)) as $t
+            }
+            fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (((rng.next_u64() as u128 * span) >> 64) as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+impl<T: UniformSample> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut Rng) -> T {
+        T::sample_below(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformSample> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut Rng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    fn arbitrary() -> ArbitraryStrategy<Self>;
+}
+
+/// Strategy produced by [`any`].
+pub struct ArbitraryStrategy<T> {
+    sample: fn(&mut Rng) -> T,
+    _ty: PhantomData<T>,
+}
+
+impl<T> Clone for ArbitraryStrategy<T> {
+    fn clone(&self) -> Self {
+        ArbitraryStrategy {
+            sample: self.sample,
+            _ty: PhantomData,
+        }
+    }
+}
+
+impl<T> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut Rng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => $f:expr;)*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbitraryStrategy<$t> {
+                ArbitraryStrategy { sample: $f, _ty: PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary! {
+    bool => |rng| rng.next_u64() & 1 == 1;
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u64() as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8 => |rng| rng.next_u64() as i8;
+    i16 => |rng| rng.next_u64() as i16;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+    isize => |rng| rng.next_u64() as isize;
+}
+
+/// The canonical strategy for `T` (integers and `bool` here).
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    T::arbitrary()
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Rng, Strategy};
+
+    /// Uniform `bool` strategy (unit struct so it can be a `const`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    /// Generates `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        Weighted { p }
+    }
+
+    /// Bernoulli strategy from [`weighted`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Weighted {
+        p: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut Rng) -> bool {
+            rng.unit_f64() < self.p
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Rng, Strategy};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// An inclusive size range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut Rng) -> usize {
+            if self.lo == self.hi {
+                self.lo
+            } else {
+                self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+            }
+        }
+    }
+
+    /// `Vec` strategy from an element strategy and a size range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy built by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `HashSet` strategy; draws extra samples if duplicates collide, and
+    /// accepts an undersized set when the element domain is too small.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy built by [`hash_set`].
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut Rng) -> HashSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut out = HashSet::with_capacity(n);
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 20 + 100 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit value lists.
+
+    use super::{Rng, Strategy};
+
+    /// Uniformly selects one of the given values.
+    pub fn select<T: Clone>(values: &[T]) -> Select<T> {
+        assert!(!values.is_empty(), "sample::select on empty slice");
+        Select {
+            values: values.to_vec(),
+        }
+    }
+
+    /// Strategy built by [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut Rng) -> T {
+            let i = rng.below(self.values.len() as u64) as usize;
+            self.values[i].clone()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Re-exports mirroring proptest's module layout.
+    pub use crate::{BoxedStrategy, Just, Strategy, Union};
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias so `prop::bool::ANY` / `prop::collection::vec` work.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests. Each function body runs against
+/// `ProptestConfig::default().cases` sampled inputs (or the count from an
+/// optional leading `#![proptest_config(...)]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __rng = $crate::test_runner::Rng::seeded_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __runner =
+                    $crate::test_runner::TestRunner::with_rng(__config, __rng);
+                let __strategy = ($($strat,)+);
+                let __result = __runner.run(&__strategy, |__values| {
+                    let ($($arg,)+) = __values;
+                    let __case: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    __case
+                });
+                if let Err(__e) = __result {
+                    panic!("proptest {} failed: {}", stringify!($name), __e);
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property, failing the case with both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right),
+            format!($($fmt)*), __l, __r
+        );
+    }};
+}
+
+/// Asserts inequality inside a property, failing the case with both values.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+}
+
+/// Uniform choice among several strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $($crate::Strategy::boxed($strat),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::Rng::from_seed(7);
+        for _ in 0..1000 {
+            let v = (3u32..10).sample(&mut rng);
+            assert!((3..10).contains(&v));
+            let w = (-5i32..=5).sample(&mut rng);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn runner_reports_failures() {
+        let mut runner = crate::test_runner::TestRunner::default();
+        let result = runner.run(&(0u32..100), |v| {
+            if v >= 0 {
+                Err(TestCaseError::fail("always fails"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn union_and_collections_sample() {
+        let mut rng = crate::test_runner::Rng::from_seed(11);
+        let s = prop_oneof![Just(1u8), Just(2u8)];
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!(v == 1 || v == 2);
+        }
+        let vs = prop::collection::vec(0u8..4, 2..=5).sample(&mut rng);
+        assert!((2..=5).contains(&vs.len()));
+        let hs = prop::collection::hash_set(0u32..1000, 3).sample(&mut rng);
+        assert_eq!(hs.len(), 3);
+        let sel = prop::sample::select(&[10, 20, 30]).sample(&mut rng);
+        assert!([10, 20, 30].contains(&sel));
+        let b = prop::bool::ANY.sample(&mut rng);
+        let _ = b;
+    }
+
+    proptest! {
+        #[test]
+        fn macro_end_to_end(x in 0u64..100, flip in prop::bool::ANY) {
+            prop_assert!(x < 100);
+            let y = if flip { x + 1 } else { x };
+            prop_assert_eq!(y >= x, true);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_with_config(v in prop::collection::vec(0i32..10, 0..4)) {
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

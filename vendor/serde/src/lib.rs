@@ -1,0 +1,27 @@
+//! Offline placeholder for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace's serialization support is behind opt-in `serde` cargo
+//! features that the hermetic tier-1 build never enables; this placeholder
+//! exists only so dependency resolution succeeds without network access
+//! (see `vendor/README.md`). It declares the trait names so that stray
+//! non-derive bounds still name-resolve, but it provides **no** derive
+//! macros: building the workspace `--features serde` requires the real
+//! serde and a network-connected environment.
+
+#![forbid(unsafe_code)]
+
+/// Placeholder for `serde::Serialize` (no methods; not implementable by
+/// derive in this offline stub).
+pub trait Serialize {}
+
+/// Placeholder for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Placeholder for the `serde::de` module.
+pub mod de {
+    /// Placeholder for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: Sized {}
+}
+
+/// Placeholder for the `serde::ser` module.
+pub mod ser {}

@@ -1,0 +1,8 @@
+//! Offline placeholder for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Used only by the `#![cfg(feature = "serde")]`-gated round-trip tests,
+//! which the hermetic tier-1 build never compiles; this crate exists so
+//! dependency resolution succeeds without network access (see
+//! `vendor/README.md`).
+
+#![forbid(unsafe_code)]
