@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_token-e9541aaec7c2e490.d: crates/bench/benches/ablation_token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_token-e9541aaec7c2e490.rmeta: crates/bench/benches/ablation_token.rs Cargo.toml
+
+crates/bench/benches/ablation_token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

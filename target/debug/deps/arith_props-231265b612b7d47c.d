@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arith_props-231265b612b7d47c.d: crates/geom/tests/arith_props.rs
+
+/root/repo/target/debug/deps/arith_props-231265b612b7d47c: crates/geom/tests/arith_props.rs
+
+crates/geom/tests/arith_props.rs:

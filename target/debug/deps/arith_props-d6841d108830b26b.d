@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arith_props-d6841d108830b26b.d: crates/geom/tests/arith_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarith_props-d6841d108830b26b.rmeta: crates/geom/tests/arith_props.rs Cargo.toml
+
+crates/geom/tests/arith_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_cmp-27690e0345be0062.d: crates/bench/src/bin/baseline_cmp.rs
+
+/root/repo/target/debug/deps/baseline_cmp-27690e0345be0062: crates/bench/src/bin/baseline_cmp.rs
+
+crates/bench/src/bin/baseline_cmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_cmp-82a621b2dedc3e46.d: crates/bench/src/bin/baseline_cmp.rs
+
+/root/repo/target/debug/deps/baseline_cmp-82a621b2dedc3e46: crates/bench/src/bin/baseline_cmp.rs
+
+crates/bench/src/bin/baseline_cmp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_cmp-96a72a713b513eff.d: crates/bench/src/bin/baseline_cmp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_cmp-96a72a713b513eff.rmeta: crates/bench/src/bin/baseline_cmp.rs Cargo.toml
+
+crates/bench/src/bin/baseline_cmp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cellflow-9b8581ebb58cb89e.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/cellflow-9b8581ebb58cb89e: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

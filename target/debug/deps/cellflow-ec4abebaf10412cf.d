@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cellflow-ec4abebaf10412cf.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/cellflow-ec4abebaf10412cf: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

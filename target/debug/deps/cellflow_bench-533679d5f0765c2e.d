@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cellflow_bench-533679d5f0765c2e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cellflow_bench-533679d5f0765c2e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

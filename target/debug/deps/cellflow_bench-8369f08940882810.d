@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cellflow_bench-8369f08940882810.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcellflow_bench-8369f08940882810.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcellflow_bench-8369f08940882810.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

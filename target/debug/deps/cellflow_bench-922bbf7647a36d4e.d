@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cellflow_bench-922bbf7647a36d4e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellflow_bench-922bbf7647a36d4e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

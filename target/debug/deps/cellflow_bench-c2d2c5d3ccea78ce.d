@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cellflow_bench-c2d2c5d3ccea78ce.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcellflow_bench-c2d2c5d3ccea78ce.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcellflow_bench-c2d2c5d3ccea78ce.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

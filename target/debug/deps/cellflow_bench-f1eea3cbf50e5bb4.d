@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cellflow_bench-f1eea3cbf50e5bb4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cellflow_bench-f1eea3cbf50e5bb4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

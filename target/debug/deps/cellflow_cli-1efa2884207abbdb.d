@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cellflow_cli-1efa2884207abbdb.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libcellflow_cli-1efa2884207abbdb.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libcellflow_cli-1efa2884207abbdb.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cellflow_cli-34f4ce254550e09a.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/cellflow_cli-34f4ce254550e09a: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

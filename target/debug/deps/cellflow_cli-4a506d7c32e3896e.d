@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cellflow_cli-4a506d7c32e3896e.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/cellflow_cli-4a506d7c32e3896e: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cellflow_cli-c3529310e68dd562.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libcellflow_cli-c3529310e68dd562.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libcellflow_cli-c3529310e68dd562.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/cellflow_core-e2677ae940b3bd9d.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cell.rs crates/core/src/entity.rs crates/core/src/fault.rs crates/core/src/mc.rs crates/core/src/monitor.rs crates/core/src/move_fn.rs crates/core/src/params.rs crates/core/src/route.rs crates/core/src/safety.rs crates/core/src/signal.rs crates/core/src/source.rs crates/core/src/system.rs crates/core/src/token.rs crates/core/src/update.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellflow_core-e2677ae940b3bd9d.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cell.rs crates/core/src/entity.rs crates/core/src/fault.rs crates/core/src/mc.rs crates/core/src/monitor.rs crates/core/src/move_fn.rs crates/core/src/params.rs crates/core/src/route.rs crates/core/src/safety.rs crates/core/src/signal.rs crates/core/src/source.rs crates/core/src/system.rs crates/core/src/token.rs crates/core/src/update.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/cell.rs:
+crates/core/src/entity.rs:
+crates/core/src/fault.rs:
+crates/core/src/mc.rs:
+crates/core/src/monitor.rs:
+crates/core/src/move_fn.rs:
+crates/core/src/params.rs:
+crates/core/src/route.rs:
+crates/core/src/safety.rs:
+crates/core/src/signal.rs:
+crates/core/src/source.rs:
+crates/core/src/system.rs:
+crates/core/src/token.rs:
+crates/core/src/update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cellflow_cube-157d0f0c54a4fffa.d: crates/cube/src/lib.rs crates/cube/src/analysis.rs crates/cube/src/cell.rs crates/cube/src/geometry.rs crates/cube/src/phases.rs crates/cube/src/safety.rs crates/cube/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellflow_cube-157d0f0c54a4fffa.rmeta: crates/cube/src/lib.rs crates/cube/src/analysis.rs crates/cube/src/cell.rs crates/cube/src/geometry.rs crates/cube/src/phases.rs crates/cube/src/safety.rs crates/cube/src/system.rs Cargo.toml
+
+crates/cube/src/lib.rs:
+crates/cube/src/analysis.rs:
+crates/cube/src/cell.rs:
+crates/cube/src/geometry.rs:
+crates/cube/src/phases.rs:
+crates/cube/src/safety.rs:
+crates/cube/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cellflow_cube-8fa143eef62fe6d1.d: crates/cube/src/lib.rs crates/cube/src/analysis.rs crates/cube/src/cell.rs crates/cube/src/geometry.rs crates/cube/src/phases.rs crates/cube/src/safety.rs crates/cube/src/system.rs
+
+/root/repo/target/debug/deps/libcellflow_cube-8fa143eef62fe6d1.rlib: crates/cube/src/lib.rs crates/cube/src/analysis.rs crates/cube/src/cell.rs crates/cube/src/geometry.rs crates/cube/src/phases.rs crates/cube/src/safety.rs crates/cube/src/system.rs
+
+/root/repo/target/debug/deps/libcellflow_cube-8fa143eef62fe6d1.rmeta: crates/cube/src/lib.rs crates/cube/src/analysis.rs crates/cube/src/cell.rs crates/cube/src/geometry.rs crates/cube/src/phases.rs crates/cube/src/safety.rs crates/cube/src/system.rs
+
+crates/cube/src/lib.rs:
+crates/cube/src/analysis.rs:
+crates/cube/src/cell.rs:
+crates/cube/src/geometry.rs:
+crates/cube/src/phases.rs:
+crates/cube/src/safety.rs:
+crates/cube/src/system.rs:

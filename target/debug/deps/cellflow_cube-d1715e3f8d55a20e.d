@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cellflow_cube-d1715e3f8d55a20e.d: crates/cube/src/lib.rs crates/cube/src/analysis.rs crates/cube/src/cell.rs crates/cube/src/geometry.rs crates/cube/src/phases.rs crates/cube/src/safety.rs crates/cube/src/system.rs
+
+/root/repo/target/debug/deps/cellflow_cube-d1715e3f8d55a20e: crates/cube/src/lib.rs crates/cube/src/analysis.rs crates/cube/src/cell.rs crates/cube/src/geometry.rs crates/cube/src/phases.rs crates/cube/src/safety.rs crates/cube/src/system.rs
+
+crates/cube/src/lib.rs:
+crates/cube/src/analysis.rs:
+crates/cube/src/cell.rs:
+crates/cube/src/geometry.rs:
+crates/cube/src/phases.rs:
+crates/cube/src/safety.rs:
+crates/cube/src/system.rs:

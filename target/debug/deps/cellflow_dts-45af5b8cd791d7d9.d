@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cellflow_dts-45af5b8cd791d7d9.d: crates/dts/src/lib.rs crates/dts/src/automaton.rs crates/dts/src/execution.rs crates/dts/src/explore.rs crates/dts/src/invariant.rs crates/dts/src/liveness.rs crates/dts/src/montecarlo.rs crates/dts/src/stabilize.rs
+
+/root/repo/target/debug/deps/cellflow_dts-45af5b8cd791d7d9: crates/dts/src/lib.rs crates/dts/src/automaton.rs crates/dts/src/execution.rs crates/dts/src/explore.rs crates/dts/src/invariant.rs crates/dts/src/liveness.rs crates/dts/src/montecarlo.rs crates/dts/src/stabilize.rs
+
+crates/dts/src/lib.rs:
+crates/dts/src/automaton.rs:
+crates/dts/src/execution.rs:
+crates/dts/src/explore.rs:
+crates/dts/src/invariant.rs:
+crates/dts/src/liveness.rs:
+crates/dts/src/montecarlo.rs:
+crates/dts/src/stabilize.rs:

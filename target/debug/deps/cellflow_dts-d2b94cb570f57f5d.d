@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cellflow_dts-d2b94cb570f57f5d.d: crates/dts/src/lib.rs crates/dts/src/automaton.rs crates/dts/src/execution.rs crates/dts/src/explore.rs crates/dts/src/invariant.rs crates/dts/src/liveness.rs crates/dts/src/montecarlo.rs crates/dts/src/stabilize.rs
+
+/root/repo/target/debug/deps/libcellflow_dts-d2b94cb570f57f5d.rlib: crates/dts/src/lib.rs crates/dts/src/automaton.rs crates/dts/src/execution.rs crates/dts/src/explore.rs crates/dts/src/invariant.rs crates/dts/src/liveness.rs crates/dts/src/montecarlo.rs crates/dts/src/stabilize.rs
+
+/root/repo/target/debug/deps/libcellflow_dts-d2b94cb570f57f5d.rmeta: crates/dts/src/lib.rs crates/dts/src/automaton.rs crates/dts/src/execution.rs crates/dts/src/explore.rs crates/dts/src/invariant.rs crates/dts/src/liveness.rs crates/dts/src/montecarlo.rs crates/dts/src/stabilize.rs
+
+crates/dts/src/lib.rs:
+crates/dts/src/automaton.rs:
+crates/dts/src/execution.rs:
+crates/dts/src/explore.rs:
+crates/dts/src/invariant.rs:
+crates/dts/src/liveness.rs:
+crates/dts/src/montecarlo.rs:
+crates/dts/src/stabilize.rs:

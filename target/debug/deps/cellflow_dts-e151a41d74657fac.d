@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cellflow_dts-e151a41d74657fac.d: crates/dts/src/lib.rs crates/dts/src/automaton.rs crates/dts/src/execution.rs crates/dts/src/explore.rs crates/dts/src/invariant.rs crates/dts/src/liveness.rs crates/dts/src/montecarlo.rs crates/dts/src/stabilize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellflow_dts-e151a41d74657fac.rmeta: crates/dts/src/lib.rs crates/dts/src/automaton.rs crates/dts/src/execution.rs crates/dts/src/explore.rs crates/dts/src/invariant.rs crates/dts/src/liveness.rs crates/dts/src/montecarlo.rs crates/dts/src/stabilize.rs Cargo.toml
+
+crates/dts/src/lib.rs:
+crates/dts/src/automaton.rs:
+crates/dts/src/execution.rs:
+crates/dts/src/explore.rs:
+crates/dts/src/invariant.rs:
+crates/dts/src/liveness.rs:
+crates/dts/src/montecarlo.rs:
+crates/dts/src/stabilize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cellflow_geom-311a17ebe7d0314a.d: crates/geom/src/lib.rs crates/geom/src/direction.rs crates/geom/src/fixed.rs crates/geom/src/point.rs crates/geom/src/square.rs
+
+/root/repo/target/debug/deps/libcellflow_geom-311a17ebe7d0314a.rlib: crates/geom/src/lib.rs crates/geom/src/direction.rs crates/geom/src/fixed.rs crates/geom/src/point.rs crates/geom/src/square.rs
+
+/root/repo/target/debug/deps/libcellflow_geom-311a17ebe7d0314a.rmeta: crates/geom/src/lib.rs crates/geom/src/direction.rs crates/geom/src/fixed.rs crates/geom/src/point.rs crates/geom/src/square.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/direction.rs:
+crates/geom/src/fixed.rs:
+crates/geom/src/point.rs:
+crates/geom/src/square.rs:

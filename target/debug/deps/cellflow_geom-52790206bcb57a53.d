@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cellflow_geom-52790206bcb57a53.d: crates/geom/src/lib.rs crates/geom/src/direction.rs crates/geom/src/fixed.rs crates/geom/src/point.rs crates/geom/src/square.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellflow_geom-52790206bcb57a53.rmeta: crates/geom/src/lib.rs crates/geom/src/direction.rs crates/geom/src/fixed.rs crates/geom/src/point.rs crates/geom/src/square.rs Cargo.toml
+
+crates/geom/src/lib.rs:
+crates/geom/src/direction.rs:
+crates/geom/src/fixed.rs:
+crates/geom/src/point.rs:
+crates/geom/src/square.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cellflow_geom-6009204f2c76b9ac.d: crates/geom/src/lib.rs crates/geom/src/direction.rs crates/geom/src/fixed.rs crates/geom/src/point.rs crates/geom/src/square.rs
+
+/root/repo/target/debug/deps/cellflow_geom-6009204f2c76b9ac: crates/geom/src/lib.rs crates/geom/src/direction.rs crates/geom/src/fixed.rs crates/geom/src/point.rs crates/geom/src/square.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/direction.rs:
+crates/geom/src/fixed.rs:
+crates/geom/src/point.rs:
+crates/geom/src/square.rs:

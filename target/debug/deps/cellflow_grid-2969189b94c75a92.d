@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cellflow_grid-2969189b94c75a92.d: crates/grid/src/lib.rs crates/grid/src/cell_id.rs crates/grid/src/connectivity.rs crates/grid/src/dims.rs crates/grid/src/path.rs
+
+/root/repo/target/debug/deps/cellflow_grid-2969189b94c75a92: crates/grid/src/lib.rs crates/grid/src/cell_id.rs crates/grid/src/connectivity.rs crates/grid/src/dims.rs crates/grid/src/path.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/cell_id.rs:
+crates/grid/src/connectivity.rs:
+crates/grid/src/dims.rs:
+crates/grid/src/path.rs:

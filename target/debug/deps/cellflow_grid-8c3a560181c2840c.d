@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cellflow_grid-8c3a560181c2840c.d: crates/grid/src/lib.rs crates/grid/src/cell_id.rs crates/grid/src/connectivity.rs crates/grid/src/dims.rs crates/grid/src/path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellflow_grid-8c3a560181c2840c.rmeta: crates/grid/src/lib.rs crates/grid/src/cell_id.rs crates/grid/src/connectivity.rs crates/grid/src/dims.rs crates/grid/src/path.rs Cargo.toml
+
+crates/grid/src/lib.rs:
+crates/grid/src/cell_id.rs:
+crates/grid/src/connectivity.rs:
+crates/grid/src/dims.rs:
+crates/grid/src/path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cellflow_grid-a0e0e3e03bf49c1d.d: crates/grid/src/lib.rs crates/grid/src/cell_id.rs crates/grid/src/connectivity.rs crates/grid/src/dims.rs crates/grid/src/path.rs
+
+/root/repo/target/debug/deps/libcellflow_grid-a0e0e3e03bf49c1d.rlib: crates/grid/src/lib.rs crates/grid/src/cell_id.rs crates/grid/src/connectivity.rs crates/grid/src/dims.rs crates/grid/src/path.rs
+
+/root/repo/target/debug/deps/libcellflow_grid-a0e0e3e03bf49c1d.rmeta: crates/grid/src/lib.rs crates/grid/src/cell_id.rs crates/grid/src/connectivity.rs crates/grid/src/dims.rs crates/grid/src/path.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/cell_id.rs:
+crates/grid/src/connectivity.rs:
+crates/grid/src/dims.rs:
+crates/grid/src/path.rs:

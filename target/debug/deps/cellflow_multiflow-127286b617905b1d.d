@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cellflow_multiflow-127286b617905b1d.d: crates/multiflow/src/lib.rs crates/multiflow/src/cell.rs crates/multiflow/src/config.rs crates/multiflow/src/phases.rs crates/multiflow/src/safety.rs crates/multiflow/src/types.rs
+
+/root/repo/target/debug/deps/libcellflow_multiflow-127286b617905b1d.rlib: crates/multiflow/src/lib.rs crates/multiflow/src/cell.rs crates/multiflow/src/config.rs crates/multiflow/src/phases.rs crates/multiflow/src/safety.rs crates/multiflow/src/types.rs
+
+/root/repo/target/debug/deps/libcellflow_multiflow-127286b617905b1d.rmeta: crates/multiflow/src/lib.rs crates/multiflow/src/cell.rs crates/multiflow/src/config.rs crates/multiflow/src/phases.rs crates/multiflow/src/safety.rs crates/multiflow/src/types.rs
+
+crates/multiflow/src/lib.rs:
+crates/multiflow/src/cell.rs:
+crates/multiflow/src/config.rs:
+crates/multiflow/src/phases.rs:
+crates/multiflow/src/safety.rs:
+crates/multiflow/src/types.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cellflow_multiflow-5d8dd29243505c4b.d: crates/multiflow/src/lib.rs crates/multiflow/src/cell.rs crates/multiflow/src/config.rs crates/multiflow/src/phases.rs crates/multiflow/src/safety.rs crates/multiflow/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellflow_multiflow-5d8dd29243505c4b.rmeta: crates/multiflow/src/lib.rs crates/multiflow/src/cell.rs crates/multiflow/src/config.rs crates/multiflow/src/phases.rs crates/multiflow/src/safety.rs crates/multiflow/src/types.rs Cargo.toml
+
+crates/multiflow/src/lib.rs:
+crates/multiflow/src/cell.rs:
+crates/multiflow/src/config.rs:
+crates/multiflow/src/phases.rs:
+crates/multiflow/src/safety.rs:
+crates/multiflow/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cellflow_multiflow-e6084e31035a67d6.d: crates/multiflow/src/lib.rs crates/multiflow/src/cell.rs crates/multiflow/src/config.rs crates/multiflow/src/phases.rs crates/multiflow/src/safety.rs crates/multiflow/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellflow_multiflow-e6084e31035a67d6.rmeta: crates/multiflow/src/lib.rs crates/multiflow/src/cell.rs crates/multiflow/src/config.rs crates/multiflow/src/phases.rs crates/multiflow/src/safety.rs crates/multiflow/src/types.rs Cargo.toml
+
+crates/multiflow/src/lib.rs:
+crates/multiflow/src/cell.rs:
+crates/multiflow/src/config.rs:
+crates/multiflow/src/phases.rs:
+crates/multiflow/src/safety.rs:
+crates/multiflow/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cellflow_multiflow-f9356fc86b95cc3e.d: crates/multiflow/src/lib.rs crates/multiflow/src/cell.rs crates/multiflow/src/config.rs crates/multiflow/src/phases.rs crates/multiflow/src/safety.rs crates/multiflow/src/types.rs
+
+/root/repo/target/debug/deps/cellflow_multiflow-f9356fc86b95cc3e: crates/multiflow/src/lib.rs crates/multiflow/src/cell.rs crates/multiflow/src/config.rs crates/multiflow/src/phases.rs crates/multiflow/src/safety.rs crates/multiflow/src/types.rs
+
+crates/multiflow/src/lib.rs:
+crates/multiflow/src/cell.rs:
+crates/multiflow/src/config.rs:
+crates/multiflow/src/phases.rs:
+crates/multiflow/src/safety.rs:
+crates/multiflow/src/types.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cellflow_net-0a476e6e9caf484b.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs
+
+/root/repo/target/debug/deps/cellflow_net-0a476e6e9caf484b: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/node.rs:
+crates/net/src/runtime.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cellflow_net-1f754a72c975cb52.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs crates/net/src/sync.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/cellflow_net-1f754a72c975cb52: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs crates/net/src/sync.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/node.rs:
+crates/net/src/runtime.rs:
+crates/net/src/sync.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cellflow_net-310f6549866d4cb2.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs
+
+/root/repo/target/debug/deps/libcellflow_net-310f6549866d4cb2.rlib: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs
+
+/root/repo/target/debug/deps/libcellflow_net-310f6549866d4cb2.rmeta: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/node.rs:
+crates/net/src/runtime.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cellflow_net-a187b659d6c57633.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs crates/net/src/sync.rs crates/net/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellflow_net-a187b659d6c57633.rmeta: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs crates/net/src/sync.rs crates/net/src/transport.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/node.rs:
+crates/net/src/runtime.rs:
+crates/net/src/sync.rs:
+crates/net/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cellflow_net-f045cb897ebd74d3.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs crates/net/src/sync.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libcellflow_net-f045cb897ebd74d3.rlib: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs crates/net/src/sync.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libcellflow_net-f045cb897ebd74d3.rmeta: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs crates/net/src/sync.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/node.rs:
+crates/net/src/runtime.rs:
+crates/net/src/sync.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cellflow_routing-631c9ebab5d2b29d.d: crates/routing/src/lib.rs crates/routing/src/dist.rs crates/routing/src/table.rs crates/routing/src/topology.rs
+
+/root/repo/target/debug/deps/libcellflow_routing-631c9ebab5d2b29d.rlib: crates/routing/src/lib.rs crates/routing/src/dist.rs crates/routing/src/table.rs crates/routing/src/topology.rs
+
+/root/repo/target/debug/deps/libcellflow_routing-631c9ebab5d2b29d.rmeta: crates/routing/src/lib.rs crates/routing/src/dist.rs crates/routing/src/table.rs crates/routing/src/topology.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/dist.rs:
+crates/routing/src/table.rs:
+crates/routing/src/topology.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cellflow_routing-98779020d7297507.d: crates/routing/src/lib.rs crates/routing/src/dist.rs crates/routing/src/table.rs crates/routing/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellflow_routing-98779020d7297507.rmeta: crates/routing/src/lib.rs crates/routing/src/dist.rs crates/routing/src/table.rs crates/routing/src/topology.rs Cargo.toml
+
+crates/routing/src/lib.rs:
+crates/routing/src/dist.rs:
+crates/routing/src/table.rs:
+crates/routing/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

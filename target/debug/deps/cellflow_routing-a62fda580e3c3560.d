@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cellflow_routing-a62fda580e3c3560.d: crates/routing/src/lib.rs crates/routing/src/dist.rs crates/routing/src/table.rs crates/routing/src/topology.rs
+
+/root/repo/target/debug/deps/cellflow_routing-a62fda580e3c3560: crates/routing/src/lib.rs crates/routing/src/dist.rs crates/routing/src/table.rs crates/routing/src/topology.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/dist.rs:
+crates/routing/src/table.rs:
+crates/routing/src/topology.rs:

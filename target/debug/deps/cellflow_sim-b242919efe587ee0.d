@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/cellflow_sim-b242919efe587ee0.d: crates/sim/src/lib.rs crates/sim/src/baseline.rs crates/sim/src/failure.rs crates/sim/src/heatmap.rs crates/sim/src/metrics.rs crates/sim/src/render.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/table.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellflow_sim-b242919efe587ee0.rmeta: crates/sim/src/lib.rs crates/sim/src/baseline.rs crates/sim/src/failure.rs crates/sim/src/heatmap.rs crates/sim/src/metrics.rs crates/sim/src/render.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/table.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/baseline.rs:
+crates/sim/src/failure.rs:
+crates/sim/src/heatmap.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/render.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/table.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cellflow_sim-dac7981440c7fa7a.d: crates/sim/src/lib.rs crates/sim/src/baseline.rs crates/sim/src/failure.rs crates/sim/src/heatmap.rs crates/sim/src/metrics.rs crates/sim/src/render.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/table.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/cellflow_sim-dac7981440c7fa7a: crates/sim/src/lib.rs crates/sim/src/baseline.rs crates/sim/src/failure.rs crates/sim/src/heatmap.rs crates/sim/src/metrics.rs crates/sim/src/render.rs crates/sim/src/runner.rs crates/sim/src/scenario.rs crates/sim/src/stats.rs crates/sim/src/sweep.rs crates/sim/src/table.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/baseline.rs:
+crates/sim/src/failure.rs:
+crates/sim/src/heatmap.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/render.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/table.rs:
+crates/sim/src/trace.rs:

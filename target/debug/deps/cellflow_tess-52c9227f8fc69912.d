@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cellflow_tess-52c9227f8fc69912.d: crates/tess/src/lib.rs crates/tess/src/phases.rs crates/tess/src/safety.rs crates/tess/src/system.rs crates/tess/src/tessellation.rs
+
+/root/repo/target/debug/deps/cellflow_tess-52c9227f8fc69912: crates/tess/src/lib.rs crates/tess/src/phases.rs crates/tess/src/safety.rs crates/tess/src/system.rs crates/tess/src/tessellation.rs
+
+crates/tess/src/lib.rs:
+crates/tess/src/phases.rs:
+crates/tess/src/safety.rs:
+crates/tess/src/system.rs:
+crates/tess/src/tessellation.rs:

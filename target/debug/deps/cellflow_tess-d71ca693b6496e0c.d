@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cellflow_tess-d71ca693b6496e0c.d: crates/tess/src/lib.rs crates/tess/src/phases.rs crates/tess/src/safety.rs crates/tess/src/system.rs crates/tess/src/tessellation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellflow_tess-d71ca693b6496e0c.rmeta: crates/tess/src/lib.rs crates/tess/src/phases.rs crates/tess/src/safety.rs crates/tess/src/system.rs crates/tess/src/tessellation.rs Cargo.toml
+
+crates/tess/src/lib.rs:
+crates/tess/src/phases.rs:
+crates/tess/src/safety.rs:
+crates/tess/src/system.rs:
+crates/tess/src/tessellation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

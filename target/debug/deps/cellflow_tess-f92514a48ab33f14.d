@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cellflow_tess-f92514a48ab33f14.d: crates/tess/src/lib.rs crates/tess/src/phases.rs crates/tess/src/safety.rs crates/tess/src/system.rs crates/tess/src/tessellation.rs
+
+/root/repo/target/debug/deps/libcellflow_tess-f92514a48ab33f14.rlib: crates/tess/src/lib.rs crates/tess/src/phases.rs crates/tess/src/safety.rs crates/tess/src/system.rs crates/tess/src/tessellation.rs
+
+/root/repo/target/debug/deps/libcellflow_tess-f92514a48ab33f14.rmeta: crates/tess/src/lib.rs crates/tess/src/phases.rs crates/tess/src/safety.rs crates/tess/src/system.rs crates/tess/src/tessellation.rs
+
+crates/tess/src/lib.rs:
+crates/tess/src/phases.rs:
+crates/tess/src/safety.rs:
+crates/tess/src/system.rs:
+crates/tess/src/tessellation.rs:

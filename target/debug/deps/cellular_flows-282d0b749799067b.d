@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cellular_flows-282d0b749799067b.d: src/lib.rs
+
+/root/repo/target/debug/deps/cellular_flows-282d0b749799067b: src/lib.rs
+
+src/lib.rs:

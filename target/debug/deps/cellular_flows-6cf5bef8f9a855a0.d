@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cellular_flows-6cf5bef8f9a855a0.d: src/lib.rs
+
+/root/repo/target/debug/deps/cellular_flows-6cf5bef8f9a855a0: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cellular_flows-cdbb23f3c3872be8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcellular_flows-cdbb23f3c3872be8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cellular_flows-e2a27a0147b42188.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcellular_flows-e2a27a0147b42188.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcellular_flows-e2a27a0147b42188.rmeta: src/lib.rs
+
+src/lib.rs:

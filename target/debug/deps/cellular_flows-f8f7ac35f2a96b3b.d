@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cellular_flows-f8f7ac35f2a96b3b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcellular_flows-f8f7ac35f2a96b3b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcellular_flows-f8f7ac35f2a96b3b.rmeta: src/lib.rs
+
+src/lib.rs:

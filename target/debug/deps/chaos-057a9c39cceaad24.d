@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-057a9c39cceaad24.d: crates/net/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-057a9c39cceaad24.rmeta: crates/net/tests/chaos.rs Cargo.toml
+
+crates/net/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-8778312f51063a88.d: crates/net/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-8778312f51063a88: crates/net/tests/chaos.rs
+
+crates/net/tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_differential-53828d7b7a861ace.d: tests/chaos_differential.rs
+
+/root/repo/target/debug/deps/chaos_differential-53828d7b7a861ace: tests/chaos_differential.rs
+
+tests/chaos_differential.rs:

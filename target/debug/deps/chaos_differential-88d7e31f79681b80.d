@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_differential-88d7e31f79681b80.d: tests/chaos_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_differential-88d7e31f79681b80.rmeta: tests/chaos_differential.rs Cargo.toml
+
+tests/chaos_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/congestion-3e404fb037396d6b.d: crates/bench/src/bin/congestion.rs
+
+/root/repo/target/debug/deps/congestion-3e404fb037396d6b: crates/bench/src/bin/congestion.rs
+
+crates/bench/src/bin/congestion.rs:

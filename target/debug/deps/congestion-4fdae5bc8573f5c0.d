@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/congestion-4fdae5bc8573f5c0.d: crates/bench/src/bin/congestion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcongestion-4fdae5bc8573f5c0.rmeta: crates/bench/src/bin/congestion.rs Cargo.toml
+
+crates/bench/src/bin/congestion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/congestion-dd0436220d646789.d: crates/bench/src/bin/congestion.rs
+
+/root/repo/target/debug/deps/congestion-dd0436220d646789: crates/bench/src/bin/congestion.rs
+
+crates/bench/src/bin/congestion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-277e3e309db3a753.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-277e3e309db3a753.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

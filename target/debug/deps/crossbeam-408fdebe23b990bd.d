@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-408fdebe23b990bd.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-408fdebe23b990bd.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-408fdebe23b990bd.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/custom_topology-2dae40a17a1428f2.d: crates/routing/tests/custom_topology.rs
+
+/root/repo/target/debug/deps/custom_topology-2dae40a17a1428f2: crates/routing/tests/custom_topology.rs
+
+crates/routing/tests/custom_topology.rs:

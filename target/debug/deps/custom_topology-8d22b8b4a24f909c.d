@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/custom_topology-8d22b8b4a24f909c.d: crates/routing/tests/custom_topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcustom_topology-8d22b8b4a24f909c.rmeta: crates/routing/tests/custom_topology.rs Cargo.toml
+
+crates/routing/tests/custom_topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

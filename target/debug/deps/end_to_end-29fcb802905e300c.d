@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-29fcb802905e300c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-29fcb802905e300c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7867477d84448b02.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7867477d84448b02: tests/end_to_end.rs
+
+tests/end_to_end.rs:

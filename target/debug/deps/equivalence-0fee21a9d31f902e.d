@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-0fee21a9d31f902e.d: crates/net/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-0fee21a9d31f902e: crates/net/tests/equivalence.rs
+
+crates/net/tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-7e36deb3ba3fb3de.d: crates/net/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-7e36deb3ba3fb3de.rmeta: crates/net/tests/equivalence.rs Cargo.toml
+
+crates/net/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-cbfba5dadc1a33e0.d: crates/net/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-cbfba5dadc1a33e0: crates/net/tests/equivalence.rs
+
+crates/net/tests/equivalence.rs:

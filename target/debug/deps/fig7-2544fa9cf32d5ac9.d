@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-2544fa9cf32d5ac9.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-2544fa9cf32d5ac9: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

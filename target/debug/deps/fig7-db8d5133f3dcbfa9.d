@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-db8d5133f3dcbfa9.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-db8d5133f3dcbfa9: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

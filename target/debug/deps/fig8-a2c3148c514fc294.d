@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-a2c3148c514fc294.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-a2c3148c514fc294: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

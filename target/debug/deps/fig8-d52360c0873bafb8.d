@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-d52360c0873bafb8.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-d52360c0873bafb8: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-38820646a7798484.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-38820646a7798484: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-501e75b2a3b48018.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-501e75b2a3b48018: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure_shapes-05226e0f4bb6251f.d: tests/figure_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure_shapes-05226e0f4bb6251f.rmeta: tests/figure_shapes.rs Cargo.toml
+
+tests/figure_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-6b4a185c64823fa0.d: tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/figure_shapes-6b4a185c64823fa0: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

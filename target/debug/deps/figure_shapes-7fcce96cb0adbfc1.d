@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-7fcce96cb0adbfc1.d: tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/figure_shapes-7fcce96cb0adbfc1: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-90320853c9768aeb.d: crates/sim/tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-90320853c9768aeb.rmeta: crates/sim/tests/integration.rs Cargo.toml
+
+crates/sim/tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-d25843c7f0ae1046.d: crates/sim/tests/integration.rs
+
+/root/repo/target/debug/deps/integration-d25843c7f0ae1046: crates/sim/tests/integration.rs
+
+crates/sim/tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lemmas-00432152e95c307b.d: crates/core/tests/lemmas.rs
+
+/root/repo/target/debug/deps/lemmas-00432152e95c307b: crates/core/tests/lemmas.rs
+
+crates/core/tests/lemmas.rs:

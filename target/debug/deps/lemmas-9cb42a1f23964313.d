@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lemmas-9cb42a1f23964313.d: crates/core/tests/lemmas.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblemmas-9cb42a1f23964313.rmeta: crates/core/tests/lemmas.rs Cargo.toml
+
+crates/core/tests/lemmas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_check-68ad9ffb55b8e128.d: tests/model_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_check-68ad9ffb55b8e128.rmeta: tests/model_check.rs Cargo.toml
+
+tests/model_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

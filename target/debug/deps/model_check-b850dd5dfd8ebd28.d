@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-b850dd5dfd8ebd28.d: tests/model_check.rs
+
+/root/repo/target/debug/deps/model_check-b850dd5dfd8ebd28: tests/model_check.rs
+
+tests/model_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-cbcb7785f5ebe42e.d: tests/model_check.rs
+
+/root/repo/target/debug/deps/model_check-cbcb7785f5ebe42e: tests/model_check.rs
+
+tests/model_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/montecarlo-0545abd8a2607e54.d: tests/montecarlo.rs
+
+/root/repo/target/debug/deps/montecarlo-0545abd8a2607e54: tests/montecarlo.rs
+
+tests/montecarlo.rs:

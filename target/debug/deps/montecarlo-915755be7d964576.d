@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/montecarlo-915755be7d964576.d: tests/montecarlo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmontecarlo-915755be7d964576.rmeta: tests/montecarlo.rs Cargo.toml
+
+tests/montecarlo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

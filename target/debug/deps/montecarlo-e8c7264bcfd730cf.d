@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/montecarlo-e8c7264bcfd730cf.d: tests/montecarlo.rs
+
+/root/repo/target/debug/deps/montecarlo-e8c7264bcfd730cf: tests/montecarlo.rs
+
+tests/montecarlo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_props-008d496a97127f9c.d: crates/multiflow/tests/multi_props.rs
+
+/root/repo/target/debug/deps/multi_props-008d496a97127f9c: crates/multiflow/tests/multi_props.rs
+
+crates/multiflow/tests/multi_props.rs:

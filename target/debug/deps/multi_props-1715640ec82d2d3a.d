@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_props-1715640ec82d2d3a.d: crates/multiflow/tests/multi_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_props-1715640ec82d2d3a.rmeta: crates/multiflow/tests/multi_props.rs Cargo.toml
+
+crates/multiflow/tests/multi_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/path_length-5b7b9b2ce8f57257.d: crates/bench/src/bin/path_length.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpath_length-5b7b9b2ce8f57257.rmeta: crates/bench/src/bin/path_length.rs Cargo.toml
+
+crates/bench/src/bin/path_length.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

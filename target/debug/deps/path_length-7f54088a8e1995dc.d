@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/path_length-7f54088a8e1995dc.d: crates/bench/src/bin/path_length.rs
+
+/root/repo/target/debug/deps/path_length-7f54088a8e1995dc: crates/bench/src/bin/path_length.rs
+
+crates/bench/src/bin/path_length.rs:

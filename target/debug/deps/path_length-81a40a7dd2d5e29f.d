@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/path_length-81a40a7dd2d5e29f.d: crates/bench/src/bin/path_length.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpath_length-81a40a7dd2d5e29f.rmeta: crates/bench/src/bin/path_length.rs Cargo.toml
+
+crates/bench/src/bin/path_length.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

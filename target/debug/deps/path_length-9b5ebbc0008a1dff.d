@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/path_length-9b5ebbc0008a1dff.d: crates/bench/src/bin/path_length.rs
+
+/root/repo/target/debug/deps/path_length-9b5ebbc0008a1dff: crates/bench/src/bin/path_length.rs
+
+crates/bench/src/bin/path_length.rs:

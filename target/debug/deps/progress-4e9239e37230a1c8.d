@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/progress-4e9239e37230a1c8.d: crates/core/tests/progress.rs
+
+/root/repo/target/debug/deps/progress-4e9239e37230a1c8: crates/core/tests/progress.rs
+
+crates/core/tests/progress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/progress-f5389f46190d647a.d: crates/core/tests/progress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprogress-f5389f46190d647a.rmeta: crates/core/tests/progress.rs Cargo.toml
+
+crates/core/tests/progress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-0ae63750d35240dd.d: crates/geom/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-0ae63750d35240dd.rmeta: crates/geom/tests/props.rs Cargo.toml
+
+crates/geom/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-176be657dd7849b1.d: crates/grid/tests/props.rs
+
+/root/repo/target/debug/deps/props-176be657dd7849b1: crates/grid/tests/props.rs
+
+crates/grid/tests/props.rs:

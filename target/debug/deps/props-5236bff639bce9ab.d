@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-5236bff639bce9ab.d: crates/geom/tests/props.rs
+
+/root/repo/target/debug/deps/props-5236bff639bce9ab: crates/geom/tests/props.rs
+
+crates/geom/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-e86355bf1fea84a4.d: crates/grid/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-e86355bf1fea84a4.rmeta: crates/grid/tests/props.rs Cargo.toml
+
+crates/grid/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

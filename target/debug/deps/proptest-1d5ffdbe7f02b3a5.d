@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-1d5ffdbe7f02b3a5.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1d5ffdbe7f02b3a5.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1d5ffdbe7f02b3a5.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

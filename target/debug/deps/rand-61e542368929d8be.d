@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-61e542368929d8be.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-61e542368929d8be.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

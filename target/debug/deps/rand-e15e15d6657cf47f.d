@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e15e15d6657cf47f.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e15e15d6657cf47f.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e15e15d6657cf47f.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

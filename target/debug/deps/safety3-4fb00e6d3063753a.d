@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety3-4fb00e6d3063753a.d: crates/cube/tests/safety3.rs
+
+/root/repo/target/debug/deps/safety3-4fb00e6d3063753a: crates/cube/tests/safety3.rs
+
+crates/cube/tests/safety3.rs:

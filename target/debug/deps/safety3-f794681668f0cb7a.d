@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/safety3-f794681668f0cb7a.d: crates/cube/tests/safety3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsafety3-f794681668f0cb7a.rmeta: crates/cube/tests/safety3.rs Cargo.toml
+
+crates/cube/tests/safety3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

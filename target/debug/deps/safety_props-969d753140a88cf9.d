@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety_props-969d753140a88cf9.d: crates/core/tests/safety_props.rs
+
+/root/repo/target/debug/deps/safety_props-969d753140a88cf9: crates/core/tests/safety_props.rs
+
+crates/core/tests/safety_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/safety_props-9f30d764c702f936.d: crates/core/tests/safety_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsafety_props-9f30d764c702f936.rmeta: crates/core/tests/safety_props.rs Cargo.toml
+
+crates/core/tests/safety_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

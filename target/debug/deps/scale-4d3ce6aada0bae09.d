@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-4d3ce6aada0bae09.d: tests/scale.rs
+
+/root/repo/target/debug/deps/scale-4d3ce6aada0bae09: tests/scale.rs
+
+tests/scale.rs:

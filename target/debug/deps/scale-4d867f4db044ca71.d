@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale-4d867f4db044ca71.d: tests/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale-4d867f4db044ca71.rmeta: tests/scale.rs Cargo.toml
+
+tests/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

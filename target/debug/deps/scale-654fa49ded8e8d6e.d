@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-654fa49ded8e8d6e.d: tests/scale.rs
+
+/root/repo/target/debug/deps/scale-654fa49ded8e8d6e: tests/scale.rs
+
+tests/scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenarios-00b70548ba93619c.d: crates/bench/benches/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenarios-00b70548ba93619c.rmeta: crates/bench/benches/scenarios.rs Cargo.toml
+
+crates/bench/benches/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

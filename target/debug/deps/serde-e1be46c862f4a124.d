@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e1be46c862f4a124.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e1be46c862f4a124.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-e6daa6372d1d4ca4.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e6daa6372d1d4ca4.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e6daa6372d1d4ca4.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-09396a6b60d18f7d.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-09396a6b60d18f7d.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-09396a6b60d18f7d.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-ce243f3158dcff71.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-ce243f3158dcff71.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

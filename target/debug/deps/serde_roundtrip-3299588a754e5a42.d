@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-3299588a754e5a42.d: tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-3299588a754e5a42: tests/serde_roundtrip.rs
+
+tests/serde_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-6f74918916d0be35.d: tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-6f74918916d0be35: tests/serde_roundtrip.rs
+
+tests/serde_roundtrip.rs:

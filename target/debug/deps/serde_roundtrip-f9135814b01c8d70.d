@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_roundtrip-f9135814b01c8d70.d: tests/serde_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_roundtrip-f9135814b01c8d70.rmeta: tests/serde_roundtrip.rs Cargo.toml
+
+tests/serde_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/signal_edges-21faffeb3a7c074b.d: crates/core/tests/signal_edges.rs
+
+/root/repo/target/debug/deps/signal_edges-21faffeb3a7c074b: crates/core/tests/signal_edges.rs
+
+crates/core/tests/signal_edges.rs:

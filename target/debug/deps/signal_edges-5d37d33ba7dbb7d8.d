@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/signal_edges-5d37d33ba7dbb7d8.d: crates/core/tests/signal_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsignal_edges-5d37d33ba7dbb7d8.rmeta: crates/core/tests/signal_edges.rs Cargo.toml
+
+crates/core/tests/signal_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stabilization-0b84a4eab19d5979.d: crates/routing/tests/stabilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstabilization-0b84a4eab19d5979.rmeta: crates/routing/tests/stabilization.rs Cargo.toml
+
+crates/routing/tests/stabilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

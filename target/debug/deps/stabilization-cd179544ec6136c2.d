@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stabilization-cd179544ec6136c2.d: crates/routing/tests/stabilization.rs
+
+/root/repo/target/debug/deps/stabilization-cd179544ec6136c2: crates/routing/tests/stabilization.rs
+
+crates/routing/tests/stabilization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/unit_equivalence-07e9251631bd58d0.d: crates/tess/tests/unit_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libunit_equivalence-07e9251631bd58d0.rmeta: crates/tess/tests/unit_equivalence.rs Cargo.toml
+
+crates/tess/tests/unit_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

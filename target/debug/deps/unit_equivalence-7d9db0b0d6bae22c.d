@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/unit_equivalence-7d9db0b0d6bae22c.d: crates/tess/tests/unit_equivalence.rs
+
+/root/repo/target/debug/deps/unit_equivalence-7d9db0b0d6bae22c: crates/tess/tests/unit_equivalence.rs
+
+crates/tess/tests/unit_equivalence.rs:

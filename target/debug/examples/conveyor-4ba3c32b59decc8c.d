@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conveyor-4ba3c32b59decc8c.d: examples/conveyor.rs
+
+/root/repo/target/debug/examples/conveyor-4ba3c32b59decc8c: examples/conveyor.rs
+
+examples/conveyor.rs:

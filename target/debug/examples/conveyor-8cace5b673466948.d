@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conveyor-8cace5b673466948.d: examples/conveyor.rs
+
+/root/repo/target/debug/examples/conveyor-8cace5b673466948: examples/conveyor.rs
+
+examples/conveyor.rs:

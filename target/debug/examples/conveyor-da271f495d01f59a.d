@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/conveyor-da271f495d01f59a.d: examples/conveyor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconveyor-da271f495d01f59a.rmeta: examples/conveyor.rs Cargo.toml
+
+examples/conveyor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crossing_flows-2f1b3a1d409dc271.d: examples/crossing_flows.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrossing_flows-2f1b3a1d409dc271.rmeta: examples/crossing_flows.rs Cargo.toml
+
+examples/crossing_flows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crossing_flows-86406f848de171e9.d: examples/crossing_flows.rs
+
+/root/repo/target/debug/examples/crossing_flows-86406f848de171e9: examples/crossing_flows.rs
+
+examples/crossing_flows.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crossing_flows-ad865f7426752188.d: examples/crossing_flows.rs
+
+/root/repo/target/debug/examples/crossing_flows-ad865f7426752188: examples/crossing_flows.rs
+
+examples/crossing_flows.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/drone_corridor-0b3b3490bf75048e.d: examples/drone_corridor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdrone_corridor-0b3b3490bf75048e.rmeta: examples/drone_corridor.rs Cargo.toml
+
+examples/drone_corridor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drone_corridor-3fa1274df1ef92e3.d: examples/drone_corridor.rs
+
+/root/repo/target/debug/examples/drone_corridor-3fa1274df1ef92e3: examples/drone_corridor.rs
+
+examples/drone_corridor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drone_corridor-71aa422a3787034c.d: examples/drone_corridor.rs
+
+/root/repo/target/debug/examples/drone_corridor-71aa422a3787034c: examples/drone_corridor.rs
+
+examples/drone_corridor.rs:

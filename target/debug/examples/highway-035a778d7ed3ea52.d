@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/highway-035a778d7ed3ea52.d: examples/highway.rs
+
+/root/repo/target/debug/examples/highway-035a778d7ed3ea52: examples/highway.rs
+
+examples/highway.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/highway-34e9236e7a83563c.d: examples/highway.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhighway-34e9236e7a83563c.rmeta: examples/highway.rs Cargo.toml
+
+examples/highway.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/highway-510f4ada82ef8829.d: examples/highway.rs
+
+/root/repo/target/debug/examples/highway-510f4ada82ef8829: examples/highway.rs
+
+examples/highway.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/highway_segments-52943f0431d31df9.d: examples/highway_segments.rs
+
+/root/repo/target/debug/examples/highway_segments-52943f0431d31df9: examples/highway_segments.rs
+
+examples/highway_segments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/highway_segments-5bb68dfa853f2eba.d: examples/highway_segments.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhighway_segments-5bb68dfa853f2eba.rmeta: examples/highway_segments.rs Cargo.toml
+
+examples/highway_segments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/highway_segments-bf31221f63bfee30.d: examples/highway_segments.rs
+
+/root/repo/target/debug/examples/highway_segments-bf31221f63bfee30: examples/highway_segments.rs
+
+examples/highway_segments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-804db17a762071d2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-804db17a762071d2: examples/quickstart.rs
+
+examples/quickstart.rs:

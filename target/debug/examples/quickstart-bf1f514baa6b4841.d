@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bf1f514baa6b4841.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bf1f514baa6b4841: examples/quickstart.rs
+
+examples/quickstart.rs:

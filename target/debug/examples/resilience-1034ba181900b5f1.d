@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilience-1034ba181900b5f1.d: examples/resilience.rs
+
+/root/repo/target/debug/examples/resilience-1034ba181900b5f1: examples/resilience.rs
+
+examples/resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilience-6fe2c463110586bb.d: examples/resilience.rs
+
+/root/repo/target/debug/examples/resilience-6fe2c463110586bb: examples/resilience.rs
+
+examples/resilience.rs:

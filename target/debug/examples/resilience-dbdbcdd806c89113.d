@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resilience-dbdbcdd806c89113.d: examples/resilience.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresilience-dbdbcdd806c89113.rmeta: examples/resilience.rs Cargo.toml
+
+examples/resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

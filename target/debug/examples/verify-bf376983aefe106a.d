@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/verify-bf376983aefe106a.d: examples/verify.rs Cargo.toml
+
+/root/repo/target/debug/examples/libverify-bf376983aefe106a.rmeta: examples/verify.rs Cargo.toml
+
+examples/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify-e11b72014acd88ff.d: examples/verify.rs
+
+/root/repo/target/debug/examples/verify-e11b72014acd88ff: examples/verify.rs
+
+examples/verify.rs:

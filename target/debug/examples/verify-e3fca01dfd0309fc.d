@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify-e3fca01dfd0309fc.d: examples/verify.rs
+
+/root/repo/target/debug/examples/verify-e3fca01dfd0309fc: examples/verify.rs
+
+examples/verify.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cellflow_bench-bbf7e6977ee27c52.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcellflow_bench-bbf7e6977ee27c52.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcellflow_bench-bbf7e6977ee27c52.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

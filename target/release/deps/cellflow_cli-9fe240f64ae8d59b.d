@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cellflow_cli-9fe240f64ae8d59b.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libcellflow_cli-9fe240f64ae8d59b.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libcellflow_cli-9fe240f64ae8d59b.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/cellflow_core-cb84820695b8ea68.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cell.rs crates/core/src/entity.rs crates/core/src/fault.rs crates/core/src/mc.rs crates/core/src/monitor.rs crates/core/src/move_fn.rs crates/core/src/params.rs crates/core/src/route.rs crates/core/src/safety.rs crates/core/src/signal.rs crates/core/src/source.rs crates/core/src/system.rs crates/core/src/token.rs crates/core/src/update.rs
+
+/root/repo/target/release/deps/libcellflow_core-cb84820695b8ea68.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cell.rs crates/core/src/entity.rs crates/core/src/fault.rs crates/core/src/mc.rs crates/core/src/monitor.rs crates/core/src/move_fn.rs crates/core/src/params.rs crates/core/src/route.rs crates/core/src/safety.rs crates/core/src/signal.rs crates/core/src/source.rs crates/core/src/system.rs crates/core/src/token.rs crates/core/src/update.rs
+
+/root/repo/target/release/deps/libcellflow_core-cb84820695b8ea68.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cell.rs crates/core/src/entity.rs crates/core/src/fault.rs crates/core/src/mc.rs crates/core/src/monitor.rs crates/core/src/move_fn.rs crates/core/src/params.rs crates/core/src/route.rs crates/core/src/safety.rs crates/core/src/signal.rs crates/core/src/source.rs crates/core/src/system.rs crates/core/src/token.rs crates/core/src/update.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/cell.rs:
+crates/core/src/entity.rs:
+crates/core/src/fault.rs:
+crates/core/src/mc.rs:
+crates/core/src/monitor.rs:
+crates/core/src/move_fn.rs:
+crates/core/src/params.rs:
+crates/core/src/route.rs:
+crates/core/src/safety.rs:
+crates/core/src/signal.rs:
+crates/core/src/source.rs:
+crates/core/src/system.rs:
+crates/core/src/token.rs:
+crates/core/src/update.rs:

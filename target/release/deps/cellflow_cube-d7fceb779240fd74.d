@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cellflow_cube-d7fceb779240fd74.d: crates/cube/src/lib.rs crates/cube/src/analysis.rs crates/cube/src/cell.rs crates/cube/src/geometry.rs crates/cube/src/phases.rs crates/cube/src/safety.rs crates/cube/src/system.rs
+
+/root/repo/target/release/deps/libcellflow_cube-d7fceb779240fd74.rlib: crates/cube/src/lib.rs crates/cube/src/analysis.rs crates/cube/src/cell.rs crates/cube/src/geometry.rs crates/cube/src/phases.rs crates/cube/src/safety.rs crates/cube/src/system.rs
+
+/root/repo/target/release/deps/libcellflow_cube-d7fceb779240fd74.rmeta: crates/cube/src/lib.rs crates/cube/src/analysis.rs crates/cube/src/cell.rs crates/cube/src/geometry.rs crates/cube/src/phases.rs crates/cube/src/safety.rs crates/cube/src/system.rs
+
+crates/cube/src/lib.rs:
+crates/cube/src/analysis.rs:
+crates/cube/src/cell.rs:
+crates/cube/src/geometry.rs:
+crates/cube/src/phases.rs:
+crates/cube/src/safety.rs:
+crates/cube/src/system.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cellflow_dts-79063c109959d93f.d: crates/dts/src/lib.rs crates/dts/src/automaton.rs crates/dts/src/execution.rs crates/dts/src/explore.rs crates/dts/src/invariant.rs crates/dts/src/liveness.rs crates/dts/src/montecarlo.rs crates/dts/src/stabilize.rs
+
+/root/repo/target/release/deps/libcellflow_dts-79063c109959d93f.rlib: crates/dts/src/lib.rs crates/dts/src/automaton.rs crates/dts/src/execution.rs crates/dts/src/explore.rs crates/dts/src/invariant.rs crates/dts/src/liveness.rs crates/dts/src/montecarlo.rs crates/dts/src/stabilize.rs
+
+/root/repo/target/release/deps/libcellflow_dts-79063c109959d93f.rmeta: crates/dts/src/lib.rs crates/dts/src/automaton.rs crates/dts/src/execution.rs crates/dts/src/explore.rs crates/dts/src/invariant.rs crates/dts/src/liveness.rs crates/dts/src/montecarlo.rs crates/dts/src/stabilize.rs
+
+crates/dts/src/lib.rs:
+crates/dts/src/automaton.rs:
+crates/dts/src/execution.rs:
+crates/dts/src/explore.rs:
+crates/dts/src/invariant.rs:
+crates/dts/src/liveness.rs:
+crates/dts/src/montecarlo.rs:
+crates/dts/src/stabilize.rs:

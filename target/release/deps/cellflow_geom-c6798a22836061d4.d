@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cellflow_geom-c6798a22836061d4.d: crates/geom/src/lib.rs crates/geom/src/direction.rs crates/geom/src/fixed.rs crates/geom/src/point.rs crates/geom/src/square.rs
+
+/root/repo/target/release/deps/libcellflow_geom-c6798a22836061d4.rlib: crates/geom/src/lib.rs crates/geom/src/direction.rs crates/geom/src/fixed.rs crates/geom/src/point.rs crates/geom/src/square.rs
+
+/root/repo/target/release/deps/libcellflow_geom-c6798a22836061d4.rmeta: crates/geom/src/lib.rs crates/geom/src/direction.rs crates/geom/src/fixed.rs crates/geom/src/point.rs crates/geom/src/square.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/direction.rs:
+crates/geom/src/fixed.rs:
+crates/geom/src/point.rs:
+crates/geom/src/square.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cellflow_grid-45e2dff23869e55e.d: crates/grid/src/lib.rs crates/grid/src/cell_id.rs crates/grid/src/connectivity.rs crates/grid/src/dims.rs crates/grid/src/path.rs
+
+/root/repo/target/release/deps/libcellflow_grid-45e2dff23869e55e.rlib: crates/grid/src/lib.rs crates/grid/src/cell_id.rs crates/grid/src/connectivity.rs crates/grid/src/dims.rs crates/grid/src/path.rs
+
+/root/repo/target/release/deps/libcellflow_grid-45e2dff23869e55e.rmeta: crates/grid/src/lib.rs crates/grid/src/cell_id.rs crates/grid/src/connectivity.rs crates/grid/src/dims.rs crates/grid/src/path.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/cell_id.rs:
+crates/grid/src/connectivity.rs:
+crates/grid/src/dims.rs:
+crates/grid/src/path.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cellflow_multiflow-7636492575d12de6.d: crates/multiflow/src/lib.rs crates/multiflow/src/cell.rs crates/multiflow/src/config.rs crates/multiflow/src/phases.rs crates/multiflow/src/safety.rs crates/multiflow/src/types.rs
+
+/root/repo/target/release/deps/libcellflow_multiflow-7636492575d12de6.rlib: crates/multiflow/src/lib.rs crates/multiflow/src/cell.rs crates/multiflow/src/config.rs crates/multiflow/src/phases.rs crates/multiflow/src/safety.rs crates/multiflow/src/types.rs
+
+/root/repo/target/release/deps/libcellflow_multiflow-7636492575d12de6.rmeta: crates/multiflow/src/lib.rs crates/multiflow/src/cell.rs crates/multiflow/src/config.rs crates/multiflow/src/phases.rs crates/multiflow/src/safety.rs crates/multiflow/src/types.rs
+
+crates/multiflow/src/lib.rs:
+crates/multiflow/src/cell.rs:
+crates/multiflow/src/config.rs:
+crates/multiflow/src/phases.rs:
+crates/multiflow/src/safety.rs:
+crates/multiflow/src/types.rs:

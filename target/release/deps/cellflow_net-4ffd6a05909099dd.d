@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cellflow_net-4ffd6a05909099dd.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs crates/net/src/sync.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libcellflow_net-4ffd6a05909099dd.rlib: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs crates/net/src/sync.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libcellflow_net-4ffd6a05909099dd.rmeta: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs crates/net/src/sync.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/node.rs:
+crates/net/src/runtime.rs:
+crates/net/src/sync.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cellflow_net-f64854120da49de2.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs
+
+/root/repo/target/release/deps/libcellflow_net-f64854120da49de2.rlib: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs
+
+/root/repo/target/release/deps/libcellflow_net-f64854120da49de2.rmeta: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/runtime.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/node.rs:
+crates/net/src/runtime.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cellflow_routing-38906d19aba7135b.d: crates/routing/src/lib.rs crates/routing/src/dist.rs crates/routing/src/table.rs crates/routing/src/topology.rs
+
+/root/repo/target/release/deps/libcellflow_routing-38906d19aba7135b.rlib: crates/routing/src/lib.rs crates/routing/src/dist.rs crates/routing/src/table.rs crates/routing/src/topology.rs
+
+/root/repo/target/release/deps/libcellflow_routing-38906d19aba7135b.rmeta: crates/routing/src/lib.rs crates/routing/src/dist.rs crates/routing/src/table.rs crates/routing/src/topology.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/dist.rs:
+crates/routing/src/table.rs:
+crates/routing/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cellflow_tess-53e120cf4d8760e2.d: crates/tess/src/lib.rs crates/tess/src/phases.rs crates/tess/src/safety.rs crates/tess/src/system.rs crates/tess/src/tessellation.rs
+
+/root/repo/target/release/deps/libcellflow_tess-53e120cf4d8760e2.rlib: crates/tess/src/lib.rs crates/tess/src/phases.rs crates/tess/src/safety.rs crates/tess/src/system.rs crates/tess/src/tessellation.rs
+
+/root/repo/target/release/deps/libcellflow_tess-53e120cf4d8760e2.rmeta: crates/tess/src/lib.rs crates/tess/src/phases.rs crates/tess/src/safety.rs crates/tess/src/system.rs crates/tess/src/tessellation.rs
+
+crates/tess/src/lib.rs:
+crates/tess/src/phases.rs:
+crates/tess/src/safety.rs:
+crates/tess/src/system.rs:
+crates/tess/src/tessellation.rs:

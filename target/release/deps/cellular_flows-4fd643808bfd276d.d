@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cellular_flows-4fd643808bfd276d.d: src/lib.rs
+
+/root/repo/target/release/deps/libcellular_flows-4fd643808bfd276d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcellular_flows-4fd643808bfd276d.rmeta: src/lib.rs
+
+src/lib.rs:

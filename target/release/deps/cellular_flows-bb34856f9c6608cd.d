@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cellular_flows-bb34856f9c6608cd.d: src/lib.rs
+
+/root/repo/target/release/deps/libcellular_flows-bb34856f9c6608cd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcellular_flows-bb34856f9c6608cd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-739955c92c5dd6f8.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-739955c92c5dd6f8.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-739955c92c5dd6f8.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-044cd4d77dbd4909.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-044cd4d77dbd4909.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-044cd4d77dbd4909.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:
