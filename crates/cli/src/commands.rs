@@ -36,6 +36,16 @@ USAGE:
                                      seeded fault-injection campaign against
                                      the message-passing runtime, judged by
                                      online invariant monitors
+  cellflow stabilize [--n 6] [--seed 1] [--corruptions 3] [--active 30]
+                 [--timeout-ms 5000]
+                                     adversarial state-corruption campaign:
+                                     certify re-stabilization within the
+                                     2N²+2 bound (Theorem 10) on both the
+                                     shared-variable reference and the
+                                     deployment with durable-snapshot
+                                     crash recovery; byte-identical report
+                                     per seed, minimal counterexample on
+                                     failure
   cellflow help                      this text
 
 All lengths (--l, --rs, --v) are in milli-cells: 250 = 0.25 cell sides.";
@@ -58,6 +68,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "paths" => paths(&flags),
         "mc" => mc(&flags),
         "chaos" => chaos(&flags),
+        "stabilize" => stabilize(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -399,7 +410,13 @@ fn chaos(flags: &Flags) -> Result<(), String> {
         until_round: Some(active),
     };
 
-    let (crashes, recoveries, hard, kills) = plan.census();
+    let census = plan.census();
+    let (crashes, recoveries, hard, kills) = (
+        census.crashes,
+        census.recoveries,
+        census.hard_crashes,
+        census.kills,
+    );
     println!("chaos campaign: {n}×{n} grid, {rounds} rounds, seed {seed}");
     println!(
         "fault plan:     {crashes} crashes, {recoveries} recoveries, {hard} hard, {kills} kills \
@@ -480,6 +497,179 @@ fn chaos(flags: &Flags) -> Result<(), String> {
             "{} monitor violation(s) — see report above",
             report.violations.len()
         ))
+    }
+}
+
+/// An adversarial state-corruption campaign with a mechanical stabilization
+/// certificate (Theorem 10 / Corollary 7): seeded corruptions are driven
+/// through the shared-variable reference by the certifier, then the same
+/// campaign — plus a hard crash and a *dirty* crash that tears the
+/// write-ahead record — runs against the message-passing deployment with a
+/// durable snapshot store, so the re-spawn restores a deliberately stale
+/// sealed snapshot the protocol must absorb.
+///
+/// The full report is **byte-identical across runs for the same seed** (no
+/// wall-clock, no filesystem paths) and each block is sealed with an FNV-1a
+/// checksum. A failed certificate is shrunk to a minimal counterexample and
+/// the command exits nonzero.
+fn stabilize(flags: &Flags) -> Result<(), String> {
+    use cellflow_core::certify::{certify, corruption_events, fnv1a, shrink, CertifyOptions};
+    use cellflow_core::monitor::{
+        stabilization_bound, ConservationMonitor, Monitor, RoutingMonitor, SafetyMonitor,
+        StabilizationMonitor, StabilizationProbe,
+    };
+    use cellflow_core::{CampaignSpec, FaultPlan};
+    use cellflow_net::{DurableStore, NetError, NetSystem, TearSpec};
+    use std::sync::Arc;
+
+    let n: u16 = flags.get("n", 6)?;
+    if n < 3 {
+        return Err("--n must be at least 3".into());
+    }
+    let seed: u64 = flags.get("seed", 1)?;
+    let corruptions: u32 = flags.get("corruptions", 3)?;
+    let active: u64 = flags.get("active", 30)?;
+    if active < 6 {
+        return Err("--active must be at least 6".into());
+    }
+    let timeout_ms: u64 = flags.get("timeout-ms", 5_000)?;
+
+    let params = Params::from_milli(250, 50, 200).expect("static parameters are valid");
+    let config = SystemConfig::new(GridDims::square(n), CellId::new(1, n - 1), params)
+        .map_err(|e| e.to_string())?
+        .with_source(CellId::new(1, 0));
+    let bound = stabilization_bound(&config);
+
+    // Seeded corruption-only campaign, shared by both phases.
+    let spec = CampaignSpec {
+        active_rounds: active,
+        bursts: 0,
+        blackouts: 0,
+        flappers: 0,
+        hard_crashes: 0,
+        kills: 0,
+        corruptions,
+        ..CampaignSpec::default()
+    };
+    let plan = FaultPlan::random_campaign(&config, &spec, seed);
+    let ops = corruption_events(&plan);
+
+    println!("stabilization campaign: {n}×{n} grid, seed {seed}, bound {bound} rounds (2N²+2)");
+    println!("\n== shared-variable certifier ==\n");
+    let cert = certify(&config, &ops, &CertifyOptions::default());
+    println!("{}", cert.render());
+    if !cert.holds() {
+        let minimal = shrink(&config, &ops, &CertifyOptions::default());
+        println!("\nminimal counterexample ({} of {} corruptions):", minimal.len(), ops.len());
+        for op in &minimal {
+            println!(
+                "  round {:>4}  cell ({},{})  {:?}",
+                op.round,
+                op.cell.i(),
+                op.cell.j(),
+                op.corruption
+            );
+        }
+        return Err("stabilization certificate FAILED on the reference".into());
+    }
+
+    // Phase 2: the same corruptions against the deployment, plus a hard
+    // crash (re-spawn from the sealed frozen-failed snapshot) and a dirty
+    // tear (re-spawn from a deliberately *stale* sealed snapshot).
+    let hard_victim = CellId::new(2, 1);
+    let tear_victim = CellId::new(2, 2);
+    let (hard_at, hard_respawn) = (active / 3, 2 * active / 3);
+    let (tear_at, tear_respawn) = (active / 2, active / 2 + 10);
+    let rounds = active.max(tear_respawn) + bound + 2;
+    let net_plan = plan
+        .hard_crash_at(hard_at, hard_victim)
+        .recover_at(hard_respawn, hard_victim);
+
+    let store_dir = std::env::temp_dir().join(format!(
+        "cellflow-stabilize-{seed}-{}",
+        std::process::id()
+    ));
+    let store = DurableStore::create(&store_dir).map_err(|e| e.to_string())?;
+    let probe = StabilizationProbe::new();
+    let monitors: Vec<Box<dyn Monitor>> = vec![
+        Box::new(SafetyMonitor::new()),
+        Box::new(RoutingMonitor::new()),
+        Box::new(ConservationMonitor::new()),
+        Box::new(StabilizationMonitor::new(&config).with_probe(&probe)),
+    ];
+    let outcome = NetSystem::new(config)
+        .map_err(|e| e.to_string())?
+        .with_plan(net_plan)
+        .with_store(Arc::new(store))
+        .with_tear(TearSpec {
+            cell: tear_victim,
+            round: tear_at,
+            respawn: tear_respawn,
+        })
+        .with_round_timeout(std::time::Duration::from_millis(timeout_ms.max(1)))
+        .run_monitored(rounds, monitors);
+    std::fs::remove_dir_all(&store_dir).ok();
+    let report = match outcome {
+        Ok(report) => report,
+        Err(NetError::Timeout { round, .. }) => {
+            return Err(format!("deployment wedged: round {round} timed out"));
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+
+    let mut block = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(block, "deployment campaign: {rounds} rounds");
+    let _ = writeln!(
+        block,
+        "  corruptions: {}, hard crash: ({},{}) at round {hard_at} (re-spawn {hard_respawn})",
+        ops.len(),
+        hard_victim.i(),
+        hard_victim.j(),
+    );
+    let _ = writeln!(
+        block,
+        "  dirty tear:  ({},{}) at round {tear_at} (stale re-spawn {tear_respawn})",
+        tear_victim.i(),
+        tear_victim.j(),
+    );
+    let _ = writeln!(
+        block,
+        "  durable snapshots: write-ahead intent + per-round seal (torn tail repaired)"
+    );
+    let _ = writeln!(
+        block,
+        "  traffic: {} inserted, {} consumed, {} in flight",
+        report.inserted,
+        report.consumed,
+        report.state.entity_count()
+    );
+    let _ = writeln!(block, "  last disturbance: round {}", probe.last_disturbance());
+    let restab = match probe.rounds_to_stabilize() {
+        Some(r) => format!("after {r} rounds (bound {bound})"),
+        None => "NEVER within the run".to_string(),
+    };
+    let _ = writeln!(block, "  re-stabilized: {restab}");
+    let _ = writeln!(block, "  violations: {}", report.violations.len());
+    for v in &report.violations {
+        let _ = writeln!(block, "    {v}");
+    }
+    let net_holds = report.violations.is_empty()
+        && probe
+            .rounds_to_stabilize()
+            .is_some_and(|r| r <= bound);
+    let _ = writeln!(
+        block,
+        "  verdict: {}",
+        if net_holds { "CERTIFIED" } else { "FAILED" }
+    );
+    let _ = write!(block, "  checksum: {:016x}", fnv1a(block.as_bytes()));
+    println!("\n== message-passing deployment ==\n");
+    println!("{block}");
+    if net_holds {
+        Ok(())
+    } else {
+        Err("stabilization certificate FAILED on the deployment".into())
     }
 }
 
@@ -568,6 +758,22 @@ mod tests {
             "chaos --n 4 --rounds 60 --active 30 --kills 1 --hard 0 --timeout-ms 300 --seed 2"
         ))
         .is_ok());
+    }
+
+    #[test]
+    fn stabilize_certifies_small_campaign() {
+        assert!(dispatch(&argv("stabilize --n 4 --seed 3")).is_ok());
+    }
+
+    #[test]
+    fn stabilize_certifies_with_more_corruptions() {
+        assert!(dispatch(&argv("stabilize --n 4 --seed 7 --corruptions 5 --active 20")).is_ok());
+    }
+
+    #[test]
+    fn stabilize_rejects_bad_grids() {
+        assert!(dispatch(&argv("stabilize --n 2")).is_err());
+        assert!(dispatch(&argv("stabilize --active 2")).is_err());
     }
 
     #[test]

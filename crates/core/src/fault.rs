@@ -24,11 +24,13 @@
 
 use std::collections::BTreeSet;
 
+use cellflow_geom::{sep_ok, Dir, Fixed, Point};
 use cellflow_grid::CellId;
+use cellflow_routing::Dist;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::SystemConfig;
+use crate::{CellState, SystemConfig};
 
 /// The kind of a scripted fault transition.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -52,6 +54,159 @@ pub enum FaultKind {
     /// unreachable. Deployments degrade via timeouts (footnote 1's "no
     /// timely response") and report a typed error instead of hanging.
     Kill,
+    /// A transient state corruption: the cell's protocol state is perturbed
+    /// in place (the *self*-stabilization adversary of Corollary 7 /
+    /// Theorem 10, as opposed to the polite crash flag). The cell keeps
+    /// running; the protocol must wash the damage out within the
+    /// stabilization bound without ever violating safety.
+    Corrupt(Corruption),
+}
+
+/// A perturbation of one cell's protocol state, applied atomically at the
+/// start of a round — the "arbitrary transient fault" the paper's
+/// stabilization theorems quantify over.
+///
+/// Shared-register corruptions (`next`, `token`, `signal`, `NEPrev`) are
+/// expressed as **direction registers** rather than raw cell identifiers:
+/// the adversary scribbles a direction, and the value the protocol observes
+/// is that direction resolved on the grid (`⊥` when it points off-grid).
+/// This keeps corrupted values inside each variable's type — the paper's
+/// model permits arbitrary *values of the declared type*, not arbitrary
+/// bit patterns — while still exercising every reachable wrong value.
+///
+/// Entity-position corruption ([`Corruption::Jostle`]) is constrained by
+/// physical well-formedness: entities are matter, so a transient fault may
+/// displace them but cannot make two of them overlap or teleport one across
+/// a cell boundary. Each nudge is accepted only if it preserves Invariant 1
+/// (interior margins) and the `d`-separation of Theorem 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Corruption {
+    /// Overwrite `dist` with an arbitrary value (including a fake `0`).
+    Dist(Dist),
+    /// Overwrite `next` with the neighbor in this direction (`⊥` when `None`
+    /// or off-grid).
+    Next(Option<Dir>),
+    /// Overwrite `token` likewise.
+    Token(Option<Dir>),
+    /// Overwrite `signal` likewise.
+    Signal(Option<Dir>),
+    /// Overwrite `NEPrev` with the neighbors selected by `mask` (bit `k`
+    /// selects `Dir::ALL[k]`; off-grid bits are ignored).
+    NePrev {
+        /// Direction bitmask over [`Dir::ALL`].
+        mask: u8,
+    },
+    /// Deterministically nudge every entity on the cell, keeping each nudge
+    /// only if it preserves Invariant 1 and `d`-separation.
+    Jostle {
+        /// Seed for the per-entity nudge derivation.
+        salt: u64,
+    },
+    /// Scramble the *entire* protocol state: `dist`, `next`, `token`,
+    /// `signal`, `NEPrev`, and entity positions, all derived from `salt`.
+    Scramble {
+        /// Seed for the derived sub-corruptions.
+        salt: u64,
+    },
+}
+
+impl Corruption {
+    /// Applies this corruption to `cell` (the state of `id` under `config`).
+    ///
+    /// Two well-formedness clauses are re-asserted afterwards, mirroring the
+    /// parts of the state a transient fault cannot reach in the paper's
+    /// model:
+    ///
+    /// * a **failed** cell stays pinned (`dist = ∞`, `next = signal = ⊥`) —
+    ///   the fail flag is the §IV failure model's, not the adversary's;
+    /// * the live **target** keeps `dist = 0` — the anchor is part of the
+    ///   configuration (recovery re-asserts it, `Route` never recomputes
+    ///   it), so a corrupted anchor would model a different system, not a
+    ///   transient fault of this one.
+    pub fn apply(&self, config: &SystemConfig, id: CellId, cell: &mut CellState) {
+        let dims = config.dims();
+        let resolve = |dir: Option<Dir>| {
+            dir.and_then(|d| id.step(d)).filter(|&n| dims.contains(n))
+        };
+        match *self {
+            Corruption::Dist(d) => cell.dist = d,
+            Corruption::Next(dir) => cell.next = resolve(dir),
+            Corruption::Token(dir) => cell.token = resolve(dir),
+            Corruption::Signal(dir) => cell.signal = resolve(dir),
+            Corruption::NePrev { mask } => {
+                cell.ne_prev = Dir::ALL
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| mask & (1 << k) != 0)
+                    .filter_map(|(_, &d)| resolve(Some(d)))
+                    .collect();
+            }
+            Corruption::Jostle { salt } => jostle(config, id, cell, salt),
+            Corruption::Scramble { salt } => {
+                let mut rng = SmallRng::seed_from_u64(salt);
+                let dist = if rng.gen_bool(0.3) {
+                    Dist::Infinity
+                } else {
+                    Dist::Finite(rng.gen_range(0..config.dist_cap() as usize) as u32)
+                };
+                Corruption::Dist(dist).apply(config, id, cell);
+                for mk in [Corruption::Next, Corruption::Token, Corruption::Signal] {
+                    mk(random_dir(&mut rng)).apply(config, id, cell);
+                }
+                let mask = rng.gen_range(0..16usize) as u8;
+                Corruption::NePrev { mask }.apply(config, id, cell);
+                Corruption::Jostle {
+                    salt: salt ^ 0xD1B5_4A32_D192_ED03,
+                }
+                .apply(config, id, cell);
+            }
+        }
+        if cell.failed {
+            cell.dist = Dist::Infinity;
+            cell.next = None;
+            cell.signal = None;
+        } else if id == config.target() {
+            cell.dist = Dist::Finite(0);
+        }
+    }
+}
+
+/// A direction drawn uniformly from `⊥` and the four compass directions.
+fn random_dir(rng: &mut SmallRng) -> Option<Dir> {
+    match rng.gen_range(0..5usize) {
+        0 => None,
+        k => Some(Dir::ALL[k - 1]),
+    }
+}
+
+/// Nudges every entity on the cell by a `salt`-derived offset of at most
+/// `d/2` per axis, keeping a nudge only if the new position stays inside the
+/// cell's interior margins (Invariant 1) and `d`-separated from every other
+/// entity (Theorem 5's `Safe`). Rejected nudges leave the entity in place,
+/// so the result is well-formed by construction.
+fn jostle(config: &SystemConfig, id: CellId, cell: &mut CellState, salt: u64) {
+    let params = config.params();
+    let amp = params.d().halve().raw();
+    if amp == 0 {
+        return;
+    }
+    let ids: Vec<crate::EntityId> = cell.members.keys().copied().collect();
+    for eid in ids {
+        let mut rng =
+            SmallRng::seed_from_u64(salt ^ eid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let dx = Fixed::from_raw(rng.gen_range(-amp..=amp));
+        let dy = Fixed::from_raw(rng.gen_range(-amp..=amp));
+        let old = cell.members[&eid];
+        let cand = Point::new(old.x + dx, old.y + dy);
+        let ok = crate::source::within_cell_margins(params, id, cand)
+            && cell
+                .members
+                .iter()
+                .all(|(&k, &q)| k == eid || sep_ok(cand, q, params.d()));
+        if ok {
+            cell.members.insert(eid, cand);
+        }
+    }
 }
 
 /// One scripted transition: `kind` applied to `cell` at the start of `round`.
@@ -119,6 +274,32 @@ impl FaultPlan {
     /// Adds a [`FaultKind::Kill`] of `cell` at `round`.
     pub fn kill_at(self, round: u64, cell: CellId) -> FaultPlan {
         self.with_event(round, cell, FaultKind::Kill)
+    }
+
+    /// Adds a [`FaultKind::Corrupt`] of `cell` at `round`.
+    pub fn corrupt_at(self, round: u64, cell: CellId, corruption: Corruption) -> FaultPlan {
+        self.with_event(round, cell, FaultKind::Corrupt(corruption))
+    }
+
+    /// A targeted corruption sweep: every cell in `cells` gets its full
+    /// state scrambled at `round`, each with a distinct salt derived from
+    /// `salt` and its coordinates (so no two cells scramble identically).
+    pub fn scramble_sweep<I: IntoIterator<Item = CellId>>(
+        mut self,
+        round: u64,
+        cells: I,
+        salt: u64,
+    ) -> FaultPlan {
+        for c in cells {
+            let cell_salt = salt ^ (((c.i() as u64) << 16 | c.j() as u64) + 1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            self.events.push(FaultEvent {
+                round,
+                cell: c,
+                kind: FaultKind::Corrupt(Corruption::Scramble { salt: cell_salt }),
+            });
+        }
+        self
     }
 
     /// Crashes all `cells` at round 0 — the path-carving helper (Figure 8).
@@ -265,25 +446,41 @@ impl FaultPlan {
                 FaultKind::Recover => {
                     dead.remove(&e.cell);
                 }
-                FaultKind::Crash => {}
+                FaultKind::Crash | FaultKind::Corrupt(_) => {}
             }
         }
         dead
     }
 
-    /// Counts per kind: `(crashes, recoveries, hard_crashes, kills)`.
-    pub fn census(&self) -> (usize, usize, usize, usize) {
-        let mut c = (0, 0, 0, 0);
+    /// Counts per kind.
+    pub fn census(&self) -> FaultCensus {
+        let mut c = FaultCensus::default();
         for e in &self.events {
             match e.kind {
-                FaultKind::Crash => c.0 += 1,
-                FaultKind::Recover => c.1 += 1,
-                FaultKind::HardCrash => c.2 += 1,
-                FaultKind::Kill => c.3 += 1,
+                FaultKind::Crash => c.crashes += 1,
+                FaultKind::Recover => c.recoveries += 1,
+                FaultKind::HardCrash => c.hard_crashes += 1,
+                FaultKind::Kill => c.kills += 1,
+                FaultKind::Corrupt(_) => c.corruptions += 1,
             }
         }
         c
     }
+}
+
+/// Event counts per [`FaultKind`], as reported by [`FaultPlan::census`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCensus {
+    /// [`FaultKind::Crash`] events.
+    pub crashes: usize,
+    /// [`FaultKind::Recover`] events.
+    pub recoveries: usize,
+    /// [`FaultKind::HardCrash`] events.
+    pub hard_crashes: usize,
+    /// [`FaultKind::Kill`] events.
+    pub kills: usize,
+    /// [`FaultKind::Corrupt`] events.
+    pub corruptions: usize,
 }
 
 /// Shape parameters for [`FaultPlan::random_campaign`]: how much adversity a
@@ -307,6 +504,11 @@ pub struct CampaignSpec {
     /// Number of unrecoverable kills (the run is expected to end in a
     /// timeout error; keep 0 for differential campaigns).
     pub kills: u32,
+    /// Number of transient state corruptions ([`FaultKind::Corrupt`]):
+    /// seeded draws over the full [`Corruption`] vocabulary, landing on
+    /// cells that are never hard-crash/kill victims (a dead node has no
+    /// state to corrupt).
+    pub corruptions: u32,
     /// Never fault the target (an adversarial target kill otherwise
     /// disconnects everything).
     pub protect_target: bool,
@@ -324,6 +526,7 @@ impl Default for CampaignSpec {
             flappers: 1,
             hard_crashes: 1,
             kills: 0,
+            corruptions: 0,
             protect_target: true,
             protect_sources: true,
         }
@@ -418,6 +621,30 @@ impl FaultPlan {
             let start = rng.gen_range(0..latest_start);
             plan = plan.flapping(cell, start, half, flips);
         }
+        for _ in 0..spec.corruptions {
+            let cell = flaggable[rng.gen_range(0..flaggable.len())];
+            let when = rng.gen_range(0..horizon);
+            let corruption = match rng.gen_range(0..7usize) {
+                0 => Corruption::Dist(if rng.gen_bool(0.3) {
+                    Dist::Infinity
+                } else {
+                    Dist::Finite(rng.gen_range(0..config.dist_cap() as usize) as u32)
+                }),
+                1 => Corruption::Next(random_dir(&mut rng)),
+                2 => Corruption::Token(random_dir(&mut rng)),
+                3 => Corruption::Signal(random_dir(&mut rng)),
+                4 => Corruption::NePrev {
+                    mask: rng.gen_range(0..16usize) as u8,
+                },
+                5 => Corruption::Jostle {
+                    salt: rng.gen::<u64>(),
+                },
+                _ => Corruption::Scramble {
+                    salt: rng.gen::<u64>(),
+                },
+            };
+            plan = plan.corrupt_at(when, cell, corruption);
+        }
         plan
     }
 }
@@ -444,14 +671,16 @@ mod tests {
             .burst(10, [CellId::new(2, 2), CellId::new(3, 3)], 5)
             .blackout(20, CellId::new(0, 0), CellId::new(1, 1), 3)
             .flapping(CellId::new(4, 4), 30, 2, 2)
-            .kill_at(50, CellId::new(5, 5));
-        let (crashes, recoveries, hard, kills) = plan.census();
-        assert_eq!(crashes, 2 + 4 + 2);
-        assert_eq!(recoveries, 2 + 4 + 2);
-        assert_eq!(hard, 0);
-        assert_eq!(kills, 1);
+            .kill_at(50, CellId::new(5, 5))
+            .corrupt_at(55, CellId::new(2, 1), Corruption::Dist(Dist::Finite(0)));
+        let census = plan.census();
+        assert_eq!(census.crashes, 2 + 4 + 2);
+        assert_eq!(census.recoveries, 2 + 4 + 2);
+        assert_eq!(census.hard_crashes, 0);
+        assert_eq!(census.kills, 1);
+        assert_eq!(census.corruptions, 1);
         assert!(plan.has_kills());
-        assert_eq!(plan.last_event_round(), Some(50));
+        assert_eq!(plan.last_event_round(), Some(55));
     }
 
     #[test]
@@ -514,6 +743,112 @@ mod tests {
                     "seed {seed}: source faulted"
                 );
                 assert!(e.round < 60, "seed {seed}: event outside active window");
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_registers_resolve_to_neighbors_or_bottom() {
+        let cfg = config();
+        let corner = CellId::new(0, 0);
+        let mut cell = CellState::initial();
+        // West of the corner is off-grid: the register resolves to ⊥.
+        Corruption::Next(Some(Dir::West)).apply(&cfg, corner, &mut cell);
+        assert_eq!(cell.next, None);
+        Corruption::Next(Some(Dir::East)).apply(&cfg, corner, &mut cell);
+        assert_eq!(cell.next, Some(CellId::new(1, 0)));
+        // A mask selecting all four directions keeps only the on-grid two.
+        Corruption::NePrev { mask: 0b1111 }.apply(&cfg, corner, &mut cell);
+        assert_eq!(cell.ne_prev.len(), 2);
+        assert!(cell.ne_prev.iter().all(|&n| corner.is_neighbor(n)));
+    }
+
+    #[test]
+    fn corruption_respects_failed_and_target_pinning() {
+        let cfg = config();
+        let mut failed = CellState::initial();
+        failed.failed = true;
+        Corruption::Scramble { salt: 7 }.apply(&cfg, CellId::new(2, 2), &mut failed);
+        assert_eq!(failed.dist, Dist::Infinity);
+        assert_eq!(failed.next, None);
+        assert_eq!(failed.signal, None);
+        let mut target = CellState::initial_target();
+        Corruption::Dist(Dist::Infinity).apply(&cfg, cfg.target(), &mut target);
+        assert_eq!(target.dist, Dist::Finite(0), "live target anchor is pinned");
+    }
+
+    #[test]
+    fn jostle_preserves_physical_well_formedness() {
+        use crate::EntityId;
+        use cellflow_geom::{sep_ok, Point};
+
+        let cfg = config();
+        let id = CellId::new(2, 2);
+        let params = cfg.params();
+        let mut cell = CellState::initial();
+        // Two entities legally placed inside the cell.
+        let c = id.center();
+        cell.members.insert(EntityId(1), Point::new(c.x - params.d(), c.y));
+        cell.members.insert(EntityId(2), Point::new(c.x + params.d(), c.y));
+        for salt in 0..50u64 {
+            let mut jostled = cell.clone();
+            Corruption::Jostle { salt }.apply(&cfg, id, &mut jostled);
+            assert_eq!(jostled.members.len(), 2);
+            let pts: Vec<Point> = jostled.members.values().copied().collect();
+            assert!(
+                sep_ok(pts[0], pts[1], params.d()),
+                "salt {salt}: separation violated"
+            );
+        }
+        // Determinism: the same salt jostles identically.
+        let (mut a, mut b) = (cell.clone(), cell.clone());
+        Corruption::Jostle { salt: 9 }.apply(&cfg, id, &mut a);
+        Corruption::Jostle { salt: 9 }.apply(&cfg, id, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scramble_sweep_salts_cells_distinctly() {
+        let cells = [CellId::new(2, 2), CellId::new(3, 3)];
+        let plan = FaultPlan::new().scramble_sweep(4, cells, 99);
+        assert_eq!(plan.len(), 2);
+        let salts: BTreeSet<u64> = plan
+            .events()
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::Corrupt(Corruption::Scramble { salt }) => salt,
+                other => panic!("unexpected kind {other:?}"),
+            })
+            .collect();
+        assert_eq!(salts.len(), 2, "per-cell salts must differ");
+        assert_eq!(
+            plan,
+            FaultPlan::new().scramble_sweep(4, cells, 99),
+            "sweep is deterministic"
+        );
+    }
+
+    #[test]
+    fn campaign_corruptions_avoid_hard_victims() {
+        let cfg = config();
+        let spec = CampaignSpec {
+            hard_crashes: 2,
+            corruptions: 5,
+            ..CampaignSpec::default()
+        };
+        for seed in 0..20 {
+            let plan = FaultPlan::random_campaign(&cfg, &spec, seed);
+            assert_eq!(plan.census().corruptions, 5, "seed {seed}");
+            let hard: BTreeSet<CellId> = plan
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::HardCrash | FaultKind::Kill))
+                .map(|e| e.cell)
+                .collect();
+            for e in plan.events() {
+                if matches!(e.kind, FaultKind::Corrupt(_)) {
+                    assert!(!hard.contains(&e.cell), "seed {seed}: corrupted a dead cell");
+                }
             }
         }
     }

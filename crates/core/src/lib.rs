@@ -48,6 +48,7 @@
 
 pub mod analysis;
 mod cell;
+pub mod certify;
 mod entity;
 pub mod fault;
 pub mod mc;
@@ -64,7 +65,8 @@ mod update;
 
 pub use cell::CellState;
 pub use cellflow_routing::Dist;
-pub use fault::{CampaignSpec, FaultEvent, FaultKind, FaultPlan};
+pub use certify::{certify, shrink, Certificate, CertifyOptions, CorruptionEvent};
+pub use fault::{CampaignSpec, Corruption, FaultCensus, FaultEvent, FaultKind, FaultPlan};
 pub use monitor::{standard_monitors, Monitor, MonitorCtx, MonitorViolation};
 pub use entity::{Entity, EntityId};
 pub use move_fn::{move_phase, MoveOutcome, Transfer};

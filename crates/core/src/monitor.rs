@@ -48,6 +48,15 @@ pub struct MonitorCtx<'a> {
     pub failed: &'a [CellId],
     /// Cells recovered at the start of this round.
     pub recovered: &'a [CellId],
+    /// Cells whose state suffered a discontinuity at the start of this
+    /// round: a transient corruption ([`FaultKind::Corrupt`]), or a re-spawn
+    /// from a stale durable snapshot. The stabilization stopwatch restarts
+    /// on such rounds, and entity conservation re-baselines (a corruption
+    /// adversary / stale restore may legitimately change the population
+    /// without a matching insert or consume).
+    ///
+    /// [`FaultKind::Corrupt`]: crate::FaultKind::Corrupt
+    pub corrupted: &'a [CellId],
     /// `true` while ambient message chaos (dropped/delayed announcements)
     /// is active — the stabilization stopwatch treats such rounds as
     /// ongoing disturbance, since Lemma 6 only promises convergence once
@@ -234,10 +243,20 @@ impl Monitor for RoutingMonitor {
 /// Entity conservation: starting from the empty initial state, the current
 /// population must equal `inserted − consumed` — transfers move entities,
 /// never mint or destroy them.
+///
+/// Rounds with a state discontinuity ([`MonitorCtx::corrupted`]) are
+/// allowed to shift the population (a stale-snapshot restore resurrects or
+/// drops entities; an adversarial jostle may not, but the adversary gets
+/// the benefit of the doubt for one round). The monitor *re-baselines* on
+/// such rounds — recording the new offset between population and the
+/// ledger — and then enforces conservation against that offset until the
+/// next discontinuity. Losing entities to a fault is permitted; minting
+/// them silently afterwards is still a violation.
 #[derive(Debug, Default)]
 pub struct ConservationMonitor {
     rounds: u64,
     violations: u64,
+    offset: i64,
 }
 
 impl ConservationMonitor {
@@ -254,16 +273,27 @@ impl Monitor for ConservationMonitor {
 
     fn observe(&mut self, ctx: &MonitorCtx<'_>) -> Vec<MonitorViolation> {
         self.rounds += 1;
-        let population = ctx.state.entity_count() as u64;
-        let expected = ctx.inserted_total - ctx.consumed_total.min(ctx.inserted_total);
+        let population = ctx.state.entity_count() as i64;
+        let expected =
+            (ctx.inserted_total - ctx.consumed_total.min(ctx.inserted_total)) as i64;
+        if !ctx.corrupted.is_empty() {
+            self.offset = population - expected;
+            return Vec::new();
+        }
         let mut out = Vec::new();
-        if population != expected {
+        if population != expected + self.offset {
             out.push(MonitorViolation {
                 monitor: self.name(),
                 round: ctx.round,
                 detail: format!(
-                    "population {population} ≠ inserted {} − consumed {}",
-                    ctx.inserted_total, ctx.consumed_total
+                    "population {population} ≠ inserted {} − consumed {}{}",
+                    ctx.inserted_total,
+                    ctx.consumed_total,
+                    if self.offset != 0 {
+                        format!(" (fault offset {})", self.offset)
+                    } else {
+                        String::new()
+                    }
                 ),
             });
             self.violations += 1;
@@ -297,6 +327,50 @@ pub struct StabilizationMonitor {
     stabilized_at: Option<u64>,
     reported_epoch: bool,
     violations: u64,
+    probe: Option<StabilizationProbe>,
+}
+
+/// A shared read-out of a [`StabilizationMonitor`]'s verdict, for callers
+/// that hand their monitors to a runtime (which consumes them) but still
+/// need the stopwatch numbers afterwards — e.g. the `cellflow stabilize`
+/// certificate over a deployment run.
+#[derive(Clone, Debug, Default)]
+pub struct StabilizationProbe {
+    inner: std::sync::Arc<std::sync::Mutex<ProbeInner>>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ProbeInner {
+    rounds_to_stabilize: Option<u64>,
+    last_disturbance: u64,
+    violations: u64,
+}
+
+impl StabilizationProbe {
+    /// A fresh, unobserved probe.
+    pub fn new() -> StabilizationProbe {
+        StabilizationProbe::default()
+    }
+
+    /// Rounds from the last disturbance to stabilization, if the attached
+    /// monitor last observed a stabilized state.
+    pub fn rounds_to_stabilize(&self) -> Option<u64> {
+        self.lock().rounds_to_stabilize
+    }
+
+    /// The round of the last disturbance the attached monitor saw.
+    pub fn last_disturbance(&self) -> u64 {
+        self.lock().last_disturbance
+    }
+
+    /// Total bound violations the attached monitor reported.
+    pub fn violations(&self) -> u64 {
+        self.lock().violations
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ProbeInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 impl StabilizationMonitor {
@@ -313,7 +387,15 @@ impl StabilizationMonitor {
             stabilized_at: None,
             reported_epoch: false,
             violations: 0,
+            probe: None,
         }
+    }
+
+    /// Attaches `probe`, which mirrors the stopwatch after every observed
+    /// round.
+    pub fn with_probe(mut self, probe: &StabilizationProbe) -> StabilizationMonitor {
+        self.probe = Some(probe.clone());
+        self
     }
 
     /// The round budget in force.
@@ -338,34 +420,48 @@ impl Monitor for StabilizationMonitor {
     }
 
     fn observe(&mut self, ctx: &MonitorCtx<'_>) -> Vec<MonitorViolation> {
-        if !ctx.failed.is_empty() || !ctx.recovered.is_empty() || ctx.ambient_chaos {
+        if !ctx.failed.is_empty()
+            || !ctx.recovered.is_empty()
+            || !ctx.corrupted.is_empty()
+            || ctx.ambient_chaos
+        {
             // A new epoch starts; the clock restarts at this round.
             self.last_disturbance = ctx.round;
             self.stabilized_at = None;
             self.reported_epoch = false;
         }
-        if analysis::routing_stabilized(ctx.config, ctx.state) {
+        let out = if analysis::routing_stabilized(ctx.config, ctx.state) {
             if self.stabilized_at.is_none() {
                 self.stabilized_at = Some(ctx.round);
             }
-            return Vec::new();
+            Vec::new()
+        } else {
+            self.stabilized_at = None;
+            let elapsed = ctx.round - self.last_disturbance;
+            if elapsed > self.bound && !self.reported_epoch {
+                self.reported_epoch = true;
+                self.violations += 1;
+                vec![MonitorViolation {
+                    monitor: self.name(),
+                    round: ctx.round,
+                    detail: format!(
+                        "routing not stabilized {elapsed} rounds after the \
+                         disturbance at round {} (bound {})",
+                        self.last_disturbance, self.bound
+                    ),
+                }]
+            } else {
+                Vec::new()
+            }
+        };
+        if let Some(probe) = &self.probe {
+            *probe.lock() = ProbeInner {
+                rounds_to_stabilize: self.rounds_to_stabilize(),
+                last_disturbance: self.last_disturbance,
+                violations: self.violations,
+            };
         }
-        self.stabilized_at = None;
-        let elapsed = ctx.round - self.last_disturbance;
-        if elapsed > self.bound && !self.reported_epoch {
-            self.reported_epoch = true;
-            self.violations += 1;
-            return vec![MonitorViolation {
-                monitor: self.name(),
-                round: ctx.round,
-                detail: format!(
-                    "routing not stabilized {elapsed} rounds after the \
-                     disturbance at round {} (bound {})",
-                    self.last_disturbance, self.bound
-                ),
-            }];
-        }
-        Vec::new()
+        out
     }
 
     fn summary(&self) -> String {
@@ -422,7 +518,8 @@ mod tests {
                 round: sys.round(),
                 failed: &[],
                 recovered: &[],
-            ambient_chaos: false,
+                corrupted: &[],
+                ambient_chaos: false,
                 consumed_total: sys.consumed_total(),
                 inserted_total: sys.inserted_total(),
             };
@@ -467,6 +564,7 @@ mod tests {
             round: 1,
             failed: &[],
             recovered: &[],
+            corrupted: &[],
             ambient_chaos: false,
             consumed_total: 0,
             inserted_total: 2,
@@ -492,6 +590,7 @@ mod tests {
             round: 3,
             failed: &[],
             recovered: &[],
+            corrupted: &[],
             ambient_chaos: false,
             consumed_total: 0,
             inserted_total: 0,
@@ -511,6 +610,7 @@ mod tests {
             round: 1,
             failed: &[],
             recovered: &[],
+            corrupted: &[],
             ambient_chaos: false,
             consumed_total: 0,
             inserted_total: 5, // claims 5 inserted but the state is empty
@@ -535,7 +635,8 @@ mod tests {
                 round: sys.round(),
                 failed: &[],
                 recovered: &[],
-            ambient_chaos: false,
+                corrupted: &[],
+                ambient_chaos: false,
                 consumed_total: sys.consumed_total(),
                 inserted_total: sys.inserted_total(),
             };
@@ -552,6 +653,7 @@ mod tests {
             round: sys.round(),
             failed: &[victim],
             recovered: &[],
+            corrupted: &[],
             ambient_chaos: false,
             consumed_total: sys.consumed_total(),
             inserted_total: sys.inserted_total(),
@@ -578,7 +680,8 @@ mod tests {
                 round: sys.round(),
                 failed: &[],
                 recovered: &[],
-            ambient_chaos: false,
+                corrupted: &[],
+                ambient_chaos: false,
                 consumed_total: sys.consumed_total(),
                 inserted_total: sys.inserted_total(),
             };
@@ -587,5 +690,72 @@ mod tests {
         // Fires exactly once per epoch, not once per late round.
         assert_eq!(fired.len(), 1);
         assert!(fired[0].detail.contains("bound 1"));
+    }
+
+    #[test]
+    fn conservation_rebaselines_on_corrupted_rounds() {
+        let sys = System::new(config());
+        let mut m = ConservationMonitor::new();
+        let ctx = |round, corrupted: &'static [CellId], inserted| MonitorCtx {
+            config: sys.config(),
+            state: sys.state(),
+            round,
+            failed: &[],
+            recovered: &[],
+            corrupted,
+            ambient_chaos: false,
+            consumed_total: 0,
+            inserted_total: inserted,
+        };
+        static VICTIM: [CellId; 1] = [CellId::new(1, 1)];
+        // Discontinuity round: the ledger says 3, the state holds 0. The
+        // monitor re-baselines instead of firing.
+        assert_eq!(m.observe(&ctx(1, &VICTIM, 3)), Vec::new());
+        // Quiet rounds hold against the recorded offset of −3.
+        assert_eq!(m.observe(&ctx(2, &[], 3)), Vec::new());
+        // A later ledger shift without a discontinuity still fires.
+        let vs = m.observe(&ctx(3, &[], 2));
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("fault offset -3"));
+    }
+
+    #[test]
+    fn stabilization_restarts_on_corruption_and_probe_mirrors() {
+        let cfg = config();
+        let probe = StabilizationProbe::new();
+        let mut m = StabilizationMonitor::new(&cfg).with_probe(&probe);
+        let mut sys = System::new(cfg);
+        for _ in 0..10 {
+            sys.step();
+            let ctx = MonitorCtx {
+                config: sys.config(),
+                state: sys.state(),
+                round: sys.round(),
+                failed: &[],
+                recovered: &[],
+                corrupted: &[],
+                ambient_chaos: false,
+                consumed_total: sys.consumed_total(),
+                inserted_total: sys.inserted_total(),
+            };
+            m.observe(&ctx);
+        }
+        assert!(probe.rounds_to_stabilize().is_some());
+        assert_eq!(probe.violations(), 0);
+        // A corruption restarts the epoch clock, mirrored by the probe.
+        sys.step();
+        let disturbed = MonitorCtx {
+            config: sys.config(),
+            state: sys.state(),
+            round: sys.round(),
+            failed: &[],
+            recovered: &[],
+            corrupted: &[CellId::new(2, 2)],
+            ambient_chaos: false,
+            consumed_total: sys.consumed_total(),
+            inserted_total: sys.inserted_total(),
+        };
+        m.observe(&disturbed);
+        assert_eq!(probe.last_disturbance(), sys.round());
     }
 }

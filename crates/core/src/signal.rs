@@ -91,6 +91,12 @@ pub fn signal_phase(config: &SystemConfig, state: &SystemState, round: u64) -> S
             .collect();
 
         let mut token = state.cell(dims, id).token;
+        // A transient fault may have left a non-neighbor in the token
+        // register; treat it as ⊥ so `Signal` self-stabilizes instead of
+        // trusting the corrupted value.
+        if token.is_some_and(|t| !id.is_neighbor(t)) {
+            token = None;
+        }
         if token.is_none() {
             token = policy.choose(&ne_prev, id, round);
         }

@@ -8,6 +8,7 @@ use cellflow_geom::Point;
 use cellflow_grid::{CellId, GridDims};
 use cellflow_routing::Dist;
 
+use crate::fault::Corruption;
 use crate::{update, CellState, Entity, EntityId, Params, RoundEvents, SourcePolicy, TokenPolicy};
 
 /// Static configuration of a `System`: everything that does *not* change
@@ -388,6 +389,17 @@ impl System {
     pub fn recover(&mut self, id: CellId) {
         let target = self.config.target();
         self.state.recover(self.config.dims(), id, target);
+    }
+
+    /// Applies a transient state corruption to cell `id` (see
+    /// [`Corruption::apply`]) — the adversary of the stabilization theorems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn corrupt(&mut self, id: CellId, corruption: Corruption) {
+        let cell = self.state.cell_mut(self.config.dims(), id);
+        corruption.apply(&self.config, id, cell);
     }
 
     /// Places an entity with a fresh identifier at `pos` on cell `id`,

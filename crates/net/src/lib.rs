@@ -80,12 +80,18 @@
 mod message;
 mod node;
 mod runtime;
+pub mod store;
+mod supervisor;
 pub mod sync;
 mod transport;
 
 pub use message::{Envelope, Message};
 pub use node::{CellNode, NodeCheckpoint};
 pub use runtime::{NetError, NetReport, NetSystem};
+pub use store::{
+    DurableStore, MemoryStore, PersistedRecord, RecordPoint, SnapshotStore, StoreError, TearSpec,
+};
+pub use supervisor::{RestartPolicy, SupervisorDecision};
 pub use sync::{PoisonInfo, WAITS_PER_ROUND};
 pub use transport::{
     ChaosConfig, ChaosStats, ChaosTransport, EdgeLink, PerfectTransport, Transport,

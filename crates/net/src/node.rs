@@ -3,7 +3,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use cellflow_core::{gap_free_toward, CellState, EntityId, SystemConfig};
+use cellflow_core::{gap_free_toward, CellState, Corruption, EntityId, SystemConfig};
 use cellflow_geom::Point;
 use cellflow_grid::CellId;
 use cellflow_routing::{route_update, Dist};
@@ -97,6 +97,17 @@ impl CellNode {
         self.state.failed
     }
 
+    /// Applies a transient state corruption locally — the deployment's
+    /// enactment of [`FaultKind::Corrupt`], bit-identical to the reference
+    /// system's [`System::corrupt`] because both delegate to
+    /// [`Corruption::apply`] on the same [`CellState`].
+    ///
+    /// [`FaultKind::Corrupt`]: cellflow_core::FaultKind::Corrupt
+    /// [`System::corrupt`]: cellflow_core::System::corrupt
+    pub fn corrupt(&mut self, corruption: Corruption) {
+        corruption.apply(&self.config, self.id, &mut self.state);
+    }
+
     /// Exchange 1 payload: the `dist` this node broadcasts, or `None` when
     /// crashed (silence).
     pub fn announce_dist(&self) -> Option<Dist> {
@@ -137,6 +148,11 @@ impl CellNode {
             .collect();
         let policy = self.config.token_policy();
         let mut token = self.state.token;
+        // Mirror of the reference `Signal`: a corrupted non-neighbor token
+        // reads as ⊥ rather than being trusted (or panicking below).
+        if token.is_some_and(|t| !self.id.is_neighbor(t)) {
+            token = None;
+        }
         if token.is_none() {
             token = policy.choose(&ne_prev, self.id, self.round);
         }
@@ -306,6 +322,39 @@ pub struct NodeCheckpoint {
     source_seq: u64,
     consumed: u64,
     inserted: u64,
+}
+
+impl NodeCheckpoint {
+    /// Assembles a checkpoint from its parts — the decode half of a durable
+    /// snapshot store; the encode half reads the accessors below.
+    pub fn new(state: CellState, source_seq: u64, consumed: u64, inserted: u64) -> NodeCheckpoint {
+        NodeCheckpoint {
+            state,
+            source_seq,
+            consumed,
+            inserted,
+        }
+    }
+
+    /// The checkpointed protocol state.
+    pub fn state(&self) -> &CellState {
+        &self.state
+    }
+
+    /// The source pool position at checkpoint time.
+    pub fn source_seq(&self) -> u64 {
+        self.source_seq
+    }
+
+    /// Entities consumed up to checkpoint time.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Entities inserted up to checkpoint time.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
 }
 
 #[cfg(test)]

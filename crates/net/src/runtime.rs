@@ -3,6 +3,7 @@
 //! an optional monitor collector.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cellflow_core::fault::{FaultKind, FaultPlan};
@@ -12,9 +13,11 @@ use cellflow_grid::CellId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::message::{Envelope, Message};
+use crate::store::{MemoryStore, PersistedRecord, RecordPoint, SnapshotStore, TearSpec};
+use crate::supervisor::{RestartPolicy, SupervisorDecision};
 use crate::sync::{RoundBarrier, WAITS_PER_ROUND};
 use crate::transport::{ChaosConfig, ChaosStats, ChaosTransport, PerfectTransport, Transport};
-use crate::{CellNode, NodeCheckpoint};
+use crate::CellNode;
 
 /// The result of a message-passing run.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,6 +34,10 @@ pub struct NetReport {
     pub violations: Vec<MonitorViolation>,
     /// One summary line per installed monitor.
     pub monitor_summaries: Vec<String>,
+    /// Interventions the restart supervisor applied to the fault plan
+    /// (backed-off or quarantined re-spawns); empty under the default
+    /// identity policy.
+    pub supervisor: Vec<SupervisorDecision>,
 }
 
 /// Error from a message-passing run.
@@ -93,12 +100,28 @@ const DEFAULT_ROUND_TIMEOUT: Duration = Duration::from_secs(5);
 /// crashes, hard thread-killing crashes with checkpointed re-spawn, and
 /// unrecoverable kills, and [`ChaosConfig`] for message-level fault
 /// injection.
-#[derive(Debug)]
 pub struct NetSystem {
     config: SystemConfig,
     plan: FaultPlan,
     chaos: Option<ChaosConfig>,
     round_timeout: Duration,
+    store: Option<Arc<dyn SnapshotStore>>,
+    policy: RestartPolicy,
+    tears: Vec<TearSpec>,
+}
+
+impl core::fmt::Debug for NetSystem {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("NetSystem")
+            .field("config", &self.config)
+            .field("plan", &self.plan)
+            .field("chaos", &self.chaos)
+            .field("round_timeout", &self.round_timeout)
+            .field("store", &self.store.as_ref().map(|_| "SnapshotStore"))
+            .field("policy", &self.policy)
+            .field("tears", &self.tears)
+            .finish()
+    }
 }
 
 impl NetSystem {
@@ -121,6 +144,9 @@ impl NetSystem {
             plan: FaultPlan::new(),
             chaos: None,
             round_timeout: DEFAULT_ROUND_TIMEOUT,
+            store: None,
+            policy: RestartPolicy::default(),
+            tears: Vec::new(),
         })
     }
 
@@ -159,6 +185,38 @@ impl NetSystem {
     /// Overrides the per-wait round timeout (default 5 s).
     pub fn with_round_timeout(mut self, timeout: Duration) -> NetSystem {
         self.round_timeout = timeout;
+        self
+    }
+
+    /// Installs a snapshot store. Every cell appends a write-ahead
+    /// [`RecordPoint::Intent`] record before sending entity transfers and a
+    /// [`RecordPoint::Sealed`] record after finishing each round; hard-crash
+    /// re-spawns restore from the latest persisted record. Without a store,
+    /// each run uses a private in-memory store — same code path, no
+    /// durability across runs.
+    pub fn with_store(mut self, store: Arc<dyn SnapshotStore>) -> NetSystem {
+        self.store = Some(store);
+        self
+    }
+
+    /// Installs a restart supervision policy (exponential backoff + jitter,
+    /// restart budgets, quarantine). The policy rewrites the scripted plan
+    /// into the effective plan before the run starts; interventions are
+    /// reported in [`NetReport::supervisor`].
+    pub fn with_restart_policy(mut self, policy: RestartPolicy) -> NetSystem {
+        self.policy = policy;
+        self
+    }
+
+    /// Scripts a *dirty* crash: at `tear.round` the cell's thread dies
+    /// mid-round — its write-ahead record tears halfway through the write,
+    /// no transfers are sent, and the round is never sealed. The re-spawn at
+    /// `tear.respawn` therefore restores the last durable *sealed* snapshot,
+    /// which is stale by construction; the monitors treat the re-join as a
+    /// state corruption (conservation rebaseline + stabilization epoch
+    /// restart) and the certifier proves the protocol absorbs it.
+    pub fn with_tear(mut self, tear: TearSpec) -> NetSystem {
+        self.tears.push(tear);
         self
     }
 
@@ -201,6 +259,18 @@ impl NetSystem {
         let n = cells.len();
         let collect = !monitors.is_empty();
 
+        // Supervision is a deterministic plan rewrite, applied up front:
+        // node threads and the collector both consume the effective plan.
+        let (effective, decisions) = self.policy.rewrite(&self.plan);
+
+        // Uniform recovery path: hard-crash re-spawns always go through the
+        // snapshot store. A run without a configured store gets a private
+        // in-memory one.
+        let store: Arc<dyn SnapshotStore> = self
+            .store
+            .clone()
+            .unwrap_or_else(|| Arc::new(MemoryStore::new()));
+
         // The fabric: perfect unless chaos is configured.
         let chaos_transport = self.chaos.map(ChaosTransport::new);
         let transport: &dyn Transport = match &chaos_transport {
@@ -224,10 +294,12 @@ impl NetSystem {
         let outcome = crossbeam::thread::scope(|scope| {
             let ctx = RunCtx {
                 config: &self.config,
-                plan: &self.plan,
+                plan: &effective,
                 barrier: &barrier,
                 rounds,
                 collect,
+                store: &*store,
+                tears: &self.tears,
             };
             for &id in &cells {
                 let inbox = inboxes.remove(&id).expect("one inbox per cell");
@@ -257,12 +329,14 @@ impl NetSystem {
             let collector = collect.then(|| {
                 let patience = self.round_timeout.saturating_mul(16);
                 let config = &self.config;
-                let plan = &self.plan;
+                let plan = &effective;
+                let tears = &self.tears;
                 let cells = &cells;
                 scope.spawn(move |_| {
                     collect_rounds(
                         config,
                         plan,
+                        tears,
                         rounds,
                         cells,
                         snap_rx,
@@ -333,6 +407,7 @@ impl NetSystem {
                 chaos: ChaosStats::default(),
                 violations,
                 monitor_summaries,
+                supervisor: decisions.clone(),
             })
         });
 
@@ -362,6 +437,8 @@ struct RunCtx<'a> {
     barrier: &'a RoundBarrier,
     rounds: u64,
     collect: bool,
+    store: &'a dyn SnapshotStore,
+    tears: &'a [TearSpec],
 }
 
 /// One node thread's connections (everything but the node itself, which a
@@ -413,21 +490,29 @@ fn drive<'scope, 'env>(
             match event.kind {
                 FaultKind::Crash => node.fail(),
                 FaultKind::Recover => node.recover(),
+                FaultKind::Corrupt(c) => node.corrupt(c),
                 FaultKind::HardCrash => {
                     // The deployment-level crash: apply the protocol `fail`
-                    // (so the checkpoint is the paper's frozen failed
-                    // state), checkpoint, hand the barrier seat over to the
-                    // scripted re-spawn (if any), and let this thread die.
+                    // (so the persisted snapshot is the paper's frozen
+                    // failed state), seal it into the store, hand the
+                    // barrier seat over to the scripted re-spawn (if any),
+                    // and let this thread die. The re-spawn restores from
+                    // the store — the uniform recovery path.
                     node.fail();
-                    let checkpoint = node.checkpoint();
+                    let record = PersistedRecord {
+                        round,
+                        point: RecordPoint::Sealed,
+                        checkpoint: node.checkpoint(),
+                    };
+                    ctx.store.append(id, &record).expect("snapshot store append");
                     match ctx.plan.respawn_round_after(id, round) {
-                        Some(respawn) => {
+                        Some(respawn) if respawn < ctx.rounds => {
                             ctx.barrier.leave_and_rejoin_at(respawn * WAITS_PER_ROUND);
-                            scope.spawn(move |scope| {
-                                respawn_cell(scope, ctx, id, checkpoint, seat, respawn)
-                            });
+                            scope.spawn(move |scope| respawn_cell(scope, ctx, id, seat, respawn));
                         }
-                        None => {
+                        // No re-spawn (or one past the end of the run,
+                        // e.g. pushed there by supervisor backoff).
+                        _ => {
                             ctx.barrier.leave();
                             // Report the frozen final state now; nobody
                             // else will speak for this cell.
@@ -444,6 +529,31 @@ fn drive<'scope, 'env>(
                     return;
                 }
             }
+        }
+
+        // Scripted dirty crash: the thread dies mid-round — the write-ahead
+        // record tears halfway through its write, nothing is sent, and the
+        // round is never sealed. The re-spawn will restore the last durable
+        // *sealed* snapshot, which is stale by construction.
+        if let Some(&tear) = ctx.tears.iter().find(|t| t.cell == id && t.round == round) {
+            let record = PersistedRecord {
+                round,
+                point: RecordPoint::Intent,
+                checkpoint: node.checkpoint(),
+            };
+            ctx.store
+                .append_torn(id, &record)
+                .expect("snapshot store append");
+            if tear.respawn < ctx.rounds {
+                ctx.barrier
+                    .leave_and_rejoin_at(tear.respawn * WAITS_PER_ROUND);
+                scope.spawn(move |scope| respawn_cell(scope, ctx, id, seat, tear.respawn));
+            } else {
+                ctx.barrier.leave();
+                let (c, i) = (node.consumed, node.inserted);
+                seat.result_tx.send((id, node.into_state(), c, i)).ok();
+            }
+            return;
         }
 
         // Exchange 1: dist → Route.
@@ -521,7 +631,19 @@ fn drive<'scope, 'env>(
         }
 
         // Exchange 4: Move — transfers travel as (chaos-exempt) messages.
-        for (to, entity, pos) in node.move_step(&signals) {
+        // The write-ahead discipline: persist an intent record *before* any
+        // transfer leaves, so a crash between send and seal is visible in
+        // the store instead of silently losing the round.
+        let outgoing = node.move_step(&signals);
+        if !outgoing.is_empty() {
+            let record = PersistedRecord {
+                round,
+                point: RecordPoint::Intent,
+                checkpoint: node.checkpoint(),
+            };
+            ctx.store.append(id, &record).expect("snapshot store append");
+        }
+        for (to, entity, pos) in outgoing {
             let link = seat
                 .links
                 .iter_mut()
@@ -558,6 +680,14 @@ fn drive<'scope, 'env>(
         node.source_step();
         node.finish_round();
 
+        // Seal the round: the durable snapshot a re-spawn restores from.
+        let record = PersistedRecord {
+            round,
+            point: RecordPoint::Sealed,
+            checkpoint: node.checkpoint(),
+        };
+        ctx.store.append(id, &record).expect("snapshot store append");
+
         if ctx.collect {
             seat.snap_tx
                 .send(Snapshot {
@@ -574,16 +704,17 @@ fn drive<'scope, 'env>(
     seat.result_tx.send((id, node.into_state(), c, i)).ok();
 }
 
-/// The re-spawned incarnation of a hard-crashed cell: waits for its reserved
-/// barrier seat to activate, restores the node from the checkpoint, and
-/// resumes the ordinary drive loop (whose first action at `respawn` is
-/// applying that round's scripted events — including the Recover that
-/// un-fails the restored state).
+/// The re-spawned incarnation of a crashed cell: waits for its reserved
+/// barrier seat to activate, restores the node from the **latest persisted
+/// snapshot** (fresh if the store has none — e.g. a tear in round 0), and
+/// resumes the ordinary drive loop. After a hard crash the latest record is
+/// the sealed frozen-failed state, and the scripted Recover at `respawn`
+/// un-fails it; after a dirty tear it is the previous round's seal — a
+/// *stale live* state the protocol must re-stabilize from.
 fn respawn_cell<'scope, 'env>(
     scope: &crossbeam::thread::Scope<'scope, 'env>,
     ctx: RunCtx<'scope>,
     id: CellId,
-    checkpoint: NodeCheckpoint,
     seat: Seat,
     respawn: u64,
 ) {
@@ -594,7 +725,10 @@ fn respawn_cell<'scope, 'env>(
     {
         return;
     }
-    let node = CellNode::restore(id, ctx.config, checkpoint, respawn);
+    let node = match ctx.store.latest(id).expect("snapshot store read") {
+        Some(record) => CellNode::restore(id, ctx.config, record.checkpoint, respawn),
+        None => CellNode::new(id, ctx.config),
+    };
     drive(scope, ctx, node, seat, respawn);
 }
 
@@ -607,6 +741,7 @@ fn respawn_cell<'scope, 'env>(
 fn collect_rounds(
     config: &SystemConfig,
     plan: &FaultPlan,
+    tears: &[TearSpec],
     rounds: u64,
     cells: &[CellId],
     snap_rx: Receiver<Snapshot>,
@@ -628,7 +763,14 @@ fn collect_rounds(
         .collect();
     let mut violations = Vec::new();
     'rounds: for round in 0..rounds {
-        let dead = plan.hard_dead_at(round);
+        let mut dead = plan.hard_dead_at(round);
+        // Torn cells are silent between the tear and the re-spawn, exactly
+        // like hard-dead cells.
+        for t in tears {
+            if (t.round..t.respawn.min(rounds)).contains(&round) {
+                dead.insert(t.cell);
+            }
+        }
         let expect = n - dead.len();
         for _ in 0..expect {
             match snap_rx.recv_timeout(patience) {
@@ -663,7 +805,7 @@ fn collect_rounds(
             cells: assembled,
             next_entity_id: inserted_total,
         };
-        let failed: Vec<CellId> = plan
+        let mut failed: Vec<CellId> = plan
             .events_at(round)
             .filter(|e| {
                 matches!(
@@ -673,17 +815,34 @@ fn collect_rounds(
             })
             .map(|e| e.cell)
             .collect();
-        let recovered: Vec<CellId> = plan
+        let mut recovered: Vec<CellId> = plan
             .events_at(round)
             .filter(|e| e.kind == FaultKind::Recover)
             .map(|e| e.cell)
             .collect();
+        // Scripted corruptions disturb the state this round; a torn cell's
+        // re-join does too, because it restores a stale sealed snapshot.
+        let mut corrupted: Vec<CellId> = plan
+            .events_at(round)
+            .filter(|e| matches!(e.kind, FaultKind::Corrupt(_)))
+            .map(|e| e.cell)
+            .collect();
+        for t in tears {
+            if t.round == round {
+                failed.push(t.cell);
+            }
+            if t.respawn == round {
+                recovered.push(t.cell);
+                corrupted.push(t.cell);
+            }
+        }
         let ctx = MonitorCtx {
             config,
             state: &state,
             round: round + 1,
             failed: &failed,
             recovered: &recovered,
+            corrupted: &corrupted,
             ambient_chaos: noisy_until.is_some_and(|limit| round < limit),
             consumed_total,
             inserted_total,
@@ -753,6 +912,124 @@ mod tests {
         let err = NetSystem::new(config(4).with_entity_budget(3)).unwrap_err();
         assert!(matches!(err, NetError::UnsupportedConfig(_)));
         assert!(err.to_string().contains("global state"));
+    }
+
+    #[test]
+    fn hard_crash_recovery_goes_through_the_store_uniformly() {
+        // Same plan, explicit durable store vs. the default in-memory one:
+        // recovery is the same code path, so the outcomes are identical.
+        let plan = FaultPlan::new()
+            .hard_crash_at(30, CellId::new(1, 2))
+            .recover_at(60, CellId::new(1, 2));
+        let dir = std::env::temp_dir().join(format!(
+            "cellflow-runtime-uniform-{}",
+            std::process::id()
+        ));
+        let store = crate::store::DurableStore::create(&dir).unwrap();
+        let a = NetSystem::new(config(4))
+            .unwrap()
+            .with_plan(plan.clone())
+            .with_store(Arc::new(store))
+            .run(150)
+            .unwrap();
+        let b = NetSystem::new(config(4))
+            .unwrap()
+            .with_plan(plan)
+            .run(150)
+            .unwrap();
+        assert_eq!(a, b, "store choice must not change observable behavior");
+        assert!(!a.state.cell(GridDims::square(4), CellId::new(1, 2)).failed);
+        assert!(a.consumed > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_tear_respawn_is_absorbed_without_violations() {
+        // A dirty crash tears the round-40 write-ahead record; the cell
+        // re-joins at 50 from the round-39 seal — a stale live state. The
+        // monitors must flag nothing: conservation rebaselines on the
+        // corrupted round and the stabilization stopwatch restarts.
+        let dir = std::env::temp_dir().join(format!("cellflow-runtime-tear-{}", std::process::id()));
+        let store = crate::store::DurableStore::create(&dir).unwrap();
+        let cfg = config(4);
+        let monitors = cellflow_core::standard_monitors(&cfg);
+        let report = NetSystem::new(cfg)
+            .unwrap()
+            .with_store(Arc::new(store))
+            .with_tear(TearSpec {
+                cell: CellId::new(1, 2),
+                round: 40,
+                respawn: 50,
+            })
+            .run_monitored(160, monitors)
+            .unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(!report
+            .state
+            .cell(GridDims::square(4), CellId::new(1, 2))
+            .failed);
+        assert!(report.consumed > 0);
+        assert!(report
+            .monitor_summaries
+            .iter()
+            .any(|s| s.contains("stabilized")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_events_apply_in_the_deployment() {
+        let plan = FaultPlan::new().corrupt_at(
+            20,
+            CellId::new(2, 2),
+            cellflow_core::Corruption::Scramble { salt: 9 },
+        );
+        let cfg = config(4);
+        let monitors = cellflow_core::standard_monitors(&cfg);
+        let report = NetSystem::new(cfg)
+            .unwrap()
+            .with_plan(plan)
+            .run_monitored(160, monitors)
+            .unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report
+            .monitor_summaries
+            .iter()
+            .any(|s| s.contains("stabilized")));
+    }
+
+    #[test]
+    fn supervisor_decisions_surface_in_the_report() {
+        let cell = CellId::new(1, 2);
+        let plan = FaultPlan::new()
+            .hard_crash_at(20, cell)
+            .recover_at(30, cell)
+            .hard_crash_at(60, cell)
+            .recover_at(70, cell)
+            .hard_crash_at(100, cell)
+            .recover_at(110, cell);
+        let policy = crate::RestartPolicy {
+            backoff_base: 2,
+            backoff_max: 8,
+            restart_budget: 2,
+            jitter_seed: 3,
+        };
+        let report = NetSystem::new(config(4))
+            .unwrap()
+            .with_plan(plan)
+            .with_restart_policy(policy)
+            .run(150)
+            .unwrap();
+        assert_eq!(report.supervisor.len(), 2, "{:?}", report.supervisor);
+        assert!(matches!(
+            report.supervisor[0],
+            SupervisorDecision::Backoff { attempt: 2, scheduled: 70, .. }
+        ));
+        assert!(matches!(
+            report.supervisor[1],
+            SupervisorDecision::Quarantine { attempt: 3, dropped_respawn: 110, .. }
+        ));
+        // The quarantined cell stays down.
+        assert!(report.state.cell(GridDims::square(4), cell).failed);
     }
 
     #[test]

@@ -13,12 +13,15 @@ pub struct FailureEvents {
     pub failed: Vec<CellId>,
     /// Cells recovered this round.
     pub recovered: Vec<CellId>,
+    /// Cells whose state was transiently corrupted this round
+    /// ([`FaultKind::Corrupt`]).
+    pub corrupted: Vec<CellId>,
 }
 
 impl FailureEvents {
     /// `true` if nothing happened.
     pub fn is_empty(&self) -> bool {
-        self.failed.is_empty() && self.recovered.is_empty()
+        self.failed.is_empty() && self.recovered.is_empty() && self.corrupted.is_empty()
     }
 }
 
@@ -201,6 +204,10 @@ impl FailureModel for FaultPlan {
                     system.fail(event.cell);
                     events.failed.push(event.cell);
                 }
+                FaultKind::Corrupt(c) => {
+                    system.corrupt(event.cell, c);
+                    events.corrupted.push(event.cell);
+                }
             }
         }
         events
@@ -317,5 +324,87 @@ mod tests {
         }
         assert!(!sys.cell(CellId::new(1, 1)).failed);
         assert!(sys.cell(CellId::new(2, 2)).failed, "hard crash reads as fail");
+    }
+
+    #[test]
+    fn fault_plan_applies_corruptions() {
+        use cellflow_core::{Corruption, Dist};
+
+        let mut sys = system();
+        let victim = CellId::new(1, 2);
+        let mut plan =
+            FaultPlan::new().corrupt_at(3, victim, Corruption::Dist(Dist::Finite(0)));
+        for round in 0..5 {
+            let ev = plan.apply(&mut sys, round);
+            if round == 3 {
+                assert_eq!(ev.corrupted, vec![victim]);
+                assert!(ev.failed.is_empty() && ev.recovered.is_empty());
+                assert!(!ev.is_empty());
+                assert_eq!(sys.cell(victim).dist, Dist::Finite(0));
+            } else {
+                assert!(ev.is_empty());
+            }
+        }
+        assert!(!sys.cell(victim).failed, "corruption does not crash");
+    }
+
+    #[test]
+    fn recover_scheduled_same_round_as_crash_applies_in_plan_order() {
+        let c = CellId::new(1, 1);
+        // Crash then recover within the same round: the cell ends live
+        // (events apply in insertion order, same as the net runtime).
+        let mut sys = system();
+        let mut plan = FaultPlan::new().crash_at(2, c).recover_at(2, c);
+        let ev = plan.apply(&mut sys, 2);
+        assert_eq!(ev.failed, vec![c]);
+        assert_eq!(ev.recovered, vec![c]);
+        assert!(!sys.cell(c).failed);
+        // Reversed insertion order: recover (of a live cell) first, then
+        // crash — the cell ends failed.
+        let mut sys = system();
+        let mut plan = FaultPlan::new().recover_at(2, c).crash_at(2, c);
+        plan.apply(&mut sys, 2);
+        assert!(sys.cell(c).failed);
+    }
+
+    #[test]
+    fn recover_of_never_crashed_cell_is_harmless() {
+        let c = CellId::new(2, 1);
+        let mut sys = system();
+        let before = sys.cell(c).clone();
+        let mut plan = FaultPlan::new().recover_at(1, c);
+        let ev = plan.apply(&mut sys, 1);
+        assert_eq!(ev.recovered, vec![c]);
+        assert_eq!(sys.cell(c), &before, "recovery of a live cell is a no-op");
+        // Recovering the live target must keep its dist-0 anchor.
+        let target = CellId::new(3, 3);
+        let mut plan = FaultPlan::new().recover_at(2, target);
+        plan.apply(&mut sys, 2);
+        assert_eq!(
+            sys.cell(target).dist,
+            cellflow_core::Dist::Finite(0),
+            "target anchor survives spurious recovery"
+        );
+    }
+
+    #[test]
+    fn kill_then_recover_ordering() {
+        let c = CellId::new(1, 1);
+        // In the shared-variable model a Kill is a crash; a later scripted
+        // Recover revives the cell (the *deployment* is where a kill is
+        // unrecoverable — its thread is gone and never re-spawned).
+        let mut sys = system();
+        let mut plan = FaultPlan::new().kill_at(1, c).recover_at(3, c);
+        plan.apply(&mut sys, 1);
+        assert!(sys.cell(c).failed);
+        plan.apply(&mut sys, 2);
+        assert!(sys.cell(c).failed);
+        plan.apply(&mut sys, 3);
+        assert!(!sys.cell(c).failed);
+        // The plan itself still reports the kill as permanent hard death
+        // (respawn accounting ignores kills only in the runtime's spawn
+        // logic, not in hard_dead_at bookkeeping).
+        assert!(plan.hard_dead_at(2).contains(&c));
+        assert!(!plan.hard_dead_at(3).contains(&c));
     }
 }

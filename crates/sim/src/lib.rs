@@ -55,4 +55,7 @@ pub use trace::{TraceEvent, TraceRecorder};
 
 // The chaos vocabulary is shared with the message-passing runtime; re-export
 // it so campaign code needs only this crate.
-pub use cellflow_core::{CampaignSpec, FaultEvent, FaultKind, FaultPlan};
+pub use cellflow_core::{
+    certify, shrink, CampaignSpec, Certificate, CertifyOptions, Corruption, CorruptionEvent,
+    FaultCensus, FaultEvent, FaultKind, FaultPlan,
+};

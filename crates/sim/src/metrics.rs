@@ -207,10 +207,12 @@ mod tests {
         m.record_failures(&FailureEvents {
             failed: vec![CellId::new(1, 1), CellId::new(2, 2)],
             recovered: vec![],
+            corrupted: vec![],
         });
         m.record_failures(&FailureEvents {
             failed: vec![],
             recovered: vec![CellId::new(1, 1)],
+            corrupted: vec![],
         });
         assert_eq!(m.failure_history().len(), 3);
         assert_eq!(m.failed_total(), 2);

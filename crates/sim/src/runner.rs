@@ -160,6 +160,7 @@ impl Simulation {
                 round: self.system.round(),
                 failed: &failures.failed,
                 recovered: &failures.recovered,
+                corrupted: &failures.corrupted,
                 // The shared-variable model has no message fabric to be
                 // noisy; failures are the only disturbance.
                 ambient_chaos: false,

@@ -210,6 +210,7 @@ mod tests {
         let failures = FailureEvents {
             failed: vec![id(3, 3)],
             recovered: vec![],
+            corrupted: vec![],
         };
         // Entity 0 must exist before it transfers.
         let birth = RoundEvents {
