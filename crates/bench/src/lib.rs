@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use cellflow_sim::baseline::CentralizedBaseline;
 use cellflow_sim::scenario::{
     self, fig7_point, fig7_rs_values, fig7_v_values, fig8_point, fig8_series, fig9_pf_values,

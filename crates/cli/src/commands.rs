@@ -46,6 +46,11 @@ USAGE:
                                      crash recovery; byte-identical report
                                      per seed, minimal counterexample on
                                      failure
+  cellflow bench [--quick] [--out BENCH_PR3.json]
+                                     machine-readable engine-vs-legacy perf
+                                     baseline over the fixed scenario matrix
+                                     (asserts equal semantics and zero
+                                     steady-state allocations first)
   cellflow help                      this text
 
 All lengths (--l, --rs, --v) are in milli-cells: 250 = 0.25 cell sides.";
@@ -69,6 +74,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "mc" => mc(&flags),
         "chaos" => chaos(&flags),
         "stabilize" => stabilize(&flags),
+        "bench" => bench(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -671,6 +677,35 @@ fn stabilize(flags: &Flags) -> Result<(), String> {
     } else {
         Err("stabilization certificate FAILED on the deployment".into())
     }
+}
+
+fn bench(flags: &Flags) -> Result<(), String> {
+    let quick = flags.has("quick");
+    let out: String = flags.get("out", "BENCH_PR3.json".to_string())?;
+    eprintln!(
+        "running {} bench matrix (grids {:?})...",
+        if quick { "quick" } else { "full" },
+        cellflow_bench::perf::GRID_SIZES
+    );
+    let report = cellflow_bench::perf::run(quick);
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>9} {:>8}",
+        "scenario", "legacy ns/rd", "engine ns/rd", "system ns/rd", "speedup", "peak"
+    );
+    for sc in &report.scenarios {
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>8.2}x {:>8}",
+            sc.name,
+            sc.legacy_ns_per_round,
+            sc.engine_ns_per_round,
+            sc.system_ns_per_round,
+            sc.speedup_engine_vs_legacy,
+            sc.peak_entities
+        );
+    }
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
 }
 
 /// Demo helper used by tests: a tiny system everyone can step.

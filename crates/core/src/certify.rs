@@ -198,6 +198,44 @@ pub fn certify(config: &SystemConfig, ops: &[CorruptionEvent], opts: &CertifyOpt
     }
 }
 
+/// Certifies many independent corruption campaigns on `threads` scoped
+/// workers, each owning a disjoint chunk of the campaign list. Every
+/// campaign drives its own fresh [`System`] and [`certify`] is deterministic,
+/// so the result — certificate structs *and* their rendered reports — is
+/// byte-identical to mapping [`certify`] sequentially, in input order.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn certify_batch(
+    config: &SystemConfig,
+    campaigns: &[Vec<CorruptionEvent>],
+    opts: &CertifyOptions,
+    threads: usize,
+) -> Vec<Certificate> {
+    if threads <= 1 || campaigns.len() <= 1 {
+        return campaigns.iter().map(|ops| certify(config, ops, opts)).collect();
+    }
+    let workers = threads.min(campaigns.len());
+    let chunk = campaigns.len().div_ceil(workers);
+    let mut results: Vec<Option<Certificate>> = Vec::new();
+    results.resize_with(campaigns.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (input, output) in campaigns.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (ops, slot) in input.iter().zip(output.iter_mut()) {
+                    *slot = Some(certify(config, ops, opts));
+                }
+            });
+        }
+    })
+    .expect("certify worker panicked");
+    results
+        .into_iter()
+        .map(|c| c.expect("every campaign was certified"))
+        .collect()
+}
+
 /// Converts the [`FaultKind::Corrupt`] events of `plan` into the
 /// certifier's event list (other fault kinds are ignored — the certifier
 /// models the pure corruption adversary; crash/recover adversaries are the
@@ -317,6 +355,33 @@ mod tests {
         assert_eq!(a.render(), b.render());
         assert!(a.render().contains("checksum: "));
         assert!(a.render().contains("verdict: CERTIFIED"));
+    }
+
+    #[test]
+    fn batch_certification_is_byte_identical_to_sequential() {
+        let cfg = config();
+        let opts = CertifyOptions::default();
+        let campaigns: Vec<Vec<CorruptionEvent>> = (0..7u64)
+            .map(|seed| {
+                let plan = FaultPlan::new().scramble_sweep(
+                    10,
+                    cfg.dims().iter().filter(|&c| c != cfg.target()),
+                    seed,
+                );
+                corruption_events(&plan)
+            })
+            .collect();
+        let seq: Vec<Certificate> = campaigns
+            .iter()
+            .map(|ops| certify(&cfg, ops, &opts))
+            .collect();
+        for threads in [2, 4] {
+            let par = certify_batch(&cfg, &campaigns, &opts, threads);
+            assert_eq!(par, seq, "threads = {threads}");
+            for (p, s) in par.iter().zip(seq.iter()) {
+                assert_eq!(p.render(), s.render());
+            }
+        }
     }
 
     #[test]

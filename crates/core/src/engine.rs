@@ -1,0 +1,842 @@
+//! The zero-clone round engine: a flat, arena-backed implementation of the
+//! atomic `update` transition.
+//!
+//! The pure three-phase functions ([`route_phase`](crate::route_phase),
+//! [`signal_phase`](crate::signal_phase), [`move_phase`](crate::move_phase))
+//! are the *specification*: they mirror the paper's Figures 4–6 line by line
+//! and keep Lemma 3's intermediate states `xR`, `xS` observable, but each
+//! clones the full [`SystemState`] (three `O(cells · log)` allocation storms
+//! per round). This module implements the *same transition relation* on a
+//! flat representation tuned for throughput:
+//!
+//! * cell protocol registers live in a contiguous `Vec<CellCore>` (a `Copy`
+//!   struct — no `BTreeSet`/`BTreeMap` per cell);
+//! * `NEPrev` is a 4-bit neighbor mask over [`Dir::ALL`] instead of a
+//!   `BTreeSet<CellId>`;
+//! * entities are per-cell `Vec<(EntityId, Point)>` arenas kept sorted by
+//!   identifier (matching `BTreeMap` iteration order);
+//! * neighbor arena indices come from a [`NeighborTable`] precomputed once
+//!   per configuration (cached on [`SystemConfig`], shared via `Arc`);
+//! * `Route` writes into a second buffer which then *swaps* with the first
+//!   (it reads neighbor distances, so it cannot run in place), while
+//!   `Signal` and `Move` are aliasing-safe in place: `Signal` writes only a
+//!   cell's own `ne_prev`/`token`/`signal` and reads neighbors' `next` and
+//!   members (which it never writes); `Move` defers cross-cell arrivals to a
+//!   reusable `incoming` scratch exactly like the reference.
+//!
+//! A steady-state [`Engine::step`] therefore performs **zero heap
+//! allocation**: every buffer is reused, and the only allocations ever made
+//! are capacity growth while entity counts or event volumes are still
+//! ramping up. The engine counts those growth events
+//! ([`Engine::alloc_events`]) so benchmarks and tests can assert the
+//! steady-state claim mechanically.
+//!
+//! Equivalence with the pure phases — identical successor state *and*
+//! identical [`RoundEvents`], per round, under crashes, recoveries and
+//! corruptions — is enforced by `tests/engine_differential.rs` at the
+//! workspace root.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use cellflow_geom::{sep_ok, Dir, Point};
+use cellflow_grid::{CellId, GridDims};
+use cellflow_routing::Dist;
+
+use crate::signal::gap_free_toward;
+use crate::{EntityId, RoundEvents, SystemConfig, SystemState, Transfer};
+
+/// Sentinel for "no neighbor in this direction" in [`NeighborTable`].
+const NO_NBR: u32 = u32::MAX;
+
+/// Slot order that visits a cell's neighbors in ascending `CellId` order.
+///
+/// Slots index [`Dir::ALL`] = `[East, West, North, South]`; `CellId`'s
+/// derived ordering is lexicographic `(i, j)`, so for cell `⟨i,j⟩` the sorted
+/// neighbor order is `W ⟨i−1,j⟩ < S ⟨i,j−1⟩ < N ⟨i,j+1⟩ < E ⟨i+1,j⟩`.
+const SORTED_SLOTS: [usize; 4] = [1, 3, 2, 0];
+
+/// Precomputed grid topology: per-cell neighbor arena indices and
+/// identifiers in [`Dir::ALL`] slot order, plus the target's arena index.
+///
+/// Built once per configuration and cached on
+/// [`SystemConfig::topology`], so no phase ever recomputes
+/// neighbor identifiers or row-major indices round over round.
+pub struct NeighborTable {
+    /// `CellId` of each arena index (row-major, [`GridDims::index`] order).
+    ids: Vec<CellId>,
+    /// Per cell, the arena index of the neighbor in each [`Dir::ALL`] slot
+    /// (`NO_NBR` where the direction leaves the grid).
+    nbr_idx: Vec<[u32; 4]>,
+    /// Per cell, the neighbor `CellId` per slot (valid iff `nbr_idx` is).
+    nbr_id: Vec<[CellId; 4]>,
+    /// Arena index of the target cell.
+    target_index: usize,
+}
+
+impl NeighborTable {
+    /// Builds the table for `dims` with the given target cell.
+    pub fn new(dims: GridDims, target: CellId) -> NeighborTable {
+        let n = dims.cell_count();
+        let mut ids = Vec::with_capacity(n);
+        let mut nbr_idx = Vec::with_capacity(n);
+        let mut nbr_id = Vec::with_capacity(n);
+        for k in 0..n {
+            let id = dims.id_at(k);
+            ids.push(id);
+            let mut idxs = [NO_NBR; 4];
+            let mut cids = [id; 4];
+            for (s, &dir) in Dir::ALL.iter().enumerate() {
+                if let Some(nbr) = dims.neighbor(id, dir) {
+                    idxs[s] = dims.index(nbr) as u32;
+                    cids[s] = nbr;
+                }
+            }
+            nbr_idx.push(idxs);
+            nbr_id.push(cids);
+        }
+        NeighborTable {
+            ids,
+            nbr_idx,
+            nbr_id,
+            target_index: dims.index(target),
+        }
+    }
+
+    /// The `CellId` at arena index `k`.
+    pub fn id_at(&self, k: usize) -> CellId {
+        self.ids[k]
+    }
+
+    /// Number of cells covered.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` for an empty grid (never happens for valid configurations).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+impl std::fmt::Debug for NeighborTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NeighborTable")
+            .field("cells", &self.ids.len())
+            .field("target_index", &self.target_index)
+            .finish()
+    }
+}
+
+/// One cell's protocol registers in flat form — everything from
+/// [`CellState`](crate::CellState) except the member map, with `NEPrev`
+/// packed into a 4-bit mask over [`Dir::ALL`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellCore {
+    /// Estimated hop distance to the target (`dist`).
+    pub dist: Dist,
+    /// Routing successor (`next`).
+    pub next: Option<CellId>,
+    /// Current token holder (`token`).
+    pub token: Option<CellId>,
+    /// Granted neighbor this round (`signal`).
+    pub signal: Option<CellId>,
+    /// `NEPrev` as a bitmask: bit `s` set ⇔ the neighbor in `Dir::ALL[s]`
+    /// is a nonempty predecessor.
+    pub ne_mask: u8,
+    /// The §IV crash flag.
+    pub failed: bool,
+}
+
+impl Default for CellCore {
+    /// Matches [`CellState::initial`](crate::CellState::initial).
+    fn default() -> CellCore {
+        CellCore {
+            dist: Dist::Infinity,
+            next: None,
+            token: None,
+            signal: None,
+            ne_mask: 0,
+            failed: false,
+        }
+    }
+}
+
+/// The double-buffered round engine. See the [module docs](self) for the
+/// layout and aliasing argument.
+///
+/// Drive it directly for maximum throughput (benchmarks do), or through
+/// [`System`](crate::System), which keeps a [`SystemState`] mirror in sync
+/// for monitors, safety checks and serialization.
+///
+/// ```
+/// use cellflow_core::engine::Engine;
+/// use cellflow_core::{Params, SystemConfig};
+/// use cellflow_grid::{CellId, GridDims};
+///
+/// let config = SystemConfig::new(
+///     GridDims::square(8),
+///     CellId::new(1, 7),
+///     Params::from_milli(250, 50, 200)?,
+/// )?
+/// .with_source(CellId::new(1, 0));
+/// let mut engine = Engine::new(config);
+/// let mut consumed = 0u64;
+/// for _ in 0..200 {
+///     consumed += engine.step().consumed.len() as u64;
+/// }
+/// assert!(consumed > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine {
+    config: SystemConfig,
+    topo: Arc<NeighborTable>,
+    /// Current cell registers ("front" buffer).
+    front: Vec<CellCore>,
+    /// Scratch buffer `Route` writes into before swapping with `front`.
+    back: Vec<CellCore>,
+    /// Per-cell entity arenas, sorted by `EntityId` (BTreeMap order).
+    members: Vec<Vec<(EntityId, Point)>>,
+    next_entity_id: u64,
+    round: u64,
+    events: RoundEvents,
+    /// Deferred cross-cell arrivals `(arena index, entity, position)`.
+    incoming: Vec<(u32, EntityId, Point)>,
+    /// Exact `ne_prev` sets that cannot be encoded as a neighbor mask
+    /// (injected via [`Engine::load_state`] from hand-built states; dropped
+    /// as soon as `Signal` rewrites the cell). Empty in any reachable state.
+    ne_override: Vec<(u32, BTreeSet<CellId>)>,
+    /// Number of buffer-growth (re)allocations since the last reset.
+    alloc_events: u64,
+}
+
+/// Pushes tracking capacity growth: bumps `allocs` when the push must
+/// reallocate.
+fn push_tracked<T>(v: &mut Vec<T>, item: T, allocs: &mut u64) {
+    if v.len() == v.capacity() {
+        *allocs += 1;
+    }
+    v.push(item);
+}
+
+/// Sorted insert into an entity arena (replaces the position on an existing
+/// identifier, mirroring `BTreeMap::insert`).
+fn insert_member(v: &mut Vec<(EntityId, Point)>, eid: EntityId, pos: Point, allocs: &mut u64) {
+    match v.binary_search_by_key(&eid, |e| e.0) {
+        Ok(i) => v[i].1 = pos,
+        Err(i) => {
+            if v.len() == v.capacity() {
+                *allocs += 1;
+            }
+            v.insert(i, (eid, pos));
+        }
+    }
+}
+
+impl Engine {
+    /// Creates an engine in the initial state of `config` at round 0.
+    pub fn new(config: SystemConfig) -> Engine {
+        let topo = config.topology();
+        let n = config.dims().cell_count();
+        let mut engine = Engine {
+            config,
+            topo,
+            front: vec![CellCore::default(); n],
+            back: vec![CellCore::default(); n],
+            members: vec![Vec::new(); n],
+            next_entity_id: 0,
+            round: 0,
+            events: RoundEvents::default(),
+            incoming: Vec::new(),
+            ne_override: Vec::new(),
+            alloc_events: 0,
+        };
+        engine.front[engine.topo.target_index].dist = Dist::Finite(0);
+        engine
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The round number the *next* [`Engine::step`] will execute.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Overrides the round counter (it parameterizes
+    /// [`TokenPolicy::Randomized`](crate::TokenPolicy::Randomized) choices).
+    pub fn set_round(&mut self, round: u64) {
+        self.round = round;
+    }
+
+    /// The next fresh [`EntityId`] sources will mint.
+    pub fn next_entity_id(&self) -> u64 {
+        self.next_entity_id
+    }
+
+    /// Total entities currently in the system.
+    pub fn entity_count(&self) -> usize {
+        self.members.iter().map(|m| m.len()).sum()
+    }
+
+    /// Events of the most recent round.
+    pub fn events(&self) -> &RoundEvents {
+        &self.events
+    }
+
+    /// Buffer-growth allocations since construction or the last
+    /// [`Engine::reset_alloc_events`]. After a warm-up at steady state this
+    /// stays constant: a round that grows no buffer allocates nothing.
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+
+    /// Zeroes the growth counter (call after warm-up, before measuring).
+    pub fn reset_alloc_events(&mut self) {
+        self.alloc_events = 0;
+    }
+
+    /// Imports `state` into the arenas (replacing everything). `ne_prev`
+    /// sets that are not representable as a neighbor mask are retained
+    /// verbatim so [`Engine::store_state`] loses nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong number of cells.
+    pub fn load_state(&mut self, state: &SystemState) {
+        assert_eq!(
+            state.cells.len(),
+            self.front.len(),
+            "state size must match the grid"
+        );
+        self.ne_override.clear();
+        for (k, cs) in state.cells.iter().enumerate() {
+            let mut mask = 0u8;
+            let mut representable = cs.ne_prev.len() <= 4;
+            if representable {
+                'encode: for &m in &cs.ne_prev {
+                    for s in 0..4 {
+                        if self.topo.nbr_idx[k][s] != NO_NBR && self.topo.nbr_id[k][s] == m {
+                            mask |= 1 << s;
+                            continue 'encode;
+                        }
+                    }
+                    representable = false;
+                    break;
+                }
+            }
+            if !representable {
+                self.ne_override.push((k as u32, cs.ne_prev.clone()));
+                mask = 0;
+            }
+            self.front[k] = CellCore {
+                dist: cs.dist,
+                next: cs.next,
+                token: cs.token,
+                signal: cs.signal,
+                ne_mask: mask,
+                failed: cs.failed,
+            };
+            let mem = &mut self.members[k];
+            mem.clear();
+            mem.extend(cs.members.iter().map(|(&e, &p)| (e, p)));
+        }
+        self.next_entity_id = state.next_entity_id;
+    }
+
+    /// Exports the arenas into `state` in place, reusing its allocations:
+    /// per-cell `BTreeSet`/`BTreeMap` structures are rebuilt only when their
+    /// contents actually changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has the wrong number of cells.
+    pub fn store_state(&self, state: &mut SystemState) {
+        assert_eq!(
+            state.cells.len(),
+            self.front.len(),
+            "state size must match the grid"
+        );
+        for (k, cs) in state.cells.iter_mut().enumerate() {
+            let c = self.front[k];
+            cs.dist = c.dist;
+            cs.next = c.next;
+            cs.token = c.token;
+            cs.signal = c.signal;
+            cs.failed = c.failed;
+            let overridden = self
+                .ne_override
+                .iter()
+                .find(|(i, _)| *i == k as u32)
+                .map(|(_, set)| set);
+            if let Some(set) = overridden {
+                if cs.ne_prev != *set {
+                    cs.ne_prev = set.clone();
+                }
+            } else {
+                let (cands, cn) = self.mask_candidates(k, c.ne_mask);
+                let unchanged = cs.ne_prev.len() == cn
+                    && cs.ne_prev.iter().zip(cands[..cn].iter()).all(|(a, b)| a == b);
+                if !unchanged {
+                    cs.ne_prev.clear();
+                    cs.ne_prev.extend(cands[..cn].iter().copied());
+                }
+            }
+            let mem = &self.members[k];
+            let same_keys = cs.members.len() == mem.len()
+                && cs.members.keys().zip(mem.iter()).all(|(a, (b, _))| a == b);
+            if same_keys {
+                for (slot, (_, p)) in cs.members.values_mut().zip(mem.iter()) {
+                    *slot = *p;
+                }
+            } else {
+                cs.members.clear();
+                cs.members.extend(mem.iter().copied());
+            }
+        }
+        state.next_entity_id = self.next_entity_id;
+    }
+
+    /// Allocates and returns a fresh [`SystemState`] mirror (convenience for
+    /// tests; hot paths should reuse one via [`Engine::store_state`]).
+    pub fn export_state(&self) -> SystemState {
+        let mut state = self.config.initial_state();
+        self.store_state(&mut state);
+        state
+    }
+
+    /// Executes one atomic `update` transition — `Route; Signal; Move` — and
+    /// returns the round's events. Equivalent, state for state and event for
+    /// event, to [`update`](crate::update) on the mirrored representation.
+    pub fn step(&mut self) -> &RoundEvents {
+        self.events.consumed.clear();
+        self.events.transfers.clear();
+        self.events.inserted.clear();
+        self.events.grants.clear();
+        self.events.blocked.clear();
+        self.events.moved.clear();
+
+        self.route();
+        std::mem::swap(&mut self.front, &mut self.back);
+        self.signal();
+        self.do_move();
+        self.insert_sources();
+
+        self.round += 1;
+        &self.events
+    }
+
+    /// The sorted (ascending `CellId`) neighbor candidates selected by
+    /// `mask` on cell `k`.
+    fn mask_candidates(&self, k: usize, mask: u8) -> ([CellId; 4], usize) {
+        let mut cands = [self.topo.ids[k]; 4];
+        let mut cn = 0;
+        for &s in &SORTED_SLOTS {
+            if mask & (1 << s) != 0 {
+                cands[cn] = self.topo.nbr_id[k][s];
+                cn += 1;
+            }
+        }
+        (cands, cn)
+    }
+
+    /// `Route` (Figure 4): writes the routed registers into `back`; the
+    /// caller swaps the buffers. Mirrors
+    /// [`route_phase`](crate::route_phase): the hand-rolled loop below
+    /// computes [`route_update`](cellflow_routing::route_update)'s
+    /// `argmin (dist, id)` by visiting the slots
+    /// in ascending-`CellId` order ([`SORTED_SLOTS`]) with strict-`<`
+    /// keep-first replacement, so the id comparison never has to run. The
+    /// differential suite pins the two implementations together.
+    fn route(&mut self) {
+        let cap = self.config.dist_cap();
+        let topo = &*self.topo;
+        let front = &self.front;
+        let back = &mut self.back;
+        for k in 0..front.len() {
+            let mut c = front[k];
+            if !c.failed && k != topo.target_index {
+                let nbr_idx = &topo.nbr_idx[k];
+                let mut best = Dist::Infinity;
+                // 4 = "no finite-distance neighbor": both the zero-neighbor
+                // case and the all-∞ case produce (∞, ⊥), exactly like the
+                // kernel.
+                let mut best_slot = 4usize;
+                for &s in &SORTED_SLOTS {
+                    let ni = nbr_idx[s];
+                    if ni == NO_NBR {
+                        continue;
+                    }
+                    let d = front[ni as usize].dist;
+                    if d < best {
+                        best = d;
+                        best_slot = s;
+                    }
+                }
+                if best_slot < 4 {
+                    let dist = best.succ(cap);
+                    c.dist = dist;
+                    c.next = if dist.is_finite() {
+                        Some(topo.nbr_id[k][best_slot])
+                    } else {
+                        None
+                    };
+                } else {
+                    c.dist = Dist::Infinity;
+                    c.next = None;
+                }
+            }
+            back[k] = c;
+        }
+    }
+
+    /// `Signal` (Figure 5), in place on `front`. Safe without a second
+    /// buffer: it writes only a cell's own `ne_mask`/`token`/`signal` and
+    /// reads neighbors' `next` (never written here) and member arenas
+    /// (never written here). Grant/block events are emitted inline in the
+    /// same row-major order the reference derives them.
+    fn signal(&mut self) {
+        let params = self.config.params();
+        let policy = self.config.token_policy();
+        let round = self.round;
+        for k in 0..self.front.len() {
+            if self.front[k].failed {
+                continue;
+            }
+            let id = self.topo.ids[k];
+            let nbr_idx = &self.topo.nbr_idx[k];
+            let mut mask = 0u8;
+            for (s, &ni) in nbr_idx.iter().enumerate() {
+                if ni == NO_NBR {
+                    continue;
+                }
+                let ni = ni as usize;
+                if self.front[ni].next == Some(id) && !self.members[ni].is_empty() {
+                    mask |= 1 << s;
+                }
+            }
+
+            let mut token = self.front[k].token;
+            // A transient fault may have left a non-neighbor in the token
+            // register; treat it as ⊥ so `Signal` self-stabilizes instead of
+            // trusting the corrupted value.
+            if token.is_some_and(|t| !id.is_neighbor(t)) {
+                token = None;
+            }
+
+            // Idle fast path: no requester and no token means `choose_from`
+            // on an empty candidate set — ⊥ token, ⊥ signal, no event. Most
+            // of a steady-state grid takes this exit.
+            if mask == 0 && token.is_none() {
+                let c = &mut self.front[k];
+                c.ne_mask = 0;
+                c.token = None;
+                c.signal = None;
+                if !self.ne_override.is_empty() {
+                    self.ne_override.retain(|(i, _)| *i != k as u32);
+                }
+                continue;
+            }
+
+            let (cands, cn) = self.mask_candidates(k, mask);
+            let cands = &cands[..cn];
+
+            if token.is_none() {
+                token = policy.choose_from(cands, id, round);
+            }
+
+            let (signal, new_token) = match token {
+                None => (None, None),
+                Some(tok) => {
+                    let dir = id
+                        .dir_to(tok)
+                        .expect("token is always one of the cell's neighbors");
+                    if gap_free_toward(params, id, dir, self.members[k].iter().map(|e| &e.1)) {
+                        let rotated = if cn > 1 {
+                            policy.rotate_from(cands, tok, id, round)
+                        } else if cn == 1 {
+                            Some(cands[0])
+                        } else {
+                            None
+                        };
+                        (Some(tok), rotated)
+                    } else {
+                        (None, Some(tok))
+                    }
+                }
+            };
+
+            match (signal, new_token) {
+                (Some(grantee), _) => {
+                    push_tracked(&mut self.events.grants, (id, grantee), &mut self.alloc_events);
+                }
+                (None, Some(holder)) => {
+                    push_tracked(&mut self.events.blocked, (id, holder), &mut self.alloc_events);
+                }
+                (None, None) => {}
+            }
+
+            let c = &mut self.front[k];
+            c.ne_mask = mask;
+            c.token = new_token;
+            c.signal = signal;
+            if !self.ne_override.is_empty() {
+                self.ne_override.retain(|(i, _)| *i != k as u32);
+            }
+        }
+    }
+
+    /// `Move` (Figure 6), in place. All permission reads (`signal`,
+    /// `failed`) come from registers `Move` never writes; cross-cell
+    /// arrivals are deferred to the `incoming` scratch and applied after the
+    /// sweep, exactly like [`move_phase`](crate::move_phase).
+    fn do_move(&mut self) {
+        let dims = self.config.dims();
+        let params = self.config.params();
+        let v = params.v();
+        let h = params.half_l();
+        let target = self.config.target();
+        for k in 0..self.front.len() {
+            let c = self.front[k];
+            if c.failed || self.members[k].is_empty() {
+                continue;
+            }
+            let Some(nx) = c.next else { continue };
+            let id = self.topo.ids[k];
+            let nxi = dims.index(nx);
+            let nc = self.front[nxi];
+            if nc.failed || nc.signal != Some(id) {
+                continue;
+            }
+            let dir = id.dir_to(nx).expect("next is always a neighbor");
+            push_tracked(&mut self.events.moved, id, &mut self.alloc_events);
+            let boundary = id.boundary(dir);
+            let mut w = 0usize;
+            for r in 0..self.members[k].len() {
+                let (eid, pos) = self.members[k][r];
+                let new_pos = pos.translate(dir, v);
+                let far_edge = new_pos.along(dir.axis()) + h * dir.sign();
+                let crossed = if dir.sign() > 0 {
+                    far_edge > boundary
+                } else {
+                    far_edge < boundary
+                };
+                if crossed {
+                    if nx == target {
+                        push_tracked(&mut self.events.consumed, eid, &mut self.alloc_events);
+                    } else {
+                        // Enter the receiving cell flush at its near edge.
+                        let entry_edge = nx.boundary(dir.opposite());
+                        let snapped =
+                            new_pos.with_along(dir.axis(), entry_edge + h * dir.sign());
+                        push_tracked(
+                            &mut self.incoming,
+                            (nxi as u32, eid, snapped),
+                            &mut self.alloc_events,
+                        );
+                        push_tracked(
+                            &mut self.events.transfers,
+                            Transfer {
+                                entity: eid,
+                                from: id,
+                                to: nx,
+                            },
+                            &mut self.alloc_events,
+                        );
+                    }
+                } else {
+                    self.members[k][w] = (eid, new_pos);
+                    w += 1;
+                }
+            }
+            self.members[k].truncate(w);
+        }
+        let mut incoming = std::mem::take(&mut self.incoming);
+        for &(to, eid, pos) in &incoming {
+            insert_member(&mut self.members[to as usize], eid, pos, &mut self.alloc_events);
+        }
+        incoming.clear();
+        self.incoming = incoming;
+    }
+
+    /// Source insertion (at most one entity per source per round), reading
+    /// post-move members exactly like the tail of
+    /// [`move_phase`](crate::move_phase).
+    fn insert_sources(&mut self) {
+        let dims = self.config.dims();
+        let params = self.config.params();
+        let policy = self.config.source_policy();
+        let budget = self.config.entity_budget();
+        let d = params.d();
+        for &s in self.config.sources() {
+            let si = dims.index(s);
+            if self.front[si].failed {
+                continue; // a failed cell does nothing
+            }
+            if let Some(budget) = budget {
+                if self.next_entity_id >= budget {
+                    continue;
+                }
+            }
+            let Some(pos) = policy.candidate(params, s, self.front[si].next) else {
+                continue;
+            };
+            if !self.members[si].iter().all(|&(_, q)| sep_ok(pos, q, d)) {
+                continue;
+            }
+            let eid = EntityId(self.next_entity_id);
+            self.next_entity_id += 1;
+            insert_member(&mut self.members[si], eid, pos, &mut self.alloc_events);
+            push_tracked(&mut self.events.inserted, (s, eid), &mut self.alloc_events);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{update, Params, System};
+
+    fn config() -> SystemConfig {
+        SystemConfig::new(
+            GridDims::square(8),
+            CellId::new(1, 7),
+            Params::from_milli(250, 50, 200).unwrap(),
+        )
+        .unwrap()
+        .with_source(CellId::new(1, 0))
+        .with_source(CellId::new(6, 0))
+    }
+
+    #[test]
+    fn engine_matches_pure_phases_over_a_long_run() {
+        let cfg = config();
+        let mut engine = Engine::new(cfg.clone());
+        let mut state = cfg.initial_state();
+        let mut mirror = cfg.initial_state();
+        for round in 0..300 {
+            let (next, events) = update(&cfg, &state, round);
+            let ev = engine.step().clone();
+            engine.store_state(&mut mirror);
+            assert_eq!(mirror, next, "state diverged at round {round}");
+            assert_eq!(ev.consumed, events.consumed, "round {round}");
+            assert_eq!(ev.transfers, events.transfers, "round {round}");
+            assert_eq!(ev.inserted, events.inserted, "round {round}");
+            assert_eq!(ev.grants, events.grants, "round {round}");
+            assert_eq!(ev.blocked, events.blocked, "round {round}");
+            assert_eq!(ev.moved, events.moved, "round {round}");
+            state = next;
+        }
+    }
+
+    #[test]
+    fn steady_state_rounds_allocate_nothing() {
+        let cfg = config();
+        let mut engine = Engine::new(cfg);
+        for _ in 0..400 {
+            engine.step();
+        }
+        engine.reset_alloc_events();
+        for _ in 0..400 {
+            engine.step();
+        }
+        assert_eq!(
+            engine.alloc_events(),
+            0,
+            "steady-state rounds must not grow any buffer"
+        );
+    }
+
+    #[test]
+    fn load_store_roundtrips_arbitrary_states() {
+        let cfg = config();
+        let mut sys = System::new(cfg.clone());
+        sys.run(50);
+        sys.fail(CellId::new(3, 3));
+        let mut state = sys.state().clone();
+        // Junk ne_prev that no mask can express (contains a non-neighbor).
+        state
+            .cells[0]
+            .ne_prev
+            .extend([CellId::new(7, 7), CellId::new(1, 0)]);
+        let mut engine = Engine::new(cfg);
+        engine.load_state(&state);
+        assert_eq!(engine.export_state(), state);
+    }
+
+    #[test]
+    fn override_is_dropped_once_signal_rewrites_the_cell() {
+        let cfg = config();
+        let mut state = cfg.initial_state();
+        state.cells[0].ne_prev.insert(CellId::new(7, 7)); // non-neighbor junk
+        let mut engine = Engine::new(cfg.clone());
+        engine.load_state(&state);
+        engine.step();
+        let exported = engine.export_state();
+        // Signal recomputed ne_prev from actual neighbors: junk gone.
+        assert!(!exported.cells[0].ne_prev.contains(&CellId::new(7, 7)));
+        // And it matches the reference transition.
+        let (next, _) = update(&cfg, &state, 0);
+        assert_eq!(exported, next);
+    }
+
+    #[test]
+    fn neighbor_table_slots_follow_dir_all() {
+        let dims = GridDims::square(3);
+        let t = NeighborTable::new(dims, CellId::new(2, 1));
+        let k = dims.index(CellId::new(1, 1));
+        assert_eq!(t.id_at(k), CellId::new(1, 1));
+        for (s, &dir) in Dir::ALL.iter().enumerate() {
+            let expected = CellId::new(1, 1).step(dir).unwrap();
+            assert_eq!(t.nbr_id[k][s], expected);
+            assert_eq!(t.nbr_idx[k][s] as usize, dims.index(expected));
+        }
+        // Corner ⟨0,0⟩: west and south are off-grid.
+        let c = dims.index(CellId::new(0, 0));
+        assert_eq!(t.nbr_idx[c][1], NO_NBR);
+        assert_eq!(t.nbr_idx[c][3], NO_NBR);
+        assert_eq!(t.len(), 9);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn sorted_slots_visit_neighbors_in_ascending_id_order() {
+        let dims = GridDims::square(3);
+        let t = NeighborTable::new(dims, CellId::new(2, 1));
+        let k = dims.index(CellId::new(1, 1));
+        let visited: Vec<CellId> = SORTED_SLOTS.iter().map(|&s| t.nbr_id[k][s]).collect();
+        let mut sorted = visited.clone();
+        sorted.sort();
+        assert_eq!(visited, sorted);
+    }
+
+    #[test]
+    fn engine_handles_corrupted_registers_like_the_reference() {
+        use crate::fault::Corruption;
+        let cfg = config();
+        let mut sys = System::new(cfg.clone()); // engine-backed
+        let mut state = cfg.initial_state();
+        let schedule = [
+            (5u64, CellId::new(2, 2), Corruption::Scramble { salt: 11 }),
+            (9, CellId::new(4, 4), Corruption::NePrev { mask: 0b1010 }),
+            (13, CellId::new(1, 1), Corruption::Dist(Dist::Finite(0))),
+            (17, CellId::new(5, 5), Corruption::Token(Some(Dir::West))),
+        ];
+        for step in 0..40u64 {
+            for &(when, cell, corr) in &schedule {
+                if when == step {
+                    sys.corrupt(cell, corr);
+                    let dims = cfg.dims();
+                    corr.apply(&cfg, cell, state.cell_mut(dims, cell));
+                }
+            }
+            let (next, _) = update(&cfg, &state, step);
+            sys.step();
+            state = next;
+            assert_eq!(sys.state(), &state, "diverged at step {step}");
+        }
+    }
+}

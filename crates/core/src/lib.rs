@@ -49,6 +49,7 @@
 pub mod analysis;
 mod cell;
 pub mod certify;
+pub mod engine;
 mod entity;
 pub mod fault;
 pub mod mc;
@@ -65,7 +66,8 @@ mod update;
 
 pub use cell::CellState;
 pub use cellflow_routing::Dist;
-pub use certify::{certify, shrink, Certificate, CertifyOptions, CorruptionEvent};
+pub use certify::{certify, certify_batch, shrink, Certificate, CertifyOptions, CorruptionEvent};
+pub use engine::{Engine, NeighborTable};
 pub use fault::{CampaignSpec, Corruption, FaultCensus, FaultEvent, FaultKind, FaultPlan};
 pub use monitor::{standard_monitors, Monitor, MonitorCtx, MonitorViolation};
 pub use entity::{Entity, EntityId};

@@ -37,11 +37,25 @@ impl SourcePolicy {
     /// * satisfy the center-spacing requirement `d` against every entity
     ///   already in `state.members` (so inserting preserves `Safe`).
     pub fn placement(self, params: Params, id: CellId, state: &CellState) -> Option<Point> {
+        let pos = self.candidate(params, id, state.next)?;
+        let d = params.d();
+        if state.members.values().all(|&q| sep_ok(pos, q, d)) {
+            Some(pos)
+        } else {
+            None
+        }
+    }
+
+    /// The geometric half of [`SourcePolicy::placement`]: the position this
+    /// policy would insert at given the cell's routed `next`, *before* the
+    /// spacing check against current members. Split out so the engine can run
+    /// the spacing check against its own entity arenas.
+    pub(crate) fn candidate(self, params: Params, id: CellId, next: Option<CellId>) -> Option<Point> {
         match self {
             SourcePolicy::Disabled => None,
             SourcePolicy::FarEdge => {
                 let center = id.center();
-                let pos = match state.next.and_then(|n| id.dir_to(n)) {
+                Some(match next.and_then(|n| id.dir_to(n)) {
                     // Flush against the edge opposite the outgoing direction.
                     Some(dir) => {
                         let back = dir.opposite();
@@ -49,13 +63,7 @@ impl SourcePolicy {
                         center.with_along(back.axis(), flush)
                     }
                     None => center,
-                };
-                let d = params.d();
-                if state.members.values().all(|&q| sep_ok(pos, q, d)) {
-                    Some(pos)
-                } else {
-                    None
-                }
+                })
             }
         }
     }

@@ -3,13 +3,15 @@
 
 use core::fmt;
 use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
 
 use cellflow_geom::Point;
 use cellflow_grid::{CellId, GridDims};
 use cellflow_routing::Dist;
 
+use crate::engine::{Engine, NeighborTable};
 use crate::fault::Corruption;
-use crate::{update, CellState, Entity, EntityId, Params, RoundEvents, SourcePolicy, TokenPolicy};
+use crate::{CellState, Entity, EntityId, Params, RoundEvents, SourcePolicy, TokenPolicy};
 
 /// Static configuration of a `System`: everything that does *not* change
 /// during execution.
@@ -31,7 +33,7 @@ use crate::{update, CellState, Entity, EntityId, Params, RoundEvents, SourcePoli
 /// assert_eq!(config.sources().len(), 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemConfig {
     dims: GridDims,
@@ -42,7 +44,28 @@ pub struct SystemConfig {
     token_policy: TokenPolicy,
     source_policy: SourcePolicy,
     entity_budget: Option<u64>,
+    /// Lazily built, shared grid topology (see [`SystemConfig::topology`]).
+    /// Derived entirely from `dims` and `target`, which are fixed at
+    /// construction — so a populated cache can never go stale.
+    topology: OnceLock<Arc<NeighborTable>>,
 }
+
+/// Manual: equality must ignore the derived topology cache (a populated and
+/// an unpopulated cache describe the same configuration).
+impl PartialEq for SystemConfig {
+    fn eq(&self, other: &SystemConfig) -> bool {
+        self.dims == other.dims
+            && self.target == other.target
+            && self.sources == other.sources
+            && self.params == other.params
+            && self.dist_cap == other.dist_cap
+            && self.token_policy == other.token_policy
+            && self.source_policy == other.source_policy
+            && self.entity_budget == other.entity_budget
+    }
+}
+
+impl Eq for SystemConfig {}
 
 impl SystemConfig {
     /// Creates a configuration with no sources, the default policies, and the
@@ -68,6 +91,7 @@ impl SystemConfig {
             token_policy: TokenPolicy::default(),
             source_policy: SourcePolicy::default(),
             entity_budget: None,
+            topology: OnceLock::new(),
         })
     }
 
@@ -169,6 +193,16 @@ impl SystemConfig {
     /// The entity creation budget, if any.
     pub fn entity_budget(&self) -> Option<u64> {
         self.entity_budget
+    }
+
+    /// The precomputed neighbor table for this grid and target, built on
+    /// first use and shared by every [`Engine`] (and clone of this config)
+    /// thereafter — no phase recomputes neighbor identifiers per round.
+    pub fn topology(&self) -> Arc<NeighborTable> {
+        Arc::clone(
+            self.topology
+                .get_or_init(|| Arc::new(NeighborTable::new(self.dims, self.target))),
+        )
     }
 
     /// The initial [`SystemState`] for this configuration: all cells as in
@@ -286,12 +320,23 @@ impl SystemState {
 }
 
 /// The `System` automaton with its execution bookkeeping: current state,
-/// round number, and cumulative counters — the convenient facade over
-/// [`update`] used by simulations, examples and tests.
+/// round number, and cumulative counters — the convenient facade over the
+/// round transition used by simulations, examples and tests.
+///
+/// Rounds execute on the arena-backed [`Engine`]; a [`SystemState`] mirror is
+/// kept in sync after every step so monitors, safety checks and serialization
+/// keep their structured view of the state. Mutators (fault injection,
+/// [`System::set_state`], entity seeding) edit the mirror and mark the engine
+/// stale; the next step re-imports it. The engine's transition is proven
+/// equivalent to the pure [`update`](crate::update) composition by
+/// `tests/engine_differential.rs`.
 #[derive(Clone, Debug)]
 pub struct System {
     config: SystemConfig,
     state: SystemState,
+    engine: Engine,
+    /// `false` whenever `state` was mutated behind the engine's back.
+    engine_synced: bool,
     round: u64,
     consumed_total: u64,
     inserted_total: u64,
@@ -301,9 +346,12 @@ impl System {
     /// Creates a system in the initial state of `config`.
     pub fn new(config: SystemConfig) -> System {
         let state = config.initial_state();
+        let engine = Engine::new(config.clone());
         System {
             config,
             state,
+            engine,
+            engine_synced: true,
             round: 0,
             consumed_total: 0,
             inserted_total: 0,
@@ -328,6 +376,7 @@ impl System {
             "state size must match the grid"
         );
         self.state = state;
+        self.engine_synced = false;
     }
 
     /// The state of cell `id`.
@@ -357,8 +406,13 @@ impl System {
     /// Executes one `update` transition (one synchronous round) and returns
     /// what happened.
     pub fn step(&mut self) -> RoundEvents {
-        let (state, events) = update(&self.config, &self.state, self.round);
-        self.state = state;
+        if !self.engine_synced {
+            self.engine.load_state(&self.state);
+            self.engine_synced = true;
+        }
+        self.engine.set_round(self.round);
+        let events = self.engine.step().clone();
+        self.engine.store_state(&mut self.state);
         self.round += 1;
         self.consumed_total += events.consumed.len() as u64;
         self.inserted_total += events.inserted.len() as u64;
@@ -379,6 +433,7 @@ impl System {
     /// Panics if `id` is out of bounds.
     pub fn fail(&mut self, id: CellId) {
         self.state.fail(self.config.dims(), id);
+        self.engine_synced = false;
     }
 
     /// Recovers cell `id` (see [`SystemState::recover`]).
@@ -389,6 +444,7 @@ impl System {
     pub fn recover(&mut self, id: CellId) {
         let target = self.config.target();
         self.state.recover(self.config.dims(), id, target);
+        self.engine_synced = false;
     }
 
     /// Applies a transient state corruption to cell `id` (see
@@ -400,6 +456,7 @@ impl System {
     pub fn corrupt(&mut self, id: CellId, corruption: Corruption) {
         let cell = self.state.cell_mut(self.config.dims(), id);
         corruption.apply(&self.config, id, cell);
+        self.engine_synced = false;
     }
 
     /// Places an entity with a fresh identifier at `pos` on cell `id`,
@@ -427,6 +484,7 @@ impl System {
         let eid = EntityId(self.state.next_entity_id);
         self.state.next_entity_id += 1;
         self.state.cell_mut(dims, id).members.insert(eid, pos);
+        self.engine_synced = false;
         Ok(eid)
     }
 }

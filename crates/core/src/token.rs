@@ -101,6 +101,63 @@ impl TokenPolicy {
             },
         }
     }
+    /// Allocation-free twin of [`TokenPolicy::choose`] over a sorted slice of
+    /// contenders — the engine's `NEPrev` is a neighbor mask decoded into a
+    /// stack array, never a `BTreeSet`. Agrees with `choose` on every input
+    /// (`cands` sorted ascending, as a `BTreeSet` iterates).
+    pub fn choose_from(self, cands: &[CellId], cell: CellId, round: u64) -> Option<CellId> {
+        match self {
+            TokenPolicy::RoundRobin | TokenPolicy::FixedPriority => cands.first().copied(),
+            TokenPolicy::Randomized { salt } => {
+                pick_hashed_slice(cands, None, salt, cell, round)
+            }
+        }
+    }
+
+    /// Allocation-free twin of [`TokenPolicy::rotate`] over a sorted slice.
+    pub fn rotate_from(
+        self,
+        cands: &[CellId],
+        current: CellId,
+        cell: CellId,
+        round: u64,
+    ) -> Option<CellId> {
+        match cands.len() {
+            0 => None,
+            1 => cands.first().copied(),
+            _ => match self {
+                TokenPolicy::RoundRobin => cands
+                    .iter()
+                    .find(|&&c| c > current)
+                    .or_else(|| cands.iter().find(|&&c| c != current))
+                    .copied(),
+                TokenPolicy::Randomized { salt } => {
+                    pick_hashed_slice(cands, Some(current), salt, cell, round)
+                }
+                TokenPolicy::FixedPriority => cands.first().copied(),
+            },
+        }
+    }
+}
+
+/// Slice counterpart of [`pick_hashed`]: identical hash, identical filter,
+/// identical index arithmetic — just counting instead of collecting.
+fn pick_hashed_slice(
+    cands: &[CellId],
+    exclude: Option<CellId>,
+    salt: u64,
+    cell: CellId,
+    round: u64,
+) -> Option<CellId> {
+    let keep = |c: &CellId| Some(*c) != exclude || cands.len() == 1;
+    let n = cands.iter().filter(|c| keep(c)).count();
+    if n == 0 {
+        return cands.first().copied();
+    }
+    let mut h = DefaultHasher::new();
+    (salt, cell, round).hash(&mut h);
+    let idx = (h.finish() % n as u64) as usize;
+    cands.iter().filter(|c| keep(c)).nth(idx).copied()
 }
 
 fn pick_hashed(
@@ -223,5 +280,45 @@ mod tests {
     #[test]
     fn default_is_round_robin() {
         assert_eq!(TokenPolicy::default(), TokenPolicy::RoundRobin);
+    }
+
+    /// The slice twins must agree with the `BTreeSet` originals on every
+    /// subset of a cell's neighbors, every policy, every current holder —
+    /// this is what lets the engine's mask-decoded arrays replace the sets.
+    #[test]
+    fn slice_twins_agree_with_set_versions_exhaustively() {
+        let me = id(1, 1);
+        let nbrs = [id(0, 1), id(1, 0), id(1, 2), id(2, 1)];
+        let policies = [
+            TokenPolicy::RoundRobin,
+            TokenPolicy::FixedPriority,
+            TokenPolicy::Randomized { salt: 0xC0FFEE },
+        ];
+        for mask in 0u8..16 {
+            let subset: Vec<CellId> = nbrs
+                .iter()
+                .enumerate()
+                .filter(|(s, _)| mask & (1 << s) != 0)
+                .map(|(_, &c)| c)
+                .collect();
+            let as_set: BTreeSet<CellId> = subset.iter().copied().collect();
+            for p in policies {
+                for round in 0..8 {
+                    assert_eq!(
+                        p.choose_from(&subset, me, round),
+                        p.choose(&as_set, me, round),
+                        "choose mismatch: {p:?} mask {mask:04b} round {round}"
+                    );
+                    for &current in &nbrs {
+                        assert_eq!(
+                            p.rotate_from(&subset, current, me, round),
+                            p.rotate(&as_set, current, me, round),
+                            "rotate mismatch: {p:?} mask {mask:04b} \
+                             current {current} round {round}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -6,7 +6,10 @@ use crate::EntityId;
 use crate::{move_phase, route_phase, signal_phase, SystemConfig, SystemState, Transfer};
 
 /// Everything observable about one `update` transition.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` so the differential suite can compare the engine's events
+/// against this reference implementation's, field for field.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RoundEvents {
     /// Entities consumed by the target this round.
     pub consumed: Vec<EntityId>,

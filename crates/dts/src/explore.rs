@@ -72,13 +72,18 @@ pub struct ReachReport {
 /// ```
 pub struct Explorer<'a, A: Dts> {
     sys: &'a A,
-    /// state → (depth, predecessor state index + action), roots have `None`.
-    seen: HashMap<A::State, Meta<A>>,
+    /// state → its index in `order` (and `meta`).
+    seen: HashMap<A::State, usize>,
+    /// Discovered states in BFS order — the single owned copy of each state;
+    /// expansion and path reconstruction borrow from here instead of cloning.
     order: Vec<A::State>,
+    /// Per-state metadata, indexed like `order`.
+    meta: Vec<Meta<A>>,
 }
 
 struct Meta<A: Dts> {
     depth: usize,
+    /// Predecessor state index + the action that led here; roots have `None`.
     pred: Option<(usize, A::Action)>,
 }
 
@@ -89,6 +94,7 @@ impl<'a, A: Dts> Explorer<'a, A> {
             sys,
             seen: HashMap::new(),
             order: Vec::new(),
+            meta: Vec::new(),
         }
     }
 
@@ -98,6 +104,7 @@ impl<'a, A: Dts> Explorer<'a, A> {
     pub fn run(&mut self, config: &ExploreConfig) -> ReachReport {
         self.seen.clear();
         self.order.clear();
+        self.meta.clear();
         let mut queue: VecDeque<usize> = VecDeque::new();
         let mut transitions = 0usize;
         let mut max_depth_seen = 0usize;
@@ -108,14 +115,13 @@ impl<'a, A: Dts> Explorer<'a, A> {
         }
 
         'expand: while let Some(idx) = queue.pop_front() {
-            let depth = self.seen[&self.order[idx]].depth;
+            let depth = self.meta[idx].depth;
             if depth >= config.max_depth {
                 outcome = ExploreOutcome::DepthBounded;
                 continue;
             }
-            let state = self.order[idx].clone();
-            for action in self.sys.enabled(&state) {
-                let next = self.sys.apply(&state, &action);
+            for action in self.sys.enabled(&self.order[idx]) {
+                let next = self.sys.apply(&self.order[idx], &action);
                 transitions += 1;
                 if !self.seen.contains_key(&next) {
                     if self.order.len() >= config.max_states {
@@ -148,7 +154,8 @@ impl<'a, A: Dts> Explorer<'a, A> {
         }
         let idx = self.order.len();
         self.order.push(state.clone());
-        self.seen.insert(state, Meta { depth, pred });
+        self.seen.insert(state, idx);
+        self.meta.push(Meta { depth, pred });
         queue.push_back(idx);
     }
 
@@ -165,30 +172,21 @@ impl<'a, A: Dts> Explorer<'a, A> {
     /// A shortest execution from an initial state to `state`, or `None` if
     /// `state` has not been discovered.
     pub fn trace_to(&self, state: &A::State) -> Option<Execution<A>> {
-        self.seen.get(state)?;
-        // Walk predecessor links back to a root.
-        let mut rev: Vec<(A::State, Option<A::Action>)> = Vec::new();
-        let mut cur = state.clone();
-        loop {
-            let meta = self.seen.get(&cur).expect("linked states are discovered");
-            match &meta.pred {
-                None => {
-                    rev.push((cur, None));
-                    break;
-                }
-                Some((pidx, action)) => {
-                    rev.push((cur, Some(action.clone())));
-                    cur = self.order[*pidx].clone();
-                }
-            }
+        // Walk predecessor links back to a root, collecting only indices —
+        // each state on the path is cloned exactly once, when the execution
+        // is assembled.
+        let mut path: Vec<usize> = vec![*self.seen.get(state)?];
+        while let Some((pidx, _)) = &self.meta[*path.last().expect("path is nonempty")].pred {
+            path.push(*pidx);
         }
-        rev.reverse();
-        let mut iter = rev.into_iter();
-        let (root, _) = iter.next().expect("trace has a root");
-        let mut exec = Execution::new(root);
-        for (state, action) in iter {
-            let action = action.expect("non-root states have incoming actions");
-            exec.push(action, state);
+        path.reverse();
+        let mut exec = Execution::new(self.order[path[0]].clone());
+        for &idx in &path[1..] {
+            let (_, action) = self.meta[idx]
+                .pred
+                .as_ref()
+                .expect("non-root states have incoming actions");
+            exec.push(action.clone(), self.order[idx].clone());
         }
         Some(exec)
     }

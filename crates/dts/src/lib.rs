@@ -59,5 +59,5 @@ pub use execution::Execution;
 pub use explore::{ExploreConfig, ExploreOutcome, Explorer, ReachReport};
 pub use invariant::{check_invariant, InvariantReport, Violation};
 pub use liveness::{check_possibly, LivenessReport, TrappedState};
-pub use montecarlo::{random_walks, WalkConfig, WalkReport};
+pub use montecarlo::{random_walks, random_walks_parallel, WalkConfig, WalkReport};
 pub use stabilize::{always_reaches_within, is_stable, StabilityViolation};

@@ -32,6 +32,19 @@ impl XorShift {
     }
 }
 
+/// Derives walk `walk`'s private seed from the campaign seed (splitmix64 of
+/// the pair). Each walk owning its own generator is what makes the
+/// sequential and parallel drivers produce identical results: a walk's
+/// randomness no longer depends on how many values earlier walks consumed.
+fn walk_seed(seed: u64, walk: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add((walk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Configuration for [`random_walks`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WalkConfig {
@@ -99,32 +112,121 @@ where
     A: Dts,
     P: Fn(&A::State) -> bool,
 {
-    let mut rng = XorShift::new(config.seed);
     let initials = sys.initial_states();
     assert!(!initials.is_empty(), "system has no initial states");
     let mut states_checked = 0usize;
     let mut deadlocked_walks = 0usize;
 
-    for _ in 0..config.walks {
-        let start = initials[rng.below(initials.len())].clone();
-        let mut exec = Execution::new(start);
+    for walk in 0..config.walks {
+        let mut rng = XorShift::new(walk_seed(config.seed, walk));
+        match run_walk(sys, &invariant, &initials, &mut rng, config.depth) {
+            Ok((checked, deadlocked)) => {
+                states_checked += checked;
+                deadlocked_walks += deadlocked;
+            }
+            Err(exec) => return Err(exec),
+        }
+    }
+    Ok(WalkReport {
+        states_checked,
+        deadlocked_walks,
+    })
+}
+
+/// One trajectory: returns `(states checked, 1 if deadlocked else 0)`, or
+/// the violating execution.
+fn run_walk<A, P>(
+    sys: &A,
+    invariant: &P,
+    initials: &[A::State],
+    rng: &mut XorShift,
+    depth: usize,
+) -> Result<(usize, usize), Execution<A>>
+where
+    A: Dts,
+    P: Fn(&A::State) -> bool,
+{
+    let start = initials[rng.below(initials.len())].clone();
+    let mut exec = Execution::new(start);
+    let mut states_checked = 1usize;
+    if !invariant(exec.last()) {
+        return Err(exec);
+    }
+    for _ in 0..depth {
+        let actions = sys.enabled(exec.last());
+        if actions.is_empty() {
+            return Ok((states_checked, 1));
+        }
+        let action = actions[rng.below(actions.len())].clone();
+        let next = sys.apply(exec.last(), &action);
+        exec.push(action, next);
         states_checked += 1;
         if !invariant(exec.last()) {
             return Err(exec);
         }
-        for _ in 0..config.depth {
-            let actions = sys.enabled(exec.last());
-            if actions.is_empty() {
-                deadlocked_walks += 1;
-                break;
+    }
+    Ok((states_checked, 0))
+}
+
+/// [`random_walks`] fanned out over `threads` scoped workers, each owning a
+/// disjoint contiguous range of walk indices. Because every walk derives its
+/// generator from [`walk_seed`]`(seed, walk)` alone, the outcome — including
+/// *which* violating execution is reported when several walks fail — is
+/// byte-identical to the sequential driver: all walks run to completion and
+/// the error of the lowest-numbered failing walk wins.
+///
+/// # Errors
+///
+/// Returns the violating [`Execution`] of the lowest-numbered failing walk.
+///
+/// # Panics
+///
+/// Panics if the system has no initial states, and propagates panics from
+/// worker threads.
+pub fn random_walks_parallel<A, P>(
+    sys: &A,
+    invariant: P,
+    config: &WalkConfig,
+    threads: usize,
+) -> Result<WalkReport, Execution<A>>
+where
+    A: Dts + Sync,
+    A::State: Send + Sync,
+    A::Action: Send,
+    P: Fn(&A::State) -> bool + Sync,
+{
+    if threads <= 1 || config.walks <= 1 {
+        return random_walks(sys, invariant, config);
+    }
+    let initials = sys.initial_states();
+    assert!(!initials.is_empty(), "system has no initial states");
+    let workers = threads.min(config.walks);
+    let chunk = config.walks.div_ceil(workers);
+    type WalkOutcome<A> = Option<Result<(usize, usize), Execution<A>>>;
+    let mut results: Vec<WalkOutcome<A>> = Vec::new();
+    results.resize_with(config.walks, || None);
+    let walk_ids: Vec<usize> = (0..config.walks).collect();
+    let (invariant, initials) = (&invariant, &initials);
+    crossbeam::thread::scope(|scope| {
+        for (ids, out) in walk_ids.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (&walk, slot) in ids.iter().zip(out.iter_mut()) {
+                    let mut rng = XorShift::new(walk_seed(config.seed, walk));
+                    *slot = Some(run_walk(sys, invariant, initials, &mut rng, config.depth));
+                }
+            });
+        }
+    })
+    .expect("walk worker panicked");
+    let mut states_checked = 0usize;
+    let mut deadlocked_walks = 0usize;
+    for result in results {
+        match result.expect("every walk ran") {
+            Ok((checked, deadlocked)) => {
+                states_checked += checked;
+                deadlocked_walks += deadlocked;
             }
-            let action = actions[rng.below(actions.len())].clone();
-            let next = sys.apply(exec.last(), &action);
-            exec.push(action, next);
-            states_checked += 1;
-            if !invariant(exec.last()) {
-                return Err(exec);
-            }
+            Err(exec) => return Err(exec),
         }
     }
     Ok(WalkReport {
@@ -204,5 +306,63 @@ mod tests {
         let a = random_walks(&sys, |_| true, &cfg).unwrap();
         let b = random_walks(&sys, |_| true, &cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_clean_runs() {
+        let sys = Branching { m: 10_000 };
+        let cfg = WalkConfig {
+            walks: 37,
+            depth: 80,
+            seed: 0xFEED,
+        };
+        let seq = random_walks(&sys, |_| true, &cfg).unwrap();
+        for threads in [2, 4, 16] {
+            let par = random_walks_parallel(&sys, |_| true, &cfg, threads).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_reports_the_same_violation_as_sequential() {
+        // Growth is monotone, so many walks violate; both drivers must
+        // surface the lowest-numbered failing walk's exact trace.
+        let sys = Branching { m: 1_000 };
+        let cfg = WalkConfig::default();
+        let seq = random_walks(&sys, |s| *s < 30, &cfg).unwrap_err();
+        let par = random_walks_parallel(&sys, |s| *s < 30, &cfg, 8).unwrap_err();
+        assert_eq!(par.states(), seq.states());
+        assert_eq!(par.validate(&sys), Ok(()));
+    }
+
+    #[test]
+    fn parallel_counts_deadlocks_like_sequential() {
+        struct Dead;
+        impl Dts for Dead {
+            type State = u8;
+            type Action = ();
+            fn initial_states(&self) -> Vec<u8> {
+                vec![0]
+            }
+            fn enabled(&self, s: &u8) -> Vec<()> {
+                if *s < 3 {
+                    vec![()]
+                } else {
+                    vec![]
+                }
+            }
+            fn apply(&self, s: &u8, _: &()) -> u8 {
+                s + 1
+            }
+        }
+        let cfg = WalkConfig {
+            walks: 9,
+            depth: 100,
+            seed: 5,
+        };
+        let seq = random_walks(&Dead, |_| true, &cfg).unwrap();
+        let par = random_walks_parallel(&Dead, |_| true, &cfg, 3).unwrap();
+        assert_eq!(par, seq);
+        assert_eq!(par.deadlocked_walks, 9);
     }
 }

@@ -4,15 +4,14 @@
 //! is 14 `rs` values × 4 velocities); [`parallel_map`] fans them out over a
 //! thread pool with deterministic result ordering.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 /// Applies `f` to every item on `threads` worker threads, returning results
 /// in input order. Falls back to a sequential loop for `threads <= 1`.
 ///
-/// Work is distributed by an atomic cursor, so uneven per-item costs balance
-/// automatically. Results are deterministic as long as `f` is (each item's
-/// seed should derive from the item, not from scheduling).
+/// Each worker owns a disjoint contiguous chunk of the input and writes into
+/// the matching chunk of the result buffer — no lock anywhere on the result
+/// path (the previous design serialized every item's write through a single
+/// `Mutex<Vec<_>>`). Results are deterministic as long as `f` is (each
+/// item's seed should derive from the item, not from scheduling).
 ///
 /// # Panics
 ///
@@ -33,25 +32,22 @@ where
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
-    let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     let workers = threads.min(items.len());
+    let chunk = items.len().div_ceil(workers);
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(items.len(), || None);
+    let f = &f;
     crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= items.len() {
-                    break;
+        for (input, output) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (item, slot) in input.iter().zip(output.iter_mut()) {
+                    *slot = Some(f(item));
                 }
-                let out = f(&items[idx]);
-                results.lock().expect("no poisoned workers")[idx] = Some(out);
             });
         }
     })
     .expect("sweep worker panicked");
     results
-        .into_inner()
-        .expect("scope joined all workers")
         .into_iter()
         .map(|r| r.expect("every index was processed"))
         .collect()
