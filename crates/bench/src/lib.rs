@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod perf;
+pub mod telemetry_overhead;
 
 use cellflow_sim::baseline::CentralizedBaseline;
 use cellflow_sim::scenario::{

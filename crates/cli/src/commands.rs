@@ -47,11 +47,29 @@ USAGE:
                                      per seed, minimal counterexample on
                                      failure
   cellflow bench [--quick] [--out BENCH_PR3.json]
+                 [--telemetry-out BENCH_PR5.json]
                                      machine-readable engine-vs-legacy perf
                                      baseline over the fixed scenario matrix
                                      (asserts equal semantics and zero
-                                     steady-state allocations first)
+                                     steady-state allocations first), plus
+                                     the telemetry-off vs telemetry-on
+                                     overhead baseline
+  cellflow metrics [--n 6] [--rounds 200] [--seed 1] [--prom] [--out FILE]
+                                     run an instrumented reference sim and
+                                     deployment, render per-phase latency
+                                     tables (--prom additionally prints the
+                                     Prometheus text exposition; --out
+                                     writes it to FILE)
+  cellflow inspect FILE [--rows 40]  validate a telemetry artifact and
+                                     render it: JSONL event streams get a
+                                     round timeline, Prometheus expositions
+                                     a conformance summary
   cellflow help                      this text
+
+chaos and stabilize accept --telemetry [--trace-out F] [--flight-out F]
+[--metrics-out F]: stream round events as schema-versioned JSONL, dump the
+flight recorder on any monitor violation or timeout, and write the metric
+registry as a Prometheus exposition.
 
 All lengths (--l, --rs, --v) are in milli-cells: 250 = 0.25 cell sides.";
 
@@ -61,6 +79,10 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     };
+    // `inspect` takes a positional file path, which the flag parser rejects.
+    if cmd == "inspect" {
+        return inspect(&argv[1..]);
+    }
     let flags = Flags::parse(&argv[1..])?;
     match cmd.as_str() {
         "run" => run(&flags),
@@ -75,6 +97,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "chaos" => chaos(&flags),
         "stabilize" => stabilize(&flags),
         "bench" => bench(&flags),
+        "metrics" => metrics(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -433,12 +456,16 @@ fn chaos(flags: &Flags) -> Result<(), String> {
          (quiet after round {active})"
     );
 
+    let campaign = campaign_telemetry(flags, "chaos")?;
     let monitors = standard_monitors(&config);
-    let net = NetSystem::new(config.clone())
+    let mut net = NetSystem::new(config.clone())
         .map_err(|e| e.to_string())?
         .with_plan(plan.clone())
         .with_chaos(chaos_cfg)
         .with_round_timeout(std::time::Duration::from_millis(timeout_ms.max(1)));
+    if let Some(ct) = &campaign {
+        net = net.with_telemetry(std::sync::Arc::clone(&ct.telemetry));
+    }
     let report = match net.run_monitored(rounds, monitors) {
         Ok(report) => report,
         Err(NetError::Timeout { round, .. }) => {
@@ -447,10 +474,16 @@ fn chaos(flags: &Flags) -> Result<(), String> {
             // so only the round is printed.
             println!("\nrun degraded:   round {round} timed out (a cell went silent and");
             println!("                never handed its barrier seat over — no deadlock)");
+            if let Some(ct) = &campaign {
+                ct.finish()?;
+            }
             return Ok(());
         }
         Err(e) => return Err(e.to_string()),
     };
+    if let Some(ct) = &campaign {
+        ct.finish()?;
+    }
 
     println!(
         "\ninjected:       {} dropped, {} delayed, {} duplicated, {} reordered",
@@ -603,7 +636,8 @@ fn stabilize(flags: &Flags) -> Result<(), String> {
         Box::new(ConservationMonitor::new()),
         Box::new(StabilizationMonitor::new(&config).with_probe(&probe)),
     ];
-    let outcome = NetSystem::new(config)
+    let campaign = campaign_telemetry(flags, "stabilize")?;
+    let mut net = NetSystem::new(config)
         .map_err(|e| e.to_string())?
         .with_plan(net_plan)
         .with_store(Arc::new(store))
@@ -612,9 +646,15 @@ fn stabilize(flags: &Flags) -> Result<(), String> {
             round: tear_at,
             respawn: tear_respawn,
         })
-        .with_round_timeout(std::time::Duration::from_millis(timeout_ms.max(1)))
-        .run_monitored(rounds, monitors);
+        .with_round_timeout(std::time::Duration::from_millis(timeout_ms.max(1)));
+    if let Some(ct) = &campaign {
+        net = net.with_telemetry(Arc::clone(&ct.telemetry));
+    }
+    let outcome = net.run_monitored(rounds, monitors);
     std::fs::remove_dir_all(&store_dir).ok();
+    if let Some(ct) = &campaign {
+        ct.finish()?;
+    }
     let report = match outcome {
         Ok(report) => report,
         Err(NetError::Timeout { round, .. }) => {
@@ -679,6 +719,152 @@ fn stabilize(flags: &Flags) -> Result<(), String> {
     }
 }
 
+/// The `--telemetry` bundle for a campaign command (`chaos`, `stabilize`):
+/// a metric registry plus a [`cellflow_net::NetTelemetry`] streaming JSONL
+/// events to disk with a flight recorder armed behind it.
+struct CampaignTelemetry {
+    registry: cellflow_telemetry::Registry,
+    telemetry: std::sync::Arc<cellflow_net::NetTelemetry>,
+    trace_out: String,
+    flight_out: String,
+    metrics_out: String,
+}
+
+/// Builds the bundle when `--telemetry` was given; `prefix` names the
+/// default artifact files (`<prefix>.trace.jsonl` etc.).
+fn campaign_telemetry(flags: &Flags, prefix: &str) -> Result<Option<CampaignTelemetry>, String> {
+    use cellflow_telemetry::{EventLog, Registry};
+    if !flags.has("telemetry") {
+        return Ok(None);
+    }
+    let trace_out: String = flags.get("trace-out", format!("{prefix}.trace.jsonl"))?;
+    let flight_out: String = flags.get("flight-out", format!("{prefix}.flight.jsonl"))?;
+    let metrics_out: String = flags.get("metrics-out", format!("{prefix}.metrics.prom"))?;
+    let registry = Registry::new();
+    let log = EventLog::new()
+        .with_stream_file(std::path::Path::new(&trace_out))
+        .map_err(|e| format!("creating {trace_out}: {e}"))?
+        .with_flight_path(std::path::PathBuf::from(&flight_out));
+    let telemetry =
+        std::sync::Arc::new(cellflow_net::NetTelemetry::new(&registry).with_event_log(log));
+    Ok(Some(CampaignTelemetry {
+        registry,
+        telemetry,
+        trace_out,
+        flight_out,
+        metrics_out,
+    }))
+}
+
+impl CampaignTelemetry {
+    /// Flushes the stream, writes the Prometheus exposition, and prints a
+    /// summary. Only counts and paths go to stdout — no timing values — so
+    /// a fixed seed still produces byte-identical output.
+    fn finish(&self) -> Result<(), String> {
+        self.telemetry.flush();
+        let exposition = cellflow_telemetry::prometheus::render(&self.registry.snapshot());
+        std::fs::write(&self.metrics_out, exposition)
+            .map_err(|e| format!("writing {}: {e}", self.metrics_out))?;
+        let (events, dumps) = self.telemetry.log_stats();
+        println!("\ntelemetry:      {events} events -> {}", self.trace_out);
+        println!("                exposition -> {}", self.metrics_out);
+        if dumps > 0 {
+            println!("                flight dump -> {}", self.flight_out);
+        }
+        Ok(())
+    }
+}
+
+/// Runs a short instrumented campaign — the reference simulation (with the
+/// engine's Route/Signal/Move phase timers) and the message-passing
+/// deployment — into one registry, then renders the per-phase latency
+/// tables. `--prom` additionally prints the Prometheus text exposition;
+/// `--out FILE` writes the exposition to a file.
+fn metrics(flags: &Flags) -> Result<(), String> {
+    use cellflow_net::{NetSystem, NetTelemetry};
+    use cellflow_sim::SimTelemetry;
+    use cellflow_telemetry::{prometheus, report, Registry};
+
+    let n: u16 = flags.get("n", 6)?;
+    if n < 3 {
+        return Err("--n must be at least 3".into());
+    }
+    let rounds: u64 = flags.get("rounds", 200)?;
+    let seed: u64 = flags.get("seed", 1)?;
+    let out: String = flags.get("out", String::new())?;
+
+    let params = Params::from_milli(250, 50, 200).expect("static parameters are valid");
+    let config = SystemConfig::new(GridDims::square(n), CellId::new(1, n - 1), params)
+        .map_err(|e| e.to_string())?
+        .with_source(CellId::new(1, 0));
+
+    let registry = Registry::new();
+    let mut sim =
+        Simulation::new(config.clone(), seed).with_telemetry(SimTelemetry::new(&registry));
+    sim.run(rounds);
+
+    // Monitored run: the collector thread is what feeds the per-round
+    // counters (`cellflow_net_rounds_total`), so the plain `run` would
+    // leave them at zero.
+    let telemetry = std::sync::Arc::new(NetTelemetry::new(&registry));
+    NetSystem::new(config.clone())
+        .map_err(|e| e.to_string())?
+        .with_telemetry(std::sync::Arc::clone(&telemetry))
+        .run_monitored(rounds, cellflow_core::standard_monitors(&config))
+        .map_err(|e| e.to_string())?;
+
+    let snapshot = registry.snapshot();
+    println!("instrumented {n}x{n} grid, {rounds} rounds (reference sim + deployment)\n");
+    println!("{}", report::render_tables(&snapshot));
+    if flags.has("prom") {
+        println!("{}", prometheus::render(&snapshot));
+    }
+    if !out.is_empty() {
+        std::fs::write(&out, prometheus::render(&snapshot))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// Validates a telemetry artifact and renders it. JSONL event streams get
+/// the per-kind census and a round timeline; Prometheus expositions get a
+/// conformance summary. Exits nonzero on any schema violation.
+fn inspect(args: &[String]) -> Result<(), String> {
+    use cellflow_telemetry::{prometheus, report, validate_stream};
+
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("inspect needs a file: cellflow inspect <trace.jsonl> [--rows 40]".into());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    let rows: usize = flags.get("rows", 40)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+
+    if text.trim_start().starts_with('{') {
+        let stats =
+            validate_stream(&text).map_err(|(line, msg)| format!("{path}:{line}: {msg}"))?;
+        println!(
+            "{path}: {} events, rounds {}..{}, {} violation(s), {} timeout(s)",
+            stats.events, stats.first_round, stats.last_round, stats.violations, stats.timeouts
+        );
+        for (kind, count) in &stats.by_kind {
+            println!("  {kind:<15} {count}");
+        }
+        println!();
+        let timeline =
+            report::render_timeline(&text, rows).map_err(|(line, msg)| format!("{path}:{line}: {msg}"))?;
+        println!("{timeline}");
+    } else {
+        let stats =
+            prometheus::validate(&text).map_err(|(line, msg)| format!("{path}:{line}: {msg}"))?;
+        println!(
+            "{path}: valid Prometheus exposition — {} metric families, {} samples",
+            stats.families, stats.samples
+        );
+    }
+    Ok(())
+}
+
 fn bench(flags: &Flags) -> Result<(), String> {
     let quick = flags.has("quick");
     let out: String = flags.get("out", "BENCH_PR3.json".to_string())?;
@@ -705,6 +891,23 @@ fn bench(flags: &Flags) -> Result<(), String> {
     }
     std::fs::write(&out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out}");
+
+    let tel_out: String = flags.get("telemetry-out", "BENCH_PR5.json".to_string())?;
+    eprintln!("running telemetry overhead matrix...");
+    let overhead = cellflow_bench::telemetry_overhead::run(quick);
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>9}",
+        "scenario", "off ns/rd", "on ns/rd", "overhead"
+    );
+    for sc in &overhead.scenarios {
+        println!(
+            "{:<8} {:>12} {:>12} {:>8.3}x",
+            sc.name, sc.telemetry_off_ns_per_round, sc.telemetry_on_ns_per_round, sc.overhead_ratio
+        );
+    }
+    std::fs::write(&tel_out, overhead.to_json())
+        .map_err(|e| format!("writing {tel_out}: {e}"))?;
+    println!("wrote {tel_out}");
     Ok(())
 }
 
@@ -815,5 +1018,118 @@ mod tests {
     fn chaos_rejects_bad_rates() {
         assert!(dispatch(&argv("chaos --drop 1.5")).is_err());
         assert!(dispatch(&argv("chaos --n 2")).is_err());
+    }
+
+    /// Scratch dir for telemetry-artifact tests, removed on drop.
+    struct Scratch(std::path::PathBuf);
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "cellflow-cli-{tag}-{}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            Scratch(dir)
+        }
+        fn path(&self, name: &str) -> String {
+            self.0.join(name).to_string_lossy().into_owned()
+        }
+    }
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn metrics_renders_and_exports() {
+        let scratch = Scratch::new("metrics");
+        let prom = scratch.path("metrics.prom");
+        assert!(dispatch(&argv(&format!(
+            "metrics --n 4 --rounds 60 --prom --out {prom}"
+        )))
+        .is_ok());
+        let text = std::fs::read_to_string(&prom).expect("exposition written");
+        let stats = cellflow_telemetry::prometheus::validate(&text).expect("valid exposition");
+        assert!(stats.families >= 8, "engine + sim + net metrics present");
+        // The inspect command accepts the exposition it just wrote.
+        assert!(dispatch(&argv(&format!("inspect {prom}"))).is_ok());
+    }
+
+    #[test]
+    fn chaos_telemetry_artifacts_validate_and_inspect() {
+        let scratch = Scratch::new("chaos-tel");
+        let (trace, flight, prom) = (
+            scratch.path("chaos.trace.jsonl"),
+            scratch.path("chaos.flight.jsonl"),
+            scratch.path("chaos.metrics.prom"),
+        );
+        assert!(dispatch(&argv(&format!(
+            "chaos --n 4 --rounds 80 --active 40 --seed 3 --telemetry \
+             --trace-out {trace} --flight-out {flight} --metrics-out {prom}"
+        )))
+        .is_ok());
+        let stream = std::fs::read_to_string(&trace).expect("trace written");
+        let stats = cellflow_telemetry::validate_stream(&stream).expect("schema-valid stream");
+        assert_eq!(stats.last_round, 80);
+        let text = std::fs::read_to_string(&prom).expect("exposition written");
+        cellflow_telemetry::prometheus::validate(&text).expect("valid exposition");
+        // A clean campaign never trips the flight recorder.
+        assert!(!std::path::Path::new(&flight).exists());
+        // And the inspect command renders the stream it produced.
+        assert!(dispatch(&argv(&format!("inspect {trace} --rows 10"))).is_ok());
+    }
+
+    #[test]
+    fn chaos_timeout_with_telemetry_dumps_the_flight_recorder() {
+        let scratch = Scratch::new("chaos-dump");
+        let (trace, flight, prom) = (
+            scratch.path("wedge.trace.jsonl"),
+            scratch.path("wedge.flight.jsonl"),
+            scratch.path("wedge.metrics.prom"),
+        );
+        assert!(dispatch(&argv(&format!(
+            "chaos --n 4 --rounds 60 --active 30 --kills 1 --hard 0 --timeout-ms 300 \
+             --seed 2 --telemetry --trace-out {trace} --flight-out {flight} \
+             --metrics-out {prom}"
+        )))
+        .is_ok());
+        let dump = std::fs::read_to_string(&flight).expect("flight dump written on timeout");
+        let stats = cellflow_telemetry::validate_stream(&dump).expect("dump is schema-valid");
+        assert_eq!(stats.timeouts, 1);
+        assert!(dispatch(&argv(&format!("inspect {flight}"))).is_ok());
+    }
+
+    #[test]
+    fn stabilize_telemetry_produces_valid_artifacts() {
+        let scratch = Scratch::new("stab-tel");
+        let (trace, flight, prom) = (
+            scratch.path("stab.trace.jsonl"),
+            scratch.path("stab.flight.jsonl"),
+            scratch.path("stab.metrics.prom"),
+        );
+        assert!(dispatch(&argv(&format!(
+            "stabilize --n 4 --seed 3 --telemetry --trace-out {trace} \
+             --flight-out {flight} --metrics-out {prom}"
+        )))
+        .is_ok());
+        let stream = std::fs::read_to_string(&trace).expect("trace written");
+        let stats = cellflow_telemetry::validate_stream(&stream).expect("schema-valid stream");
+        assert!(stats.events > 0);
+        cellflow_telemetry::prometheus::validate(
+            &std::fs::read_to_string(&prom).expect("exposition written"),
+        )
+        .expect("valid exposition");
+    }
+
+    #[test]
+    fn inspect_rejects_garbage_and_missing_files() {
+        let scratch = Scratch::new("inspect-bad");
+        assert!(dispatch(&argv("inspect")).is_err());
+        assert!(dispatch(&argv(&format!("inspect {}", scratch.path("absent.jsonl")))).is_err());
+        let bad = scratch.path("bad.jsonl");
+        std::fs::write(&bad, "{\"v\":1,\"round\":0}\n").expect("write");
+        let err = dispatch(&argv(&format!("inspect {bad}"))).unwrap_err();
+        assert!(err.contains(":1:"), "error cites the line: {err}");
     }
 }

@@ -42,6 +42,7 @@ use std::sync::Arc;
 use cellflow_geom::{sep_ok, Dir, Point};
 use cellflow_grid::{CellId, GridDims};
 use cellflow_routing::Dist;
+use cellflow_telemetry::PhaseTimers;
 
 use crate::signal::gap_free_toward;
 use crate::{EntityId, RoundEvents, SystemConfig, SystemState, Transfer};
@@ -209,6 +210,10 @@ pub struct Engine {
     ne_override: Vec<(u32, BTreeSet<CellId>)>,
     /// Number of buffer-growth (re)allocations since the last reset.
     alloc_events: u64,
+    /// Per-phase span timers, attached when telemetry is enabled. `None`
+    /// (the default) keeps [`Engine::step`] on the untimed fast path — a
+    /// single branch per round, no clock reads.
+    timers: Option<PhaseTimers>,
 }
 
 /// Pushes tracking capacity growth: bumps `allocs` when the push must
@@ -251,6 +256,7 @@ impl Engine {
             incoming: Vec::new(),
             ne_override: Vec::new(),
             alloc_events: 0,
+            timers: None,
         };
         engine.front[engine.topo.target_index].dist = Dist::Finite(0);
         engine
@@ -297,6 +303,18 @@ impl Engine {
     /// Zeroes the growth counter (call after warm-up, before measuring).
     pub fn reset_alloc_events(&mut self) {
         self.alloc_events = 0;
+    }
+
+    /// Attaches per-phase span timers (the `cellflow_engine_*_ns`
+    /// histograms). Rounds then record Route/Signal/Move and whole-round
+    /// nanoseconds; detach by attaching timers from a disabled registry, or
+    /// never attach to keep the untimed fast path.
+    pub fn attach_phase_timers(&mut self, timers: PhaseTimers) {
+        self.timers = if timers.round.is_enabled() {
+            Some(timers)
+        } else {
+            None
+        };
     }
 
     /// Imports `state` into the arenas (replacing everything). `ne_prev`
@@ -419,11 +437,33 @@ impl Engine {
         self.events.blocked.clear();
         self.events.moved.clear();
 
-        self.route();
-        std::mem::swap(&mut self.front, &mut self.back);
-        self.signal();
-        self.do_move();
-        self.insert_sources();
+        match self.timers.clone() {
+            None => {
+                self.route();
+                std::mem::swap(&mut self.front, &mut self.back);
+                self.signal();
+                self.do_move();
+                self.insert_sources();
+            }
+            Some(timers) => {
+                // Spans hold only Arc handles: starting/stopping them reads
+                // the clock but never allocates, so the steady-state
+                // zero-allocation claim holds with timing on too.
+                let whole = timers.round.start();
+                let span = timers.route.start();
+                self.route();
+                std::mem::swap(&mut self.front, &mut self.back);
+                drop(span);
+                let span = timers.signal.start();
+                self.signal();
+                drop(span);
+                let span = timers.mv.start();
+                self.do_move();
+                self.insert_sources();
+                drop(span);
+                drop(whole);
+            }
+        }
 
         self.round += 1;
         &self.events
@@ -748,6 +788,39 @@ mod tests {
             0,
             "steady-state rounds must not grow any buffer"
         );
+    }
+
+    #[test]
+    fn phase_timers_record_every_round_without_allocating() {
+        use cellflow_telemetry::{PhaseTimers, Registry};
+        let cfg = config();
+        let mut engine = Engine::new(cfg);
+        let reg = Registry::new();
+        engine.attach_phase_timers(PhaseTimers::register(&reg));
+        for _ in 0..100 {
+            engine.step();
+        }
+        engine.reset_alloc_events();
+        for _ in 0..100 {
+            engine.step();
+        }
+        assert_eq!(engine.alloc_events(), 0, "timing must not allocate");
+        let timers = PhaseTimers::register(&reg);
+        assert_eq!(timers.round.count(), 200);
+        assert_eq!(timers.route.count(), 200);
+        assert_eq!(timers.signal.count(), 200);
+        assert_eq!(timers.mv.count(), 200);
+        assert!(timers.round.sum() >= timers.route.sum());
+    }
+
+    #[test]
+    fn disabled_timers_stay_detached() {
+        use cellflow_telemetry::{PhaseTimers, Registry};
+        let cfg = config();
+        let mut engine = Engine::new(cfg);
+        engine.attach_phase_timers(PhaseTimers::register(&Registry::disabled()));
+        assert!(engine.timers.is_none(), "disabled registry must not attach");
+        engine.step();
     }
 
     #[test]

@@ -403,6 +403,12 @@ impl System {
         self.inserted_total
     }
 
+    /// Attaches per-phase span timers to the underlying engine (see
+    /// [`Engine::attach_phase_timers`]).
+    pub fn attach_phase_timers(&mut self, timers: cellflow_telemetry::PhaseTimers) {
+        self.engine.attach_phase_timers(timers);
+    }
+
     /// Executes one `update` transition (one synchronous round) and returns
     /// what happened.
     pub fn step(&mut self) -> RoundEvents {

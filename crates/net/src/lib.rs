@@ -83,6 +83,7 @@ mod runtime;
 pub mod store;
 mod supervisor;
 pub mod sync;
+mod telemetry;
 mod transport;
 
 pub use message::{Envelope, Message};
@@ -93,6 +94,7 @@ pub use store::{
 };
 pub use supervisor::{RestartPolicy, SupervisorDecision};
 pub use sync::{PoisonInfo, WAITS_PER_ROUND};
+pub use telemetry::NetTelemetry;
 pub use transport::{
     ChaosConfig, ChaosStats, ChaosTransport, EdgeLink, PerfectTransport, Transport,
 };

@@ -8,6 +8,7 @@ use rand::{Rng, SeedableRng};
 
 /// What a failure model did to the system this round.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FailureEvents {
     /// Cells crashed this round.
     pub failed: Vec<CellId>,

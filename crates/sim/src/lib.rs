@@ -46,11 +46,13 @@ pub mod scenario;
 pub mod stats;
 pub mod sweep;
 pub mod table;
+mod telemetry;
 mod trace;
 
 pub use failure::{FailureEvents, FailureModel};
 pub use metrics::Metrics;
 pub use runner::Simulation;
+pub use telemetry::SimTelemetry;
 pub use trace::{TraceEvent, TraceRecorder};
 
 // The chaos vocabulary is shared with the message-passing runtime; re-export

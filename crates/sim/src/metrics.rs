@@ -18,7 +18,9 @@ pub struct Metrics {
     blocked_per_round: Vec<u32>,
     grants_per_round: Vec<u32>,
     moved_per_round: Vec<u32>,
-    #[cfg_attr(feature = "serde", serde(skip))]
+    // `default` (not `skip`): JSON written before failure history was
+    // serialized deserializes to an empty history instead of erroring.
+    #[cfg_attr(feature = "serde", serde(default))]
     failures_per_round: Vec<FailureEvents>,
 }
 

@@ -4,7 +4,7 @@ use cellflow_core::monitor::{Monitor, MonitorCtx, MonitorViolation};
 use cellflow_core::{safety, RoundEvents, System, SystemConfig, TokenPolicy};
 
 use crate::failure::{FailureModel, NoFailures};
-use crate::{Metrics, TraceRecorder};
+use crate::{Metrics, SimTelemetry, TraceRecorder};
 
 /// A [`System`] under a [`FailureModel`], with metrics and optional tracing.
 ///
@@ -38,6 +38,7 @@ pub struct Simulation {
     check_safety: bool,
     monitors: Vec<Box<dyn Monitor>>,
     violations: Vec<MonitorViolation>,
+    telemetry: Option<SimTelemetry>,
 }
 
 impl Simulation {
@@ -57,6 +58,7 @@ impl Simulation {
             check_safety: cfg!(debug_assertions),
             monitors: Vec::new(),
             violations: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -106,6 +108,30 @@ impl Simulation {
         self
     }
 
+    /// Attaches telemetry: per-round counters and latency into the
+    /// bundle's registry, every round's events into its structured JSONL
+    /// log (monitor violations dump the flight recorder when one is
+    /// configured), and the core engine's Route/Signal/Move phase timers
+    /// registered in the same registry.
+    pub fn with_telemetry(mut self, telemetry: SimTelemetry) -> Simulation {
+        self.system
+            .attach_phase_timers(cellflow_telemetry::PhaseTimers::register(
+                telemetry.registry(),
+            ));
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry bundle, if any.
+    pub fn telemetry(&self) -> Option<&SimTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Mutable access to the attached telemetry (e.g. to flush the stream).
+    pub fn telemetry_mut(&mut self) -> Option<&mut SimTelemetry> {
+        self.telemetry.as_mut()
+    }
+
     /// The underlying system.
     pub fn system(&self) -> &System {
         &self.system
@@ -147,12 +173,21 @@ impl Simulation {
     pub fn step(&mut self) -> RoundEvents {
         let round = self.system.round();
         let failures = self.failure.apply(&mut self.system, round);
-        let events = self.system.step();
+        let events = match &self.telemetry {
+            None => self.system.step(),
+            Some(tel) => {
+                let span = tel.round_ns.start();
+                let events = self.system.step();
+                drop(span);
+                events
+            }
+        };
         self.metrics.record(&events);
         self.metrics.record_failures(&failures);
         if let Some(tr) = &mut self.trace {
             tr.record(round, &failures, &events);
         }
+        let fresh_violations = self.violations.len();
         if !self.monitors.is_empty() {
             let ctx = MonitorCtx {
                 config: self.system.config(),
@@ -170,6 +205,11 @@ impl Simulation {
             for monitor in self.monitors.iter_mut() {
                 self.violations.extend(monitor.observe(&ctx));
             }
+        }
+        if let Some(tel) = &mut self.telemetry {
+            // Rounds are tagged 1-based, matching the monitors' numbering
+            // and the net collector's stream.
+            tel.observe_round(round + 1, &failures, &events, &self.violations[fresh_violations..]);
         }
         if self.check_safety {
             let (cfg, st) = (self.system.config(), self.system.state());
@@ -276,6 +316,102 @@ mod tests {
         let summaries = sim.monitor_summaries();
         assert_eq!(summaries.len(), 4);
         assert!(summaries.iter().any(|s| s.contains("stabilized")));
+    }
+
+    #[test]
+    fn telemetry_stream_matches_metrics_and_times_phases() {
+        use cellflow_telemetry::{EventLog, Registry, SharedBuffer};
+
+        let registry = Registry::new();
+        let buffer = SharedBuffer::new();
+        let tel = SimTelemetry::new(&registry)
+            .with_event_log(EventLog::new().with_stream(Box::new(buffer.clone())));
+        let mut sim = Simulation::new(config(), 1)
+            .with_failure_model(
+                cellflow_core::FaultPlan::new()
+                    .crash_at(30, CellId::new(3, 3))
+                    .recover_at(60, CellId::new(3, 3)),
+            )
+            .with_telemetry(tel);
+        sim.run(200);
+        sim.telemetry_mut().unwrap().flush();
+
+        // The stream is schema-valid and agrees with the metrics.
+        let stats = cellflow_telemetry::validate_stream(&buffer.contents()).unwrap();
+        let kind = |k: &str| {
+            stats
+                .by_kind
+                .iter()
+                .find(|(n, _)| n == k)
+                .map_or(0, |(_, c)| *c)
+        };
+        assert_eq!(kind("round_summary"), 200);
+        assert_eq!(kind("fail") as u64, sim.metrics().failed_total());
+        assert_eq!(kind("consume") as u64, sim.metrics().consumed_total());
+        assert_eq!(stats.last_round, 200);
+
+        // Counters mirror the metrics; engine phase timers recorded too.
+        let mut consumed = None;
+        let mut route_count = None;
+        for m in registry.snapshot() {
+            match m {
+                cellflow_telemetry::MetricSnapshot::Counter { ref name, value }
+                    if name == "cellflow_sim_consumed_total" =>
+                {
+                    consumed = Some(value)
+                }
+                cellflow_telemetry::MetricSnapshot::Histogram {
+                    ref name, count, ..
+                } if name == "cellflow_engine_route_ns" => route_count = Some(count),
+                _ => {}
+            }
+        }
+        assert_eq!(consumed, Some(sim.metrics().consumed_total()));
+        assert_eq!(route_count, Some(200));
+    }
+
+    #[test]
+    fn violation_triggers_a_flight_dump() {
+        use cellflow_core::monitor::{Monitor, MonitorCtx, MonitorViolation};
+        use cellflow_telemetry::{EventLog, Registry};
+
+        // A monitor that fires once, at round 50.
+        struct TripAt50;
+        impl Monitor for TripAt50 {
+            fn name(&self) -> &'static str {
+                "trip"
+            }
+            fn observe(&mut self, ctx: &MonitorCtx<'_>) -> Vec<MonitorViolation> {
+                if ctx.round == 50 {
+                    vec![MonitorViolation {
+                        monitor: "trip",
+                        round: ctx.round,
+                        detail: "scripted".to_string(),
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn summary(&self) -> String {
+                "trip".to_string()
+            }
+        }
+
+        let dir = std::env::temp_dir().join(format!("cellflow-sim-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("flight.jsonl");
+        let tel = SimTelemetry::new(&Registry::disabled())
+            .with_event_log(EventLog::new().with_flight_path(dump.clone()));
+        let mut sim = Simulation::new(config(), 1)
+            .with_monitors(vec![Box::new(TripAt50)])
+            .with_telemetry(tel);
+        sim.run(80);
+        assert_eq!(sim.telemetry().unwrap().log_stats().1, 1, "one dump");
+        let dumped = std::fs::read_to_string(&dump).unwrap();
+        let stats = cellflow_telemetry::validate_stream(&dumped).unwrap();
+        assert_eq!(stats.violations, 1);
+        assert!(stats.by_kind.iter().any(|(k, _)| k == "flight_header"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

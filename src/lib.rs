@@ -25,7 +25,10 @@
 //!   channels along edges), proven bit-equivalent to the shared-variable
 //!   model;
 //! * [`tess`] — the protocol over arbitrary rectangular tessellations
-//!   (heterogeneous cell sizes), bit-equivalent to [`core`] on unit cells.
+//!   (heterogeneous cell sizes), bit-equivalent to [`core`] on unit cells;
+//! * [`telemetry`] — the unified observability layer: metric registry,
+//!   phase-span timing, schema-versioned JSONL event streams, a bounded
+//!   flight recorder, and Prometheus text exposition.
 //!
 //! # Quickstart
 //!
@@ -57,4 +60,5 @@ pub use cellflow_multiflow as multiflow;
 pub use cellflow_net as net;
 pub use cellflow_routing as routing;
 pub use cellflow_sim as sim;
+pub use cellflow_telemetry as telemetry;
 pub use cellflow_tess as tess;

@@ -11,6 +11,7 @@ use cellular_flows::geom::{Dir, Fixed, Point, Square};
 use cellular_flows::grid::{CellId, GridDims, Path};
 use cellular_flows::multiflow::{FlowType, TypedEntity};
 use cellular_flows::routing::Dist;
+use cellular_flows::sim::{FailureEvents, Metrics, Simulation, TraceEvent};
 
 fn roundtrip<T>(value: &T)
 where
@@ -74,6 +75,82 @@ fn extension_types_roundtrip() {
         Point::new(Fixed::HALF, Fixed::HALF),
         FlowType(1),
     ));
+}
+
+#[test]
+fn trace_events_roundtrip() {
+    use cellular_flows::core::EntityId;
+    roundtrip(&TraceEvent::Insert {
+        cell: CellId::new(1, 0),
+        entity: EntityId(7),
+    });
+    roundtrip(&TraceEvent::Transfer {
+        entity: EntityId(7),
+        from: CellId::new(1, 0),
+        to: CellId::new(1, 1),
+    });
+    roundtrip(&TraceEvent::Consume { entity: EntityId(7) });
+    roundtrip(&TraceEvent::Grant {
+        granter: CellId::new(1, 1),
+        grantee: CellId::new(1, 0),
+    });
+    roundtrip(&TraceEvent::Block {
+        blocker: CellId::new(1, 1),
+        blocked: CellId::new(1, 0),
+    });
+    roundtrip(&TraceEvent::Fail {
+        cell: CellId::new(2, 2),
+    });
+    roundtrip(&TraceEvent::Recover {
+        cell: CellId::new(2, 2),
+    });
+}
+
+#[test]
+fn metrics_keep_failure_history_across_roundtrip() {
+    // The regression this suite exists for: `failures_per_round` used to be
+    // `serde(skip)`, so a metrics round-trip silently lost the failure
+    // history (failed_total() collapsed to 0 after restore).
+    let params = Params::from_milli(250, 50, 200).unwrap();
+    let cfg = SystemConfig::new(GridDims::square(5), CellId::new(1, 4), params)
+        .unwrap()
+        .with_source(CellId::new(1, 0));
+    let mut sim = Simulation::new(cfg, 11).with_failure_model(
+        cellular_flows::sim::failure::RandomFailRecover::new(0.05, 0.2, 13),
+    );
+    sim.run(120);
+    let metrics: &Metrics = sim.metrics();
+    assert!(metrics.failed_total() > 0, "want a nontrivial failure history");
+    roundtrip(metrics);
+}
+
+#[test]
+fn metrics_from_old_json_default_failure_history() {
+    // JSON written before the failure history was serialized has no
+    // `failures_per_round` key; it must still deserialize (to an empty
+    // history), not error.
+    let old = r#"{
+        "consumed_per_round": [0, 1, 2],
+        "inserted_per_round": [1, 1, 0],
+        "blocked_per_round": [0, 0, 0],
+        "grants_per_round": [1, 2, 2],
+        "moved_per_round": [1, 2, 2]
+    }"#;
+    let m: Metrics = serde_json::from_str(old).expect("legacy JSON still loads");
+    assert_eq!(m.rounds(), 3);
+    assert_eq!(m.consumed_total(), 3);
+    assert_eq!(m.failed_total(), 0);
+    assert!(m.failure_history().is_empty());
+}
+
+#[test]
+fn failure_events_roundtrip() {
+    roundtrip(&FailureEvents::default());
+    roundtrip(&FailureEvents {
+        failed: vec![CellId::new(1, 1), CellId::new(3, 2)],
+        recovered: vec![CellId::new(0, 4)],
+        corrupted: vec![CellId::new(2, 2)],
+    });
 }
 
 #[test]
