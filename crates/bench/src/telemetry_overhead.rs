@@ -12,11 +12,18 @@
 //! * **on** — [`PhaseTimers`] registered in a live [`Registry`]: four
 //!   histogram spans per round (route, signal, move, whole round), the
 //!   full cost a profiling run pays.
+//!
+//! A final `cascade-5x5` scenario times a full cascading-failure campaign
+//! ([`run_cascade`]) with and without a live [`SimTelemetry`] — covering
+//! the overload/shed/backoff counters this PR adds on top of the phase
+//! timers. It is appended after the grid matrix so older tooling that
+//! zips scenario lists positionally keeps comparing the shared prefix.
 
 use std::time::Instant;
 
-use cellflow_core::{Engine, Params, SystemConfig};
+use cellflow_core::{Engine, FaultPlan, OverloadTrigger, Params, SystemConfig};
 use cellflow_grid::{CellId, GridDims};
+use cellflow_sim::{run_cascade, run_cascade_with, CascadeScenario, SimTelemetry};
 use cellflow_telemetry::{PhaseTimers, Registry};
 
 use crate::perf::GRID_SIZES;
@@ -47,7 +54,8 @@ pub struct TelemetryOverheadReport {
     pub quick: bool,
     /// Timed repetitions per configuration (median taken).
     pub reps: usize,
-    /// Per-scenario results, in [`GRID_SIZES`] order.
+    /// Per-scenario results: [`GRID_SIZES`] order, then the appended
+    /// `cascade-5x5` campaign.
     pub scenarios: Vec<OverheadResult>,
 }
 
@@ -59,6 +67,18 @@ fn scenario_config(n: u16) -> SystemConfig {
     )
     .expect("target is in bounds")
     .with_source(CellId::new(1, 0))
+}
+
+fn cascade_scenario(rounds: u64, settle: u64) -> CascadeScenario {
+    CascadeScenario {
+        config: scenario_config(5).with_capacity(2),
+        base: FaultPlan::new().crash_at(8, CellId::new(1, 2)),
+        trigger: OverloadTrigger::new(2, 2),
+        backoff: None,
+        restart_after: None,
+        rounds,
+        settle,
+    }
 }
 
 fn median(mut xs: Vec<u64>) -> u64 {
@@ -81,11 +101,21 @@ fn time_engine(config: &SystemConfig, timers: Option<PhaseTimers>, warmup: u64, 
     (start.elapsed().as_nanos() / rounds as u128) as u64
 }
 
+fn time_cascade(scenario: &CascadeScenario, registry: Option<&Registry>) -> u64 {
+    let start = Instant::now();
+    match registry {
+        None => drop(run_cascade(scenario)),
+        Some(r) => drop(run_cascade_with(scenario, Some(SimTelemetry::new(r)))),
+    }
+    let total = scenario.rounds + scenario.settle;
+    (start.elapsed().as_nanos() / total as u128) as u64
+}
+
 /// Runs the telemetry-overhead matrix. `quick` shrinks rounds and
 /// repetitions (for CI smoke) while keeping the report shape identical.
 pub fn run(quick: bool) -> TelemetryOverheadReport {
     let (rounds, reps, warmup) = if quick { (120, 2, 120) } else { (600, 5, 600) };
-    let scenarios = GRID_SIZES
+    let mut scenarios: Vec<OverheadResult> = GRID_SIZES
         .iter()
         .map(|&n| {
             let config = scenario_config(n);
@@ -112,6 +142,29 @@ pub fn run(quick: bool) -> TelemetryOverheadReport {
             }
         })
         .collect();
+    // Cascade campaign: same off/on comparison, but the unit under test is
+    // a whole `run_cascade` (overload expansion + monitor suite + heat
+    // maps), and the "on" path exercises the overload/shed/backoff
+    // counters. Appended after the grid matrix so positional zips against
+    // older reports keep comparing the shared prefix.
+    let (c_rounds, c_settle) = if quick { (80, 40) } else { (160, 80) };
+    let cascade = cascade_scenario(c_rounds, c_settle);
+    time_cascade(&cascade, None); // warmup
+    let off = median((0..reps).map(|_| time_cascade(&cascade, None)).collect());
+    let registry = Registry::new();
+    let on = median(
+        (0..reps)
+            .map(|_| time_cascade(&cascade, Some(&registry)))
+            .collect(),
+    );
+    scenarios.push(OverheadResult {
+        name: "cascade-5x5".to_string(),
+        n: 5,
+        rounds: c_rounds + c_settle,
+        telemetry_off_ns_per_round: off,
+        telemetry_on_ns_per_round: on,
+        overhead_ratio: on as f64 / off.max(1) as f64,
+    });
     TelemetryOverheadReport {
         schema: "cellflow-bench-telemetry-v1".to_string(),
         quick,
@@ -160,11 +213,13 @@ mod tests {
     fn quick_run_produces_well_formed_report() {
         let report = run(true);
         assert!(report.quick);
-        assert_eq!(report.scenarios.len(), GRID_SIZES.len());
+        assert_eq!(report.scenarios.len(), GRID_SIZES.len() + 1);
         for sc in &report.scenarios {
             assert!(sc.telemetry_off_ns_per_round > 0);
             assert!(sc.telemetry_on_ns_per_round > 0);
         }
+        // The cascade campaign rides at the end, after the grid matrix.
+        assert_eq!(report.scenarios.last().unwrap().name, "cascade-5x5");
         let json = report.to_json();
         let parsed = Json::parse(&json).expect("report is valid JSON");
         assert_eq!(
@@ -173,7 +228,7 @@ mod tests {
         );
         assert_eq!(
             parsed.get("scenarios").and_then(Json::as_arr).map(|a| a.len()),
-            Some(GRID_SIZES.len())
+            Some(GRID_SIZES.len() + 1)
         );
     }
 

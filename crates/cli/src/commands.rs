@@ -27,8 +27,10 @@ USAGE:
   cellflow fig8  [--rounds 2500]     regenerate Figure 8 (throughput vs turns)
   cellflow fig9  [--rounds 20000]    regenerate Figure 9 (throughput vs pf)
   cellflow paths [--rounds 2500]     throughput vs path length
-  cellflow mc    [--budget 2] [--fallible 1] [--recovery]
+  cellflow mc    [--budget 2] [--fallible 1] [--recovery] [--capacity 0]
                                      exhaustively model-check safety
+                                     (--capacity C additionally checks
+                                     occupancy ≤ C in every state)
   cellflow chaos [--n 6] [--rounds 300] [--seed 1] [--active 100]
                  [--drop 0.05] [--delay 0.05] [--dup 0.1] [--reorder 0.1]
                  [--bursts 2] [--blackouts 1] [--flappers 1] [--hard 1]
@@ -36,6 +38,19 @@ USAGE:
                                      seeded fault-injection campaign against
                                      the message-passing runtime, judged by
                                      online invariant monitors
+  cellflow chaos --cascade [--n 5] [--rounds 160] [--seed 1] [--capacity 2]
+                 [--threshold 2] [--sustain 2] [--backoff]
+                 [--backoff-base 4] [--backoff-max 32] [--restart 0]
+                 [--budget 4294967295] [--timeout-ms 5000]
+                                     cascading-failure campaign on a
+                                     finite-capacity grid: overloaded cells
+                                     crash endogenously and shed load onto
+                                     neighbors (--backoff swaps crashes for
+                                     randomized Feldmann-style pauses;
+                                     --restart N optimistically restarts
+                                     crashed cells, disciplined by the
+                                     supervisor's restart --budget);
+                                     byte-identical report per seed
   cellflow stabilize [--n 6] [--seed 1] [--corruptions 3] [--active 30]
                  [--timeout-ms 5000]
                                      adversarial state-corruption campaign:
@@ -298,8 +313,9 @@ fn mc(flags: &Flags) -> Result<(), String> {
     let budget: u64 = flags.get("budget", 2)?;
     let fallible: usize = flags.get("fallible", 1)?;
     let recovery = flags.has("recovery");
+    let capacity: u32 = flags.get("capacity", 0)?;
 
-    let config = SystemConfig::new(
+    let mut config = SystemConfig::new(
         GridDims::new(3, 1),
         CellId::new(2, 0),
         Params::from_milli(250, 50, 200).expect("static parameters are valid"),
@@ -307,13 +323,22 @@ fn mc(flags: &Flags) -> Result<(), String> {
     .expect("static target is valid")
     .with_source(CellId::new(0, 0))
     .with_entity_budget(budget);
+    if capacity > 0 {
+        config = config.with_capacity(capacity);
+    }
 
     let fallible_cells: Vec<CellId> = [CellId::new(1, 0), CellId::new(2, 0)]
         .into_iter()
         .take(fallible)
         .collect();
     println!(
-        "Model checking a 3×1 corridor: budget={budget}, fallible={fallible_cells:?}, recovery={recovery}"
+        "Model checking a 3×1 corridor: budget={budget}, fallible={fallible_cells:?}, \
+         recovery={recovery}, capacity={}",
+        if capacity > 0 {
+            capacity.to_string()
+        } else {
+            "unbounded".to_string()
+        }
     );
     let cfg_for_check = config.clone();
     let sys = BoundedSystem::new(config).with_fallible(fallible_cells, recovery);
@@ -324,6 +349,7 @@ fn mc(flags: &Flags) -> Result<(), String> {
             safety::check_safe(&cfg_for_check, s).is_ok()
                 && safety::check_invariant1(&cfg_for_check, s).is_ok()
                 && safety::check_invariant2(&cfg_for_check, s).is_ok()
+                && cellflow_core::overload::check_capacity(&cfg_for_check, s).is_ok()
         },
         &ExploreConfig {
             max_states: 5_000_000,
@@ -392,6 +418,10 @@ fn chaos(flags: &Flags) -> Result<(), String> {
     use cellflow_core::{standard_monitors, CampaignSpec, FaultPlan};
     use cellflow_net::{ChaosConfig, NetError, NetSystem};
     use cellflow_sim::FailureModel;
+
+    if flags.has("cascade") {
+        return cascade(flags);
+    }
 
     let n: u16 = flags.get("n", 6)?;
     if n < 3 {
@@ -535,6 +565,191 @@ fn chaos(flags: &Flags) -> Result<(), String> {
         Err(format!(
             "{} monitor violation(s) — see report above",
             report.violations.len()
+        ))
+    }
+}
+
+/// A cascading-failure campaign on a finite-capacity grid
+/// (`cellflow chaos --cascade`): a scripted corridor crash piles traffic up
+/// beneath the block, sustained overload crashes cells endogenously, and
+/// the cascade propagates as shed load re-overloads neighbors. The
+/// campaign is precomputed into an ordinary fault plan, judged by the full
+/// monitor suite (including occupancy ≤ capacity) on the shared-variable
+/// reference, then replayed on the message-passing deployment — with the
+/// restart supervisor disciplining any optimistic `--restart` re-spawns
+/// (flapping cells exhaust `--budget` and are quarantined).
+///
+/// `--backoff` swaps overload crashes for randomized, seeded
+/// Feldmann-style admission pauses; the report then also shows the
+/// unmitigated baseline so the two modes compare directly.
+///
+/// The report is **byte-identical across runs for the same seed**: no
+/// wall-clock values are printed, and the reference block is sealed with
+/// an FNV-1a checksum.
+fn cascade(flags: &Flags) -> Result<(), String> {
+    use cellflow_core::monitor::stabilization_bound;
+    use cellflow_core::overload::{BackoffPolicy, OverloadTrigger};
+    use cellflow_core::{expand_overload, standard_monitors, FaultPlan};
+    use cellflow_net::{NetError, NetSystem, RestartPolicy};
+    use cellflow_sim::cascade::{run_cascade_with, CascadeScenario};
+    use cellflow_sim::{FailureModel, SimTelemetry};
+
+    let n: u16 = flags.get("n", 5)?;
+    if n < 4 {
+        return Err("--n must be at least 4".into());
+    }
+    let rounds: u64 = flags.get("rounds", 160)?;
+    let seed: u64 = flags.get("seed", 1)?;
+    let capacity: u32 = flags.get("capacity", 2)?;
+    if capacity == 0 {
+        return Err("--capacity must be positive".into());
+    }
+    let threshold: u32 = flags.get("threshold", capacity)?;
+    let sustain: u32 = flags.get("sustain", 2)?;
+    if threshold == 0 || sustain == 0 {
+        return Err("--threshold and --sustain must be positive".into());
+    }
+    let backoff_on = flags.has("backoff");
+    let backoff_base: u64 = flags.get("backoff-base", 4)?;
+    let backoff_max: u64 = flags.get("backoff-max", 32)?;
+    let restart: u64 = flags.get("restart", 0)?;
+    let budget: u32 = flags.get("budget", u32::MAX)?;
+    let timeout_ms: u64 = flags.get("timeout-ms", 5_000)?;
+    if backoff_on && restart > 0 {
+        return Err("--backoff and --restart are exclusive mitigation modes".into());
+    }
+
+    let params = Params::from_milli(250, 50, 200).expect("static parameters are valid");
+    let config = SystemConfig::new(GridDims::square(n), CellId::new(1, n - 1), params)
+        .map_err(|e| e.to_string())?
+        .with_source(CellId::new(1, 0))
+        .with_capacity(capacity);
+    let bound = stabilization_bound(&config);
+    // The congestion seed: block the corridor mid-way so traffic piles up
+    // beneath the crash — the overload trigger does the rest.
+    let base = FaultPlan::new().crash_at(8, CellId::new(1, n / 2));
+    let trigger = OverloadTrigger::new(threshold, sustain);
+    let backoff = backoff_on.then_some(BackoffPolicy {
+        base: backoff_base.max(1),
+        max: backoff_max.max(backoff_base.max(1)),
+        seed,
+    });
+    let restart_after = (restart > 0).then_some(restart);
+
+    let mitigation = if backoff_on {
+        format!("backoff (base {backoff_base}, max {backoff_max}, seed {seed})")
+    } else if restart > 0 {
+        format!("optimistic restart after {restart} rounds (supervisor budget {budget})")
+    } else {
+        "none (overload crashes are permanent)".to_string()
+    };
+    println!("cascade campaign: {n}×{n} grid, capacity {capacity}, {rounds} rounds, seed {seed}");
+    println!("trigger:          occupancy ≥ {threshold} sustained {sustain} rounds");
+    println!("mitigation:       {mitigation}");
+
+    let scenario = CascadeScenario {
+        config: config.clone(),
+        base: base.clone(),
+        trigger,
+        backoff,
+        restart_after,
+        rounds,
+        settle: bound + 2,
+    };
+    let registry = cellflow_telemetry::Registry::new();
+    let report = run_cascade_with(&scenario, Some(SimTelemetry::new(&registry)));
+
+    println!("\n== shared-variable reference ==\n");
+    print!("{}", report.render());
+    if backoff_on {
+        // The unmitigated baseline the backoff run is judged against.
+        let baseline = expand_overload(&config, &base, trigger, None, None, rounds);
+        println!(
+            "\nbackoff vs unmitigated: {} overload crashes -> {}, {} backoff pauses",
+            baseline.stats.overload_crashes,
+            report.outcome.stats.overload_crashes,
+            report.outcome.stats.backoff_activations
+        );
+    }
+
+    println!("\n== message-passing deployment ==\n");
+    let policy = RestartPolicy {
+        restart_budget: budget,
+        ..RestartPolicy::default()
+    };
+    let net = NetSystem::new(config.clone())
+        .map_err(|e| e.to_string())?
+        .with_plan(report.outcome.plan.clone())
+        .with_restart_policy(policy)
+        .with_round_timeout(std::time::Duration::from_millis(timeout_ms.max(1)));
+    let total_rounds = rounds + bound + 2;
+    let net_report = match net.run_monitored(total_rounds, standard_monitors(&config)) {
+        Ok(r) => r,
+        Err(NetError::Timeout { round, .. }) => {
+            println!("run degraded:   round {round} timed out (a cell went silent)");
+            return Ok(());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    if net_report.supervisor.is_empty() {
+        println!("supervisor:     no interventions");
+    } else {
+        println!("supervisor:     {} interventions", net_report.supervisor.len());
+        for d in &net_report.supervisor {
+            println!("  {d:?}");
+        }
+    }
+    println!(
+        "traffic:        {} inserted, {} consumed, {} in flight",
+        net_report.inserted,
+        net_report.consumed,
+        net_report.state.entity_count()
+    );
+
+    // Differential: the deployment must mirror the reference running the
+    // same *effective* (supervisor-rewritten) plan.
+    let (effective, _) = policy.rewrite(&report.outcome.plan);
+    let mut reference = System::new(config);
+    let mut model = effective;
+    for round in 0..total_rounds {
+        model.apply(&mut reference, round);
+        reference.step();
+    }
+    if net_report.state.cells == reference.state().cells
+        && net_report.consumed == reference.consumed_total()
+        && net_report.inserted == reference.inserted_total()
+    {
+        println!("differential:   deployment ≡ shared-variable reference (bit-identical)");
+    } else {
+        return Err("differential: deployment DIVERGED from the reference".into());
+    }
+
+    // The telemetry the reference run recorded (counters only; values are
+    // campaign properties, so the block stays byte-identical per seed).
+    println!("\ntelemetry:");
+    let mut counters: Vec<(String, u64)> = registry
+        .snapshot()
+        .into_iter()
+        .filter_map(|m| match m {
+            cellflow_telemetry::MetricSnapshot::Counter { name, value } => Some((name, value)),
+            _ => None,
+        })
+        .filter(|(name, _)| {
+            name.contains("overload") || name.contains("shed") || name.contains("backoff")
+        })
+        .collect();
+    counters.sort();
+    for (name, value) in counters {
+        println!("  {name} {value}");
+    }
+
+    if report.stabilized_in_bound() {
+        Ok(())
+    } else {
+        Err(format!(
+            "cascade failed to re-stabilize within the {bound}-round bound \
+             (rounds_to_stabilize: {:?})",
+            report.rounds_to_stabilize
         ))
     }
 }
@@ -978,6 +1193,28 @@ mod tests {
     #[test]
     fn chaos_campaign_small() {
         assert!(dispatch(&argv("chaos --n 4 --rounds 80 --active 40 --seed 3")).is_ok());
+    }
+
+    #[test]
+    fn mc_with_capacity_invariant() {
+        assert!(dispatch(&argv("mc --budget 2 --fallible 1 --capacity 2")).is_ok());
+    }
+
+    #[test]
+    fn cascade_campaign_runs_in_every_mode() {
+        assert!(dispatch(&argv("chaos --cascade --n 5 --rounds 120 --seed 2")).is_ok());
+        assert!(dispatch(&argv("chaos --cascade --n 5 --rounds 120 --seed 2 --backoff")).is_ok());
+        assert!(dispatch(&argv(
+            "chaos --cascade --n 5 --rounds 120 --seed 2 --restart 12 --budget 1"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn cascade_rejects_conflicting_mitigations() {
+        let err = dispatch(&argv("chaos --cascade --backoff --restart 5")).unwrap_err();
+        assert!(err.contains("exclusive"), "{err}");
+        assert!(dispatch(&argv("chaos --cascade --capacity 0")).is_err());
     }
 
     #[test]

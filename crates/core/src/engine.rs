@@ -204,6 +204,14 @@ pub struct Engine {
     events: RoundEvents,
     /// Deferred cross-cell arrivals `(arena index, entity, position)`.
     incoming: Vec<(u32, EntityId, Point)>,
+    /// Per-cell congestion pressure: a leaky integrator
+    /// `p ← ⌊p/2⌋ + occupancy`, updated once per round. Bounded by
+    /// `2 · max occupancy`, so a cell pinned at its capacity plateaus at
+    /// twice that value while a transient spike washes out within a few
+    /// rounds — the signal the cascade heat maps render. Derived telemetry,
+    /// not protocol state: it survives [`Engine::load_state`] (which runs on
+    /// every fault injection) and is zeroed only at construction.
+    pressure: Vec<u64>,
     /// Exact `ne_prev` sets that cannot be encoded as a neighbor mask
     /// (injected via [`Engine::load_state`] from hand-built states; dropped
     /// as soon as `Signal` rewrites the cell). Empty in any reachable state.
@@ -254,6 +262,7 @@ impl Engine {
             round: 0,
             events: RoundEvents::default(),
             incoming: Vec::new(),
+            pressure: vec![0; n],
             ne_override: Vec::new(),
             alloc_events: 0,
             timers: None,
@@ -286,6 +295,25 @@ impl Engine {
     /// Total entities currently in the system.
     pub fn entity_count(&self) -> usize {
         self.members.iter().map(|m| m.len()).sum()
+    }
+
+    /// Current occupancy (entity count) of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    pub fn occupancy(&self, cell: CellId) -> usize {
+        self.members[self.config.dims().index(cell)].len()
+    }
+
+    /// Current congestion pressure of `cell`: the leaky occupancy integrator
+    /// `p ← ⌊p/2⌋ + occupancy`, as of the most recent [`Engine::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    pub fn pressure(&self, cell: CellId) -> u64 {
+        self.pressure[self.config.dims().index(cell)]
     }
 
     /// Events of the most recent round.
@@ -463,6 +491,10 @@ impl Engine {
                 drop(span);
                 drop(whole);
             }
+        }
+
+        for (p, m) in self.pressure.iter_mut().zip(self.members.iter()) {
+            *p = *p / 2 + m.len() as u64;
         }
 
         self.round += 1;

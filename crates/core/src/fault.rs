@@ -54,6 +54,17 @@ pub enum FaultKind {
     /// unreachable. Deployments degrade via timeouts (footnote 1's "no
     /// timely response") and report a typed error instead of hanging.
     Kill,
+    /// An *endogenous* crash: the cell died because its occupancy exceeded
+    /// its finite capacity (see [`SystemConfig::capacity`] and
+    /// [`overload`](crate::overload)). Observationally a [`Crash`] — the
+    /// flag is set, state retained, the cell may later [`Recover`] — but
+    /// census-tracked separately because cascades (Como et al.) are a
+    /// distinct failure family: the dead cell's inflow sheds onto its
+    /// neighbors, which may overload in turn.
+    ///
+    /// [`Crash`]: FaultKind::Crash
+    /// [`Recover`]: FaultKind::Recover
+    OverloadCrash,
     /// A transient state corruption: the cell's protocol state is perturbed
     /// in place (the *self*-stabilization adversary of Corollary 7 /
     /// Theorem 10, as opposed to the polite crash flag). The cell keeps
@@ -281,6 +292,13 @@ impl FaultPlan {
         self.with_event(round, cell, FaultKind::Corrupt(corruption))
     }
 
+    /// Adds a [`FaultKind::OverloadCrash`] of `cell` at `round` (normally
+    /// recorded by [`overload::expand_overload`](crate::overload::expand_overload)
+    /// rather than scripted by hand).
+    pub fn overload_crash_at(self, round: u64, cell: CellId) -> FaultPlan {
+        self.with_event(round, cell, FaultKind::OverloadCrash)
+    }
+
     /// A targeted corruption sweep: every cell in `cells` gets its full
     /// state scrambled at `round`, each with a distinct salt derived from
     /// `salt` and its coordinates (so no two cells scramble identically).
@@ -446,7 +464,7 @@ impl FaultPlan {
                 FaultKind::Recover => {
                     dead.remove(&e.cell);
                 }
-                FaultKind::Crash | FaultKind::Corrupt(_) => {}
+                FaultKind::Crash | FaultKind::OverloadCrash | FaultKind::Corrupt(_) => {}
             }
         }
         dead
@@ -462,6 +480,7 @@ impl FaultPlan {
                 FaultKind::HardCrash => c.hard_crashes += 1,
                 FaultKind::Kill => c.kills += 1,
                 FaultKind::Corrupt(_) => c.corruptions += 1,
+                FaultKind::OverloadCrash => c.overload_crashes += 1,
             }
         }
         c
@@ -481,6 +500,10 @@ pub struct FaultCensus {
     pub kills: usize,
     /// [`FaultKind::Corrupt`] events.
     pub corruptions: usize,
+    /// [`FaultKind::OverloadCrash`] events — endogenous, capacity-induced
+    /// deaths, counted apart from exogenous crashes so cascade campaigns can
+    /// be compared against their backoff-mitigated runs.
+    pub overload_crashes: usize,
 }
 
 /// Shape parameters for [`FaultPlan::random_campaign`]: how much adversity a

@@ -55,6 +55,7 @@ pub mod fault;
 pub mod mc;
 pub mod monitor;
 mod move_fn;
+pub mod overload;
 mod params;
 mod route;
 pub mod safety;
@@ -71,6 +72,10 @@ pub use engine::{Engine, NeighborTable};
 pub use fault::{CampaignSpec, Corruption, FaultCensus, FaultEvent, FaultKind, FaultPlan};
 pub use monitor::{standard_monitors, Monitor, MonitorCtx, MonitorViolation};
 pub use entity::{Entity, EntityId};
+pub use overload::{
+    expand_overload, BackoffPolicy, CascadeOutcome, CascadeStats, OverloadDetector,
+    OverloadTrigger,
+};
 pub use move_fn::{move_phase, MoveOutcome, Transfer};
 pub use params::{Params, ParamsError};
 pub use route::route_phase;

@@ -480,15 +480,101 @@ impl Monitor for StabilizationMonitor {
     }
 }
 
+/// The capacity invariant, watched online: every cell's occupancy must stay
+/// at or below the configured [`capacity`](SystemConfig::capacity).
+///
+/// A breach fires **once per violation episode**: the round a cell first
+/// exceeds its capacity, not again while it stays over, and afresh if it
+/// drains below and breaches anew. Overload campaigns hold cells over
+/// capacity for many rounds — one violation per round would bury every
+/// other monitor's output, while the episode edge is exactly the event a
+/// cascade report wants to count.
+#[derive(Debug)]
+pub struct CapacityMonitor {
+    capacity: u32,
+    /// Per-cell episode latch: `true` while the cell is over capacity.
+    over: Vec<bool>,
+    rounds: u64,
+    violations: u64,
+    /// Highest occupancy ever observed.
+    peak: usize,
+}
+
+impl CapacityMonitor {
+    /// A monitor for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has no capacity (there would be nothing to check).
+    pub fn new(config: &SystemConfig) -> CapacityMonitor {
+        CapacityMonitor {
+            capacity: config
+                .capacity()
+                .expect("capacity monitoring requires a finite capacity"),
+            over: vec![false; config.dims().cell_count()],
+            rounds: 0,
+            violations: 0,
+            peak: 0,
+        }
+    }
+}
+
+impl Monitor for CapacityMonitor {
+    fn name(&self) -> &'static str {
+        "capacity"
+    }
+
+    fn observe(&mut self, ctx: &MonitorCtx<'_>) -> Vec<MonitorViolation> {
+        self.rounds += 1;
+        let dims = ctx.config.dims();
+        let mut out = Vec::new();
+        for (k, cell) in ctx.state.cells.iter().enumerate() {
+            let occupancy = cell.members.len();
+            self.peak = self.peak.max(occupancy);
+            if occupancy > self.capacity as usize {
+                if !self.over[k] {
+                    self.over[k] = true;
+                    self.violations += 1;
+                    out.push(MonitorViolation {
+                        monitor: self.name(),
+                        round: ctx.round,
+                        detail: format!(
+                            "cell {} holds {occupancy} entities over capacity {}",
+                            dims.id_at(k),
+                            self.capacity
+                        ),
+                    });
+                }
+            } else {
+                self.over[k] = false;
+            }
+        }
+        out
+    }
+
+    fn summary(&self) -> String {
+        format!(
+            "capacity: {} rounds checked, peak occupancy {} of {}, {} breaches",
+            self.rounds, self.peak, self.capacity, self.violations
+        )
+    }
+}
+
 /// The standard monitor suite: safety, routing sanity, conservation, and the
-/// stabilization stopwatch for `config`.
+/// stabilization stopwatch for `config` — plus the capacity invariant when
+/// `config` gives cells a finite [`capacity`](SystemConfig::capacity)
+/// (capacity-free configurations keep the original four monitors).
 pub fn standard_monitors(config: &SystemConfig) -> Vec<Box<dyn Monitor>> {
-    vec![
+    let mut monitors: Vec<Box<dyn Monitor>> = vec![
         Box::new(SafetyMonitor::new()),
         Box::new(RoutingMonitor::new()),
         Box::new(ConservationMonitor::new()),
         Box::new(StabilizationMonitor::new(config)),
-    ]
+    ];
+    if config.capacity().is_some() {
+        monitors.push(Box::new(CapacityMonitor::new(config)));
+    }
+    monitors
 }
 
 #[cfg(test)]
@@ -757,5 +843,66 @@ mod tests {
         };
         m.observe(&disturbed);
         assert_eq!(probe.last_disturbance(), sys.round());
+    }
+
+    #[test]
+    fn capacity_monitor_fires_once_per_violation_episode() {
+        let cfg = config().with_capacity(2);
+        let mut sys = System::new(cfg.clone());
+        let dims = cfg.dims();
+        let cell = CellId::new(1, 1);
+        let mut m = CapacityMonitor::new(&cfg);
+        let observe = |m: &mut CapacityMonitor, sys: &System, round: u64| {
+            let ctx = MonitorCtx {
+                config: sys.config(),
+                state: sys.state(),
+                round,
+                failed: &[],
+                recovered: &[],
+                corrupted: &[],
+                ambient_chaos: false,
+                consumed_total: sys.consumed_total(),
+                inserted_total: sys.inserted_total(),
+            };
+            m.observe(&ctx)
+        };
+
+        // Round 1: push the cell one over capacity — exactly one violation.
+        let mut state = sys.state().clone();
+        for e in 0..3u64 {
+            state
+                .cell_mut(dims, cell)
+                .members
+                .insert(crate::EntityId(900 + e), cell.center());
+        }
+        sys.set_state(state);
+        let vs = observe(&mut m, &sys, 1);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("over capacity 2"));
+
+        // Rounds 2-4: still over capacity — the episode latch stays set.
+        for round in 2..5 {
+            assert_eq!(observe(&mut m, &sys, round), Vec::new());
+        }
+
+        // Round 5: drain below capacity — no violation, latch clears.
+        let mut state = sys.state().clone();
+        state
+            .cell_mut(dims, cell)
+            .members
+            .remove(&crate::EntityId(902));
+        sys.set_state(state);
+        assert_eq!(observe(&mut m, &sys, 5), Vec::new());
+
+        // Round 6: breach anew — a fresh episode fires a second violation.
+        let mut state = sys.state().clone();
+        state
+            .cell_mut(dims, cell)
+            .members
+            .insert(crate::EntityId(903), cell.center());
+        sys.set_state(state);
+        let vs = observe(&mut m, &sys, 6);
+        assert_eq!(vs.len(), 1);
+        assert!(m.summary().contains("2 breaches"));
     }
 }

@@ -44,6 +44,8 @@ pub struct SystemConfig {
     token_policy: TokenPolicy,
     source_policy: SourcePolicy,
     entity_budget: Option<u64>,
+    /// Finite per-cell capacity, if any (see [`SystemConfig::capacity`]).
+    capacity: Option<u32>,
     /// Lazily built, shared grid topology (see [`SystemConfig::topology`]).
     /// Derived entirely from `dims` and `target`, which are fixed at
     /// construction — so a populated cache can never go stale.
@@ -62,6 +64,7 @@ impl PartialEq for SystemConfig {
             && self.token_policy == other.token_policy
             && self.source_policy == other.source_policy
             && self.entity_budget == other.entity_budget
+            && self.capacity == other.capacity
     }
 }
 
@@ -91,6 +94,7 @@ impl SystemConfig {
             token_policy: TokenPolicy::default(),
             source_policy: SourcePolicy::default(),
             entity_budget: None,
+            capacity: None,
             topology: OnceLock::new(),
         })
     }
@@ -136,6 +140,25 @@ impl SystemConfig {
     /// model checker to bound the state space; `None` (default) is unbounded.
     pub fn with_entity_budget(mut self, budget: u64) -> SystemConfig {
         self.entity_budget = Some(budget);
+        self
+    }
+
+    /// Gives every cell a finite capacity: the occupancy (entity count) a
+    /// cell is engineered to hold. The protocol itself never reads it — the
+    /// paper's safety argument is capacity-free — but the surrounding
+    /// machinery does: the occupancy≤capacity monitor
+    /// ([`standard_monitors`](crate::standard_monitors) gains a
+    /// [`CapacityMonitor`](crate::monitor::CapacityMonitor)), the model
+    /// checker's capacity invariant, and the [`overload`](crate::overload)
+    /// cascade machinery, whose default crash threshold this is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a cell that can hold nothing cannot
+    /// participate in any flow).
+    pub fn with_capacity(mut self, capacity: u32) -> SystemConfig {
+        assert!(capacity > 0, "capacity must be positive");
+        self.capacity = Some(capacity);
         self
     }
 
@@ -193,6 +216,13 @@ impl SystemConfig {
     /// The entity creation budget, if any.
     pub fn entity_budget(&self) -> Option<u64> {
         self.entity_budget
+    }
+
+    /// The finite per-cell capacity, if one was set
+    /// ([`SystemConfig::with_capacity`]); `None` (default) means unbounded
+    /// cells, the paper's original model.
+    pub fn capacity(&self) -> Option<u32> {
+        self.capacity
     }
 
     /// The precomputed neighbor table for this grid and target, built on
@@ -401,6 +431,25 @@ impl System {
     /// Total entities inserted by sources since round 0.
     pub fn inserted_total(&self) -> u64 {
         self.inserted_total
+    }
+
+    /// Current occupancy (entity count) of cell `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn occupancy(&self, id: CellId) -> usize {
+        self.state.cell(self.config.dims(), id).members.len()
+    }
+
+    /// Congestion pressure of cell `id` — the engine's leaky occupancy
+    /// integrator (see [`Engine::pressure`]), as of the last executed round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn pressure(&self, id: CellId) -> u64 {
+        self.engine.pressure(id)
     }
 
     /// Attaches per-phase span timers to the underlying engine (see

@@ -588,7 +588,7 @@ fn drive<'scope, 'env>(
         // Scripted fault transitions at the start of the round.
         for event in ctx.plan.events_at_for(round, id) {
             match event.kind {
-                FaultKind::Crash => node.fail(),
+                FaultKind::Crash | FaultKind::OverloadCrash => node.fail(),
                 FaultKind::Recover => node.recover(),
                 FaultKind::Corrupt(c) => node.corrupt(c),
                 FaultKind::HardCrash => {
@@ -928,7 +928,10 @@ fn collect_rounds(
             .filter(|e| {
                 matches!(
                     e.kind,
-                    FaultKind::Crash | FaultKind::HardCrash | FaultKind::Kill
+                    FaultKind::Crash
+                        | FaultKind::HardCrash
+                        | FaultKind::Kill
+                        | FaultKind::OverloadCrash
                 )
             })
             .map(|e| e.cell)
@@ -975,6 +978,11 @@ fn collect_rounds(
         // are tagged 1-based, matching the monitors' numbering.
         if let Some(tel) = telemetry {
             tel.rounds_collected.inc();
+            tel.overload_crashes.add(
+                plan.events_at(round)
+                    .filter(|e| e.kind == FaultKind::OverloadCrash)
+                    .count() as u64,
+            );
             let r = round + 1;
             for &cell in &failed {
                 tel.emit(r, Event::Fail { cell });

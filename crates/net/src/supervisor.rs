@@ -124,44 +124,60 @@ impl RestartPolicy {
     /// Rewrites `plan` into the effective plan this policy supervises:
     /// repeat re-spawns are delayed by backoff + jitter, and re-spawns past
     /// the restart budget are dropped (quarantine). Returns the effective
-    /// plan and every intervention taken, in event order.
+    /// plan and every intervention taken, in event order. A budget of `N`
+    /// honors **at most `N` restarts** per cell; the `N+1`-th is the first
+    /// quarantined.
     ///
-    /// Only the `Recover` paired with each `HardCrash` is touched; soft
-    /// crashes ([`FaultKind::Crash`]) recover in place without a re-spawn
-    /// and are none of the supervisor's business.
+    /// Only the `Recover` paired with each [`FaultKind::HardCrash`] or
+    /// [`FaultKind::OverloadCrash`] is touched (the overload case is how a
+    /// supervisor disciplines a cascade campaign's optimistic restarts);
+    /// soft crashes ([`FaultKind::Crash`]) recover in place without a
+    /// re-spawn and are none of the supervisor's business.
     pub fn rewrite(&self, plan: &FaultPlan) -> (FaultPlan, Vec<SupervisorDecision>) {
         if self.is_identity() {
             return (plan.clone(), Vec::new());
         }
-        let mut events: Vec<cellflow_core::FaultEvent> = plan.events().to_vec();
+        // Matching runs against the *scripted* rounds, never rounds this
+        // rewrite already pushed back — a backoff must not make a recover
+        // look available to a later crash.
+        let original: Vec<cellflow_core::FaultEvent> = plan.events().to_vec();
+        let mut events = original.clone();
         let mut decisions = Vec::new();
-        // Hard crashes in chronological order, counting attempts per cell.
-        let mut crashes: Vec<(u64, CellId)> = events
+        // Supervised crashes in chronological order, counting attempts
+        // per cell.
+        let mut crashes: Vec<(u64, CellId)> = original
             .iter()
-            .filter(|e| e.kind == FaultKind::HardCrash)
+            .filter(|e| {
+                matches!(e.kind, FaultKind::HardCrash | FaultKind::OverloadCrash)
+            })
             .map(|e| (e.round, e.cell))
             .collect();
         crashes.sort();
         let mut attempts: std::collections::BTreeMap<CellId, u32> =
             std::collections::BTreeMap::new();
+        // Every recover a crash has matched, honored or not: a scripted
+        // re-spawn answers exactly one crash.
+        let mut claimed: std::collections::BTreeSet<usize> =
+            std::collections::BTreeSet::new();
         let mut dropped: Vec<usize> = Vec::new();
         for (crash_round, cell) in crashes {
             // The matching scripted re-spawn: the earliest Recover of this
             // cell after the crash that hasn't been claimed yet.
-            let Some((idx, scheduled)) = events
+            let Some((idx, scheduled)) = original
                 .iter()
                 .enumerate()
                 .filter(|&(k, e)| {
                     e.cell == cell
                         && e.kind == FaultKind::Recover
                         && e.round > crash_round
-                        && !dropped.contains(&k)
+                        && !claimed.contains(&k)
                 })
                 .map(|(k, e)| (k, e.round))
                 .min_by_key(|&(_, round)| round)
             else {
                 continue; // crash with no scripted re-spawn
             };
+            claimed.insert(idx);
             let attempt = attempts.entry(cell).or_insert(0);
             *attempt += 1;
             let attempt = *attempt;
@@ -288,5 +304,111 @@ mod tests {
         assert_eq!(quarantines.len(), 2);
         // The quarantined cell counts as hard-dead forever after.
         assert!(effective.hard_dead_at(100).contains(&cell()));
+    }
+
+    #[test]
+    fn budget_n_honors_at_most_n_restarts() {
+        // The off-by-one pin: budget N means at most N restarts — the
+        // N+1-th attempt is the first one quarantined, for every N.
+        for budget in 1..=3u32 {
+            let mut plan = FaultPlan::new();
+            for k in 0..5u64 {
+                plan = plan
+                    .hard_crash_at(10 * k, cell())
+                    .recover_at(10 * k + 5, cell());
+            }
+            let policy = RestartPolicy {
+                restart_budget: budget,
+                ..RestartPolicy::default()
+            };
+            let (effective, decisions) = policy.rewrite(&plan);
+            let honored = (0..5u64)
+                .filter(|&k| effective.respawn_round_after(cell(), 10 * k).is_some())
+                .count();
+            assert_eq!(honored, budget as usize, "budget {budget}");
+            let quarantines = decisions
+                .iter()
+                .filter(|d| matches!(d, SupervisorDecision::Quarantine { .. }))
+                .count();
+            assert_eq!(quarantines, 5 - budget as usize, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn shared_recover_is_claimed_by_one_crash_only() {
+        // Two crashes racing for one scripted re-spawn: the first claims
+        // it (a free first attempt), the second goes unanswered. The old
+        // matcher double-claimed the recover, counting a phantom second
+        // attempt and pushing the honored re-spawn back.
+        let plan = FaultPlan::new()
+            .hard_crash_at(5, cell())
+            .hard_crash_at(8, cell())
+            .recover_at(10, cell());
+        let policy = RestartPolicy {
+            backoff_base: 4,
+            backoff_max: 64,
+            restart_budget: u32::MAX,
+            jitter_seed: 7,
+        };
+        let (effective, decisions) = policy.rewrite(&plan);
+        assert_eq!(effective, plan, "single free restart stays as scripted");
+        assert!(decisions.is_empty());
+    }
+
+    #[test]
+    fn backed_off_recover_is_not_rematched_by_a_later_crash() {
+        // Attempt 2's recover is delayed past crash 3. Matching runs on
+        // scripted rounds, so crash 3 must still claim the *third*
+        // recover, not re-claim the delayed second one.
+        let plan = FaultPlan::new()
+            .hard_crash_at(0, cell())
+            .recover_at(5, cell())
+            .hard_crash_at(10, cell())
+            .recover_at(15, cell())
+            .hard_crash_at(40, cell())
+            .recover_at(45, cell());
+        let policy = RestartPolicy {
+            backoff_base: 30,
+            backoff_max: 64,
+            restart_budget: u32::MAX,
+            jitter_seed: 1,
+        };
+        let (_, decisions) = policy.rewrite(&plan);
+        let scheduled: Vec<u64> = decisions
+            .iter()
+            .filter_map(|d| match d {
+                SupervisorDecision::Backoff { scheduled, .. } => Some(*scheduled),
+                _ => None,
+            })
+            .collect();
+        // Each scripted recover is delayed at most once, from its own
+        // scripted round.
+        assert_eq!(scheduled, vec![15, 45]);
+    }
+
+    #[test]
+    fn overload_crashes_are_supervised_like_hard_crashes() {
+        // A cascade campaign's optimistic restarts (OverloadCrash +
+        // scripted Recover) flow through the same backoff/budget/
+        // quarantine discipline: a cell that keeps re-overloading is
+        // quarantined once its budget runs out.
+        let mut plan = FaultPlan::new();
+        for k in 0..3u64 {
+            plan = plan
+                .overload_crash_at(10 * k, cell())
+                .recover_at(10 * k + 5, cell());
+        }
+        let policy = RestartPolicy {
+            restart_budget: 1,
+            ..RestartPolicy::default()
+        };
+        let (effective, decisions) = policy.rewrite(&plan);
+        assert_eq!(effective.respawn_round_after(cell(), 0), Some(5));
+        assert_eq!(effective.respawn_round_after(cell(), 10), None);
+        let quarantines = decisions
+            .iter()
+            .filter(|d| matches!(d, SupervisorDecision::Quarantine { .. }))
+            .count();
+        assert_eq!(quarantines, 2);
     }
 }

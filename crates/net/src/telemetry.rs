@@ -38,6 +38,9 @@ pub struct NetTelemetry {
     pub(crate) timeouts: Counter,
     /// Rounds the monitor collector assembled.
     pub(crate) rounds_collected: Counter,
+    /// Endogenous overload crashes observed in the effective plan
+    /// ([`FaultKind::OverloadCrash`](cellflow_core::FaultKind)).
+    pub(crate) overload_crashes: Counter,
     log: Mutex<EventLog>,
 }
 
@@ -56,6 +59,7 @@ impl NetTelemetry {
             supervisor_interventions: registry.counter("cellflow_net_supervisor_total"),
             timeouts: registry.counter("cellflow_net_timeouts_total"),
             rounds_collected: registry.counter("cellflow_net_rounds_total"),
+            overload_crashes: registry.counter("cellflow_net_overload_crashes_total"),
             log: Mutex::new(EventLog::new()),
         }
     }
@@ -122,7 +126,7 @@ mod tests {
             .collect();
         assert!(names.contains(&"cellflow_net_messages_sent_total".to_string()));
         assert!(names.contains(&"cellflow_net_barrier_wait_ns".to_string()));
-        assert_eq!(names.len(), 8);
+        assert_eq!(names.len(), 9);
     }
 
     #[test]

@@ -232,3 +232,94 @@ fn generated_flag_campaign_matches_reference() {
     assert_eq!(net.consumed, ref_consumed);
     assert_eq!(net.inserted, ref_inserted);
 }
+
+/// An expanded cascade campaign (endogenous overload crashes precomputed
+/// into a scripted plan) runs identically on the message-passing runtime
+/// and the shared-variable reference — one campaign, two runtimes.
+#[test]
+fn expanded_cascade_plan_is_runtime_equivalent() {
+    use cellflow_core::{expand_overload, OverloadTrigger};
+    let cfg = config(5).with_capacity(2);
+    let base = FaultPlan::new().crash_at(8, CellId::new(1, 2));
+    let outcome = expand_overload(&cfg, &base, OverloadTrigger::new(2, 2), None, None, 120);
+    assert!(
+        outcome.stats.overload_crashes > 0,
+        "campaign produced no cascade: {:?}",
+        outcome.stats
+    );
+    let net = NetSystem::new(cfg.clone())
+        .unwrap()
+        .with_plan(outcome.plan.clone())
+        .run(120)
+        .unwrap();
+    let (ref_state, ref_consumed, ref_inserted) = reference_run(&cfg, 120, &outcome.plan);
+    assert_eq!(net.state.cells, ref_state.cells);
+    assert_eq!(net.consumed, ref_consumed);
+    assert_eq!(net.inserted, ref_inserted);
+}
+
+/// Optimistic restarts after overload crashes flow through the supervisor:
+/// a restarted cell that overloads again exceeds its restart budget and is
+/// quarantined (the flapping discipline of Como et al.), and the overload
+/// telemetry counter sees the crashes.
+#[test]
+fn reoverloading_restarted_cell_hits_flapping_quarantine() {
+    use std::sync::Arc;
+
+    use cellflow_core::{expand_overload, FaultKind, OverloadTrigger};
+    use cellflow_net::{NetTelemetry, RestartPolicy, SupervisorDecision};
+    use cellflow_telemetry::Registry;
+
+    let cfg = config(5).with_capacity(2);
+    let base = FaultPlan::new().crash_at(8, CellId::new(1, 2));
+    let outcome = expand_overload(&cfg, &base, OverloadTrigger::new(2, 2), None, Some(12), 160);
+    // The expansion must contain a flapping cell: some cell overload-crashes
+    // at least twice (its optimistic restart re-overloaded).
+    let mut crash_counts = std::collections::BTreeMap::new();
+    for e in outcome.plan.events() {
+        if e.kind == FaultKind::OverloadCrash {
+            *crash_counts.entry(e.cell).or_insert(0u32) += 1;
+        }
+    }
+    let flapper = crash_counts
+        .iter()
+        .find(|&(_, &n)| n >= 2)
+        .map(|(&c, _)| c)
+        .expect("no cell flapped under optimistic restarts");
+
+    let registry = Registry::new();
+    let tel = Arc::new(NetTelemetry::new(&registry));
+    let policy = RestartPolicy {
+        restart_budget: 1,
+        ..RestartPolicy::default()
+    };
+    let report = NetSystem::new(cfg.clone())
+        .unwrap()
+        .with_plan(outcome.plan.clone())
+        .with_restart_policy(policy)
+        .with_telemetry(Arc::clone(&tel))
+        .run_monitored(200, standard_monitors(&cfg))
+        .unwrap();
+
+    // The flapper's repeat restart was quarantined.
+    assert!(
+        report.supervisor.iter().any(|d| matches!(
+            d,
+            SupervisorDecision::Quarantine { cell, .. } if *cell == flapper
+        )),
+        "no quarantine for flapper {flapper:?}: {:?}",
+        report.supervisor
+    );
+    // And the net registry counted the scripted overload crashes.
+    let by_name: std::collections::HashMap<String, cellflow_telemetry::MetricSnapshot> = registry
+        .snapshot()
+        .into_iter()
+        .map(|m| (m.name().to_string(), m))
+        .collect();
+    match &by_name["cellflow_net_overload_crashes_total"] {
+        cellflow_telemetry::MetricSnapshot::Counter { value, .. } => {
+            assert!(*value > 0, "overload counter never moved")
+        }
+        other => panic!("unexpected snapshot {other:?}"),
+    }
+}

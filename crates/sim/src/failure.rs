@@ -1,7 +1,10 @@
 //! Crash/recovery models.
 
 use cellflow_core::fault::{FaultKind, FaultPlan};
-use cellflow_core::System;
+use cellflow_core::overload::{
+    BackoffPolicy, CascadeStats, OverloadAction, OverloadDetector, OverloadTrigger,
+};
+use cellflow_core::{System, SystemConfig};
 use cellflow_grid::CellId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -199,9 +202,13 @@ impl FailureModel for FaultPlan {
                     system.recover(event.cell);
                     events.recovered.push(event.cell);
                 }
-                // Crash, HardCrash, and Kill are indistinguishable in the
-                // shared-variable model: the cell's state freezes at `fail`.
-                FaultKind::Crash | FaultKind::HardCrash | FaultKind::Kill => {
+                // Crash, HardCrash, Kill, and OverloadCrash are
+                // indistinguishable in the shared-variable model: the
+                // cell's state freezes at `fail`.
+                FaultKind::Crash
+                | FaultKind::HardCrash
+                | FaultKind::Kill
+                | FaultKind::OverloadCrash => {
                     system.fail(event.cell);
                     events.failed.push(event.cell);
                 }
@@ -215,10 +222,107 @@ impl FailureModel for FaultPlan {
     }
 }
 
+/// Online overload detection as a failure model: a scripted base campaign
+/// plus an [`OverloadDetector`] polled live against the running system, so
+/// finite-capacity cells crash (or backoff-pause) *endogenously* as
+/// congestion builds, instead of by script.
+///
+/// This is the same decision procedure
+/// [`expand_overload`](cellflow_core::expand_overload) runs offline — a
+/// differential test pins the two to identical executions — but the online
+/// form is what a live deployment would run, and it composes with the
+/// simulation's monitors, trace, and telemetry without precomputation.
+#[derive(Clone, Debug)]
+pub struct OverloadModel {
+    base: FaultPlan,
+    detector: OverloadDetector,
+    restart_after: Option<u64>,
+    backoff: bool,
+    /// Scheduled future recoveries: `(round, cell)`, in schedule order.
+    resumes: Vec<(u64, CellId)>,
+}
+
+impl OverloadModel {
+    /// A model that overlays endogenous overload faults on `base`.
+    ///
+    /// With `backoff` set, trips pause-and-resume instead of crashing
+    /// (mirroring `expand_overload` with a [`BackoffPolicy`]).
+    pub fn new(
+        config: &SystemConfig,
+        base: FaultPlan,
+        trigger: OverloadTrigger,
+        backoff: Option<BackoffPolicy>,
+    ) -> OverloadModel {
+        OverloadModel {
+            base,
+            backoff: backoff.is_some(),
+            detector: OverloadDetector::new(config, trigger, backoff),
+            restart_after: None,
+            resumes: Vec::new(),
+        }
+    }
+
+    /// Builder: optimistically restart each overload-crashed cell `after`
+    /// rounds — the raw restart request a supervisor would discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after` is zero or the model was built with backoff
+    /// (backoff pauses schedule their own resume).
+    pub fn with_restart_after(mut self, after: u64) -> OverloadModel {
+        assert!(after > 0, "restart_after must be at least one round");
+        assert!(
+            !self.backoff,
+            "backoff pauses already schedule their own resume"
+        );
+        self.restart_after = Some(after);
+        self
+    }
+
+    /// Campaign counters accumulated so far.
+    pub fn stats(&self) -> CascadeStats {
+        self.detector.stats()
+    }
+}
+
+impl FailureModel for OverloadModel {
+    fn apply(&mut self, system: &mut System, round: u64) -> FailureEvents {
+        // Base script first, then scheduled resumes, then fresh trips —
+        // the exact within-round order `expand_overload` both runs and
+        // records, so the two stay replay-equivalent.
+        let mut events = self.base.apply(system, round);
+        for i in 0..self.resumes.len() {
+            let (when, cell) = self.resumes[i];
+            if when == round {
+                system.recover(cell);
+                events.recovered.push(cell);
+            }
+        }
+        let tripped = self
+            .detector
+            .poll(system.config(), system.state(), round);
+        for (cell, action) in tripped {
+            system.fail(cell);
+            events.failed.push(cell);
+            match action {
+                OverloadAction::Crash { .. } => {
+                    if let Some(after) = self.restart_after {
+                        self.resumes.push((round + after, cell));
+                    }
+                }
+                OverloadAction::Backoff { resume_round, .. } => {
+                    self.resumes.push((resume_round, cell));
+                }
+            }
+        }
+        events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cellflow_core::{Params, SystemConfig};
+    use cellflow_core::Params;
     use cellflow_grid::GridDims;
 
     fn system() -> System {
@@ -407,5 +511,78 @@ mod tests {
         // logic, not in hard_dead_at bookkeeping).
         assert!(plan.hard_dead_at(2).contains(&c));
         assert!(!plan.hard_dead_at(3).contains(&c));
+    }
+
+    fn capacity_system() -> System {
+        System::new(
+            SystemConfig::new(
+                GridDims::square(5),
+                CellId::new(1, 4),
+                Params::from_milli(250, 50, 200).unwrap(),
+            )
+            .unwrap()
+            .with_source(CellId::new(1, 0))
+            .with_capacity(2),
+        )
+    }
+
+    /// The online model and the offline expansion are the same decision
+    /// procedure: replaying the expanded plan reproduces the online run
+    /// state for state, for every mitigation mode.
+    #[test]
+    fn online_overload_matches_expanded_plan() {
+        use cellflow_core::expand_overload;
+        let base = FaultPlan::new().crash_at(8, CellId::new(1, 2));
+        let trigger = OverloadTrigger::new(2, 2);
+        let rounds = 160;
+        let modes: [(Option<BackoffPolicy>, Option<u64>); 3] = [
+            (None, None),
+            (None, Some(12)),
+            (Some(BackoffPolicy { base: 4, max: 32, seed: 0xCA5CADE }), None),
+        ];
+        for (backoff, restart_after) in modes {
+            let mut online = capacity_system();
+            let mut model = OverloadModel::new(
+                online.config(),
+                base.clone(),
+                trigger,
+                backoff,
+            );
+            if let Some(after) = restart_after {
+                model = model.with_restart_after(after);
+            }
+            let outcome = expand_overload(
+                online.config(),
+                &base,
+                trigger,
+                backoff,
+                restart_after,
+                rounds,
+            );
+            let mut replay = capacity_system();
+            let mut plan = outcome.plan.clone();
+            for round in 0..rounds {
+                model.apply(&mut online, round);
+                online.step();
+                plan.apply(&mut replay, round);
+                replay.step();
+            }
+            assert_eq!(online.state(), replay.state(), "mode {backoff:?}/{restart_after:?}");
+            assert_eq!(online.consumed_total(), replay.consumed_total());
+            assert_eq!(model.stats(), outcome.stats);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff pauses already schedule their own resume")]
+    fn overload_model_rejects_restart_with_backoff() {
+        let sys = capacity_system();
+        let _ = OverloadModel::new(
+            sys.config(),
+            FaultPlan::new(),
+            OverloadTrigger::new(2, 2),
+            Some(BackoffPolicy { base: 4, max: 32, seed: 1 }),
+        )
+        .with_restart_after(5);
     }
 }

@@ -1,6 +1,7 @@
 //! Occupancy heat maps: where congestion lives on the grid.
 
-use cellflow_core::{SystemConfig, SystemState};
+use cellflow_core::overload::CascadeTrip;
+use cellflow_core::{System, SystemConfig, SystemState};
 use cellflow_grid::{CellId, GridDims};
 
 /// Accumulates per-cell entity-rounds over a run and renders them as a
@@ -120,6 +121,109 @@ impl OccupancyGrid {
     }
 }
 
+/// Peak-pressure heat map: the engine's per-cell leaky-integrator pressure
+/// (`p ← ⌊p/2⌋ + occupancy` per round) is the overload detector's view of
+/// sustained congestion; this grid keeps the per-cell *peak* over a run, so
+/// a cascade report can show where the pressure that tripped cells built
+/// up — including on cells that later died and drained.
+#[derive(Clone, Debug)]
+pub struct PressureGrid {
+    dims: GridDims,
+    peak: Vec<u64>,
+    rounds: u64,
+}
+
+impl PressureGrid {
+    /// An empty accumulator for `dims`.
+    pub fn new(dims: GridDims) -> PressureGrid {
+        PressureGrid {
+            dims,
+            peak: vec![0; dims.cell_count()],
+            rounds: 0,
+        }
+    }
+
+    /// Records one round's pressure from the running system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `system`'s grid does not match the accumulator's.
+    pub fn record(&mut self, system: &System) {
+        assert_eq!(system.config().dims(), self.dims, "grid mismatch");
+        for id in self.dims.iter() {
+            let k = self.dims.index(id);
+            self.peak[k] = self.peak[k].max(system.pressure(id));
+        }
+        self.rounds += 1;
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Peak pressure observed on `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    pub fn peak(&self, cell: CellId) -> u64 {
+        self.peak[self.dims.index(cell)]
+    }
+
+    /// Renders a digit heat map of peak pressure, scaled like
+    /// [`OccupancyGrid::render`]: `0`–`9` linear to the hottest cell, `.`
+    /// for never-pressured cells, north at the top.
+    pub fn render(&self) -> String {
+        let max = self.peak.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for j in (0..self.dims.ny()).rev() {
+            for i in 0..self.dims.nx() {
+                let v = self.peak(CellId::new(i, j));
+                let ch = if v == 0 {
+                    '.'
+                } else {
+                    char::from_digit(((v * 9) / max).clamp(1, 9) as u32, 10)
+                        .expect("digit in range")
+                };
+                out.push(ch);
+                out.push(' ');
+            }
+            out.pop();
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a cascade progression map: each cell shows the depth of its
+/// deepest overload trip (`1`–`9`, clamped), `.` if it never tripped.
+/// North at the top — the same orientation as the heat maps, so the three
+/// layers (occupancy, pressure, cascade) line up in a report.
+pub fn render_cascade(dims: GridDims, trips: &[CascadeTrip]) -> String {
+    let mut depth = vec![0u32; dims.cell_count()];
+    for &(_, cell, d) in trips {
+        let k = dims.index(cell);
+        depth[k] = depth[k].max(d);
+    }
+    let mut out = String::new();
+    for j in (0..dims.ny()).rev() {
+        for i in 0..dims.nx() {
+            let d = depth[dims.index(CellId::new(i, j))];
+            let ch = if d == 0 {
+                '.'
+            } else {
+                char::from_digit(d.min(9), 10).expect("digit in range")
+            };
+            out.push(ch);
+            out.push(' ');
+        }
+        out.pop();
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +278,39 @@ mod tests {
         let sys = corridor();
         let mut heat = OccupancyGrid::new(GridDims::square(8));
         heat.record(sys.config(), sys.state());
+    }
+
+    #[test]
+    fn pressure_peaks_track_sustained_congestion() {
+        let mut sys = corridor();
+        let mut pressure = PressureGrid::new(sys.config().dims());
+        for _ in 0..150 {
+            sys.step();
+            pressure.record(&sys);
+        }
+        assert_eq!(pressure.rounds(), 150);
+        // Pressure builds only on the loaded corridor row.
+        assert!(pressure.peak(CellId::new(0, 0)) > 0);
+        for i in 0..4 {
+            assert_eq!(pressure.peak(CellId::new(i, 1)), 0, "row 1 cell {i}");
+        }
+        let pic = pressure.render();
+        let lines: Vec<&str> = pic.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], ". . . .");
+        assert!(lines[1].chars().any(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn cascade_map_shows_deepest_trip_per_cell() {
+        let dims = GridDims::square(3);
+        let trips = [
+            (10, CellId::new(0, 0), 1),
+            (14, CellId::new(1, 0), 2),
+            (20, CellId::new(1, 0), 1), // shallower re-trip doesn't regress
+        ];
+        let pic = render_cascade(dims, &trips);
+        assert_eq!(pic, ". . .\n. . .\n1 2 .\n");
+        assert_eq!(render_cascade(dims, &[]), ". . .\n. . .\n. . .\n");
     }
 }

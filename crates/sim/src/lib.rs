@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cascade;
 pub mod failure;
 pub mod heatmap;
 pub mod metrics;
@@ -49,7 +50,8 @@ pub mod table;
 mod telemetry;
 mod trace;
 
-pub use failure::{FailureEvents, FailureModel};
+pub use cascade::{run_cascade, run_cascade_with, CascadeReport, CascadeScenario};
+pub use failure::{FailureEvents, FailureModel, OverloadModel};
 pub use metrics::Metrics;
 pub use runner::Simulation;
 pub use telemetry::SimTelemetry;
@@ -58,6 +60,7 @@ pub use trace::{TraceEvent, TraceRecorder};
 // The chaos vocabulary is shared with the message-passing runtime; re-export
 // it so campaign code needs only this crate.
 pub use cellflow_core::{
-    certify, shrink, CampaignSpec, Certificate, CertifyOptions, Corruption, CorruptionEvent,
-    FaultCensus, FaultEvent, FaultKind, FaultPlan,
+    certify, expand_overload, shrink, BackoffPolicy, CampaignSpec, CascadeOutcome, CascadeStats,
+    Certificate, CertifyOptions, Corruption, CorruptionEvent, FaultCensus, FaultEvent, FaultKind,
+    FaultPlan, OverloadTrigger,
 };

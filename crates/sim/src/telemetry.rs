@@ -15,6 +15,7 @@
 //! registry, so Route/Signal/Move latency lands beside the sim counters.
 
 use cellflow_core::monitor::MonitorViolation;
+use cellflow_core::overload::{CascadeStats, CascadeTrip};
 use cellflow_core::RoundEvents;
 use cellflow_telemetry::{Counter, Event, EventLog, Histogram, Registry};
 
@@ -32,6 +33,10 @@ pub struct SimTelemetry {
     moved: Counter,
     failures: Counter,
     violations: Counter,
+    overload_crashes: Counter,
+    sheds: Counter,
+    backoff_activations: Counter,
+    cascade_depth: Histogram,
     signals: bool,
     log: EventLog,
 }
@@ -50,8 +55,23 @@ impl SimTelemetry {
             moved: registry.counter("cellflow_sim_moved_total"),
             failures: registry.counter("cellflow_sim_failures_total"),
             violations: registry.counter("cellflow_sim_violations_total"),
+            overload_crashes: registry.counter("cellflow_sim_overload_crashes_total"),
+            sheds: registry.counter("cellflow_sim_sheds_total"),
+            backoff_activations: registry.counter("cellflow_sim_backoff_activations_total"),
+            cascade_depth: registry.histogram("cellflow_sim_cascade_depth"),
             signals: false,
             log: EventLog::new(),
+        }
+    }
+
+    /// Folds one overload campaign's counters into the registry: crash,
+    /// shed, and backoff totals plus a histogram sample per trip depth.
+    pub fn record_cascade(&self, stats: &CascadeStats, trips: &[CascadeTrip]) {
+        self.overload_crashes.add(stats.overload_crashes);
+        self.sheds.add(stats.sheds);
+        self.backoff_activations.add(stats.backoff_activations);
+        for &(_, _, depth) in trips {
+            self.cascade_depth.observe(depth as u64);
         }
     }
 
@@ -229,5 +249,39 @@ mod tests {
         let stats = cellflow_telemetry::validate_stream(&buffer.contents()).unwrap();
         assert!(stats.by_kind.iter().any(|(k, _)| k == "grant"));
         assert!(stats.by_kind.iter().any(|(k, _)| k == "block"));
+    }
+
+    #[test]
+    fn cascade_counters_register_and_accumulate() {
+        let registry = Registry::new();
+        let tel = SimTelemetry::new(&registry);
+        let stats = CascadeStats {
+            overload_crashes: 2,
+            sheds: 5,
+            backoff_activations: 3,
+            max_cascade_depth: 2,
+        };
+        let trips = [
+            (10, CellId::new(1, 1), 1),
+            (12, CellId::new(1, 2), 2),
+        ];
+        tel.record_cascade(&stats, &trips);
+        let names: Vec<String> = registry
+            .snapshot()
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
+        for name in [
+            "cellflow_sim_overload_crashes_total",
+            "cellflow_sim_sheds_total",
+            "cellflow_sim_backoff_activations_total",
+            "cellflow_sim_cascade_depth",
+        ] {
+            assert!(names.contains(&name.to_string()), "missing {name}");
+        }
+        assert_eq!(tel.overload_crashes.value(), 2);
+        assert_eq!(tel.sheds.value(), 5);
+        assert_eq!(tel.backoff_activations.value(), 3);
+        assert_eq!(tel.cascade_depth.count(), 2);
     }
 }

@@ -124,6 +124,51 @@ fn progress_reachable_in_model() {
 }
 
 #[test]
+fn capacity_invariant_holds_exhaustively_on_corridor() {
+    // Finite-capacity variant: on the budgeted failing corridor with
+    // capacity = entity budget, occupancy ≤ capacity holds in every
+    // reachable state — the model-checking leg of the cascade PR's
+    // acceptance criteria (`cellflow mc --capacity` runs this closure).
+    use cellular_flows::core::overload::check_capacity;
+    let cfg = SystemConfig::new(
+        GridDims::new(3, 1),
+        CellId::new(2, 0),
+        Params::from_milli(250, 50, 200).unwrap(),
+    )
+    .unwrap()
+    .with_source(CellId::new(0, 0))
+    .with_entity_budget(2)
+    .with_capacity(2);
+    let sys =
+        BoundedSystem::new(cfg.clone()).with_fallible([CellId::new(1, 0), CellId::new(2, 0)], true);
+    let cfg_for_check = cfg.clone();
+    let report = check_invariant(
+        &sys,
+        move |s| {
+            safety::check_safe(&cfg_for_check, s).is_ok()
+                && check_capacity(&cfg_for_check, s).is_ok()
+        },
+        &explore_cfg(),
+    )
+    .expect("occupancy ≤ capacity on the failing corridor");
+    assert!(report.exhaustive);
+    assert!(report.states_explored > 100);
+
+    // Sanity: a capacity of 1 is genuinely violable — two budgeted
+    // entities can share a cell, so the checker must find that state.
+    let tight = cfg.with_capacity(1);
+    let sys = BoundedSystem::new(tight.clone());
+    let tight_check = tight.clone();
+    let cex = check_invariant(
+        &sys,
+        move |s| check_capacity(&tight_check, s).is_ok(),
+        &explore_cfg(),
+    )
+    .expect_err("capacity 1 must be violated by a 2-entity budget");
+    assert!(check_capacity(&tight, &cex.state).is_err());
+}
+
+#[test]
 fn theorem10_model_level_liveness() {
     // AG EF "everything consumed": from every reachable state of the
     // budgeted corridor — including states with crashed cells, because
