@@ -28,9 +28,12 @@ USAGE:
   cellflow fig9  [--rounds 20000]    regenerate Figure 9 (throughput vs pf)
   cellflow paths [--rounds 2500]     throughput vs path length
   cellflow mc    [--budget 2] [--fallible 1] [--recovery] [--capacity 0]
-                                     exhaustively model-check safety
+                 [--cut]             exhaustively model-check safety
                                      (--capacity C additionally checks
-                                     occupancy ≤ C in every state)
+                                     occupancy ≤ C in every state; --cut
+                                     severs the corridor mid-way with a
+                                     permanent link partition and checks
+                                     safety on the split topology)
   cellflow chaos [--n 6] [--rounds 300] [--seed 1] [--active 100]
                  [--drop 0.05] [--delay 0.05] [--dup 0.1] [--reorder 0.1]
                  [--bursts 2] [--blackouts 1] [--flappers 1] [--hard 1]
@@ -51,6 +54,22 @@ USAGE:
                                      crashed cells, disciplined by the
                                      supervisor's restart --budget);
                                      byte-identical report per seed
+  cellflow chaos --partition SPEC [--n 5] [--rounds 120] [--start 10]
+                 [--heal 80] [--no-heal] [--settle B+2] [--seed 1]
+                 [--timeout-ms 5000]
+                                     scripted link-fault / split-brain
+                                     campaign: SPEC is split@col=C,
+                                     split@row=R, island@i0,j0,i1,j1, or
+                                     flaky@MILLI (seeded intermittent cuts,
+                                     MILLI/1000 per directed edge per
+                                     round). Cuts run rounds [start, heal);
+                                     the report certifies safety through
+                                     the split and re-stabilization within
+                                     2N²+2 of the heal, is sealed with a
+                                     checksum, and is byte-identical per
+                                     seed; the same schedule then replays
+                                     on the message-passing deployment and
+                                     must match the reference bit for bit
   cellflow stabilize [--n 6] [--seed 1] [--corruptions 3] [--active 30]
                  [--timeout-ms 5000]
                                      adversarial state-corruption campaign:
@@ -314,6 +333,7 @@ fn mc(flags: &Flags) -> Result<(), String> {
     let fallible: usize = flags.get("fallible", 1)?;
     let recovery = flags.has("recovery");
     let capacity: u32 = flags.get("capacity", 0)?;
+    let cut = flags.has("cut");
 
     let mut config = SystemConfig::new(
         GridDims::new(3, 1),
@@ -333,15 +353,30 @@ fn mc(flags: &Flags) -> Result<(), String> {
         .collect();
     println!(
         "Model checking a 3×1 corridor: budget={budget}, fallible={fallible_cells:?}, \
-         recovery={recovery}, capacity={}",
+         recovery={recovery}, capacity={}, partition={}",
         if capacity > 0 {
             capacity.to_string()
         } else {
             "unbounded".to_string()
+        },
+        if cut {
+            "⟨1,0⟩ ↮ ⟨2,0⟩ (permanent)"
+        } else {
+            "none"
         }
     );
     let cfg_for_check = config.clone();
-    let sys = BoundedSystem::new(config).with_fallible(fallible_cells, recovery);
+    let mut sys = BoundedSystem::new(config).with_fallible(fallible_cells, recovery);
+    if cut {
+        // A permanent mid-corridor severance: both directions of the
+        // ⟨1,0⟩ ↔ ⟨2,0⟩ edge read footnote-1 silence in every explored round.
+        let masks = cellflow_core::PartitionPlan::for_grid(GridDims::new(3, 1))
+            .cut_both(CellId::new(1, 0), CellId::new(2, 0), 0, None)
+            .expand(1)
+            .mask_row(0)
+            .to_vec();
+        sys = sys.with_link_cuts(masks);
+    }
     let started = std::time::Instant::now();
     let result = check_invariant(
         &sys,
@@ -375,8 +410,13 @@ fn mc(flags: &Flags) -> Result<(), String> {
         }
     }
     // Liveness (AG EF all-consumed) is only meaningful when crashed cells can
-    // recover; a permanent mid-corridor crash legitimately traps entities.
-    if recovery || fallible == 0 {
+    // recover; a permanent mid-corridor crash legitimately traps entities,
+    // and a permanent cut starves the corridor (dist saturates to ∞ across
+    // the split, so the source stops inserting — safe degradation, not
+    // delivery).
+    if cut {
+        println!("LIVE: skipped (a permanent partition legitimately starves delivery)");
+    } else if recovery || fallible == 0 {
         let started = std::time::Instant::now();
         match cellflow_dts::check_possibly(
             &sys,
@@ -421,6 +461,10 @@ fn chaos(flags: &Flags) -> Result<(), String> {
 
     if flags.has("cascade") {
         return cascade(flags);
+    }
+    let spec: String = flags.get("partition", String::new())?;
+    if !spec.is_empty() {
+        return partition(flags, &spec);
     }
 
     let n: u16 = flags.get("n", 6)?;
@@ -498,12 +542,13 @@ fn chaos(flags: &Flags) -> Result<(), String> {
     }
     let report = match net.run_monitored(rounds, monitors) {
         Ok(report) => report,
-        Err(NetError::Timeout { round, .. }) => {
-            // Deterministic by construction: the wedged round is a property
-            // of the plan, while the detecting cell is a scheduling race —
-            // so only the round is printed.
+        Err(NetError::Timeout { round, silent, .. }) => {
+            // Deterministic by construction: the wedged round and the silent
+            // set are properties of the plan, while the detecting cell is a
+            // scheduling race — so the detector is not printed.
             println!("\nrun degraded:   round {round} timed out (a cell went silent and");
             println!("                never handed its barrier seat over — no deadlock)");
+            println!("                silent: {}", fmt_silent(&silent));
             if let Some(ct) = &campaign {
                 ct.finish()?;
             }
@@ -685,8 +730,11 @@ fn cascade(flags: &Flags) -> Result<(), String> {
     let total_rounds = rounds + bound + 2;
     let net_report = match net.run_monitored(total_rounds, standard_monitors(&config)) {
         Ok(r) => r,
-        Err(NetError::Timeout { round, .. }) => {
-            println!("run degraded:   round {round} timed out (a cell went silent)");
+        Err(NetError::Timeout { round, silent, .. }) => {
+            println!(
+                "run degraded:   round {round} timed out; silent: {}",
+                fmt_silent(&silent)
+            );
             return Ok(());
         }
         Err(e) => return Err(e.to_string()),
@@ -750,6 +798,232 @@ fn cascade(flags: &Flags) -> Result<(), String> {
             "cascade failed to re-stabilize within the {bound}-round bound \
              (rounds_to_stabilize: {:?})",
             report.rounds_to_stabilize
+        ))
+    }
+}
+
+/// Formats a timeout's silent-cell attribution for the degraded-run
+/// messages. The list is a property of the fault plan (deterministic), so
+/// printing it keeps reports byte-identical per seed.
+fn fmt_silent(silent: &[CellId]) -> String {
+    if silent.is_empty() {
+        return "unattributed (every member checked in or cleanly left)".to_string();
+    }
+    silent
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Parses a whitespace-free `--partition` SPEC into a [`PartitionPlan`]
+/// over `dims`, with the cut window `[start, heal)` and `seed` feeding any
+/// flaky-link spec. Validates bounds up front so a bad SPEC is a CLI error,
+/// not a builder panic.
+fn parse_partition_spec(
+    spec: &str,
+    dims: GridDims,
+    start: u64,
+    heal: Option<u64>,
+    seed: u64,
+) -> Result<cellflow_core::PartitionPlan, String> {
+    use cellflow_core::PartitionPlan;
+    let usage = || {
+        format!(
+            "bad --partition spec `{spec}` (expected split@col=C, split@row=R, \
+             island@i0,j0,i1,j1, or flaky@MILLI)"
+        )
+    };
+    let plan = PartitionPlan::for_grid(dims);
+    let (kind, rest) = spec.split_once('@').ok_or_else(usage)?;
+    match kind {
+        "split" => {
+            let (axis, idx) = rest.split_once('=').ok_or_else(usage)?;
+            let k: u16 = idx.parse().map_err(|_| usage())?;
+            match axis {
+                "col" => {
+                    if k < 1 || k >= dims.nx() {
+                        return Err(format!(
+                            "split column {k} out of range 1..{} for the {}×{} grid",
+                            dims.nx(),
+                            dims.nx(),
+                            dims.ny()
+                        ));
+                    }
+                    Ok(plan.split_col(k, start, heal))
+                }
+                "row" => {
+                    if k < 1 || k >= dims.ny() {
+                        return Err(format!(
+                            "split row {k} out of range 1..{} for the {}×{} grid",
+                            dims.ny(),
+                            dims.nx(),
+                            dims.ny()
+                        ));
+                    }
+                    Ok(plan.split_row(k, start, heal))
+                }
+                _ => Err(usage()),
+            }
+        }
+        "island" => {
+            let coords: Vec<u16> = rest
+                .split(',')
+                .map(|p| p.parse().map_err(|_| usage()))
+                .collect::<Result<_, _>>()?;
+            let [i0, j0, i1, j1] = coords[..] else {
+                return Err(usage());
+            };
+            let (a, b) = (CellId::new(i0, j0), CellId::new(i1, j1));
+            if !dims.contains(a) || !dims.contains(b) {
+                return Err(format!(
+                    "island corners {a} / {b} out of the {}×{} grid",
+                    dims.nx(),
+                    dims.ny()
+                ));
+            }
+            Ok(plan.island(a, b, start, heal))
+        }
+        "flaky" => {
+            let milli: u32 = rest.parse().map_err(|_| usage())?;
+            if milli > 1000 {
+                return Err(format!("flaky rate {milli} exceeds 1000 (parts per thousand)"));
+            }
+            Ok(plan.flaky_links(seed, milli, start, heal))
+        }
+        _ => Err(usage()),
+    }
+}
+
+/// A scripted link-fault / split-brain campaign (`cellflow chaos
+/// --partition SPEC`): the plan expands once into a per-round edge mask,
+/// the shared-variable reference runs the campaign under the full monitor
+/// suite (including the split-brain [`ReachabilityMonitor`]
+/// (cellflow_core::monitor::ReachabilityMonitor)) and certifies post-heal
+/// re-stabilization within the 2N²+2 bound, and the same schedule then
+/// replays on the message-passing deployment over a
+/// [`LinkFaultTransport`](cellflow_net::LinkFaultTransport), which must
+/// match the reference bit for bit.
+///
+/// The report is **byte-identical across runs for the same seed**: no
+/// wall-clock values are printed, the reference block is sealed with an
+/// FNV-1a checksum, and every deployment-side line is a property of the
+/// plan (suppression counts, traffic, the silent set of any timeout).
+fn partition(flags: &Flags, spec: &str) -> Result<(), String> {
+    use cellflow_core::monitor::stabilization_bound;
+    use cellflow_core::{standard_monitors, FaultPlan};
+    use cellflow_net::{NetError, NetSystem};
+    use cellflow_sim::partition::{run_partition, PartitionScenario};
+
+    let n: u16 = flags.get("n", 5)?;
+    if n < 3 {
+        return Err("--n must be at least 3".into());
+    }
+    let rounds: u64 = flags.get("rounds", 120)?;
+    let start: u64 = flags.get("start", 10)?;
+    let seed: u64 = flags.get("seed", 1)?;
+    let timeout_ms: u64 = flags.get("timeout-ms", 5_000)?;
+    let heal = if flags.has("no-heal") {
+        None
+    } else {
+        Some(flags.get("heal", (rounds * 2) / 3)?)
+    };
+    if let Some(h) = heal {
+        if h <= start || h > rounds {
+            return Err(format!(
+                "--heal must lie in ({start}, {rounds}] (after --start, within --rounds)"
+            ));
+        }
+    }
+
+    let params = Params::from_milli(250, 50, 200).expect("static parameters are valid");
+    let config = SystemConfig::new(GridDims::square(n), CellId::new(1, n - 1), params)
+        .map_err(|e| e.to_string())?
+        .with_source(CellId::new(1, 0));
+    let bound = stabilization_bound(&config);
+    let settle: u64 = flags.get("settle", bound + 2)?;
+    let plan = parse_partition_spec(spec, GridDims::square(n), start, heal, seed)?;
+
+    let heal_text = match heal {
+        Some(h) => format!("heal at round {h}"),
+        None => "never heals".to_string(),
+    };
+    println!("partition campaign: {n}×{n} grid, seed {seed}, spec {spec}");
+    println!("cut window:         rounds [{start}, …), {heal_text}");
+    println!("horizon:            {rounds} campaign + {settle} settle rounds (bound {bound})");
+
+    println!("\n== shared-variable reference ==\n");
+    let scenario = PartitionScenario {
+        config: config.clone(),
+        plan: plan.clone(),
+        base: FaultPlan::new(),
+        rounds,
+        settle,
+    };
+    let report = run_partition(&scenario);
+    print!("{}", report.render());
+
+    println!("\n== message-passing deployment ==\n");
+    let total_rounds = rounds + settle;
+    let net = NetSystem::new(config.clone())
+        .map_err(|e| e.to_string())?
+        .with_partition(plan.clone())
+        .with_round_timeout(std::time::Duration::from_millis(timeout_ms.max(1)));
+    let net_report = match net.run_monitored(total_rounds, standard_monitors(&config)) {
+        Ok(r) => r,
+        Err(NetError::Timeout { round, silent, .. }) => {
+            println!(
+                "run degraded:   round {round} timed out; silent: {}",
+                fmt_silent(&silent)
+            );
+            return Err("partitioned deployment wedged instead of degrading".into());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    println!(
+        "suppressed:     {} announcements on cut edges",
+        net_report.links.suppressed
+    );
+    println!(
+        "traffic:        {} inserted, {} consumed, {} in flight",
+        net_report.inserted,
+        net_report.consumed,
+        net_report.state.entity_count()
+    );
+    if net_report.violations.is_empty() {
+        println!("violations:     none");
+    } else {
+        println!("violations:     {}", net_report.violations.len());
+        for v in &net_report.violations {
+            println!("  {v}");
+        }
+    }
+
+    // Differential: the deployment must mirror the reference driving the
+    // same per-round cut masks through the engine.
+    let schedule = plan.expand(total_rounds);
+    let mut reference = System::new(config);
+    for round in 0..total_rounds {
+        reference.set_link_cuts(schedule.mask_row(round));
+        reference.step();
+    }
+    if net_report.state.cells == reference.state().cells
+        && net_report.consumed == reference.consumed_total()
+        && net_report.inserted == reference.inserted_total()
+    {
+        println!("differential:   deployment ≡ shared-variable reference (bit-identical)");
+    } else {
+        return Err("differential: deployment DIVERGED from the reference".into());
+    }
+
+    if report.certified() && net_report.violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "partition campaign FAILED certification \
+             (reference certified: {}, deployment violations: {})",
+            report.certified(),
+            net_report.violations.len()
         ))
     }
 }
@@ -872,8 +1146,11 @@ fn stabilize(flags: &Flags) -> Result<(), String> {
     }
     let report = match outcome {
         Ok(report) => report,
-        Err(NetError::Timeout { round, .. }) => {
-            return Err(format!("deployment wedged: round {round} timed out"));
+        Err(NetError::Timeout { round, silent, .. }) => {
+            return Err(format!(
+                "deployment wedged: round {round} timed out; silent: {}",
+                fmt_silent(&silent)
+            ));
         }
         Err(e) => return Err(e.to_string()),
     };
@@ -1233,6 +1510,48 @@ mod tests {
             "chaos --n 4 --rounds 60 --active 30 --kills 1 --hard 0 --timeout-ms 300 --seed 2"
         ))
         .is_ok());
+    }
+
+    #[test]
+    fn partition_split_campaign_certifies() {
+        assert!(dispatch(&argv(
+            "chaos --n 5 --partition split@col=2 --rounds 100 --start 10 --heal 70"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn partition_island_and_flaky_campaigns_certify() {
+        assert!(dispatch(&argv(
+            "chaos --n 5 --partition island@3,3,4,4 --rounds 100 --heal 60"
+        ))
+        .is_ok());
+        assert!(dispatch(&argv(
+            "chaos --n 5 --partition flaky@200 --seed 9 --rounds 100 --heal 60"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn partition_without_heal_fails_certification() {
+        let err =
+            dispatch(&argv("chaos --n 5 --partition split@row=2 --no-heal")).unwrap_err();
+        assert!(err.contains("FAILED"), "{err}");
+    }
+
+    #[test]
+    fn partition_rejects_bad_specs() {
+        assert!(dispatch(&argv("chaos --partition nonsense")).is_err());
+        assert!(dispatch(&argv("chaos --partition split@col=9")).is_err());
+        assert!(dispatch(&argv("chaos --partition split@diag=2")).is_err());
+        assert!(dispatch(&argv("chaos --partition island@1,1")).is_err());
+        assert!(dispatch(&argv("chaos --partition flaky@2000")).is_err());
+        assert!(dispatch(&argv("chaos --partition split@col=2 --heal 5 --start 10")).is_err());
+    }
+
+    #[test]
+    fn mc_checks_the_partitioned_corridor() {
+        assert!(dispatch(&argv("mc --budget 1 --fallible 0 --cut")).is_ok());
     }
 
     #[test]

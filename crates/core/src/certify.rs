@@ -23,10 +23,10 @@ use core::fmt::Write as _;
 
 use cellflow_grid::CellId;
 
-use crate::fault::{Corruption, FaultKind, FaultPlan};
+use crate::fault::{Corruption, FaultKind, FaultPlan, FlakySpec, LinkFault, PartitionPlan};
 use crate::monitor::{
-    stabilization_bound, ConservationMonitor, Monitor, MonitorCtx, RoutingMonitor,
-    SafetyMonitor, StabilizationMonitor,
+    stabilization_bound, ConservationMonitor, Monitor, MonitorCtx, ReachabilityMonitor,
+    RoutingMonitor, SafetyMonitor, StabilizationMonitor,
 };
 use crate::{System, SystemConfig};
 
@@ -132,15 +132,9 @@ impl Certificate {
     }
 }
 
-/// FNV-1a over `bytes` — the checksum sealing a rendered certificate.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// FNV-1a over `bytes` — the checksum sealing a rendered certificate
+/// (re-exported from the shared [`crate::hash`] module).
+pub use crate::hash::fnv1a;
 
 /// Drives the reference system through `ops` under the standard monitors
 /// and reports what happened as a [`Certificate`].
@@ -286,6 +280,242 @@ pub fn shrink(
     }
 }
 
+/// The outcome of one link-fault certification run: the partition campaign,
+/// the bound its *post-heal* recovery was judged against, and everything the
+/// monitors (including the split-brain [`ReachabilityMonitor`]) saw.
+///
+/// This is the partition-tolerance twin of [`Certificate`]: where `certify`
+/// drives the state-corruption adversary of Corollary 7, [`certify_links`]
+/// drives the *communication* adversary — scripted directed link cuts and
+/// flaky links — and certifies that safety held throughout the episode and
+/// routing re-stabilized within the bound once the links healed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkCertificate {
+    /// The scripted directed cuts that were driven.
+    pub faults: Vec<LinkFault>,
+    /// The seeded flaky-link specs that were driven.
+    pub flaky: Vec<FlakySpec>,
+    /// The round at which the last cut healed; `None` if some cut never
+    /// heals (such a campaign can never certify post-heal stabilization).
+    pub heal_round: Option<u64>,
+    /// The round budget post-heal stabilization was judged against.
+    pub bound: u64,
+    /// Total rounds driven.
+    pub rounds: u64,
+    /// Rounds from the last partitioned round to re-stabilization; `None`
+    /// if the run ended unstabilized.
+    pub rounds_to_stabilize: Option<u64>,
+    /// The largest number of simultaneous connected components observed.
+    pub max_components: u32,
+    /// Theorem 5 / Invariant violations observed.
+    pub safety_violations: u64,
+    /// Structural routing violations observed.
+    pub routing_violations: u64,
+    /// Entity-conservation violations observed.
+    pub conservation_violations: u64,
+    /// Stabilization-bound violations observed.
+    pub stabilization_violations: u64,
+    /// Split-brain violations (unsafe while partitioned, or an entity
+    /// crossing a cut edge) observed.
+    pub reachability_violations: u64,
+}
+
+impl LinkCertificate {
+    /// `true` iff every cut healed, routing re-stabilized within the bound
+    /// of the heal, and no monitor of any kind fired — "Theorem 5 held
+    /// through the split and Corollary 7 held after the heal".
+    pub fn holds(&self) -> bool {
+        self.heal_round.is_some()
+            && self.rounds_to_stabilize.is_some_and(|r| r <= self.bound)
+            && self.safety_violations == 0
+            && self.routing_violations == 0
+            && self.conservation_violations == 0
+            && self.stabilization_violations == 0
+            && self.reachability_violations == 0
+    }
+
+    /// A deterministic plain-text report, byte-identical for equal
+    /// certificates and sealed by an FNV-1a checksum like
+    /// [`Certificate::render`].
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "link-fault certificate");
+        let _ = writeln!(s, "bound: {} rounds", self.bound);
+        let _ = writeln!(s, "rounds driven: {}", self.rounds);
+        let _ = writeln!(s, "scripted cuts: {}", self.faults.len());
+        for f in &self.faults {
+            let heal = match f.heal {
+                Some(h) => format!("{h}"),
+                None => "never".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "  ({},{}) → ({},{})  rounds {}..{heal}",
+                f.from.i(),
+                f.from.j(),
+                f.to.i(),
+                f.to.j(),
+                f.start
+            );
+        }
+        let _ = writeln!(s, "flaky specs: {}", self.flaky.len());
+        for f in &self.flaky {
+            let heal = match f.heal {
+                Some(h) => format!("{h}"),
+                None => "never".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "  seed {}  rate {}/1000  rounds {}..{heal}",
+                f.seed, f.rate_milli, f.start
+            );
+        }
+        let heal = match self.heal_round {
+            Some(h) => format!("{h}"),
+            None => "never".to_string(),
+        };
+        let _ = writeln!(s, "heal round: {heal}");
+        let _ = writeln!(s, "max components: {}", self.max_components);
+        let restab = match self.rounds_to_stabilize {
+            Some(r) => format!("{r} rounds after the heal"),
+            None => "NO".to_string(),
+        };
+        let _ = writeln!(s, "re-stabilized: {restab}");
+        let _ = writeln!(
+            s,
+            "violations: safety={} routing={} conservation={} stabilization={} reachability={}",
+            self.safety_violations,
+            self.routing_violations,
+            self.conservation_violations,
+            self.stabilization_violations,
+            self.reachability_violations
+        );
+        let _ = writeln!(
+            s,
+            "verdict: {}",
+            if self.holds() { "CERTIFIED" } else { "FAILED" }
+        );
+        let checksum = fnv1a(s.as_bytes());
+        let _ = writeln!(s, "checksum: {checksum:016x}");
+        s
+    }
+}
+
+/// Drives the reference system through the partition campaign of `plan`
+/// under the standard monitors plus a [`ReachabilityMonitor`], and reports
+/// what happened as a [`LinkCertificate`].
+///
+/// Each round's link-cut mask is applied before the round runs (a cut slot
+/// reads as a silent neighbor: `dist = ∞`, no request, no grant — the paper's
+/// footnote-1 convention). Rounds with any active cut count as ambient
+/// disturbance for the stabilization stopwatch, so `rounds_to_stabilize`
+/// measures recovery *from the heal*, exactly Corollary 7's promise once
+/// communication is reliable again. The run lasts until
+/// [`CertifyOptions::settle`] rounds past the heal (or past the last onset,
+/// for campaigns that never heal).
+pub fn certify_links(
+    config: &SystemConfig,
+    plan: &PartitionPlan,
+    opts: &CertifyOptions,
+) -> LinkCertificate {
+    let bound = opts.bound_override.unwrap_or_else(|| stabilization_bound(config));
+    let heal = plan.heal_round();
+    let onset = plan
+        .faults()
+        .iter()
+        .map(|f| f.start)
+        .chain(plan.flaky().iter().map(|f| f.start))
+        .max()
+        .unwrap_or(0);
+    let total = heal.unwrap_or(onset) + opts.settle.unwrap_or(bound + 2);
+    let schedule = plan.expand(total);
+    let mut sys = System::new(config.clone());
+    let mut safety = SafetyMonitor::new();
+    let mut routing = RoutingMonitor::new();
+    let mut conservation = ConservationMonitor::new();
+    let mut stabilization = StabilizationMonitor::with_bound(bound);
+    let mut reachability = ReachabilityMonitor::new(config, schedule.clone());
+    let mut counts = [0u64; 5];
+    for round in 1..=total {
+        let mask_round = round - 1;
+        sys.set_link_cuts(schedule.mask_row(mask_round));
+        sys.step();
+        let ctx = MonitorCtx {
+            config: sys.config(),
+            state: sys.state(),
+            round: sys.round(),
+            failed: &[],
+            recovered: &[],
+            corrupted: &[],
+            ambient_chaos: schedule.active(mask_round),
+            consumed_total: sys.consumed_total(),
+            inserted_total: sys.inserted_total(),
+        };
+        counts[0] += safety.observe(&ctx).len() as u64;
+        counts[1] += routing.observe(&ctx).len() as u64;
+        counts[2] += conservation.observe(&ctx).len() as u64;
+        counts[3] += stabilization.observe(&ctx).len() as u64;
+        counts[4] += reachability.observe(&ctx).len() as u64;
+    }
+    LinkCertificate {
+        faults: plan.faults().to_vec(),
+        flaky: plan.flaky().to_vec(),
+        heal_round: heal,
+        bound,
+        rounds: total,
+        rounds_to_stabilize: stabilization.rounds_to_stabilize(),
+        max_components: reachability.max_components(),
+        safety_violations: counts[0],
+        routing_violations: counts[1],
+        conservation_violations: counts[2],
+        stabilization_violations: counts[3],
+        reachability_violations: counts[4],
+    }
+}
+
+/// Reduces a failing partition campaign to a minimal breaking set of
+/// scripted cuts by the same greedy delta debugging as [`shrink`]: drop any
+/// [`LinkFault`] whose removal keeps the certificate failing, until every
+/// remaining cut is necessary. Flaky specs are kept as fixed context.
+/// Returns the plan's cuts unchanged if its certificate already holds.
+pub fn shrink_links(
+    config: &SystemConfig,
+    plan: &PartitionPlan,
+    opts: &CertifyOptions,
+) -> Vec<LinkFault> {
+    let rebuild = |faults: &[LinkFault]| {
+        let mut p = PartitionPlan::for_grid(plan.dims());
+        for f in faults {
+            p = p.cut(f.from, f.to, f.start, f.heal);
+        }
+        for fl in plan.flaky() {
+            p = p.flaky_links(fl.seed, fl.rate_milli, fl.start, fl.heal);
+        }
+        p
+    };
+    let mut current = plan.faults().to_vec();
+    if certify_links(config, plan, opts).holds() {
+        return current;
+    }
+    loop {
+        let mut removed_any = false;
+        let mut k = 0;
+        while k < current.len() && current.len() > 1 {
+            let mut candidate = current.clone();
+            candidate.remove(k);
+            if !certify_links(config, &rebuild(&candidate), opts).holds() {
+                current = candidate;
+                removed_any = true;
+            } else {
+                k += 1;
+            }
+        }
+        if !removed_any {
+            return current;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +642,88 @@ mod tests {
         let default_opts = CertifyOptions::default();
         assert!(certify(&cfg, &fine, &default_opts).holds());
         assert_eq!(shrink(&cfg, &fine, &default_opts), fine);
+    }
+
+    #[test]
+    fn split_and_heal_certifies_within_bound() {
+        let cfg = config();
+        let plan = PartitionPlan::for_grid(cfg.dims()).split_col(2, 5, Some(40));
+        let cert = certify_links(&cfg, &plan, &CertifyOptions::default());
+        assert!(cert.holds(), "{}", cert.render());
+        assert_eq!(cert.heal_round, Some(40));
+        assert_eq!(cert.max_components, 2);
+        assert!(cert.rounds_to_stabilize.unwrap() <= cert.bound);
+        assert!(cert.render().contains("verdict: CERTIFIED"));
+    }
+
+    #[test]
+    fn island_and_flaky_campaigns_certify() {
+        let cfg = config();
+        // Island the source corner for 30 rounds.
+        let island = PartitionPlan::for_grid(cfg.dims()).island(
+            CellId::new(0, 0),
+            CellId::new(1, 1),
+            3,
+            Some(33),
+        );
+        let cert = certify_links(&cfg, &island, &CertifyOptions::default());
+        assert!(cert.holds(), "island:\n{}", cert.render());
+        assert_eq!(cert.max_components, 2);
+        // Seeded flaky links at 20% for 25 rounds.
+        let flaky = PartitionPlan::for_grid(cfg.dims()).flaky_links(42, 200, 0, Some(25));
+        let cert = certify_links(&cfg, &flaky, &CertifyOptions::default());
+        assert!(cert.holds(), "flaky:\n{}", cert.render());
+    }
+
+    #[test]
+    fn never_healing_campaign_cannot_certify() {
+        let cfg = config();
+        let plan = PartitionPlan::for_grid(cfg.dims()).split_row(2, 5, None);
+        let cert = certify_links(&cfg, &plan, &CertifyOptions::default());
+        assert!(!cert.holds());
+        assert_eq!(cert.heal_round, None);
+        assert!(cert.render().contains("verdict: FAILED"));
+        assert!(cert.render().contains("heal round: never"));
+    }
+
+    #[test]
+    fn link_certificates_are_deterministic_and_sealed() {
+        let cfg = config();
+        let plan = PartitionPlan::for_grid(cfg.dims())
+            .split_col(2, 5, Some(30))
+            .flaky_links(7, 150, 0, Some(20));
+        let a = certify_links(&cfg, &plan, &CertifyOptions::default());
+        let b = certify_links(&cfg, &plan, &CertifyOptions::default());
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert!(a.render().contains("checksum: "));
+    }
+
+    #[test]
+    fn shrink_links_reduces_to_a_minimal_breaking_set() {
+        // Under an absurd bound of 0 every campaign fails its certificate
+        // (stabilization always takes at least one round), so the greedy
+        // reduction must bottom out at a single necessary cut.
+        let cfg = config();
+        let opts = CertifyOptions {
+            bound_override: Some(0),
+            ..CertifyOptions::default()
+        };
+        let plan = PartitionPlan::for_grid(cfg.dims()).island(
+            CellId::new(2, 2),
+            CellId::new(3, 3),
+            5,
+            Some(25),
+        );
+        assert!(plan.faults().len() > 2);
+        assert!(!certify_links(&cfg, &plan, &opts).holds());
+        let minimal = shrink_links(&cfg, &plan, &opts);
+        assert_eq!(minimal.len(), 1, "minimal breaking set: {minimal:?}");
+        // A holding campaign is returned untouched.
+        let fine = PartitionPlan::for_grid(cfg.dims()).split_col(2, 5, Some(30));
+        let default_opts = CertifyOptions::default();
+        assert!(certify_links(&cfg, &fine, &default_opts).holds());
+        assert_eq!(shrink_links(&cfg, &fine, &default_opts), fine.faults());
     }
 
     #[test]

@@ -216,6 +216,14 @@ pub struct Engine {
     /// (injected via [`Engine::load_state`] from hand-built states; dropped
     /// as soon as `Signal` rewrites the cell). Empty in any reachable state.
     ne_override: Vec<(u32, BTreeSet<CellId>)>,
+    /// Per-cell incoming-cut masks for the *next* round (bit `s` set ⇔ the
+    /// neighbor in `Dir::ALL[s]` is unreadable — its announcements are
+    /// suppressed, so the cell reads `dist = ∞`, "no request", `signal = ⊥`
+    /// from that side, exactly footnote 1's silent-neighbor semantics).
+    /// Empty (the default) means no link faults; set per round via
+    /// [`Engine::set_link_cuts`]. Transient input, not protocol state: it
+    /// survives [`Engine::load_state`] and is never exported.
+    link_cuts: Vec<u8>,
     /// Number of buffer-growth (re)allocations since the last reset.
     alloc_events: u64,
     /// Per-phase span timers, attached when telemetry is enabled. `None`
@@ -264,6 +272,7 @@ impl Engine {
             incoming: Vec::new(),
             pressure: vec![0; n],
             ne_override: Vec::new(),
+            link_cuts: Vec::new(),
             alloc_events: 0,
             timers: None,
         };
@@ -343,6 +352,39 @@ impl Engine {
         } else {
             None
         };
+    }
+
+    /// Sets the incoming-cut masks the next [`Engine::step`] honors: one
+    /// mask per cell, bit `s` suppressing reads from the neighbor in
+    /// `Dir::ALL[s]` (see [`PartitionSchedule::mask_row`]). The first call
+    /// with any nonzero mask allocates the buffer once; steady-state
+    /// campaigns then update it in place, preserving the zero-allocation
+    /// claim.
+    ///
+    /// [`PartitionSchedule::mask_row`]: crate::PartitionSchedule::mask_row
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks` has the wrong number of cells.
+    pub fn set_link_cuts(&mut self, masks: &[u8]) {
+        assert_eq!(
+            masks.len(),
+            self.front.len(),
+            "mask row must match the grid"
+        );
+        if self.link_cuts.is_empty() {
+            if masks.iter().all(|&m| m == 0) {
+                return;
+            }
+            self.link_cuts = masks.to_vec();
+        } else {
+            self.link_cuts.copy_from_slice(masks);
+        }
+    }
+
+    /// Restores the no-link-faults default (all edges readable).
+    pub fn clear_link_cuts(&mut self) {
+        self.link_cuts.clear();
     }
 
     /// Imports `state` into the arenas (replacing everything). `ne_prev`
@@ -532,6 +574,11 @@ impl Engine {
             let mut c = front[k];
             if !c.failed && k != topo.target_index {
                 let nbr_idx = &topo.nbr_idx[k];
+                let cut = if self.link_cuts.is_empty() {
+                    0
+                } else {
+                    self.link_cuts[k]
+                };
                 let mut best = Dist::Infinity;
                 // 4 = "no finite-distance neighbor": both the zero-neighbor
                 // case and the all-∞ case produce (∞, ⊥), exactly like the
@@ -539,7 +586,8 @@ impl Engine {
                 let mut best_slot = 4usize;
                 for &s in &SORTED_SLOTS {
                     let ni = nbr_idx[s];
-                    if ni == NO_NBR {
+                    // A cut slot reads as a silent neighbor: dist = ∞.
+                    if ni == NO_NBR || cut & (1 << s) != 0 {
                         continue;
                     }
                     let d = front[ni as usize].dist;
@@ -580,9 +628,15 @@ impl Engine {
             }
             let id = self.topo.ids[k];
             let nbr_idx = &self.topo.nbr_idx[k];
+            let cut = if self.link_cuts.is_empty() {
+                0
+            } else {
+                self.link_cuts[k]
+            };
             let mut mask = 0u8;
             for (s, &ni) in nbr_idx.iter().enumerate() {
-                if ni == NO_NBR {
+                // A cut slot's request announcement never arrives.
+                if ni == NO_NBR || cut & (1 << s) != 0 {
                     continue;
                 }
                 let ni = ni as usize;
@@ -678,12 +732,23 @@ impl Engine {
             }
             let Some(nx) = c.next else { continue };
             let id = self.topo.ids[k];
+            let dir = id.dir_to(nx).expect("next is always a neighbor");
+            if !self.link_cuts.is_empty() {
+                let s = Dir::ALL
+                    .iter()
+                    .position(|&d| d == dir)
+                    .expect("Dir::ALL covers every direction");
+                // The grant announcement from a cut neighbor never arrives:
+                // the cell reads signal = ⊥ and stays put.
+                if self.link_cuts[k] & (1 << s) != 0 {
+                    continue;
+                }
+            }
             let nxi = dims.index(nx);
             let nc = self.front[nxi];
             if nc.failed || nc.signal != Some(id) {
                 continue;
             }
-            let dir = id.dir_to(nx).expect("next is always a neighbor");
             push_tracked(&mut self.events.moved, id, &mut self.alloc_events);
             let boundary = id.boundary(dir);
             let mut w = 0usize;
@@ -942,6 +1007,132 @@ mod tests {
             sys.step();
             state = next;
             assert_eq!(sys.state(), &state, "diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn transfers_never_cross_a_cut_edge_and_safety_holds() {
+        use crate::fault::PartitionPlan;
+        let cfg = config(); // sources at (1,0) and (6,0); target (1,7)
+        let plan = PartitionPlan::for_grid(cfg.dims()).split_col(4, 0, None);
+        let schedule = plan.expand(120);
+        let mut sys = System::new(cfg.clone());
+        for round in 0..120u64 {
+            sys.set_link_cuts(schedule.mask_row(round));
+            let events = sys.step();
+            for t in &events.transfers {
+                assert_eq!(
+                    t.from.i() < 4,
+                    t.to.i() < 4,
+                    "transfer {:?} crossed the cut at round {round}",
+                    t
+                );
+            }
+            crate::safety::check_safe(sys.config(), sys.state())
+                .unwrap_or_else(|v| panic!("unsafe at round {round}: {v:?}"));
+        }
+        // The side cut off from the target sees only ∞/⊥ toward it.
+        assert!(sys.consumed_total() > 0, "open side still makes progress");
+    }
+
+    #[test]
+    fn healing_restores_routing_within_the_bound() {
+        use crate::fault::PartitionPlan;
+        use crate::monitor::stabilization_bound;
+        let cfg = config();
+        let plan = PartitionPlan::for_grid(cfg.dims()).split_col(4, 0, None);
+        let schedule = plan.expand(80);
+        let mut sys = System::new(cfg.clone());
+        for round in 0..80u64 {
+            sys.set_link_cuts(schedule.mask_row(round));
+            sys.step();
+        }
+        assert!(
+            !crate::analysis::routing_stabilized(sys.config(), sys.state()),
+            "a split grid must not look stabilized"
+        );
+        sys.clear_link_cuts();
+        sys.run(stabilization_bound(&cfg));
+        assert!(
+            crate::analysis::routing_stabilized(sys.config(), sys.state()),
+            "routing must recover within 2N²+2 rounds of healing"
+        );
+    }
+
+    #[test]
+    fn asymmetric_cut_masks_only_one_direction() {
+        use crate::fault::PartitionPlan;
+        let cfg = config();
+        let a = CellId::new(1, 3);
+        let b = CellId::new(1, 4);
+        // Cut only a's view of b: b's announcements (dist, grants) are lost
+        // on the way to a, but a's announcements still reach b.
+        let plan = PartitionPlan::for_grid(cfg.dims()).cut(b, a, 0, None);
+        let schedule = plan.expand(200);
+        let mut sys = System::new(cfg.clone());
+        for round in 0..200u64 {
+            sys.set_link_cuts(schedule.mask_row(round));
+            let events = sys.step();
+            for t in &events.transfers {
+                assert!(
+                    !(t.from == a && t.to == b),
+                    "a → b needs b's grant, which a can no longer hear (round {round})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_rounds_allocate_nothing_after_warmup() {
+        use crate::fault::PartitionPlan;
+        let cfg = config();
+        let plan = PartitionPlan::for_grid(cfg.dims()).split_row(3, 0, Some(150));
+        let schedule = plan.expand(400);
+        let mut engine = Engine::new(cfg);
+        engine.set_link_cuts(schedule.mask_row(0)); // allocates the mask row once
+        for round in 0..200u64 {
+            engine.set_link_cuts(schedule.mask_row(round));
+            engine.step();
+        }
+        engine.reset_alloc_events();
+        for round in 200..400u64 {
+            engine.set_link_cuts(schedule.mask_row(round));
+            engine.step();
+        }
+        assert_eq!(
+            engine.alloc_events(),
+            0,
+            "per-round mask updates must reuse the existing buffer"
+        );
+    }
+
+    #[test]
+    fn cuts_survive_load_state_and_clear_restores_the_fast_path() {
+        use crate::fault::PartitionPlan;
+        let cfg = config();
+        let plan = PartitionPlan::for_grid(cfg.dims()).split_col(4, 0, None);
+        let schedule = plan.expand(40);
+        let mut sys = System::new(cfg.clone());
+        for round in 0..40u64 {
+            sys.set_link_cuts(schedule.mask_row(round));
+            sys.step();
+        }
+        // fail() forces a load_state on the next step; the cuts must persist.
+        sys.fail(CellId::new(6, 6));
+        let events = sys.step();
+        for t in &events.transfers {
+            assert_eq!(t.from.i() < 4, t.to.i() < 4, "cut lost across load_state");
+        }
+        // Clearing the cuts makes the system behave exactly like the
+        // reference semantics again.
+        sys.clear_link_cuts();
+        let mut state = sys.state().clone();
+        let round = sys.round();
+        for step in 0..30u64 {
+            let (next, _) = update(sys.config(), &state, round + step);
+            sys.step();
+            state = next;
+            assert_eq!(sys.state(), &state, "diverged after clear at step {step}");
         }
     }
 }

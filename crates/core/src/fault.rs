@@ -25,11 +25,12 @@
 use std::collections::BTreeSet;
 
 use cellflow_geom::{sep_ok, Dir, Fixed, Point};
-use cellflow_grid::CellId;
+use cellflow_grid::{CellId, GridDims};
 use cellflow_routing::Dist;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::hash::{edge_seed, splitmix64, SPLITMIX64_GAMMA};
 use crate::{CellState, SystemConfig};
 
 /// The kind of a scripted fault transition.
@@ -470,6 +471,27 @@ impl FaultPlan {
         dead
     }
 
+    /// Cells taken down by a [`FaultKind::Kill`] at or before `round` (and
+    /// not scripted to recover, which plans never do for kills). Unlike
+    /// [`FaultPlan::hard_dead_at`] this excludes hard-crash victims — it
+    /// identifies the cells whose silence is *expected and unrecoverable*,
+    /// the culprits a timeout report should name.
+    pub fn killed_at(&self, round: u64) -> BTreeSet<CellId> {
+        let mut dead = BTreeSet::new();
+        for e in self.events.iter().filter(|e| e.round <= round) {
+            match e.kind {
+                FaultKind::Kill => {
+                    dead.insert(e.cell);
+                }
+                FaultKind::Recover => {
+                    dead.remove(&e.cell);
+                }
+                _ => {}
+            }
+        }
+        dead
+    }
+
     /// Counts per kind.
     pub fn census(&self) -> FaultCensus {
         let mut c = FaultCensus::default();
@@ -669,6 +691,385 @@ impl FaultPlan {
             plan = plan.corrupt_at(when, cell, corruption);
         }
         plan
+    }
+}
+
+/// One scripted **directed link cut**: every message `from → to` is
+/// suppressed from the start of round `start` until (exclusively) round
+/// `heal` — forever, when `heal` is `None`. Asymmetric by construction:
+/// cutting `A → B` leaves `B → A` alive, the half-open link failure that
+/// drives count-to-infinity in distance-vector routing.
+///
+/// The receiving side observes exactly the paper's footnote 1: a neighbor
+/// it hears nothing from reads as `dist = ∞`, `signal = ⊥`. Cells on both
+/// sides keep running — link faults never crash anyone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LinkFault {
+    /// The silenced sender.
+    pub from: CellId,
+    /// The receiver that stops hearing it.
+    pub to: CellId,
+    /// First round (0-based, as seen by the engine) the cut is active.
+    pub start: u64,
+    /// First round the link works again; `None` = never heals.
+    pub heal: Option<u64>,
+}
+
+impl LinkFault {
+    /// `true` if the cut suppresses traffic during `round`.
+    pub fn active(&self, round: u64) -> bool {
+        round >= self.start && self.heal.is_none_or(|h| round < h)
+    }
+}
+
+/// Seeded intermittent link weather: during `[start, heal)`, every directed
+/// grid edge is independently cut in each round with probability
+/// `rate_milli / 1000`, decided by a **stateless** per-`(edge, round)` hash.
+/// Statelessness is the determinism anchor: re-expanding the plan over any
+/// horizon reproduces the same cuts round for round, so a schedule's prefix
+/// never depends on how far ahead it was expanded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FlakySpec {
+    /// Seed for the per-(edge, round) cut decisions.
+    pub seed: u64,
+    /// Cut probability in parts per thousand (`0..=1000`).
+    pub rate_milli: u32,
+    /// First round the weather is active.
+    pub start: u64,
+    /// First calm round; `None` = never calms.
+    pub heal: Option<u64>,
+}
+
+impl FlakySpec {
+    fn active(&self, round: u64) -> bool {
+        round >= self.start && self.heal.is_none_or(|h| round < h)
+    }
+
+    /// The stateless cut decision for edge `from → to` in `round`.
+    fn cuts(&self, round: u64, from: CellId, to: CellId) -> bool {
+        let key = edge_seed(self.seed, from, to) ^ round.wrapping_mul(SPLITMIX64_GAMMA);
+        splitmix64(key) % 1000 < self.rate_milli as u64
+    }
+}
+
+/// A deterministic schedule of link cuts and partition episodes over one
+/// grid — the correlated-failure counterpart of [`FaultPlan`]'s per-cell
+/// faults. Consumed identically by the lockstep simulator (edge masks on
+/// the engine's neighbor reads) and the message-passing runtime (a
+/// [`LinkFaultTransport`] suppressing announcements), so partition
+/// campaigns can be compared differentially.
+///
+/// Built with chainable constructors and expanded ([`PartitionPlan::expand`])
+/// into a per-round, per-cell incoming-cut mask ([`PartitionSchedule`]) that
+/// both runtimes index the same way.
+///
+/// ```
+/// use cellflow_core::fault::PartitionPlan;
+/// use cellflow_grid::{CellId, GridDims};
+///
+/// let dims = GridDims::square(4);
+/// let plan = PartitionPlan::for_grid(dims)
+///     .split_col(2, 10, Some(40))            // split-brain along a grid line
+///     .cut(CellId::new(0, 0), CellId::new(0, 1), 5, None); // asymmetric cut
+/// let schedule = plan.expand(60);
+/// assert!(schedule.is_cut(12, CellId::new(1, 0), CellId::new(2, 0)));
+/// assert!(!schedule.is_cut(40, CellId::new(1, 0), CellId::new(2, 0)));
+/// assert!(schedule.is_cut(59, CellId::new(0, 0), CellId::new(0, 1)));
+/// ```
+///
+/// [`LinkFaultTransport`]: ../../cellflow_net/struct.LinkFaultTransport.html
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionPlan {
+    dims: GridDims,
+    faults: Vec<LinkFault>,
+    flaky: Vec<FlakySpec>,
+}
+
+impl PartitionPlan {
+    /// An empty plan over `dims` (no cuts ever).
+    pub fn for_grid(dims: GridDims) -> PartitionPlan {
+        PartitionPlan {
+            dims,
+            faults: Vec::new(),
+            flaky: Vec::new(),
+        }
+    }
+
+    /// Adds one directed cut `from → to` active over `[start, heal)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cells are not grid neighbors, lie out of bounds, or
+    /// `heal ≤ start` (an empty cut is always a scripting mistake).
+    pub fn cut(mut self, from: CellId, to: CellId, start: u64, heal: Option<u64>) -> PartitionPlan {
+        assert!(
+            self.dims.contains(from) && self.dims.contains(to),
+            "link {from}->{to} out of {} bounds",
+            self.dims
+        );
+        assert!(from.is_neighbor(to), "{from} and {to} are not neighbors");
+        assert!(
+            heal.is_none_or(|h| h > start),
+            "heal round {heal:?} must follow start round {start}"
+        );
+        self.faults.push(LinkFault {
+            from,
+            to,
+            start,
+            heal,
+        });
+        self
+    }
+
+    /// Adds both directions of the edge `{a, b}` as cuts over `[start, heal)`.
+    pub fn cut_both(self, a: CellId, b: CellId, start: u64, heal: Option<u64>) -> PartitionPlan {
+        self.cut(a, b, start, heal).cut(b, a, start, heal)
+    }
+
+    /// Splits the grid along the vertical line before column `col`: every
+    /// edge between columns `col − 1` and `col` is cut in both directions
+    /// over `[start, heal)` — the canonical split-brain episode.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ col < nx` (the line must have cells on both sides).
+    pub fn split_col(mut self, col: u16, start: u64, heal: Option<u64>) -> PartitionPlan {
+        assert!(
+            col >= 1 && col < self.dims.nx(),
+            "column {col} does not split a {} grid",
+            self.dims
+        );
+        for j in 0..self.dims.ny() {
+            self = self.cut_both(CellId::new(col - 1, j), CellId::new(col, j), start, heal);
+        }
+        self
+    }
+
+    /// Splits the grid along the horizontal line before row `row` — the
+    /// [`PartitionPlan::split_col`] of the other axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ row < ny`.
+    pub fn split_row(mut self, row: u16, start: u64, heal: Option<u64>) -> PartitionPlan {
+        assert!(
+            row >= 1 && row < self.dims.ny(),
+            "row {row} does not split a {} grid",
+            self.dims
+        );
+        for i in 0..self.dims.nx() {
+            self = self.cut_both(CellId::new(i, row - 1), CellId::new(i, row), start, heal);
+        }
+        self
+    }
+
+    /// Isolates the axis-aligned rectangle spanned by `a` and `b`
+    /// (inclusive): every edge crossing the rectangle's boundary is cut in
+    /// both directions over `[start, heal)`, leaving an island that keeps
+    /// running on its own.
+    pub fn island(mut self, a: CellId, b: CellId, start: u64, heal: Option<u64>) -> PartitionPlan {
+        let (i0, i1) = (a.i().min(b.i()), a.i().max(b.i()));
+        let (j0, j1) = (a.j().min(b.j()), a.j().max(b.j()));
+        let inside =
+            |c: CellId| c.i() >= i0 && c.i() <= i1 && c.j() >= j0 && c.j() <= j1;
+        for i in i0..=i1 {
+            for j in j0..=j1 {
+                let cell = CellId::new(i, j);
+                for dir in Dir::ALL {
+                    if let Some(nbr) = self.dims.neighbor(cell, dir) {
+                        if !inside(nbr) {
+                            self = self.cut_both(cell, nbr, start, heal);
+                        }
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Adds seeded intermittent cuts over every directed edge: each edge is
+    /// independently down with probability `rate_milli / 1000` per round
+    /// during `[start, heal)`. See [`FlakySpec`] for the determinism
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_milli > 1000`.
+    pub fn flaky_links(
+        mut self,
+        seed: u64,
+        rate_milli: u32,
+        start: u64,
+        heal: Option<u64>,
+    ) -> PartitionPlan {
+        assert!(rate_milli <= 1000, "rate is in parts per thousand");
+        self.flaky.push(FlakySpec {
+            seed,
+            rate_milli,
+            start,
+            heal,
+        });
+        self
+    }
+
+    /// The grid this plan is scripted over.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// The scripted directed cuts, in insertion order.
+    pub fn faults(&self) -> &[LinkFault] {
+        &self.faults
+    }
+
+    /// The flaky-weather episodes, in insertion order.
+    pub fn flaky(&self) -> &[FlakySpec] {
+        &self.flaky
+    }
+
+    /// `true` if the plan scripts no cuts at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty() && self.flaky.is_empty()
+    }
+
+    /// The first round from which every cut has healed — the moment "link
+    /// failures cease" that starts the stabilization clock. `None` if any
+    /// cut or flaky episode never heals.
+    pub fn heal_round(&self) -> Option<u64> {
+        let mut heal = 0u64;
+        for f in &self.faults {
+            heal = heal.max(f.heal?);
+        }
+        for f in &self.flaky {
+            heal = heal.max(f.heal?);
+        }
+        Some(heal)
+    }
+
+    /// Is the directed edge `from → to` cut during `round`? The scripted
+    /// answer, independent of any expansion horizon.
+    pub fn is_cut(&self, round: u64, from: CellId, to: CellId) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.from == from && f.to == to && f.active(round))
+            || self
+                .flaky
+                .iter()
+                .any(|f| f.active(round) && f.cuts(round, from, to))
+    }
+
+    /// Expands the plan over rounds `0..rounds` into the flat per-round mask
+    /// form both runtimes consume. Deterministic, and **prefix-stable**:
+    /// `expand(n)` agrees with `expand(m)` on the first `min(n, m)` rounds.
+    pub fn expand(&self, rounds: u64) -> PartitionSchedule {
+        let n = self.dims.cell_count();
+        let mut masks = vec![0u8; rounds as usize * n];
+        let mut active = vec![false; rounds as usize];
+        for round in 0..rounds {
+            let row = &mut masks[round as usize * n..(round as usize + 1) * n];
+            for f in self.faults.iter().filter(|f| f.active(round)) {
+                apply_cut(self.dims, row, f.from, f.to);
+            }
+            for f in self.flaky.iter().filter(|f| f.active(round)) {
+                for (k, mask) in row.iter_mut().enumerate() {
+                    let to = self.dims.id_at(k);
+                    for dir in Dir::ALL {
+                        if let Some(from) = self.dims.neighbor(to, dir) {
+                            if f.cuts(round, from, to) {
+                                *mask |= 1 << dir_slot(dir);
+                            }
+                        }
+                    }
+                }
+            }
+            active[round as usize] = row.iter().any(|&m| m != 0);
+        }
+        PartitionSchedule {
+            dims: self.dims,
+            rounds,
+            masks,
+            active,
+            zeros: vec![0u8; n],
+        }
+    }
+}
+
+/// The slot of `dir` in [`Dir::ALL`] — the bit the engine's neighbor masks
+/// use for that direction.
+fn dir_slot(dir: Dir) -> usize {
+    Dir::ALL
+        .iter()
+        .position(|&d| d == dir)
+        .expect("Dir::ALL covers every direction")
+}
+
+/// Sets the incoming-cut bit on `to`'s mask for the neighbor `from`.
+fn apply_cut(dims: GridDims, row: &mut [u8], from: CellId, to: CellId) {
+    let dir = to.dir_to(from).expect("cuts are validated as neighbor edges");
+    row[dims.index(to)] |= 1 << dir_slot(dir);
+}
+
+/// A [`PartitionPlan`] expanded over a fixed horizon: for each round, one
+/// **incoming-cut bitmask per cell** (bit `s` set ⇔ traffic from the
+/// neighbor in `Dir::ALL[s]` is suppressed this round). This is the single
+/// runtime-portable artifact: the engine masks its neighbor reads with it,
+/// and the net transport suppresses exactly the announcements it marks, so
+/// both runtimes see the identical degraded topology.
+///
+/// Rounds at or past the horizon read as fully healed (all-zero masks).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionSchedule {
+    dims: GridDims,
+    rounds: u64,
+    /// Round-major: `masks[round * cell_count + k]` is cell `k`'s mask.
+    masks: Vec<u8>,
+    /// Per round: does any cut exist at all?
+    active: Vec<bool>,
+    /// The all-healed row returned beyond the horizon.
+    zeros: Vec<u8>,
+}
+
+impl PartitionSchedule {
+    /// The grid the schedule covers.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// The expansion horizon (rounds `0..rounds` carry real masks).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The per-cell incoming-cut masks for `round` (all zeros at or past
+    /// the horizon).
+    pub fn mask_row(&self, round: u64) -> &[u8] {
+        let n = self.zeros.len();
+        if round < self.rounds {
+            &self.masks[round as usize * n..(round as usize + 1) * n]
+        } else {
+            &self.zeros
+        }
+    }
+
+    /// `true` if any link is cut during `round`.
+    pub fn active(&self, round: u64) -> bool {
+        round < self.rounds && self.active[round as usize]
+    }
+
+    /// Is the directed edge `from → to` cut during `round`?
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cells are not neighbors or lie out of bounds.
+    pub fn is_cut(&self, round: u64, from: CellId, to: CellId) -> bool {
+        let dir = to.dir_to(from).expect("is_cut takes a neighbor edge");
+        self.mask_row(round)[self.dims.index(to)] & (1 << dir_slot(dir)) != 0
+    }
+
+    /// Total directed cut-rounds over the horizon (one cut edge for one
+    /// round counts once) — the partition-severity scalar reports quote.
+    pub fn cut_edge_rounds(&self) -> u64 {
+        self.masks.iter().map(|m| m.count_ones() as u64).sum()
     }
 }
 
@@ -874,6 +1275,155 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn directed_cuts_are_asymmetric_and_interval_scoped() {
+        let dims = GridDims::square(4);
+        let (a, b) = (CellId::new(1, 1), CellId::new(2, 1));
+        let plan = PartitionPlan::for_grid(dims).cut(a, b, 10, Some(20));
+        let sched = plan.expand(30);
+        for round in 0..30 {
+            let expect = (10..20).contains(&round);
+            assert_eq!(sched.is_cut(round, a, b), expect, "round {round}");
+            assert!(!sched.is_cut(round, b, a), "reverse stays alive");
+            assert_eq!(plan.is_cut(round, a, b), expect, "plan view agrees");
+        }
+        assert!(!sched.is_cut(100, a, b), "past the horizon reads healed");
+        assert_eq!(sched.cut_edge_rounds(), 10);
+        assert_eq!(plan.heal_round(), Some(20));
+    }
+
+    #[test]
+    fn split_col_disconnects_the_grid_both_ways() {
+        let dims = GridDims::square(4);
+        let sched = PartitionPlan::for_grid(dims)
+            .split_col(2, 5, Some(15))
+            .expand(20);
+        for j in 0..4 {
+            let west = CellId::new(1, j);
+            let east = CellId::new(2, j);
+            assert!(sched.is_cut(7, west, east), "row {j} west->east");
+            assert!(sched.is_cut(7, east, west), "row {j} east->west");
+        }
+        // Inside each half everything still flows.
+        assert!(!sched.is_cut(7, CellId::new(0, 0), CellId::new(1, 0)));
+        assert!(!sched.is_cut(7, CellId::new(2, 0), CellId::new(3, 0)));
+        assert!(sched.active(7));
+        assert!(!sched.active(15), "healed from the heal round on");
+    }
+
+    #[test]
+    fn island_cuts_exactly_the_boundary() {
+        let dims = GridDims::square(4);
+        let sched = PartitionPlan::for_grid(dims)
+            .island(CellId::new(1, 1), CellId::new(2, 2), 0, None)
+            .expand(5);
+        // Boundary edge: cut in both directions.
+        assert!(sched.is_cut(0, CellId::new(0, 1), CellId::new(1, 1)));
+        assert!(sched.is_cut(0, CellId::new(1, 1), CellId::new(0, 1)));
+        // Interior edge of the island: alive.
+        assert!(!sched.is_cut(0, CellId::new(1, 1), CellId::new(2, 1)));
+        // Edge fully outside the island: alive.
+        assert!(!sched.is_cut(0, CellId::new(0, 0), CellId::new(0, 1)));
+        assert_eq!(
+            PartitionPlan::for_grid(dims)
+                .island(CellId::new(1, 1), CellId::new(2, 2), 0, None)
+                .heal_round(),
+            None
+        );
+    }
+
+    #[test]
+    fn flaky_expansion_is_prefix_stable_and_seed_deterministic() {
+        let dims = GridDims::square(4);
+        let plan = |seed| PartitionPlan::for_grid(dims).flaky_links(seed, 300, 0, Some(40));
+        let a = plan(7).expand(40);
+        let b = plan(7).expand(40);
+        assert_eq!(a, b, "same seed, same schedule");
+        // Prefix stability: a longer expansion agrees round for round.
+        let long = plan(7).expand(80);
+        for round in 0..40 {
+            assert_eq!(a.mask_row(round), long.mask_row(round), "round {round}");
+        }
+        // A different seed cuts differently somewhere.
+        assert_ne!(a, plan(8).expand(40));
+        // The rate is roughly honored (300‰ over 48 directed edges × 40
+        // rounds ≈ 576 expected cut-rounds; allow a wide band).
+        let cuts = a.cut_edge_rounds();
+        assert!((300..900).contains(&cuts), "cut-rounds {cuts} implausible");
+    }
+
+    #[test]
+    fn flaky_rate_extremes() {
+        let dims = GridDims::square(3);
+        let calm = PartitionPlan::for_grid(dims)
+            .flaky_links(1, 0, 0, None)
+            .expand(10);
+        assert_eq!(calm.cut_edge_rounds(), 0);
+        let storm = PartitionPlan::for_grid(dims)
+            .flaky_links(1, 1000, 0, None)
+            .expand(10);
+        // 3×3 grid: 24 directed edges, all cut every round.
+        assert_eq!(storm.cut_edge_rounds(), 24 * 10);
+    }
+
+    #[test]
+    fn plan_view_matches_expanded_view_under_mixed_episodes() {
+        let dims = GridDims::square(4);
+        let plan = PartitionPlan::for_grid(dims)
+            .split_row(1, 3, Some(12))
+            .cut(CellId::new(3, 3), CellId::new(3, 2), 0, Some(30))
+            .flaky_links(99, 250, 8, Some(25));
+        let sched = plan.expand(35);
+        for round in 0..35 {
+            for k in 0..dims.cell_count() {
+                let to = dims.id_at(k);
+                for dir in Dir::ALL {
+                    if let Some(from) = dims.neighbor(to, dir) {
+                        assert_eq!(
+                            sched.is_cut(round, from, to),
+                            plan.is_cut(round, from, to),
+                            "round {round} edge {from}->{to}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(plan.heal_round(), Some(30));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.faults().len(), 1 + 8);
+        assert_eq!(plan.flaky().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not neighbors")]
+    fn non_neighbor_cut_panics() {
+        let _ = PartitionPlan::for_grid(GridDims::square(4)).cut(
+            CellId::new(0, 0),
+            CellId::new(2, 0),
+            0,
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not split")]
+    fn split_outside_grid_panics() {
+        let _ = PartitionPlan::for_grid(GridDims::square(4)).split_col(4, 0, None);
+    }
+
+    #[test]
+    fn killed_at_tracks_only_kills() {
+        let plan = FaultPlan::new()
+            .hard_crash_at(5, CellId::new(1, 1))
+            .kill_at(10, CellId::new(2, 2));
+        assert!(plan.killed_at(7).is_empty(), "hard crashes are not kills");
+        assert_eq!(
+            plan.killed_at(10).into_iter().collect::<Vec<_>>(),
+            vec![CellId::new(2, 2)]
+        );
+        assert!(plan.hard_dead_at(10).contains(&CellId::new(1, 1)));
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod certify;
 pub mod engine;
 mod entity;
 pub mod fault;
+pub mod hash;
 pub mod mc;
 pub mod monitor;
 mod move_fn;
@@ -67,10 +68,18 @@ mod update;
 
 pub use cell::CellState;
 pub use cellflow_routing::Dist;
-pub use certify::{certify, certify_batch, shrink, Certificate, CertifyOptions, CorruptionEvent};
+pub use certify::{
+    certify, certify_batch, certify_links, shrink, shrink_links, Certificate, CertifyOptions,
+    CorruptionEvent, LinkCertificate,
+};
 pub use engine::{Engine, NeighborTable};
-pub use fault::{CampaignSpec, Corruption, FaultCensus, FaultEvent, FaultKind, FaultPlan};
-pub use monitor::{standard_monitors, Monitor, MonitorCtx, MonitorViolation};
+pub use fault::{
+    CampaignSpec, Corruption, FaultCensus, FaultEvent, FaultKind, FaultPlan, FlakySpec, LinkFault,
+    PartitionPlan, PartitionSchedule,
+};
+pub use monitor::{
+    component_map, standard_monitors, Monitor, MonitorCtx, MonitorViolation, ReachabilityMonitor,
+};
 pub use entity::{Entity, EntityId};
 pub use overload::{
     expand_overload, BackoffPolicy, CascadeOutcome, CascadeStats, OverloadDetector,

@@ -34,7 +34,7 @@
 use cellflow_dts::Dts;
 use cellflow_grid::CellId;
 
-use crate::{update, SystemConfig, SystemState, TokenPolicy};
+use crate::{update, Engine, SystemConfig, SystemState, TokenPolicy};
 
 /// A transition of the bounded system: the paper's two transition kinds, plus
 /// the recovery transition of the Section IV failure model.
@@ -53,6 +53,9 @@ pub struct BoundedSystem {
     config: SystemConfig,
     fallible: Vec<CellId>,
     allow_recovery: bool,
+    /// Static per-cell incoming-cut masks (see [`Engine::set_link_cuts`]);
+    /// empty means every link is up.
+    link_cuts: Vec<u8>,
 }
 
 impl BoundedSystem {
@@ -77,6 +80,7 @@ impl BoundedSystem {
             config,
             fallible: Vec::new(),
             allow_recovery: false,
+            link_cuts: Vec::new(),
         }
     }
 
@@ -89,6 +93,28 @@ impl BoundedSystem {
     ) -> BoundedSystem {
         self.fallible = cells.into_iter().collect();
         self.allow_recovery = allow_recovery;
+        self
+    }
+
+    /// Installs a *static* partition: per-cell incoming-cut masks in the
+    /// [`Engine::set_link_cuts`] layout, applied to every `Update`
+    /// transition. Cut slots read as silent neighbors (footnote 1:
+    /// `dist = ∞`, `signal = ⊥`), so this explores the protocol's behavior
+    /// on a severed topology. The masks must be round-invariant — the round
+    /// number is not part of the explored state, so only a cut that never
+    /// changes is sound to check; take one row of a
+    /// [`PartitionSchedule`](crate::PartitionSchedule) if a plan built it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks.len()` is not the grid's cell count.
+    pub fn with_link_cuts(mut self, masks: Vec<u8>) -> BoundedSystem {
+        assert_eq!(
+            masks.len(),
+            self.config.dims().cell_count(),
+            "one incoming-cut mask per cell"
+        );
+        self.link_cuts = masks;
         self
     }
 
@@ -125,7 +151,17 @@ impl Dts for BoundedSystem {
         match action {
             // Round number 0 everywhere: deterministic policies ignore it
             // (enforced by the constructor).
-            McAction::Update => update(&self.config, state, 0).0,
+            McAction::Update if self.link_cuts.is_empty() => update(&self.config, state, 0).0,
+            // The cut-aware round lives in the engine; load/step/export is
+            // the same transition function (pinned by the differential
+            // suite), just with the incoming-cut masks honored.
+            McAction::Update => {
+                let mut engine = Engine::new(self.config.clone());
+                engine.load_state(state);
+                engine.set_link_cuts(&self.link_cuts);
+                engine.step();
+                engine.export_state()
+            }
             McAction::Fail(c) => {
                 let mut s = state.clone();
                 s.fail(self.config.dims(), *c);
@@ -214,6 +250,92 @@ mod tests {
                 .any(|s| s.next_entity_id == 1 && s.entity_count() == 0),
             "no reachable state shows the entity consumed"
         );
+    }
+
+    /// Incoming-cut masks for a permanent mid-corridor severance
+    /// ⟨1,0⟩ ↮ ⟨2,0⟩ on the 3×1 grid.
+    fn corridor_cut_masks() -> Vec<u8> {
+        use crate::PartitionPlan;
+        PartitionPlan::for_grid(GridDims::new(3, 1))
+            .cut_both(CellId::new(1, 0), CellId::new(2, 0), 0, None)
+            .expand(1)
+            .mask_row(0)
+            .to_vec()
+    }
+
+    #[test]
+    fn exhaustive_safety_on_a_partitioned_corridor() {
+        // Theorem 5 must hold on the severed topology too: the cells on each
+        // side of the cut read footnote-1 silence across it and keep running.
+        let cfg = corridor(1);
+        let sys = BoundedSystem::new(cfg.clone()).with_link_cuts(corridor_cut_masks());
+        let report = check_invariant(
+            &sys,
+            |s| {
+                safety::check_safe(&cfg, s).is_ok()
+                    && safety::check_invariant1(&cfg, s).is_ok()
+                    && safety::check_invariant2(&cfg, s).is_ok()
+            },
+            &ExploreConfig {
+                max_states: 1_000_000,
+                max_depth: usize::MAX,
+            },
+        )
+        .expect("safety despite the partition");
+        assert!(report.exhaustive);
+        // The severed corridor quiesces: dist saturates to ∞ on the source
+        // side (footnote-1 silence across the cut), the source stops
+        // inserting, and the tiny fixpoint space is fully covered.
+        assert!(report.states_explored >= 2);
+        let sys = BoundedSystem::new(cfg).with_link_cuts(corridor_cut_masks());
+        let mut ex = Explorer::new(&sys);
+        ex.run(&ExploreConfig {
+            max_states: 1_000_000,
+            max_depth: usize::MAX,
+        });
+        assert!(
+            ex.states()
+                .iter()
+                .all(|s| !(s.next_entity_id == 1 && s.entity_count() == 0)),
+            "an entity crossed a cut edge"
+        );
+    }
+
+    #[test]
+    fn partitioned_grid_routes_around_the_cut() {
+        // On a 2×2 grid a both-ways cut ⟨0,0⟩ ↮ ⟨1,0⟩ leaves the detour via
+        // ⟨0,1⟩ intact: the entity is still deliverable, so the partition
+        // degrades routing without trapping traffic it need not trap.
+        let cfg = SystemConfig::new(
+            GridDims::new(2, 2),
+            CellId::new(1, 1),
+            Params::from_milli(250, 50, 200).unwrap(),
+        )
+        .unwrap()
+        .with_source(CellId::new(0, 0))
+        .with_entity_budget(1);
+        let masks = crate::PartitionPlan::for_grid(GridDims::new(2, 2))
+            .cut_both(CellId::new(0, 0), CellId::new(1, 0), 0, None)
+            .expand(1)
+            .mask_row(0)
+            .to_vec();
+        let sys = BoundedSystem::new(cfg).with_link_cuts(masks);
+        let live = cellflow_dts::check_possibly(
+            &sys,
+            |s| s.next_entity_id == 1 && s.entity_count() == 0,
+            &ExploreConfig {
+                max_states: 1_000_000,
+                max_depth: usize::MAX,
+            },
+        )
+        .expect("the detour delivers despite the cut");
+        assert!(live.goal_states > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask per cell")]
+    fn wrong_mask_length_is_rejected() {
+        let _ = BoundedSystem::new(corridor(1)).with_link_cuts(vec![0u8; 2]);
     }
 
     #[test]

@@ -560,6 +560,187 @@ impl Monitor for CapacityMonitor {
     }
 }
 
+/// Labels each cell with the identifier of its connected component under the
+/// per-cell incoming link-cut `mask` (see
+/// [`PartitionSchedule::mask_row`](crate::PartitionSchedule::mask_row)),
+/// or `None` for failed cells.
+///
+/// Two live neighboring cells belong to the same component iff their shared
+/// edge is open in **both** directions — a one-way cut already breaks the
+/// request/grant handshake, so the transfer channel is down. Components are
+/// numbered `0, 1, …` in cell-scan order, which makes the labeling
+/// deterministic for rendering and reports.
+///
+/// # Panics
+///
+/// Panics if `mask.len()` differs from the number of cells.
+pub fn component_map(
+    config: &SystemConfig,
+    state: &SystemState,
+    mask: &[u8],
+) -> Vec<Option<u32>> {
+    let dims = config.dims();
+    let n = dims.cell_count();
+    assert_eq!(mask.len(), n, "mask row must match the grid");
+    let mut comp: Vec<Option<u32>> = vec![None; n];
+    let mut next_comp = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if comp[start].is_some() || state.cells[start].failed {
+            continue;
+        }
+        let label = next_comp;
+        next_comp += 1;
+        comp[start] = Some(label);
+        stack.push(start);
+        while let Some(k) = stack.pop() {
+            let id = dims.id_at(k);
+            for (s, &dir) in cellflow_geom::Dir::ALL.iter().enumerate() {
+                let Some(nid) = dims.neighbor(id, dir) else {
+                    continue;
+                };
+                let nk = dims.index(nid);
+                if comp[nk].is_some() || state.cells[nk].failed {
+                    continue;
+                }
+                // k's incoming slot s faces `dir`; the neighbor hears k on
+                // the opposite slot.
+                let back = cellflow_geom::Dir::ALL
+                    .iter()
+                    .position(|&d| d == dir.opposite())
+                    .expect("Dir::ALL covers every direction");
+                if mask[k] & (1 << s) != 0 || mask[nk] & (1 << back) != 0 {
+                    continue;
+                }
+                comp[nk] = Some(label);
+                stack.push(nk);
+            }
+        }
+    }
+    comp
+}
+
+/// A split-brain observer for partition episodes: tracks the connected
+/// components induced by a [`PartitionSchedule`](crate::PartitionSchedule),
+/// re-checks Theorem 5 safety on every round an episode is active, and
+/// asserts that no entity ever crosses a cut edge.
+///
+/// The standard suite's [`SafetyMonitor`] already checks safety every round;
+/// this monitor's value is the *attribution* — its violations say "unsafe
+/// **while partitioned**" and "entity crossed a **cut** edge", which is what
+/// a partition campaign report needs to certify Theorem 5's
+/// failure-obliviousness under link faults, not just cell crashes.
+pub struct ReachabilityMonitor {
+    schedule: crate::PartitionSchedule,
+    /// Entity → cell of the previous observed round.
+    prev: std::collections::HashMap<crate::EntityId, CellId>,
+    rounds: u64,
+    episode_rounds: u64,
+    max_components: u32,
+    violations: u64,
+}
+
+impl ReachabilityMonitor {
+    /// A monitor enforcing `schedule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule was built for a different grid than `config`.
+    pub fn new(config: &SystemConfig, schedule: crate::PartitionSchedule) -> ReachabilityMonitor {
+        assert_eq!(
+            schedule.dims(),
+            config.dims(),
+            "partition schedule and system must share a grid"
+        );
+        ReachabilityMonitor {
+            schedule,
+            prev: std::collections::HashMap::new(),
+            rounds: 0,
+            episode_rounds: 0,
+            max_components: 0,
+            violations: 0,
+        }
+    }
+
+    /// The largest number of simultaneously live components observed.
+    pub fn max_components(&self) -> u32 {
+        self.max_components
+    }
+
+    /// How many observed rounds had at least one active cut.
+    pub fn episode_rounds(&self) -> u64 {
+        self.episode_rounds
+    }
+}
+
+impl Monitor for ReachabilityMonitor {
+    fn name(&self) -> &'static str {
+        "reachability"
+    }
+
+    fn observe(&mut self, ctx: &MonitorCtx<'_>) -> Vec<MonitorViolation> {
+        self.rounds += 1;
+        let dims = ctx.config.dims();
+        // `ctx.round` is 1-based; the schedule's mask rows are 0-based.
+        let mask_round = ctx.round.saturating_sub(1);
+        let mask = self.schedule.mask_row(mask_round);
+        let active = self.schedule.active(mask_round);
+        let mut out = Vec::new();
+
+        let comp = component_map(ctx.config, ctx.state, mask);
+        let components = comp.iter().flatten().copied().max().map_or(0, |m| m + 1);
+        self.max_components = self.max_components.max(components);
+
+        if active {
+            self.episode_rounds += 1;
+            if let Err(v) = safety::check_safe(ctx.config, ctx.state) {
+                out.push(MonitorViolation {
+                    monitor: self.name(),
+                    round: ctx.round,
+                    detail: format!("Theorem 5 violated while partitioned: {v}"),
+                });
+            }
+        }
+
+        // No entity may have crossed an edge whose *grant* direction is cut:
+        // a mover must hear its next cell's grant that same round (the
+        // request side is weaker — a standing token issued before the cut
+        // may keep granting, which both executions honor).
+        for (k, cell) in ctx.state.cells.iter().enumerate() {
+            let here = dims.id_at(k);
+            for &eid in cell.members.keys() {
+                if let Some(&from) = self.prev.get(&eid) {
+                    if from != here && self.schedule.is_cut(mask_round, here, from) {
+                        out.push(MonitorViolation {
+                            monitor: self.name(),
+                            round: ctx.round,
+                            detail: format!(
+                                "entity {eid:?} crossed the cut edge {from} → {here}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        self.prev.clear();
+        for (k, cell) in ctx.state.cells.iter().enumerate() {
+            let here = dims.id_at(k);
+            for &eid in cell.members.keys() {
+                self.prev.insert(eid, here);
+            }
+        }
+        self.violations += out.len() as u64;
+        out
+    }
+
+    fn summary(&self) -> String {
+        format!(
+            "reachability: {} rounds checked ({} partitioned), max {} components, {} violations",
+            self.rounds, self.episode_rounds, self.max_components, self.violations
+        )
+    }
+}
+
 /// The standard monitor suite: safety, routing sanity, conservation, and the
 /// stabilization stopwatch for `config` — plus the capacity invariant when
 /// `config` gives cells a finite [`capacity`](SystemConfig::capacity)
@@ -843,6 +1024,111 @@ mod tests {
         };
         m.observe(&disturbed);
         assert_eq!(probe.last_disturbance(), sys.round());
+    }
+
+    #[test]
+    fn component_map_tracks_splits_and_failed_cells() {
+        use crate::fault::PartitionPlan;
+        let cfg = config();
+        let mut sys = System::new(cfg.clone());
+        // No cuts: one component covering all 16 cells.
+        let comp = component_map(&cfg, sys.state(), &[0; 16]);
+        assert!(comp.iter().all(|c| *c == Some(0)));
+        // Split before column 2: exactly two components, divided on `i`.
+        let schedule = PartitionPlan::for_grid(cfg.dims())
+            .split_col(2, 0, None)
+            .expand(1);
+        let comp = component_map(&cfg, sys.state(), schedule.mask_row(0));
+        for (k, c) in comp.iter().enumerate() {
+            let id = cfg.dims().id_at(k);
+            assert_eq!(*c, Some(u32::from(id.i() >= 2)), "cell {id}");
+        }
+        // A failed cell is in no component.
+        sys.fail(CellId::new(0, 0));
+        let comp = component_map(&cfg, sys.state(), schedule.mask_row(0));
+        assert_eq!(comp[cfg.dims().index(CellId::new(0, 0))], None);
+        // A one-way cut alone already severs the component edge.
+        let schedule = PartitionPlan::for_grid(cfg.dims())
+            .cut(CellId::new(0, 3), CellId::new(1, 3), 0, None)
+            .expand(1);
+        let comp = component_map(&cfg, sys.state(), schedule.mask_row(0));
+        // The grid minus that edge is still connected elsewhere, so still
+        // one component — but the edge itself must not be what connects it.
+        assert_eq!(comp.iter().flatten().max(), Some(&0));
+    }
+
+    #[test]
+    fn reachability_monitor_attributes_partition_rounds() {
+        use crate::fault::PartitionPlan;
+        let cfg = config();
+        let plan = PartitionPlan::for_grid(cfg.dims()).split_col(2, 5, Some(20));
+        let schedule = plan.expand(40);
+        let mut m = ReachabilityMonitor::new(&cfg, schedule.clone());
+        let mut sys = System::new(cfg.clone());
+        for round in 0..40u64 {
+            sys.set_link_cuts(schedule.mask_row(round));
+            sys.step();
+            let ctx = MonitorCtx {
+                config: sys.config(),
+                state: sys.state(),
+                round: sys.round(),
+                failed: &[],
+                recovered: &[],
+                corrupted: &[],
+                ambient_chaos: schedule.active(round),
+                consumed_total: sys.consumed_total(),
+                inserted_total: sys.inserted_total(),
+            };
+            assert_eq!(m.observe(&ctx), Vec::new(), "round {round}");
+        }
+        assert_eq!(m.max_components(), 2);
+        assert_eq!(m.episode_rounds(), 15);
+        assert!(m.summary().contains("max 2 components"));
+    }
+
+    #[test]
+    fn reachability_monitor_flags_entity_crossing_a_cut() {
+        use crate::fault::PartitionPlan;
+        let cfg = config();
+        let schedule = PartitionPlan::for_grid(cfg.dims())
+            .split_col(2, 0, None)
+            .expand(10);
+        let mut m = ReachabilityMonitor::new(&cfg, schedule);
+        let mut sys = System::new(cfg.clone());
+        let eid = sys
+            .seed_entity(CellId::new(1, 1), CellId::new(1, 1).center())
+            .unwrap();
+        let observe = |m: &mut ReachabilityMonitor, sys: &System, round| {
+            m.observe(&MonitorCtx {
+                config: sys.config(),
+                state: sys.state(),
+                round,
+                failed: &[],
+                recovered: &[],
+                corrupted: &[],
+                ambient_chaos: true,
+                consumed_total: sys.consumed_total(),
+                inserted_total: sys.inserted_total(),
+            })
+        };
+        assert_eq!(observe(&mut m, &sys, 1), Vec::new());
+        // Teleport the entity across the cut by hand: ⟨1,1⟩ → ⟨2,1⟩.
+        let dims = cfg.dims();
+        let mut state = sys.state().clone();
+        let pos = state
+            .cell_mut(dims, CellId::new(1, 1))
+            .members
+            .remove(&eid)
+            .unwrap();
+        let _ = pos;
+        state
+            .cell_mut(dims, CellId::new(2, 1))
+            .members
+            .insert(eid, CellId::new(2, 1).center());
+        sys.set_state(state);
+        let vs = observe(&mut m, &sys, 2);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("crossed the cut edge"));
     }
 
     #[test]

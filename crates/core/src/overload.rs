@@ -112,14 +112,9 @@ impl BackoffPolicy {
     }
 }
 
-/// splitmix64: the same deterministic mixer the supervisor's jitter and the
-/// parallel random walks use.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// splitmix64: the same deterministic mixer the supervisor's jitter and the
+// parallel random walks use — the shared copy in [`crate::hash`].
+use crate::hash::splitmix64;
 
 /// What a tripped cell does, as decided by the [`OverloadDetector`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -481,6 +481,27 @@ impl System {
         }
     }
 
+    /// Sets the per-cell incoming link-cut masks applied by the next
+    /// [`System::step`] (see [`Engine::set_link_cuts`]). Cut slots read as
+    /// silent neighbors: `dist = ∞`, no request seen, no grant seen.
+    ///
+    /// Masks are a transient *input* like the round number, not part of the
+    /// protocol state — they persist across steps until replaced or cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masks.len()` differs from the number of cells.
+    pub fn set_link_cuts(&mut self, masks: &[u8]) {
+        // Deliberately does not clear `engine_synced`: cuts live beside the
+        // protocol state and survive `load_state`.
+        self.engine.set_link_cuts(masks);
+    }
+
+    /// Clears all link cuts (see [`Engine::clear_link_cuts`]).
+    pub fn clear_link_cuts(&mut self) {
+        self.engine.clear_link_cuts();
+    }
+
     /// Crashes cell `id` (see [`SystemState::fail`]).
     ///
     /// # Panics

@@ -1,0 +1,92 @@
+//! Deterministic mixing and checksum primitives shared across the
+//! workspace.
+//!
+//! Several subsystems need small, dependency-free deterministic hashes: the
+//! restart supervisor's jitter, overload backoff, per-walk Monte-Carlo
+//! seeds, per-edge chaos streams, and the FNV-1a seal on every checksummed
+//! report and WAL frame. They all used to carry private copies of the same
+//! two functions; this module is the single canonical implementation (this
+//! crate has no dependencies, so everything in the workspace can reach it —
+//! most code uses it through the `cellflow_core::hash` re-export).
+//!
+//! The streams are **frozen**: byte-identical reports per seed are a
+//! workspace-wide contract, so the constants and update order here must
+//! never change. `cellflow-core` pins them with stream-equality tests
+//! against the historical per-site formulations.
+
+/// The splitmix64 increment ("golden gamma", ⌊2⁶⁴/φ⌋ rounded to odd).
+pub const SPLITMIX64_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// splitmix64: Steele, Lea & Flood's statistically strong 64-bit mixer —
+/// the workspace's deterministic jitter/seed-derivation hash.
+///
+/// One full step of the splitmix64 generator: advance the state by
+/// [`SPLITMIX64_GAMMA`], then finalize with the two multiply-xorshift
+/// rounds. Feeding structured keys (cell coordinates, attempt counters)
+/// yields well-distributed, schedule-independent values.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(SPLITMIX64_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives stream `index`'s private seed from a campaign seed: splitmix64
+/// evaluated at the `index`-th gamma step. Used wherever parallel workers
+/// (Monte-Carlo walks, sweep chunks) must each own a generator whose output
+/// cannot depend on how many values other workers consumed.
+pub fn walk_seed(seed: u64, index: usize) -> u64 {
+    splitmix64(seed.wrapping_add((index as u64).wrapping_mul(SPLITMIX64_GAMMA)))
+}
+
+/// FNV-1a over `bytes` — the checksum sealing certificates, campaign
+/// reports, and WAL frames. Not cryptographic; it detects accidental
+/// corruption and pins byte-identical reports.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_reference_vector() {
+        // First three outputs of the splitmix64 generator seeded with 0,
+        // per the reference implementation (Vigna's xoshiro page).
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(
+            splitmix64(SPLITMIX64_GAMMA),
+            0x6E78_9E6A_A1B9_65F4,
+        );
+        assert_eq!(
+            splitmix64(SPLITMIX64_GAMMA.wrapping_mul(2)),
+            0x06C4_5D18_8009_454F,
+        );
+    }
+
+    #[test]
+    fn walk_seed_is_the_indexed_gamma_step() {
+        for seed in [0u64, 1, 0x5EED, u64::MAX] {
+            for walk in [0usize, 1, 7, 1000] {
+                assert_eq!(
+                    walk_seed(seed, walk),
+                    splitmix64(seed.wrapping_add((walk as u64).wrapping_mul(SPLITMIX64_GAMMA)))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fnv1a_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -49,6 +49,7 @@
 mod automaton;
 mod execution;
 mod explore;
+pub mod hash;
 mod invariant;
 mod liveness;
 mod montecarlo;

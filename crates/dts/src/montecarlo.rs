@@ -32,18 +32,11 @@ impl XorShift {
     }
 }
 
-/// Derives walk `walk`'s private seed from the campaign seed (splitmix64 of
-/// the pair). Each walk owning its own generator is what makes the
-/// sequential and parallel drivers produce identical results: a walk's
-/// randomness no longer depends on how many values earlier walks consumed.
-fn walk_seed(seed: u64, walk: usize) -> u64 {
-    let mut z = seed
-        .wrapping_add((walk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// Each walk owning its own splitmix64-derived seed ([`crate::hash::walk_seed`])
+// is what makes the sequential and parallel drivers produce identical
+// results: a walk's randomness no longer depends on how many values earlier
+// walks consumed.
+use crate::hash::walk_seed;
 
 /// Configuration for [`random_walks`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -96,5 +96,6 @@ pub use supervisor::{RestartPolicy, SupervisorDecision};
 pub use sync::{PoisonInfo, WAITS_PER_ROUND};
 pub use telemetry::NetTelemetry;
 pub use transport::{
-    ChaosConfig, ChaosStats, ChaosTransport, EdgeLink, PerfectTransport, Transport,
+    ChaosConfig, ChaosStats, ChaosTransport, EdgeLink, LinkFaultTransport, LinkStats,
+    PerfectTransport, Transport,
 };

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use cellflow_core::fault::{FaultKind, FaultPlan};
+use cellflow_core::fault::{FaultKind, FaultPlan, PartitionPlan, PartitionSchedule};
 use cellflow_core::monitor::{Monitor, MonitorCtx, MonitorViolation};
 use cellflow_core::{CellState, Dist, SystemConfig, SystemState};
 use cellflow_grid::CellId;
@@ -18,7 +18,10 @@ use crate::store::{MemoryStore, PersistedRecord, RecordPoint, SnapshotStore, Tea
 use crate::supervisor::{RestartPolicy, SupervisorDecision};
 use crate::sync::{PoisonInfo, RoundBarrier, WAITS_PER_ROUND};
 use crate::telemetry::NetTelemetry;
-use crate::transport::{ChaosConfig, ChaosStats, ChaosTransport, PerfectTransport, Transport};
+use crate::transport::{
+    ChaosConfig, ChaosStats, ChaosTransport, LinkFaultTransport, LinkStats, PerfectTransport,
+    Transport,
+};
 use crate::CellNode;
 
 /// The result of a message-passing run.
@@ -32,6 +35,9 @@ pub struct NetReport {
     pub inserted: u64,
     /// Faults the chaos transport injected (all zero on a perfect fabric).
     pub chaos: ChaosStats,
+    /// Announcements the link-fault fabric suppressed on cut edges (zero
+    /// when no partition was scripted).
+    pub links: LinkStats,
     /// Violations flagged by the monitors (empty when none were installed).
     pub violations: Vec<MonitorViolation>,
     /// One summary line per installed monitor.
@@ -55,8 +61,13 @@ pub enum NetError {
         /// The round that never completed.
         round: u64,
         /// The cell whose wait detected the stall (the detector — the
-        /// culprit is whoever went silent).
+        /// culprits are in `silent`).
         cell: CellId,
+        /// The cells that had not checked into the stalled round and had no
+        /// scripted excuse (hard-crash or tear window) for their silence —
+        /// the attributed culprits. Empty if attribution found nobody
+        /// (e.g. the stall cleared between detection and attribution).
+        silent: Vec<CellId>,
     },
     /// The run's plumbing disconnected unexpectedly (a node exited without
     /// reporting and without poisoning the barrier).
@@ -74,10 +85,19 @@ impl core::fmt::Display for NetError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             NetError::NodePanicked(msg) => write!(f, "a cell thread panicked: {msg}"),
-            NetError::Timeout { round, cell } => write!(
-                f,
-                "round {round} timed out (detected by cell {cell}): a neighbor went silent"
-            ),
+            NetError::Timeout {
+                round,
+                cell,
+                silent,
+            } => {
+                write!(f, "round {round} timed out (detected by cell {cell})")?;
+                if silent.is_empty() {
+                    write!(f, ": a neighbor went silent")
+                } else {
+                    let names: Vec<String> = silent.iter().map(|c| c.to_string()).collect();
+                    write!(f, ": silent cells {}", names.join(", "))
+                }
+            }
             NetError::Disconnected { reported, expected } => write!(
                 f,
                 "deployment disconnected: {reported} of {expected} cells reported"
@@ -106,6 +126,7 @@ pub struct NetSystem {
     config: SystemConfig,
     plan: FaultPlan,
     chaos: Option<ChaosConfig>,
+    partition: Option<PartitionPlan>,
     round_timeout: Duration,
     store: Option<Arc<dyn SnapshotStore>>,
     policy: RestartPolicy,
@@ -119,6 +140,7 @@ impl core::fmt::Debug for NetSystem {
             .field("config", &self.config)
             .field("plan", &self.plan)
             .field("chaos", &self.chaos)
+            .field("partition", &self.partition)
             .field("round_timeout", &self.round_timeout)
             .field("store", &self.store.as_ref().map(|_| "SnapshotStore"))
             .field("policy", &self.policy)
@@ -147,6 +169,7 @@ impl NetSystem {
             config,
             plan: FaultPlan::new(),
             chaos: None,
+            partition: None,
             round_timeout: DEFAULT_ROUND_TIMEOUT,
             store: None,
             policy: RestartPolicy::default(),
@@ -184,6 +207,27 @@ impl NetSystem {
     /// Injects message-level chaos through a [`ChaosTransport`].
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> NetSystem {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Scripts link faults: the plan expands to a per-round cut schedule
+    /// and a [`LinkFaultTransport`] suppresses announcements on cut
+    /// directed edges (composing over chaos when both are configured).
+    /// Partitioned cells read footnote-1 silence and keep running; rounds
+    /// with an active cut count as ambient disturbance for the
+    /// stabilization monitor, so re-stabilization is measured from the
+    /// heal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built for a different grid than the config.
+    pub fn with_partition(mut self, plan: PartitionPlan) -> NetSystem {
+        assert_eq!(
+            plan.dims(),
+            self.config.dims(),
+            "partition plan and deployment must share a grid"
+        );
+        self.partition = Some(plan);
         self
     }
 
@@ -305,11 +349,20 @@ impl NetSystem {
             .clone()
             .unwrap_or_else(|| Arc::new(MemoryStore::new()));
 
-        // The fabric: perfect unless chaos is configured.
+        // The fabric: perfect unless chaos is configured, with scripted
+        // link faults layered on top when a partition is scripted.
         let chaos_transport = self.chaos.map(ChaosTransport::new);
-        let transport: &dyn Transport = match &chaos_transport {
+        let base: &dyn Transport = match &chaos_transport {
             Some(t) => t,
             None => &PerfectTransport,
+        };
+        let schedule = self.partition.as_ref().map(|p| p.expand(rounds));
+        let link_transport = schedule
+            .as_ref()
+            .map(|s| LinkFaultTransport::new(base, s.clone()));
+        let transport: &dyn Transport = match &link_transport {
+            Some(t) => t,
+            None => base,
         };
 
         // One inbox per cell; every neighbor will hold a link to it.
@@ -370,6 +423,7 @@ impl NetSystem {
                 let plan = &effective;
                 let tears = &self.tears;
                 let cells = &cells;
+                let partition = schedule.as_ref();
                 scope.spawn(move |_| {
                     collect_rounds(
                         config,
@@ -380,6 +434,7 @@ impl NetSystem {
                         snap_rx,
                         monitors,
                         noisy_until,
+                        partition,
                         patience,
                         telemetry,
                     )
@@ -408,10 +463,32 @@ impl NetSystem {
                     // panicked (the scope join will surface the payload).
                     Err(_) => match barrier.poison() {
                         Some(p) => {
+                            let round = p.round();
+                            // A cell that cleanly withdrew its barrier seat
+                            // (hard-crash awaiting re-spawn, tear window) is
+                            // excused; a killed cell vanished without
+                            // leaving and is exactly who the stall blames.
+                            let mut excused = effective.hard_dead_at(round);
+                            for c in effective.killed_at(round) {
+                                excused.remove(&c);
+                            }
+                            for t in &self.tears {
+                                if round >= t.round
+                                    && (round < t.respawn || t.respawn >= rounds)
+                                {
+                                    excused.insert(t.cell);
+                                }
+                            }
+                            let silent: Vec<CellId> = cells
+                                .iter()
+                                .copied()
+                                .filter(|c| !p.arrived.contains(c) && !excused.contains(c))
+                                .collect();
                             break Err(NetError::Timeout {
-                                round: p.round(),
+                                round,
                                 cell: p.cell,
-                            })
+                                silent,
+                            });
                         }
                         None => {
                             break Err(NetError::Disconnected {
@@ -433,14 +510,26 @@ impl NetSystem {
             // The collector has stopped emitting, so a timeout line lands
             // after every round event — and dumps the flight recorder.
             if let Some(tel) = telemetry {
-                if let Err(NetError::Timeout { round, cell }) = &run_result {
+                if let Err(NetError::Timeout {
+                    round,
+                    cell,
+                    silent,
+                }) = &run_result
+                {
                     tel.timeouts.inc();
+                    let culprits = if silent.is_empty() {
+                        "unattributed".to_string()
+                    } else {
+                        let names: Vec<String> =
+                            silent.iter().map(|c| c.to_string()).collect();
+                        names.join(", ")
+                    };
                     tel.emit(
                         *round,
                         Event::Timeout {
                             detail: format!(
                                 "round {round} never completed; stall detected by cell \
-                                 ({}, {})",
+                                 ({}, {}); silent: {culprits}",
                                 cell.i(),
                                 cell.j()
                             ),
@@ -464,6 +553,7 @@ impl NetSystem {
                 consumed,
                 inserted,
                 chaos: ChaosStats::default(),
+                links: LinkStats::default(),
                 violations,
                 monitor_summaries,
                 supervisor: decisions.clone(),
@@ -483,6 +573,12 @@ impl NetSystem {
         };
         if let Some(t) = &chaos_transport {
             report.chaos = t.stats();
+        }
+        if let Some(t) = &link_transport {
+            report.links = t.stats();
+            if let Some(tel) = &self.telemetry {
+                tel.links_suppressed.add(report.links.suppressed);
+            }
         }
         Ok(report)
     }
@@ -863,6 +959,7 @@ fn collect_rounds(
     snap_rx: Receiver<Snapshot>,
     mut monitors: Vec<Box<dyn Monitor>>,
     noisy_until: Option<u64>,
+    partition: Option<&PartitionSchedule>,
     patience: Duration,
     telemetry: Option<&NetTelemetry>,
 ) -> (Vec<MonitorViolation>, Vec<String>) {
@@ -964,7 +1061,10 @@ fn collect_rounds(
             failed: &failed,
             recovered: &recovered,
             corrupted: &corrupted,
-            ambient_chaos: noisy_until.is_some_and(|limit| round < limit),
+            // Rounds with lossy chaos or an active link cut disturb the
+            // stabilization clock; it restarts when both cease.
+            ambient_chaos: noisy_until.is_some_and(|limit| round < limit)
+                || partition.is_some_and(|s| s.active(round)),
             consumed_total,
             inserted_total,
         };
@@ -1071,6 +1171,66 @@ mod tests {
         let dims = GridDims::square(4);
         assert!(!report.state.cell(dims, CellId::new(1, 2)).failed);
         assert!(report.consumed > 0);
+    }
+
+    #[test]
+    fn partitioned_deployment_degrades_safely_and_matches_the_reference() {
+        use cellflow_core::{PartitionPlan, System};
+
+        let cfg = config(4);
+        let plan = PartitionPlan::for_grid(GridDims::square(4)).split_col(2, 20, Some(80));
+        let monitors = cellflow_core::standard_monitors(&cfg);
+        let report = NetSystem::new(cfg.clone())
+            .unwrap()
+            .with_partition(plan.clone())
+            .run_monitored(160, monitors)
+            .unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.links.suppressed > 0, "the split suppressed traffic");
+        assert!(report.consumed > 0, "the target-side island kept flowing");
+        assert!(report
+            .monitor_summaries
+            .iter()
+            .any(|s| s.contains("stabilized")));
+
+        // The lockstep reference under the same per-round masks agrees
+        // cell for cell: both executions read cut edges as silence.
+        let schedule = plan.expand(160);
+        let mut sys = System::new(cfg);
+        for round in 0..160 {
+            sys.set_link_cuts(schedule.mask_row(round));
+            sys.step();
+        }
+        assert_eq!(report.state.cells, sys.state().cells);
+        assert_eq!(report.consumed, sys.consumed_total());
+    }
+
+    #[test]
+    fn partitioned_runs_are_deterministic() {
+        use cellflow_core::PartitionPlan;
+
+        let run = || {
+            let plan =
+                PartitionPlan::for_grid(GridDims::square(4)).flaky_links(11, 300, 5, Some(60));
+            NetSystem::new(config(4))
+                .unwrap()
+                .with_partition(plan)
+                .run(120)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.links.suppressed > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a grid")]
+    fn mismatched_partition_grid_is_rejected() {
+        use cellflow_core::PartitionPlan;
+
+        let plan = PartitionPlan::for_grid(GridDims::square(5)).split_col(2, 0, Some(10));
+        let _ = NetSystem::new(config(4)).unwrap().with_partition(plan);
     }
 
     #[test]
@@ -1264,6 +1424,49 @@ mod tests {
         assert_eq!(kind("round_summary"), Some(80));
         assert_eq!(stats.violations, 0);
         assert_eq!(stats.last_round, 80);
+    }
+
+    #[test]
+    fn timeout_attributes_the_silent_cell() {
+        let victim = CellId::new(2, 2);
+        let err = NetSystem::new(config(4))
+            .unwrap()
+            .with_plan(FaultPlan::new().kill_at(20, victim))
+            .with_round_timeout(Duration::from_millis(200))
+            .run(60)
+            .unwrap_err();
+        match &err {
+            NetError::Timeout { round, silent, .. } => {
+                assert_eq!(*round, 20);
+                assert_eq!(silent, &[victim], "the kill victim is the culprit");
+            }
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        assert!(
+            err.to_string().contains("silent cells ⟨2, 2⟩"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn hard_crashed_cells_are_excused_from_timeout_blame() {
+        // One cell hard-crashes (cleanly leaving its seat) while another is
+        // killed: only the kill victim is silent without excuse.
+        let excused = CellId::new(0, 1);
+        let victim = CellId::new(2, 2);
+        let plan = FaultPlan::new()
+            .hard_crash_at(10, excused)
+            .kill_at(20, victim);
+        let err = NetSystem::new(config(4))
+            .unwrap()
+            .with_plan(plan)
+            .with_round_timeout(Duration::from_millis(200))
+            .run(60)
+            .unwrap_err();
+        match err {
+            NetError::Timeout { silent, .. } => assert_eq!(silent, vec![victim]),
+            other => panic!("expected a timeout, got {other:?}"),
+        }
     }
 
     #[test]

@@ -228,15 +228,9 @@ impl SnapshotStore for DurableStore {
     }
 }
 
-/// FNV-1a, the frame checksum (shared with the certifier's report seal).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+// FNV-1a, the frame checksum (the same shared implementation that seals
+// the certifier's reports — see `cellflow_core::hash`).
+use cellflow_core::hash::fnv1a;
 
 fn frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(12 + payload.len());

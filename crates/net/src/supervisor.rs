@@ -80,14 +80,10 @@ pub enum SupervisorDecision {
     },
 }
 
-/// splitmix64 — the deterministic jitter hash.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// splitmix64 — the deterministic jitter hash, shared via
+// `cellflow_core::hash` (stream-pinned there against this module's
+// historical private copy).
+use cellflow_core::hash::splitmix64;
 
 impl RestartPolicy {
     /// `true` if this policy never changes a plan (the default).

@@ -31,13 +31,17 @@ use cellflow_grid::CellId;
 pub const WAITS_PER_ROUND: u64 = 8;
 
 /// Why a wait on a poisoned barrier aborted.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PoisonInfo {
     /// The generation that failed to complete in time.
     pub generation: u64,
     /// The cell whose wait first timed out (the *detector*, not necessarily
     /// the culprit — the culprit is whoever never arrived).
     pub cell: CellId,
+    /// The cells that *had* checked into the stalled generation when the
+    /// timeout fired. The culprits are the members missing from this list
+    /// (minus cells that cleanly withdrew their seat).
+    pub arrived: Vec<CellId>,
 }
 
 impl PoisonInfo {
@@ -52,6 +56,9 @@ struct Inner {
     arrived: usize,
     generation: u64,
     poison: Option<PoisonInfo>,
+    /// Who has checked into the current generation — the attribution a
+    /// timeout report needs to name the silent cells.
+    arrived_cells: Vec<CellId>,
     /// Seats reserved for re-spawned threads, keyed by the generation at
     /// which they start counting.
     joins: BTreeMap<u64, usize>,
@@ -63,6 +70,7 @@ impl Inner {
     fn advance(&mut self) {
         self.generation += 1;
         self.arrived = 0;
+        self.arrived_cells.clear();
         if let Some(seats) = self.joins.remove(&self.generation) {
             self.participants += seats;
         }
@@ -104,6 +112,7 @@ impl RoundBarrier {
                 arrived: 0,
                 generation: 0,
                 poison: None,
+                arrived_cells: Vec::new(),
                 joins: BTreeMap::new(),
             }),
             cv: Condvar::new(),
@@ -118,7 +127,7 @@ impl RoundBarrier {
 
     /// The poison, if any wait has timed out.
     pub fn poison(&self) -> Option<PoisonInfo> {
-        lock!(self.inner).poison
+        lock!(self.inner).poison.clone()
     }
 
     /// Waits for the current generation to complete.
@@ -129,11 +138,12 @@ impl RoundBarrier {
     /// detector) or another participant already poisoned the barrier.
     pub fn wait(&self, cell: CellId) -> Result<(), PoisonInfo> {
         let mut inner = lock!(self.inner);
-        if let Some(p) = inner.poison {
-            return Err(p);
+        if let Some(p) = &inner.poison {
+            return Err(p.clone());
         }
         let gen = inner.generation;
         inner.arrived += 1;
+        inner.arrived_cells.push(cell);
         if inner.arrived == inner.participants {
             inner.advance();
             self.cv.notify_all();
@@ -145,8 +155,8 @@ impl RoundBarrier {
                 .wait_timeout(inner, self.timeout)
                 .unwrap_or_else(|e| e.into_inner());
             inner = guard;
-            if let Some(p) = inner.poison {
-                return Err(p);
+            if let Some(p) = &inner.poison {
+                return Err(p.clone());
             }
             if inner.generation != gen {
                 return Ok(());
@@ -155,8 +165,9 @@ impl RoundBarrier {
                 let p = PoisonInfo {
                     generation: gen,
                     cell,
+                    arrived: inner.arrived_cells.clone(),
                 };
-                inner.poison = Some(p);
+                inner.poison = Some(p.clone());
                 self.cv.notify_all();
                 return Err(p);
             }
@@ -218,8 +229,8 @@ impl RoundBarrier {
         let cap = self.timeout.saturating_mul(16);
         let mut inner = lock!(self.inner);
         loop {
-            if let Some(p) = inner.poison {
-                return Err(p);
+            if let Some(p) = &inner.poison {
+                return Err(p.clone());
             }
             if inner.generation >= generation {
                 return Ok(());
@@ -233,8 +244,9 @@ impl RoundBarrier {
                 let p = PoisonInfo {
                     generation: inner.generation,
                     cell,
+                    arrived: inner.arrived_cells.clone(),
                 };
-                inner.poison = Some(p);
+                inner.poison = Some(p.clone());
                 self.cv.notify_all();
                 return Err(p);
             }
@@ -279,6 +291,7 @@ mod tests {
         assert_eq!(err.generation, 0);
         assert_eq!(err.cell, cell());
         assert_eq!(err.round(), 0);
+        assert_eq!(err.arrived, vec![cell()], "only the detector checked in");
         // Subsequent waits observe the existing poison immediately.
         let again = barrier.wait(CellId::new(1, 1)).unwrap_err();
         assert_eq!(again, err);

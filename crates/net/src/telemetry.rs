@@ -41,6 +41,8 @@ pub struct NetTelemetry {
     /// Endogenous overload crashes observed in the effective plan
     /// ([`FaultKind::OverloadCrash`](cellflow_core::FaultKind)).
     pub(crate) overload_crashes: Counter,
+    /// Announcements the link-fault fabric suppressed on cut edges.
+    pub(crate) links_suppressed: Counter,
     log: Mutex<EventLog>,
 }
 
@@ -60,6 +62,7 @@ impl NetTelemetry {
             timeouts: registry.counter("cellflow_net_timeouts_total"),
             rounds_collected: registry.counter("cellflow_net_rounds_total"),
             overload_crashes: registry.counter("cellflow_net_overload_crashes_total"),
+            links_suppressed: registry.counter("cellflow_net_links_suppressed_total"),
             log: Mutex::new(EventLog::new()),
         }
     }
@@ -126,7 +129,8 @@ mod tests {
             .collect();
         assert!(names.contains(&"cellflow_net_messages_sent_total".to_string()));
         assert!(names.contains(&"cellflow_net_barrier_wait_ns".to_string()));
-        assert_eq!(names.len(), 9);
+        assert!(names.contains(&"cellflow_net_links_suppressed_total".to_string()));
+        assert_eq!(names.len(), 10);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! * [`ChaosTransport`] — a seeded adversary that drops, duplicates, delays
 //!   (into a later exchange, where the round tag makes receivers discard
 //!   the straggler), and reorders announcement traffic per edge.
+//! * [`LinkFaultTransport`] — scripted link faults: wraps any inner
+//!   transport and silently suppresses announcements on the directed edges
+//!   a [`PartitionSchedule`] cuts for that round, so split-brain episodes
+//!   compose with message chaos.
 //!
 //! # Determinism
 //!
@@ -30,6 +34,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use cellflow_core::PartitionSchedule;
 use cellflow_grid::CellId;
 use crossbeam::channel::Sender;
 use rand::rngs::SmallRng;
@@ -55,6 +60,14 @@ pub trait Transport: Sync {
     /// Creates the link for the directed edge `from → to` over the raw
     /// channel `tx`.
     fn link(&self, from: CellId, to: CellId, tx: Sender<Envelope>) -> Box<dyn EdgeLink>;
+}
+
+// Fabrics compose by reference: a wrapper like `LinkFaultTransport` can sit
+// over a borrowed `&dyn Transport` without taking ownership of it.
+impl<T: Transport + ?Sized> Transport for &T {
+    fn link(&self, from: CellId, to: CellId, tx: Sender<Envelope>) -> Box<dyn EdgeLink> {
+        (**self).link(from, to, tx)
+    }
 }
 
 /// The faithful fabric: immediate, exactly-once, in-order delivery.
@@ -185,19 +198,10 @@ impl ChaosTransport {
     }
 }
 
-/// Splitmix-style mix of the run seed and the directed edge's endpoints, so
-/// every edge draws from a distinct, schedule-independent stream.
-fn edge_seed(seed: u64, from: CellId, to: CellId) -> u64 {
-    let mut z = seed
-        ^ ((from.i() as u64) << 48)
-        ^ ((from.j() as u64) << 32)
-        ^ ((to.i() as u64) << 16)
-        ^ (to.j() as u64);
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+// Per-edge seed derivation: splitmix of the run seed and the directed
+// edge's endpoints, shared via `cellflow_core::hash` (stream-pinned there
+// against this module's historical private copy).
+use cellflow_core::hash::edge_seed;
 
 struct ChaosLink {
     tx: Sender<Envelope>,
@@ -264,6 +268,84 @@ impl Transport for ChaosTransport {
             stats: self.stats.clone(),
             queue: Vec::new(),
             held: Vec::new(),
+        })
+    }
+}
+
+/// Tally of the traffic a [`LinkFaultTransport`] suppressed on cut edges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Announcements silently dropped because their directed edge was cut.
+    pub suppressed: u64,
+}
+
+/// Scripted link faults as a composable fabric: wraps any inner
+/// [`Transport`] and silently suppresses announcement traffic on the
+/// directed edges a [`PartitionSchedule`] cuts for the envelope's round.
+///
+/// Cuts are *directed*: `A → B` dead while `B → A` lives is expressible,
+/// which is how asymmetric link failures and split-brain episodes are
+/// scripted. Entity transfers and `MoveDone` stay exempt for the same
+/// reason they are exempt from chaos — a cut cannot destroy an entity, and
+/// the runtime never moves one onto a cut edge anyway (the grant
+/// announcement that would authorize the move is itself suppressed, so the
+/// sender reads `⊥` and stays put). Partitioned cells therefore keep
+/// running on footnote-1 silence instead of deadlocking.
+pub struct LinkFaultTransport<T> {
+    inner: T,
+    schedule: Arc<PartitionSchedule>,
+    suppressed: Arc<AtomicU64>,
+}
+
+impl<T: Transport> LinkFaultTransport<T> {
+    /// Wraps `inner`, cutting edges per `schedule` (rounds past the
+    /// schedule's horizon read as healed).
+    pub fn new(inner: T, schedule: PartitionSchedule) -> LinkFaultTransport<T> {
+        LinkFaultTransport {
+            inner,
+            schedule: Arc::new(schedule),
+            suppressed: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The suppression tally so far (complete once all links are done).
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            suppressed: self.suppressed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct LinkFaultLink {
+    inner: Box<dyn EdgeLink>,
+    from: CellId,
+    to: CellId,
+    schedule: Arc<PartitionSchedule>,
+    suppressed: Arc<AtomicU64>,
+}
+
+impl EdgeLink for LinkFaultLink {
+    fn send(&mut self, env: Envelope) {
+        if !is_exempt(&env.msg) && self.schedule.is_cut(env.round, self.from, self.to) {
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.inner.send(env);
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
+impl<T: Transport> Transport for LinkFaultTransport<T> {
+    fn link(&self, from: CellId, to: CellId, tx: Sender<Envelope>) -> Box<dyn EdgeLink> {
+        Box::new(LinkFaultLink {
+            inner: self.inner.link(from, to, tx),
+            from,
+            to,
+            schedule: self.schedule.clone(),
+            suppressed: self.suppressed.clone(),
         })
     }
 }
@@ -371,6 +453,65 @@ mod tests {
         }
         assert_eq!(rx.try_iter().count(), 5, "rounds 5..10 fly clean");
         assert_eq!(transport.stats().dropped, 5);
+    }
+
+    #[test]
+    fn link_faults_cut_one_direction_but_never_transfers() {
+        use cellflow_core::PartitionPlan;
+        use cellflow_grid::GridDims;
+
+        let a = CellId::new(0, 0);
+        let b = CellId::new(0, 1);
+        let plan = PartitionPlan::for_grid(GridDims::square(2)).cut(a, b, 2, Some(5));
+        let transport = LinkFaultTransport::new(PerfectTransport, plan.expand(10));
+
+        let (tx, rx) = unbounded();
+        let mut cut_link = transport.link(a, b, tx);
+        let (back_tx, back_rx) = unbounded();
+        let mut open_link = transport.link(b, a, back_tx);
+        for round in 0..10 {
+            cut_link.send(announce(round));
+            cut_link.send(transfer(round));
+            cut_link.flush();
+            open_link.send(announce(round));
+            open_link.flush();
+        }
+        let received: Vec<Envelope> = rx.try_iter().collect();
+        // Announcements vanish during rounds 2..5; transfers always pass.
+        let announces = received
+            .iter()
+            .filter(|e| matches!(e.msg, Message::DistAnnounce { .. }))
+            .count();
+        assert_eq!(announces, 7);
+        assert_eq!(received.len(), 17);
+        assert_eq!(back_rx.try_iter().count(), 10, "the reverse edge is open");
+        assert_eq!(transport.stats(), LinkStats { suppressed: 3 });
+    }
+
+    #[test]
+    fn link_faults_compose_over_chaos() {
+        use cellflow_core::PartitionPlan;
+        use cellflow_grid::GridDims;
+
+        let a = CellId::new(0, 0);
+        let b = CellId::new(0, 1);
+        let plan = PartitionPlan::for_grid(GridDims::square(2)).cut(a, b, 0, Some(5));
+        let chaos = ChaosTransport::new(ChaosConfig {
+            dup_rate: 1.0,
+            ..ChaosConfig::quiet(3)
+        });
+        // Composition by reference: the chaos fabric is merely borrowed.
+        let transport = LinkFaultTransport::new(&chaos, plan.expand(10));
+        let (tx, rx) = unbounded();
+        let mut link = transport.link(a, b, tx);
+        for round in 0..10 {
+            link.send(announce(round));
+            link.flush();
+        }
+        // Rounds 0..5 are cut before chaos sees them; 5..10 get duplicated.
+        assert_eq!(rx.try_iter().count(), 10);
+        assert_eq!(transport.stats().suppressed, 5);
+        assert_eq!(chaos.stats().duplicated, 5);
     }
 
     #[test]

@@ -224,6 +224,34 @@ pub fn render_cascade(dims: GridDims, trips: &[CascadeTrip]) -> String {
     out
 }
 
+/// Renders a component-membership map from [`component_map`]'s labels: each
+/// cell shows its connected-component identifier (`0`–`9`, clamped), `.` for
+/// failed cells. North at the top, the shared orientation of this module —
+/// during a split-brain episode the islands read directly off the picture.
+///
+/// [`component_map`]: cellflow_core::component_map
+pub fn render_components(dims: GridDims, components: &[Option<u32>]) -> String {
+    assert_eq!(
+        components.len(),
+        dims.cell_count(),
+        "component labels must match the grid"
+    );
+    let mut out = String::new();
+    for j in (0..dims.ny()).rev() {
+        for i in 0..dims.nx() {
+            let ch = match components[dims.index(CellId::new(i, j))] {
+                None => '.',
+                Some(c) => char::from_digit(c.min(9), 10).expect("digit in range"),
+            };
+            out.push(ch);
+            out.push(' ');
+        }
+        out.pop();
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +327,31 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0], ". . . .");
         assert!(lines[1].chars().any(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn component_map_renders_islands() {
+        let dims = GridDims::square(3);
+        // Left column one component, the rest another; center cell failed.
+        let labels = [
+            Some(0),
+            Some(1),
+            Some(1), // j = 0 row: (0,0) (1,0) (2,0)
+            Some(0),
+            None,
+            Some(1), // j = 1
+            Some(0),
+            Some(1),
+            Some(1), // j = 2
+        ];
+        let pic = render_components(dims, &labels);
+        assert_eq!(pic, "0 1 1\n0 . 1\n0 1 1\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must match the grid")]
+    fn component_map_rejects_wrong_length() {
+        render_components(GridDims::square(3), &[None; 4]);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod cascade;
 pub mod failure;
 pub mod heatmap;
 pub mod metrics;
+pub mod partition;
 pub mod render;
 mod runner;
 pub mod scenario;
@@ -53,6 +54,7 @@ mod trace;
 pub use cascade::{run_cascade, run_cascade_with, CascadeReport, CascadeScenario};
 pub use failure::{FailureEvents, FailureModel, OverloadModel};
 pub use metrics::Metrics;
+pub use partition::{run_partition, run_partition_with, PartitionReport, PartitionScenario};
 pub use runner::Simulation;
 pub use telemetry::SimTelemetry;
 pub use trace::{TraceEvent, TraceRecorder};
@@ -60,7 +62,8 @@ pub use trace::{TraceEvent, TraceRecorder};
 // The chaos vocabulary is shared with the message-passing runtime; re-export
 // it so campaign code needs only this crate.
 pub use cellflow_core::{
-    certify, expand_overload, shrink, BackoffPolicy, CampaignSpec, CascadeOutcome, CascadeStats,
-    Certificate, CertifyOptions, Corruption, CorruptionEvent, FaultCensus, FaultEvent, FaultKind,
-    FaultPlan, OverloadTrigger,
+    certify, certify_links, expand_overload, shrink, shrink_links, BackoffPolicy, CampaignSpec,
+    CascadeOutcome, CascadeStats, Certificate, CertifyOptions, Corruption, CorruptionEvent,
+    FaultCensus, FaultEvent, FaultKind, FaultPlan, FlakySpec, LinkCertificate, LinkFault,
+    OverloadTrigger, PartitionPlan, PartitionSchedule,
 };

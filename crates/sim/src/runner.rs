@@ -1,7 +1,7 @@
 //! The simulation driver.
 
 use cellflow_core::monitor::{Monitor, MonitorCtx, MonitorViolation};
-use cellflow_core::{safety, RoundEvents, System, SystemConfig, TokenPolicy};
+use cellflow_core::{safety, PartitionSchedule, RoundEvents, System, SystemConfig, TokenPolicy};
 
 use crate::failure::{FailureModel, NoFailures};
 use crate::{Metrics, SimTelemetry, TraceRecorder};
@@ -39,6 +39,7 @@ pub struct Simulation {
     monitors: Vec<Box<dyn Monitor>>,
     violations: Vec<MonitorViolation>,
     telemetry: Option<SimTelemetry>,
+    partition: Option<PartitionSchedule>,
 }
 
 impl Simulation {
@@ -59,7 +60,27 @@ impl Simulation {
             monitors: Vec::new(),
             violations: Vec::new(),
             telemetry: None,
+            partition: None,
         }
+    }
+
+    /// Applies a scripted link-fault schedule: each round's cut mask is
+    /// installed before the round runs (a cut slot reads as a silent
+    /// neighbor), and rounds with any active cut count as ambient
+    /// disturbance for the monitors' stabilization stopwatch — mirroring
+    /// how the message-passing runtime treats suppressed announcements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule was built for a different grid.
+    pub fn with_partition(mut self, schedule: PartitionSchedule) -> Simulation {
+        assert_eq!(
+            schedule.dims(),
+            self.system.config().dims(),
+            "partition schedule and system must share a grid"
+        );
+        self.partition = Some(schedule);
+        self
     }
 
     /// Replaces the failure model.
@@ -172,6 +193,11 @@ impl Simulation {
     /// guarantees never happens (Theorem 5); a panic here is a bug.
     pub fn step(&mut self) -> RoundEvents {
         let round = self.system.round();
+        let mut partitioned = false;
+        if let Some(schedule) = &self.partition {
+            self.system.set_link_cuts(schedule.mask_row(round));
+            partitioned = schedule.active(round);
+        }
         let failures = self.failure.apply(&mut self.system, round);
         let events = match &self.telemetry {
             None => self.system.step(),
@@ -197,8 +223,10 @@ impl Simulation {
                 recovered: &failures.recovered,
                 corrupted: &failures.corrupted,
                 // The shared-variable model has no message fabric to be
-                // noisy; failures are the only disturbance.
-                ambient_chaos: false,
+                // noisy, but an active link-cut schedule is the same kind
+                // of disturbance: stabilization is only promised once the
+                // cuts heal.
+                ambient_chaos: partitioned,
                 consumed_total: self.system.consumed_total(),
                 inserted_total: self.system.inserted_total(),
             };

@@ -37,6 +37,9 @@ pub struct SimTelemetry {
     sheds: Counter,
     backoff_activations: Counter,
     cascade_depth: Histogram,
+    partition_rounds: Counter,
+    cut_edge_rounds: Counter,
+    partition_heals: Counter,
     signals: bool,
     log: EventLog,
 }
@@ -59,8 +62,23 @@ impl SimTelemetry {
             sheds: registry.counter("cellflow_sim_sheds_total"),
             backoff_activations: registry.counter("cellflow_sim_backoff_activations_total"),
             cascade_depth: registry.histogram("cellflow_sim_cascade_depth"),
+            partition_rounds: registry.counter("cellflow_sim_partition_rounds_total"),
+            cut_edge_rounds: registry.counter("cellflow_sim_cut_edge_rounds_total"),
+            partition_heals: registry.counter("cellflow_sim_partition_heals_total"),
             signals: false,
             log: EventLog::new(),
+        }
+    }
+
+    /// Folds one partition campaign's schedule into the registry: rounds
+    /// with at least one active cut, cut edge-rounds (one directed edge
+    /// suppressed for one round), and whether the campaign healed.
+    pub fn record_partition(&self, schedule: &cellflow_core::PartitionSchedule) {
+        let active = (0..schedule.rounds()).filter(|&r| schedule.active(r)).count() as u64;
+        self.partition_rounds.add(active);
+        self.cut_edge_rounds.add(schedule.cut_edge_rounds());
+        if active > 0 && !schedule.active(schedule.rounds().saturating_sub(1)) {
+            self.partition_heals.add(1);
         }
     }
 
