@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mega;
 pub mod perf;
 pub mod telemetry_overhead;
 

@@ -78,6 +78,7 @@ fn cascade_scenario(rounds: u64, settle: u64) -> CascadeScenario {
         restart_after: None,
         rounds,
         settle,
+        workers: 1,
     }
 }
 

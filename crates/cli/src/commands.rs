@@ -37,7 +37,7 @@ USAGE:
   cellflow chaos [--n 6] [--rounds 300] [--seed 1] [--active 100]
                  [--drop 0.05] [--delay 0.05] [--dup 0.1] [--reorder 0.1]
                  [--bursts 2] [--blackouts 1] [--flappers 1] [--hard 1]
-                 [--kills 0] [--timeout-ms 5000]
+                 [--kills 0] [--timeout-ms 5000] [--shard-workers 1]
                                      seeded fault-injection campaign against
                                      the message-passing runtime, judged by
                                      online invariant monitors
@@ -45,6 +45,7 @@ USAGE:
                  [--threshold 2] [--sustain 2] [--backoff]
                  [--backoff-base 4] [--backoff-max 32] [--restart 0]
                  [--budget 4294967295] [--timeout-ms 5000]
+                 [--shard-workers 1]
                                      cascading-failure campaign on a
                                      finite-capacity grid: overloaded cells
                                      crash endogenously and shed load onto
@@ -56,7 +57,7 @@ USAGE:
                                      byte-identical report per seed
   cellflow chaos --partition SPEC [--n 5] [--rounds 120] [--start 10]
                  [--heal 80] [--no-heal] [--settle B+2] [--seed 1]
-                 [--timeout-ms 5000]
+                 [--timeout-ms 5000] [--shard-workers 1]
                                      scripted link-fault / split-brain
                                      campaign: SPEC is split@col=C,
                                      split@row=R, island@i0,j0,i1,j1, or
@@ -82,12 +83,17 @@ USAGE:
                                      failure
   cellflow bench [--quick] [--out BENCH_PR3.json]
                  [--telemetry-out BENCH_PR5.json]
+                 [--mega-out BENCH_PR8.json]
                                      machine-readable engine-vs-legacy perf
                                      baseline over the fixed scenario matrix
                                      (asserts equal semantics and zero
-                                     steady-state allocations first), plus
-                                     the telemetry-off vs telemetry-on
-                                     overhead baseline
+                                     steady-state allocations first), the
+                                     telemetry-off vs telemetry-on overhead
+                                     baseline, and the mega-grid matrix
+                                     (sparse active-set vs dense, sharded
+                                     1/2/4/8-worker scaling, 64\u{b2} up to
+                                     1024\u{b2}; --quick caps it at 128\u{b2}) —
+                                     all three generated back-to-back
   cellflow metrics [--n 6] [--rounds 200] [--seed 1] [--prom] [--out FILE]
                                      run an instrumented reference sim and
                                      deployment, render per-phase latency
@@ -104,6 +110,10 @@ chaos and stabilize accept --telemetry [--trace-out F] [--flight-out F]
 [--metrics-out F]: stream round events as schema-versioned JSONL, dump the
 flight recorder on any monitor violation or timeout, and write the metric
 registry as a Prometheus exposition.
+
+--shard-workers W runs the shared-variable reference's sparse engine on W
+row-band shard threads. Reports are byte-identical at every W — the CI
+smoke job diffs W=1 against W=4 to pin that.
 
 All lengths (--l, --rs, --v) are in milli-cells: 250 = 0.25 cell sides.";
 
@@ -479,6 +489,7 @@ fn chaos(flags: &Flags) -> Result<(), String> {
     let dup: f64 = flags.get("dup", 0.1)?;
     let reorder: f64 = flags.get("reorder", 0.1)?;
     let timeout_ms: u64 = flags.get("timeout-ms", 5_000)?;
+    let shard_workers: usize = flags.get("shard-workers", 1)?;
     for (name, rate) in [
         ("drop", drop),
         ("delay", delay),
@@ -588,6 +599,12 @@ fn chaos(flags: &Flags) -> Result<(), String> {
     // faulty cell keeps participating in the rounds (no kills).
     if drop == 0.0 && delay == 0.0 && kills == 0 {
         let mut reference = System::new(config);
+        if shard_workers > 1 {
+            // Not printed: the report must stay byte-identical across
+            // worker counts, which is exactly what the CI smoke job diffs.
+            reference.set_workers(shard_workers);
+            reference.set_shard_min(1);
+        }
         let mut model = plan;
         for round in 0..rounds {
             model.apply(&mut reference, round);
@@ -660,6 +677,7 @@ fn cascade(flags: &Flags) -> Result<(), String> {
     let restart: u64 = flags.get("restart", 0)?;
     let budget: u32 = flags.get("budget", u32::MAX)?;
     let timeout_ms: u64 = flags.get("timeout-ms", 5_000)?;
+    let shard_workers: usize = flags.get("shard-workers", 1)?;
     if backoff_on && restart > 0 {
         return Err("--backoff and --restart are exclusive mitigation modes".into());
     }
@@ -700,6 +718,7 @@ fn cascade(flags: &Flags) -> Result<(), String> {
         restart_after,
         rounds,
         settle: bound + 2,
+        workers: shard_workers.max(1),
     };
     let registry = cellflow_telemetry::Registry::new();
     let report = run_cascade_with(&scenario, Some(SimTelemetry::new(&registry)));
@@ -758,6 +777,10 @@ fn cascade(flags: &Flags) -> Result<(), String> {
     // same *effective* (supervisor-rewritten) plan.
     let (effective, _) = policy.rewrite(&report.outcome.plan);
     let mut reference = System::new(config);
+    if shard_workers > 1 {
+        reference.set_workers(shard_workers);
+        reference.set_shard_min(1);
+    }
     let mut model = effective;
     for round in 0..total_rounds {
         model.apply(&mut reference, round);
@@ -923,6 +946,7 @@ fn partition(flags: &Flags, spec: &str) -> Result<(), String> {
     let start: u64 = flags.get("start", 10)?;
     let seed: u64 = flags.get("seed", 1)?;
     let timeout_ms: u64 = flags.get("timeout-ms", 5_000)?;
+    let shard_workers: usize = flags.get("shard-workers", 1)?;
     let heal = if flags.has("no-heal") {
         None
     } else {
@@ -959,6 +983,7 @@ fn partition(flags: &Flags, spec: &str) -> Result<(), String> {
         base: FaultPlan::new(),
         rounds,
         settle,
+        workers: shard_workers.max(1),
     };
     let report = run_partition(&scenario);
     print!("{}", report.render());
@@ -1003,6 +1028,10 @@ fn partition(flags: &Flags, spec: &str) -> Result<(), String> {
     // same per-round cut masks through the engine.
     let schedule = plan.expand(total_rounds);
     let mut reference = System::new(config);
+    if shard_workers > 1 {
+        reference.set_workers(shard_workers);
+        reference.set_shard_min(1);
+    }
     for round in 0..total_rounds {
         reference.set_link_cuts(schedule.mask_row(round));
         reference.step();
@@ -1293,7 +1322,11 @@ fn metrics(flags: &Flags) -> Result<(), String> {
     let registry = Registry::new();
     let mut sim =
         Simulation::new(config.clone(), seed).with_telemetry(SimTelemetry::new(&registry));
+    sim.system_mut()
+        .attach_scheduler_metrics(cellflow_telemetry::SchedulerMetrics::register(&registry));
     sim.run(rounds);
+    let active = sim.system().active_cells();
+    let total = usize::from(n) * usize::from(n);
 
     // Monitored run: the collector thread is what feeds the per-round
     // counters (`cellflow_net_rounds_total`), so the plain `run` would
@@ -1307,6 +1340,10 @@ fn metrics(flags: &Flags) -> Result<(), String> {
 
     let snapshot = registry.snapshot();
     println!("instrumented {n}x{n} grid, {rounds} rounds (reference sim + deployment)\n");
+    println!(
+        "active set: {active}/{total} cells ({:.1}% occupancy) in the final round\n",
+        100.0 * active as f64 / total as f64
+    );
     println!("{}", report::render_tables(&snapshot));
     if flags.has("prom") {
         println!("{}", prometheus::render(&snapshot));
@@ -1400,6 +1437,36 @@ fn bench(flags: &Flags) -> Result<(), String> {
     std::fs::write(&tel_out, overhead.to_json())
         .map_err(|e| format!("writing {tel_out}: {e}"))?;
     println!("wrote {tel_out}");
+
+    let mega_out: String = flags.get("mega-out", "BENCH_PR8.json".to_string())?;
+    eprintln!(
+        "running {} mega-grid matrix (sparse vs dense, sharded scaling)...",
+        if quick { "quick (128\u{b2} cap)" } else { "full (up to 1024\u{b2})" }
+    );
+    let mega = cellflow_bench::mega::run(quick);
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>9} {:>11}  sharded ns/rd (workers)",
+        "scenario", "dense ns/rd", "sparse ns/rd", "speedup", "occupancy"
+    );
+    for sc in &mega.scenarios {
+        let curve: Vec<String> = sc
+            .sharded_ns_per_round
+            .iter()
+            .map(|(w, ns)| format!("{w}:{ns}"))
+            .collect();
+        println!(
+            "{:<10} {:>14} {:>14} {:>8.2}x {:>10.2}%  {}",
+            sc.name,
+            sc.dense_ns_per_round,
+            sc.sparse_ns_per_round,
+            sc.speedup_sparse_vs_dense,
+            sc.occupancy * 100.0,
+            curve.join(" ")
+        );
+    }
+    std::fs::write(&mega_out, mega.to_json())
+        .map_err(|e| format!("writing {mega_out}: {e}"))?;
+    println!("wrote {mega_out}");
     Ok(())
 }
 

@@ -31,21 +31,34 @@
 //! ([`Engine::alloc_events`]) so benchmarks and tests can assert the
 //! steady-state claim mechanically.
 //!
+//! On top of the flat layout, the engine schedules rounds **sparsely** by
+//! default ([`ExecMode::Sparse`]): per-round dirty tracking (distance
+//! updates, occupancy flips, sticky signal registers, link-cut diffs,
+//! fault/corruption imports via [`Engine::load_state`]) shrinks each phase's
+//! sweep to the cells whose inputs changed, so a quiescent region costs
+//! O(active), not O(N). When an active list is long enough the phase fans
+//! out to worker threads over contiguous bands of the sorted list
+//! ([`Engine::set_workers`]) with results applied in band order — bit- and
+//! event-identical to the sequential sweep. The dense mode remains available
+//! as the reference and benchmark baseline.
+//!
 //! Equivalence with the pure phases — identical successor state *and*
 //! identical [`RoundEvents`], per round, under crashes, recoveries and
 //! corruptions — is enforced by `tests/engine_differential.rs` at the
-//! workspace root.
+//! workspace root, and sparse/sharded vs dense by
+//! `tests/sparse_differential.rs`.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 use cellflow_geom::{sep_ok, Dir, Point};
 use cellflow_grid::{CellId, GridDims};
 use cellflow_routing::Dist;
-use cellflow_telemetry::PhaseTimers;
+use cellflow_telemetry::{PhaseTimers, SchedulerMetrics};
 
 use crate::signal::gap_free_toward;
-use crate::{EntityId, RoundEvents, SystemConfig, SystemState, Transfer};
+use crate::{EntityId, Params, RoundEvents, SystemConfig, SystemState, TokenPolicy, Transfer};
 
 /// Sentinel for "no neighbor in this direction" in [`NeighborTable`].
 const NO_NBR: u32 = u32::MAX;
@@ -56,6 +69,11 @@ const NO_NBR: u32 = u32::MAX;
 /// derived ordering is lexicographic `(i, j)`, so for cell `⟨i,j⟩` the sorted
 /// neighbor order is `W ⟨i−1,j⟩ < S ⟨i,j−1⟩ < N ⟨i,j+1⟩ < E ⟨i+1,j⟩`.
 const SORTED_SLOTS: [usize; 4] = [1, 3, 2, 0];
+
+/// Default active-list length below which sharded phases stay sequential:
+/// spawning scoped workers costs tens of microseconds, so fan-out only pays
+/// off once a phase has a few thousand cells to chew through.
+const DEFAULT_SHARD_MIN: usize = 4096;
 
 /// Precomputed grid topology: per-cell neighbor arena indices and
 /// identifiers in [`Dir::ALL`] slot order, plus the target's arena index.
@@ -163,6 +181,423 @@ impl Default for CellCore {
     }
 }
 
+/// How [`Engine::step`] executes a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Recompute every cell every round — the PR 3 baseline, O(N) per round
+    /// regardless of activity. Kept as the differential and benchmark
+    /// reference.
+    Dense,
+    /// Active-set scheduling (the default): `Route`/`Signal`/`Move` run only
+    /// on cells whose inputs changed since they last ran, so quiescent
+    /// regions cost nothing. State- and event-identical to [`ExecMode::Dense`]
+    /// — see the invariant notes on [`Sched`] and the differential suite in
+    /// `tests/sparse_differential.rs`.
+    Sparse,
+}
+
+/// An epoch-stamped cell set: membership is `stamp[k] == epoch`, so clearing
+/// is one integer bump (no O(N) wipe) and the member list is reused round
+/// over round without reallocating — the "cheap membership bitmap" the
+/// sparse scheduler builds its dirty tracking on.
+#[derive(Clone, Debug)]
+struct MarkSet {
+    stamp: Vec<u64>,
+    epoch: u64,
+    list: Vec<u32>,
+}
+
+impl MarkSet {
+    fn with_cells(n: usize) -> MarkSet {
+        MarkSet {
+            stamp: vec![0; n],
+            // Stamps start below the live epoch so nothing is spuriously
+            // "already present" before the first insert.
+            epoch: 1,
+            list: Vec::new(),
+        }
+    }
+
+    /// Empties the set by advancing the epoch; list capacity is retained.
+    fn begin(&mut self) {
+        self.epoch += 1;
+        self.list.clear();
+    }
+
+    fn insert(&mut self, k: u32, allocs: &mut u64) {
+        if self.stamp[k as usize] != self.epoch {
+            self.stamp[k as usize] = self.epoch;
+            push_tracked(&mut self.list, k, allocs);
+        }
+    }
+
+    /// Inserts every cell — the conservative reset after anything that may
+    /// have rewritten arbitrary registers (`load_state`, a mode switch).
+    fn fill_all(&mut self, allocs: &mut u64) {
+        self.begin();
+        for k in 0..self.stamp.len() {
+            self.stamp[k] = self.epoch;
+            push_tracked(&mut self.list, k as u32, allocs);
+        }
+    }
+}
+
+/// `Signal`'s per-cell result: the three registers Figure 5 writes back.
+#[derive(Clone, Copy, Debug)]
+struct SigOut {
+    mask: u8,
+    token: Option<CellId>,
+    signal: Option<CellId>,
+}
+
+/// One shard worker's `Route` output: `(cell, dist, next)` for cells whose
+/// routed registers actually changed.
+#[derive(Clone, Debug, Default)]
+struct RouteBand {
+    upd: Vec<(u32, Dist, Option<CellId>)>,
+    allocs: u64,
+}
+
+/// One shard worker's `Signal` output, in ascending cell order.
+#[derive(Clone, Debug, Default)]
+struct SigBand {
+    out: Vec<(u32, SigOut)>,
+    allocs: u64,
+}
+
+/// One shard worker's `Move` output: events and deferred arrivals.
+/// Bands are merged in ascending band order, which restores the exact
+/// row-major event record the sequential sweep produces.
+#[derive(Clone, Debug, Default)]
+struct MoveOut {
+    moved: Vec<CellId>,
+    consumed: Vec<EntityId>,
+    transfers: Vec<Transfer>,
+    incoming: Vec<(u32, EntityId, Point)>,
+    allocs: u64,
+}
+
+/// Where `Move`'s per-cell kernel writes: either the engine's own event
+/// buffers (sequential sweeps) or a per-band [`MoveOut`] (shard workers).
+struct MoveSink<'a> {
+    moved: &'a mut Vec<CellId>,
+    consumed: &'a mut Vec<EntityId>,
+    transfers: &'a mut Vec<Transfer>,
+    incoming: &'a mut Vec<(u32, EntityId, Point)>,
+    allocs: &'a mut u64,
+}
+
+/// Per-worker scratch buffers for sharded phases, kept allocated between
+/// rounds. Band 0 doubles as the sequential sparse path's scratch.
+#[derive(Clone, Debug)]
+struct ShardScratch {
+    route: Vec<RouteBand>,
+    sig: Vec<SigBand>,
+    mv: Vec<MoveOut>,
+}
+
+impl ShardScratch {
+    fn with_bands(n: usize) -> ShardScratch {
+        ShardScratch {
+            route: vec![RouteBand::default(); n],
+            sig: vec![SigBand::default(); n],
+            mv: vec![MoveOut::default(); n],
+        }
+    }
+}
+
+/// The active-set scheduler's state. The correctness invariant, per phase:
+/// a cell may be skipped only if re-running the phase on it would write back
+/// exactly the registers it already holds and emit no event. Concretely:
+///
+/// * **Route** — a cell's routed `(dist, next)` is a pure function of its
+///   neighbors' `dist`, its own `failed` flag and its incoming-cut mask, so
+///   `route_now` holds every cell for which any of those changed since it
+///   last ran (neighbor dist writes mark neighbors; cut diffs mark the
+///   reading cell; fault/corruption imports mark everything).
+/// * **Signal** — a skipped cell must be *idle*: registers `(0, ⊥, ⊥)` and
+///   no requester. Any cell that finishes `Signal` with a nonzero register
+///   re-marks itself ("sticky"); requester appearance is covered by
+///   occupancy flips and `next` changes, both of which mark the four
+///   neighbors of the changed cell.
+/// * **Move** — only nonempty cells move, so the sweep list is exactly the
+///   incrementally-maintained occupancy set.
+/// * **Pressure** — the leaky integrator is zero and stays zero outside
+///   `pressure_list` (cells with nonzero pressure or members).
+///
+/// A skipped cell reads exactly like footnote 1's silent-but-correct
+/// neighbor: its `dist`/`next`/`signal` announcements are whatever it last
+/// wrote, which is precisely what a dense round would have rewritten
+/// unchanged.
+#[derive(Clone, Debug)]
+struct Sched {
+    /// Cells whose `Route` inputs changed: recompute this round.
+    route_now: MarkSet,
+    /// `Route` dirty marks accumulating for the next round.
+    route_next: MarkSet,
+    /// Cells whose `Signal` must run this round.
+    sig_now: MarkSet,
+    /// `Signal` marks accumulating for the next round (sticky cells,
+    /// occupancy flips, cut diffs).
+    sig_next: MarkSet,
+    /// `occupied[k]` ⇔ `members[k]` is nonempty, maintained incrementally.
+    occupied: Vec<bool>,
+    /// Unsorted list of occupied cells (compacted once per round).
+    occupied_list: Vec<u32>,
+    /// Sorted copy of `occupied_list` the `Move` sweep iterates.
+    move_list: Vec<u32>,
+    /// `pressure_flag[k]` ⇔ `k` is in `pressure_list`.
+    pressure_flag: Vec<bool>,
+    /// Cells with nonzero pressure or members — everywhere else the
+    /// integrator is 0 and `⌊0/2⌋ + 0 = 0`, so skipping is exact.
+    pressure_list: Vec<u32>,
+    /// Distinct-cell scratch for the occupancy gauge.
+    touch: MarkSet,
+    /// Distinct cells any phase ran on in the most recent round.
+    last_active: usize,
+    /// Run the next round on full sets (construction, `load_state`, mode
+    /// switches — anything that may have rewritten arbitrary registers).
+    mark_all: bool,
+}
+
+impl Sched {
+    fn with_cells(n: usize) -> Sched {
+        Sched {
+            route_now: MarkSet::with_cells(n),
+            route_next: MarkSet::with_cells(n),
+            sig_now: MarkSet::with_cells(n),
+            sig_next: MarkSet::with_cells(n),
+            occupied: vec![false; n],
+            occupied_list: Vec::new(),
+            move_list: Vec::new(),
+            pressure_flag: vec![false; n],
+            pressure_list: Vec::new(),
+            touch: MarkSet::with_cells(n),
+            last_active: n,
+            mark_all: true,
+        }
+    }
+}
+
+/// The sorted (ascending `CellId`) neighbor candidates selected by `mask` on
+/// cell `k`.
+fn candidates_of(topo: &NeighborTable, k: usize, mask: u8) -> ([CellId; 4], usize) {
+    let mut cands = [topo.ids[k]; 4];
+    let mut cn = 0;
+    for &s in &SORTED_SLOTS {
+        if mask & (1 << s) != 0 {
+            cands[cn] = topo.nbr_id[k][s];
+            cn += 1;
+        }
+    }
+    (cands, cn)
+}
+
+/// `Route`'s per-cell kernel (Figure 4) for a non-failed, non-target cell:
+/// the `argmin (dist, id)` over readable neighbors, visited in
+/// ascending-`CellId` order ([`SORTED_SLOTS`]) with strict-`<` keep-first
+/// replacement so the id tie-break never has to run. A cut slot reads as a
+/// silent neighbor: `dist = ∞`.
+fn route_core(
+    topo: &NeighborTable,
+    front: &[CellCore],
+    cut: u8,
+    cap: u32,
+    k: usize,
+) -> (Dist, Option<CellId>) {
+    let nbr_idx = &topo.nbr_idx[k];
+    let mut best = Dist::Infinity;
+    // 4 = "no finite-distance neighbor": both the zero-neighbor case and the
+    // all-∞ case produce (∞, ⊥), exactly like the kernel.
+    let mut best_slot = 4usize;
+    for &s in &SORTED_SLOTS {
+        let ni = nbr_idx[s];
+        if ni == NO_NBR || cut & (1 << s) != 0 {
+            continue;
+        }
+        let d = front[ni as usize].dist;
+        if d < best {
+            best = d;
+            best_slot = s;
+        }
+    }
+    if best_slot < 4 {
+        let dist = best.succ(cap);
+        let next = if dist.is_finite() {
+            Some(topo.nbr_id[k][best_slot])
+        } else {
+            None
+        };
+        (dist, next)
+    } else {
+        (Dist::Infinity, None)
+    }
+}
+
+/// `Signal`'s per-cell kernel (Figure 5) for a non-failed cell: computes the
+/// requester mask and the token/signal decision without writing anything, so
+/// shard workers can run it concurrently against the shared `front`.
+#[allow(clippy::too_many_arguments)]
+fn signal_core(
+    topo: &NeighborTable,
+    front: &[CellCore],
+    members: &[Vec<(EntityId, Point)>],
+    cut: u8,
+    params: Params,
+    policy: TokenPolicy,
+    round: u64,
+    k: usize,
+) -> SigOut {
+    let id = topo.ids[k];
+    let nbr_idx = &topo.nbr_idx[k];
+    let mut mask = 0u8;
+    for (s, &ni) in nbr_idx.iter().enumerate() {
+        // A cut slot's request announcement never arrives.
+        if ni == NO_NBR || cut & (1 << s) != 0 {
+            continue;
+        }
+        let ni = ni as usize;
+        if front[ni].next == Some(id) && !members[ni].is_empty() {
+            mask |= 1 << s;
+        }
+    }
+
+    let mut token = front[k].token;
+    // A transient fault may have left a non-neighbor in the token register;
+    // treat it as ⊥ so `Signal` self-stabilizes instead of trusting the
+    // corrupted value.
+    if token.is_some_and(|t| !id.is_neighbor(t)) {
+        token = None;
+    }
+
+    // Idle fast path: no requester and no token means `choose_from` on an
+    // empty candidate set — ⊥ token, ⊥ signal, no event. Most of a
+    // steady-state grid takes this exit; the sparse scheduler's skip
+    // condition is exactly "this exit would run and the registers already
+    // hold its output".
+    if mask == 0 && token.is_none() {
+        return SigOut {
+            mask: 0,
+            token: None,
+            signal: None,
+        };
+    }
+
+    let (cands, cn) = candidates_of(topo, k, mask);
+    let cands = &cands[..cn];
+
+    if token.is_none() {
+        token = policy.choose_from(cands, id, round);
+    }
+
+    let (signal, new_token) = match token {
+        None => (None, None),
+        Some(tok) => {
+            let dir = id
+                .dir_to(tok)
+                .expect("token is always one of the cell's neighbors");
+            if gap_free_toward(params, id, dir, members[k].iter().map(|e| &e.1)) {
+                let rotated = if cn > 1 {
+                    policy.rotate_from(cands, tok, id, round)
+                } else if cn == 1 {
+                    Some(cands[0])
+                } else {
+                    None
+                };
+                (Some(tok), rotated)
+            } else {
+                (None, Some(tok))
+            }
+        }
+    };
+
+    SigOut {
+        mask,
+        token: new_token,
+        signal,
+    }
+}
+
+/// `Move`'s per-cell kernel (Figure 6): advances `members_k`, emitting
+/// events and deferred cross-cell arrivals into `out`. All permission reads
+/// (`signal`, `failed`) come from registers `Move` never writes, and the
+/// only mutation is the cell's own member arena — which is why disjoint
+/// bands of cells can run concurrently.
+fn move_cell_into(
+    config: &SystemConfig,
+    topo: &NeighborTable,
+    front: &[CellCore],
+    link_cuts: &[u8],
+    members_k: &mut Vec<(EntityId, Point)>,
+    k: usize,
+    out: &mut MoveSink<'_>,
+) {
+    let c = front[k];
+    if c.failed || members_k.is_empty() {
+        return;
+    }
+    let Some(nx) = c.next else { return };
+    let id = topo.ids[k];
+    let dir = id.dir_to(nx).expect("next is always a neighbor");
+    if !link_cuts.is_empty() {
+        let s = Dir::ALL
+            .iter()
+            .position(|&d| d == dir)
+            .expect("Dir::ALL covers every direction");
+        // The grant announcement from a cut neighbor never arrives: the cell
+        // reads signal = ⊥ and stays put.
+        if link_cuts[k] & (1 << s) != 0 {
+            return;
+        }
+    }
+    let dims = config.dims();
+    let params = config.params();
+    let v = params.v();
+    let h = params.half_l();
+    let target = config.target();
+    let nxi = dims.index(nx);
+    let nc = front[nxi];
+    if nc.failed || nc.signal != Some(id) {
+        return;
+    }
+    push_tracked(out.moved, id, out.allocs);
+    let boundary = id.boundary(dir);
+    let mut w = 0usize;
+    for r in 0..members_k.len() {
+        let (eid, pos) = members_k[r];
+        let new_pos = pos.translate(dir, v);
+        let far_edge = new_pos.along(dir.axis()) + h * dir.sign();
+        let crossed = if dir.sign() > 0 {
+            far_edge > boundary
+        } else {
+            far_edge < boundary
+        };
+        if crossed {
+            if nx == target {
+                push_tracked(out.consumed, eid, out.allocs);
+            } else {
+                // Enter the receiving cell flush at its near edge.
+                let entry_edge = nx.boundary(dir.opposite());
+                let snapped = new_pos.with_along(dir.axis(), entry_edge + h * dir.sign());
+                push_tracked(out.incoming, (nxi as u32, eid, snapped), out.allocs);
+                push_tracked(
+                    out.transfers,
+                    Transfer {
+                        entity: eid,
+                        from: id,
+                        to: nx,
+                    },
+                    out.allocs,
+                );
+            }
+        } else {
+            members_k[w] = (eid, new_pos);
+            w += 1;
+        }
+    }
+    members_k.truncate(w);
+}
+
 /// The double-buffered round engine. See the [module docs](self) for the
 /// layout and aliasing argument.
 ///
@@ -230,6 +665,20 @@ pub struct Engine {
     /// (the default) keeps [`Engine::step`] on the untimed fast path — a
     /// single branch per round, no clock reads.
     timers: Option<PhaseTimers>,
+    /// Scheduler occupancy instrumentation (active/skipped cells, per-shard
+    /// phase timing), attached when telemetry is enabled.
+    sched_metrics: Option<SchedulerMetrics>,
+    /// Dense (recompute everything) or sparse (active sets) execution.
+    mode: ExecMode,
+    /// Worker threads for sharded sparse phases (1 = sequential).
+    workers: usize,
+    /// Minimum active-list length before a phase fans out to workers;
+    /// below it the thread hand-off costs more than the sweep.
+    shard_min: usize,
+    /// Active-set scheduler state (dirty sets, occupancy, pressure list).
+    sched: Sched,
+    /// Per-worker band scratch, reused round over round.
+    shards: ShardScratch,
 }
 
 /// Pushes tracking capacity growth: bumps `allocs` when the push must
@@ -275,6 +724,12 @@ impl Engine {
             link_cuts: Vec::new(),
             alloc_events: 0,
             timers: None,
+            sched_metrics: None,
+            mode: ExecMode::Sparse,
+            workers: 1,
+            shard_min: DEFAULT_SHARD_MIN,
+            sched: Sched::with_cells(n),
+            shards: ShardScratch::with_bands(1),
         };
         engine.front[engine.topo.target_index].dist = Dist::Finite(0);
         engine
@@ -376,14 +831,39 @@ impl Engine {
             if masks.iter().all(|&m| m == 0) {
                 return;
             }
+            for (k, &m) in masks.iter().enumerate() {
+                if m != 0 {
+                    self.mark_cut_changed(k as u32);
+                }
+            }
             self.link_cuts = masks.to_vec();
         } else {
-            self.link_cuts.copy_from_slice(masks);
+            for (k, (&new, old)) in masks.iter().zip(self.link_cuts.iter_mut()).enumerate() {
+                if *old != new {
+                    *old = new;
+                    self.sched
+                        .route_next
+                        .insert(k as u32, &mut self.alloc_events);
+                    self.sched.sig_next.insert(k as u32, &mut self.alloc_events);
+                }
+            }
         }
+    }
+
+    /// A cell's incoming-cut mask changed: its `Route` argmin and `Signal`
+    /// requester mask read different inputs next round.
+    fn mark_cut_changed(&mut self, k: u32) {
+        self.sched.route_next.insert(k, &mut self.alloc_events);
+        self.sched.sig_next.insert(k, &mut self.alloc_events);
     }
 
     /// Restores the no-link-faults default (all edges readable).
     pub fn clear_link_cuts(&mut self) {
+        for k in 0..self.link_cuts.len() {
+            if self.link_cuts[k] != 0 {
+                self.mark_cut_changed(k as u32);
+            }
+        }
         self.link_cuts.clear();
     }
 
@@ -433,6 +913,9 @@ impl Engine {
             mem.extend(cs.members.iter().map(|(&e, &p)| (e, p)));
         }
         self.next_entity_id = state.next_entity_id;
+        // Arbitrary registers may have been rewritten (fault injection goes
+        // through here): the next sparse round must recompute everything.
+        self.sched.mark_all = true;
     }
 
     /// Exports the arenas into `state` in place, reusing its allocations:
@@ -498,7 +981,8 @@ impl Engine {
 
     /// Executes one atomic `update` transition — `Route; Signal; Move` — and
     /// returns the round's events. Equivalent, state for state and event for
-    /// event, to [`update`](crate::update) on the mirrored representation.
+    /// event, to [`update`](crate::update) on the mirrored representation,
+    /// in both [`ExecMode`]s and at every worker count.
     pub fn step(&mut self) -> &RoundEvents {
         self.events.consumed.clear();
         self.events.transfers.clear();
@@ -507,6 +991,17 @@ impl Engine {
         self.events.blocked.clear();
         self.events.moved.clear();
 
+        match self.mode {
+            ExecMode::Dense => self.round_dense(),
+            ExecMode::Sparse => self.round_sparse(),
+        }
+
+        self.round += 1;
+        &self.events
+    }
+
+    /// The PR 3 reference round: every phase sweeps every cell.
+    fn round_dense(&mut self) {
         match self.timers.clone() {
             None => {
                 self.route();
@@ -539,8 +1034,490 @@ impl Engine {
             *p = *p / 2 + m.len() as u64;
         }
 
-        self.round += 1;
-        &self.events
+        self.sched.last_active = self.front.len();
+        if let Some(m) = &self.sched_metrics {
+            m.active_cells.set(self.front.len() as i64);
+        }
+    }
+
+    /// The active-set round: each phase sweeps only its dirty list, fanning
+    /// out to shard workers when the list is long enough.
+    fn round_sparse(&mut self) {
+        self.begin_round_sparse();
+        match self.timers.clone() {
+            None => {
+                self.route_sparse();
+                self.signal_sparse();
+                self.move_sparse();
+                self.insert_sources();
+            }
+            Some(timers) => {
+                let whole = timers.round.start();
+                let span = timers.route.start();
+                self.route_sparse();
+                drop(span);
+                let span = timers.signal.start();
+                self.signal_sparse();
+                drop(span);
+                let span = timers.mv.start();
+                self.move_sparse();
+                self.insert_sources();
+                drop(span);
+                drop(whole);
+            }
+        }
+        self.update_pressure_sparse();
+        self.note_round_activity();
+    }
+
+    /// Rotates the dirty sets: marks accumulated since the last round become
+    /// this round's work. After anything that rewrote arbitrary state
+    /// (`load_state`, a mode switch) the sets are refilled wholesale and the
+    /// occupancy/pressure lists rebuilt from the arenas.
+    fn begin_round_sparse(&mut self) {
+        let Engine {
+            sched,
+            members,
+            pressure,
+            alloc_events,
+            ..
+        } = self;
+        if sched.mark_all {
+            sched.mark_all = false;
+            sched.route_now.fill_all(alloc_events);
+            sched.sig_now.fill_all(alloc_events);
+            // Pending marks are subsumed by the full sweep.
+            sched.route_next.begin();
+            sched.sig_next.begin();
+            sched.occupied.iter_mut().for_each(|f| *f = false);
+            sched.occupied_list.clear();
+            sched.pressure_flag.iter_mut().for_each(|f| *f = false);
+            sched.pressure_list.clear();
+            for (k, m) in members.iter().enumerate() {
+                if !m.is_empty() {
+                    sched.occupied[k] = true;
+                    push_tracked(&mut sched.occupied_list, k as u32, alloc_events);
+                }
+                if pressure[k] > 0 || !m.is_empty() {
+                    sched.pressure_flag[k] = true;
+                    push_tracked(&mut sched.pressure_list, k as u32, alloc_events);
+                }
+            }
+        } else {
+            std::mem::swap(&mut sched.route_now, &mut sched.route_next);
+            sched.route_next.begin();
+            std::mem::swap(&mut sched.sig_now, &mut sched.sig_next);
+            sched.sig_next.begin();
+        }
+    }
+
+    /// Bands a phase list fans out to: the worker count once the list
+    /// clears the sharding threshold, else 1 (sequential).
+    fn band_count(&self, len: usize) -> usize {
+        if self.workers > 1 && len >= self.shard_min {
+            self.workers.min(self.shards.route.len())
+        } else {
+            1
+        }
+    }
+
+    /// Sparse `Route`: computes updates for the dirty list (possibly on
+    /// shard workers — they only read `front`), then applies them
+    /// sequentially in band order, which equals ascending cell order.
+    fn route_sparse(&mut self) {
+        let cap = self.config.dist_cap();
+        let nbands = self.band_count(self.sched.route_now.list.len());
+        {
+            let Engine {
+                sched,
+                topo,
+                front,
+                link_cuts,
+                shards,
+                sched_metrics,
+                ..
+            } = self;
+            sched.route_now.list.sort_unstable();
+            let list: &[u32] = &sched.route_now.list;
+            if list.is_empty() {
+                return;
+            }
+            let topo: &NeighborTable = topo;
+            let front: &[CellCore] = front;
+            let cuts: &[u8] = link_cuts;
+            let timing = sched_metrics.as_ref().map(|m| &m.shard_phase);
+            let bands = &mut shards.route[..nbands];
+            if nbands == 1 {
+                route_band(topo, front, cuts, cap, list, &mut bands[0]);
+            } else {
+                let chunk = list.len().div_ceil(nbands);
+                crossbeam::thread::scope(|scope| {
+                    for (band, ks) in bands.iter_mut().zip(list.chunks(chunk)) {
+                        scope.spawn(move |_| {
+                            let t0 = timing.map(|_| Instant::now());
+                            route_band(topo, front, cuts, cap, ks, band);
+                            if let (Some(h), Some(t0)) = (timing, t0) {
+                                h.observe(elapsed_ns(t0));
+                            }
+                        });
+                    }
+                })
+                .expect("route shard worker panicked");
+            }
+        }
+        self.apply_route_bands(nbands);
+    }
+
+    /// Writes the banded `Route` updates into `front` and propagates dirt:
+    /// a changed `dist` re-routes the neighbors next round; a changed `next`
+    /// feeds their requester masks in **this** round's `Signal`.
+    fn apply_route_bands(&mut self, nbands: usize) {
+        let Engine {
+            sched,
+            topo,
+            front,
+            alloc_events,
+            shards,
+            ..
+        } = self;
+        for band in &mut shards.route[..nbands] {
+            *alloc_events += band.allocs;
+            band.allocs = 0;
+            for &(k, dist, next) in &band.upd {
+                let ku = k as usize;
+                let c = &mut front[ku];
+                let dist_changed = c.dist != dist;
+                let next_changed = c.next != next;
+                c.dist = dist;
+                c.next = next;
+                let nbrs = &topo.nbr_idx[ku];
+                if dist_changed {
+                    for &ni in nbrs {
+                        if ni != NO_NBR {
+                            sched.route_next.insert(ni, alloc_events);
+                        }
+                    }
+                }
+                if next_changed {
+                    for &ni in nbrs {
+                        if ni != NO_NBR {
+                            sched.sig_now.insert(ni, alloc_events);
+                        }
+                    }
+                }
+            }
+            band.upd.clear();
+        }
+    }
+
+    /// Sparse `Signal`: kernel outputs are computed for the dirty list
+    /// (shard workers read the shared pre-write snapshot — `Signal` never
+    /// reads a neighbor's signal registers, so this matches the in-place
+    /// sweep), then applied in ascending cell order with events emitted
+    /// exactly where the dense sweep emits them.
+    fn signal_sparse(&mut self) {
+        let params = self.config.params();
+        let policy = self.config.token_policy();
+        let round = self.round;
+        let nbands = self.band_count(self.sched.sig_now.list.len());
+        {
+            let Engine {
+                sched,
+                topo,
+                front,
+                members,
+                link_cuts,
+                shards,
+                sched_metrics,
+                ..
+            } = self;
+            sched.sig_now.list.sort_unstable();
+            let list: &[u32] = &sched.sig_now.list;
+            if list.is_empty() {
+                return;
+            }
+            let topo: &NeighborTable = topo;
+            let front: &[CellCore] = front;
+            let members: &[Vec<(EntityId, Point)>] = members;
+            let cuts: &[u8] = link_cuts;
+            let timing = sched_metrics.as_ref().map(|m| &m.shard_phase);
+            let bands = &mut shards.sig[..nbands];
+            if nbands == 1 {
+                signal_band(
+                    topo, front, members, cuts, params, policy, round, list, &mut bands[0],
+                );
+            } else {
+                let chunk = list.len().div_ceil(nbands);
+                crossbeam::thread::scope(|scope| {
+                    for (band, ks) in bands.iter_mut().zip(list.chunks(chunk)) {
+                        scope.spawn(move |_| {
+                            let t0 = timing.map(|_| Instant::now());
+                            signal_band(topo, front, members, cuts, params, policy, round, ks, band);
+                            if let (Some(h), Some(t0)) = (timing, t0) {
+                                h.observe(elapsed_ns(t0));
+                            }
+                        });
+                    }
+                })
+                .expect("signal shard worker panicked");
+            }
+        }
+        self.apply_signal_bands(nbands);
+    }
+
+    /// Writes banded `Signal` outputs back, emits grant/block events, and
+    /// re-marks sticky cells: anything finishing with a nonzero register
+    /// must run again next round (the skip precondition is the idle triple).
+    fn apply_signal_bands(&mut self, nbands: usize) {
+        let Engine {
+            sched,
+            topo,
+            front,
+            events,
+            ne_override,
+            alloc_events,
+            shards,
+            ..
+        } = self;
+        for band in &mut shards.sig[..nbands] {
+            *alloc_events += band.allocs;
+            band.allocs = 0;
+            for &(k, out) in &band.out {
+                let ku = k as usize;
+                let id = topo.ids[ku];
+                match (out.signal, out.token) {
+                    (Some(grantee), _) => {
+                        push_tracked(&mut events.grants, (id, grantee), alloc_events);
+                    }
+                    (None, Some(holder)) => {
+                        push_tracked(&mut events.blocked, (id, holder), alloc_events);
+                    }
+                    (None, None) => {}
+                }
+                let c = &mut front[ku];
+                c.ne_mask = out.mask;
+                c.token = out.token;
+                c.signal = out.signal;
+                if !ne_override.is_empty() {
+                    ne_override.retain(|(i, _)| *i != k);
+                }
+                if out.mask != 0 || out.token.is_some() || out.signal.is_some() {
+                    sched.sig_next.insert(k, alloc_events);
+                }
+            }
+            band.out.clear();
+        }
+    }
+
+    /// Sparse `Move`: compacts the occupancy list, sweeps exactly the
+    /// nonempty cells in ascending order (banded over disjoint member
+    /// sub-slices when sharded), then marks drained cells' neighbors and
+    /// applies deferred arrivals with occupancy tracking.
+    fn move_sparse(&mut self) {
+        {
+            let Engine {
+                sched,
+                members,
+                alloc_events,
+                ..
+            } = self;
+            let occupied = &mut sched.occupied;
+            sched.occupied_list.retain(|&k| {
+                if members[k as usize].is_empty() {
+                    occupied[k as usize] = false;
+                    false
+                } else {
+                    true
+                }
+            });
+            sched.move_list.clear();
+            for i in 0..sched.occupied_list.len() {
+                let k = sched.occupied_list[i];
+                push_tracked(&mut sched.move_list, k, alloc_events);
+            }
+            sched.move_list.sort_unstable();
+        }
+        let nbands = self.band_count(self.sched.move_list.len());
+        {
+            let Engine {
+                config,
+                topo,
+                front,
+                members,
+                link_cuts,
+                incoming,
+                events,
+                sched,
+                shards,
+                alloc_events,
+                sched_metrics,
+                ..
+            } = self;
+            let list: &[u32] = &sched.move_list;
+            if !list.is_empty() {
+                let topo: &NeighborTable = topo;
+                let front: &[CellCore] = front;
+                let cuts: &[u8] = link_cuts;
+                let config: &SystemConfig = config;
+                if nbands == 1 {
+                    let mut sink = MoveSink {
+                        moved: &mut events.moved,
+                        consumed: &mut events.consumed,
+                        transfers: &mut events.transfers,
+                        incoming,
+                        allocs: alloc_events,
+                    };
+                    for &k in list {
+                        move_cell_into(
+                            config,
+                            topo,
+                            front,
+                            cuts,
+                            &mut members[k as usize],
+                            k as usize,
+                            &mut sink,
+                        );
+                    }
+                } else {
+                    let chunk = list.len().div_ceil(nbands);
+                    let timing = sched_metrics.as_ref().map(|m| &m.shard_phase);
+                    let bands = &mut shards.mv[..nbands];
+                    crossbeam::thread::scope(|scope| {
+                        // Bands are contiguous runs of the sorted list, so
+                        // splitting the member arenas at each band's last
+                        // cell + 1 hands every worker a disjoint sub-slice.
+                        let mut rest: &mut [Vec<(EntityId, Point)>] = members;
+                        let mut offset = 0usize;
+                        for (band, ks) in bands.iter_mut().zip(list.chunks(chunk)) {
+                            let hi = *ks.last().expect("chunks are nonempty") as usize + 1;
+                            let (seg, tail) = rest.split_at_mut(hi - offset);
+                            let lo = offset;
+                            rest = tail;
+                            offset = hi;
+                            scope.spawn(move |_| {
+                                let t0 = timing.map(|_| Instant::now());
+                                let mut sink = MoveSink {
+                                    moved: &mut band.moved,
+                                    consumed: &mut band.consumed,
+                                    transfers: &mut band.transfers,
+                                    incoming: &mut band.incoming,
+                                    allocs: &mut band.allocs,
+                                };
+                                for &k in ks {
+                                    move_cell_into(
+                                        config,
+                                        topo,
+                                        front,
+                                        cuts,
+                                        &mut seg[k as usize - lo],
+                                        k as usize,
+                                        &mut sink,
+                                    );
+                                }
+                                if let (Some(h), Some(t0)) = (timing, t0) {
+                                    h.observe(elapsed_ns(t0));
+                                }
+                            });
+                        }
+                    })
+                    .expect("move shard worker panicked");
+                    // Merge in ascending band order = ascending cell order =
+                    // the sequential sweep's event record.
+                    for band in bands {
+                        *alloc_events += band.allocs;
+                        band.allocs = 0;
+                        drain_tracked(&mut events.moved, &mut band.moved, alloc_events);
+                        drain_tracked(&mut events.consumed, &mut band.consumed, alloc_events);
+                        drain_tracked(&mut events.transfers, &mut band.transfers, alloc_events);
+                        drain_tracked(incoming, &mut band.incoming, alloc_events);
+                    }
+                }
+                // Cells that drained stop being requesters: their neighbors'
+                // masks change next round.
+                for &k in list {
+                    if members[k as usize].is_empty() {
+                        for &ni in &topo.nbr_idx[k as usize] {
+                            if ni != NO_NBR {
+                                sched.sig_next.insert(ni, alloc_events);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.apply_incoming(true);
+    }
+
+    /// Applies deferred cross-cell arrivals in emission order. With `track`,
+    /// cells gaining their first occupant are folded into the occupancy and
+    /// pressure lists and their neighbors marked for `Signal`.
+    fn apply_incoming(&mut self, track: bool) {
+        let mut incoming = std::mem::take(&mut self.incoming);
+        for &(to, eid, pos) in &incoming {
+            let tu = to as usize;
+            let was_empty = self.members[tu].is_empty();
+            insert_member(&mut self.members[tu], eid, pos, &mut self.alloc_events);
+            if track && was_empty {
+                note_occupied(&mut self.sched, &self.topo, to, &mut self.alloc_events);
+            }
+        }
+        incoming.clear();
+        self.incoming = incoming;
+    }
+
+    /// Sparse pressure update: the leaky integrator is identically zero off
+    /// the list (`⌊0/2⌋ + 0 = 0`), so only listed cells are touched; a cell
+    /// leaves the list once it decays to zero while empty.
+    fn update_pressure_sparse(&mut self) {
+        let Engine {
+            sched,
+            pressure,
+            members,
+            ..
+        } = self;
+        let mut i = 0;
+        while i < sched.pressure_list.len() {
+            let k = sched.pressure_list[i] as usize;
+            let p = pressure[k] / 2 + members[k].len() as u64;
+            pressure[k] = p;
+            if p == 0 {
+                sched.pressure_flag[k] = false;
+                sched.pressure_list.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Counts the distinct cells this round's phases ran on and publishes
+    /// the occupancy gauges when scheduler metrics are attached.
+    fn note_round_activity(&mut self) {
+        let Engine {
+            sched,
+            sched_metrics,
+            front,
+            alloc_events,
+            ..
+        } = self;
+        sched.touch.begin();
+        for i in 0..sched.route_now.list.len() {
+            let k = sched.route_now.list[i];
+            sched.touch.insert(k, alloc_events);
+        }
+        for i in 0..sched.sig_now.list.len() {
+            let k = sched.sig_now.list[i];
+            sched.touch.insert(k, alloc_events);
+        }
+        for i in 0..sched.move_list.len() {
+            let k = sched.move_list[i];
+            sched.touch.insert(k, alloc_events);
+        }
+        sched.last_active = sched.touch.list.len();
+        if let Some(m) = sched_metrics {
+            m.active_cells.set(sched.last_active as i64);
+            m.skipped_cells
+                .add((front.len() - sched.last_active) as u64);
+        }
     }
 
     /// The sorted (ascending `CellId`) neighbor candidates selected by
@@ -573,41 +1550,14 @@ impl Engine {
         for k in 0..front.len() {
             let mut c = front[k];
             if !c.failed && k != topo.target_index {
-                let nbr_idx = &topo.nbr_idx[k];
                 let cut = if self.link_cuts.is_empty() {
                     0
                 } else {
                     self.link_cuts[k]
                 };
-                let mut best = Dist::Infinity;
-                // 4 = "no finite-distance neighbor": both the zero-neighbor
-                // case and the all-∞ case produce (∞, ⊥), exactly like the
-                // kernel.
-                let mut best_slot = 4usize;
-                for &s in &SORTED_SLOTS {
-                    let ni = nbr_idx[s];
-                    // A cut slot reads as a silent neighbor: dist = ∞.
-                    if ni == NO_NBR || cut & (1 << s) != 0 {
-                        continue;
-                    }
-                    let d = front[ni as usize].dist;
-                    if d < best {
-                        best = d;
-                        best_slot = s;
-                    }
-                }
-                if best_slot < 4 {
-                    let dist = best.succ(cap);
-                    c.dist = dist;
-                    c.next = if dist.is_finite() {
-                        Some(topo.nbr_id[k][best_slot])
-                    } else {
-                        None
-                    };
-                } else {
-                    c.dist = Dist::Infinity;
-                    c.next = None;
-                }
+                let (dist, next) = route_core(topo, front, cut, cap, k);
+                c.dist = dist;
+                c.next = next;
             }
             back[k] = c;
         }
@@ -626,76 +1576,26 @@ impl Engine {
             if self.front[k].failed {
                 continue;
             }
-            let id = self.topo.ids[k];
-            let nbr_idx = &self.topo.nbr_idx[k];
             let cut = if self.link_cuts.is_empty() {
                 0
             } else {
                 self.link_cuts[k]
             };
-            let mut mask = 0u8;
-            for (s, &ni) in nbr_idx.iter().enumerate() {
-                // A cut slot's request announcement never arrives.
-                if ni == NO_NBR || cut & (1 << s) != 0 {
-                    continue;
-                }
-                let ni = ni as usize;
-                if self.front[ni].next == Some(id) && !self.members[ni].is_empty() {
-                    mask |= 1 << s;
-                }
-            }
-
-            let mut token = self.front[k].token;
-            // A transient fault may have left a non-neighbor in the token
-            // register; treat it as ⊥ so `Signal` self-stabilizes instead of
-            // trusting the corrupted value.
-            if token.is_some_and(|t| !id.is_neighbor(t)) {
-                token = None;
-            }
-
-            // Idle fast path: no requester and no token means `choose_from`
-            // on an empty candidate set — ⊥ token, ⊥ signal, no event. Most
-            // of a steady-state grid takes this exit.
-            if mask == 0 && token.is_none() {
-                let c = &mut self.front[k];
-                c.ne_mask = 0;
-                c.token = None;
-                c.signal = None;
-                if !self.ne_override.is_empty() {
-                    self.ne_override.retain(|(i, _)| *i != k as u32);
-                }
-                continue;
-            }
-
-            let (cands, cn) = self.mask_candidates(k, mask);
-            let cands = &cands[..cn];
-
-            if token.is_none() {
-                token = policy.choose_from(cands, id, round);
-            }
-
-            let (signal, new_token) = match token {
-                None => (None, None),
-                Some(tok) => {
-                    let dir = id
-                        .dir_to(tok)
-                        .expect("token is always one of the cell's neighbors");
-                    if gap_free_toward(params, id, dir, self.members[k].iter().map(|e| &e.1)) {
-                        let rotated = if cn > 1 {
-                            policy.rotate_from(cands, tok, id, round)
-                        } else if cn == 1 {
-                            Some(cands[0])
-                        } else {
-                            None
-                        };
-                        (Some(tok), rotated)
-                    } else {
-                        (None, Some(tok))
-                    }
-                }
-            };
-
-            match (signal, new_token) {
+            // Reading the kernel off the front buffer mid-sweep is exact:
+            // `Signal` never reads a neighbor's ne_mask/token/signal, so the
+            // registers already rewritten for earlier cells are invisible.
+            let out = signal_core(
+                &self.topo,
+                &self.front,
+                &self.members,
+                cut,
+                params,
+                policy,
+                round,
+                k,
+            );
+            let id = self.topo.ids[k];
+            match (out.signal, out.token) {
                 (Some(grantee), _) => {
                     push_tracked(&mut self.events.grants, (id, grantee), &mut self.alloc_events);
                 }
@@ -704,11 +1604,10 @@ impl Engine {
                 }
                 (None, None) => {}
             }
-
             let c = &mut self.front[k];
-            c.ne_mask = mask;
-            c.token = new_token;
-            c.signal = signal;
+            c.ne_mask = out.mask;
+            c.token = out.token;
+            c.signal = out.signal;
             if !self.ne_override.is_empty() {
                 self.ne_override.retain(|(i, _)| *i != k as u32);
             }
@@ -720,83 +1619,28 @@ impl Engine {
     /// arrivals are deferred to the `incoming` scratch and applied after the
     /// sweep, exactly like [`move_phase`](crate::move_phase).
     fn do_move(&mut self) {
-        let dims = self.config.dims();
-        let params = self.config.params();
-        let v = params.v();
-        let h = params.half_l();
-        let target = self.config.target();
-        for k in 0..self.front.len() {
-            let c = self.front[k];
-            if c.failed || self.members[k].is_empty() {
-                continue;
-            }
-            let Some(nx) = c.next else { continue };
-            let id = self.topo.ids[k];
-            let dir = id.dir_to(nx).expect("next is always a neighbor");
-            if !self.link_cuts.is_empty() {
-                let s = Dir::ALL
-                    .iter()
-                    .position(|&d| d == dir)
-                    .expect("Dir::ALL covers every direction");
-                // The grant announcement from a cut neighbor never arrives:
-                // the cell reads signal = ⊥ and stays put.
-                if self.link_cuts[k] & (1 << s) != 0 {
-                    continue;
-                }
-            }
-            let nxi = dims.index(nx);
-            let nc = self.front[nxi];
-            if nc.failed || nc.signal != Some(id) {
-                continue;
-            }
-            push_tracked(&mut self.events.moved, id, &mut self.alloc_events);
-            let boundary = id.boundary(dir);
-            let mut w = 0usize;
-            for r in 0..self.members[k].len() {
-                let (eid, pos) = self.members[k][r];
-                let new_pos = pos.translate(dir, v);
-                let far_edge = new_pos.along(dir.axis()) + h * dir.sign();
-                let crossed = if dir.sign() > 0 {
-                    far_edge > boundary
-                } else {
-                    far_edge < boundary
-                };
-                if crossed {
-                    if nx == target {
-                        push_tracked(&mut self.events.consumed, eid, &mut self.alloc_events);
-                    } else {
-                        // Enter the receiving cell flush at its near edge.
-                        let entry_edge = nx.boundary(dir.opposite());
-                        let snapped =
-                            new_pos.with_along(dir.axis(), entry_edge + h * dir.sign());
-                        push_tracked(
-                            &mut self.incoming,
-                            (nxi as u32, eid, snapped),
-                            &mut self.alloc_events,
-                        );
-                        push_tracked(
-                            &mut self.events.transfers,
-                            Transfer {
-                                entity: eid,
-                                from: id,
-                                to: nx,
-                            },
-                            &mut self.alloc_events,
-                        );
-                    }
-                } else {
-                    self.members[k][w] = (eid, new_pos);
-                    w += 1;
-                }
-            }
-            self.members[k].truncate(w);
+        let Engine {
+            config,
+            topo,
+            front,
+            members,
+            link_cuts,
+            incoming,
+            events,
+            alloc_events,
+            ..
+        } = self;
+        let mut sink = MoveSink {
+            moved: &mut events.moved,
+            consumed: &mut events.consumed,
+            transfers: &mut events.transfers,
+            incoming,
+            allocs: alloc_events,
+        };
+        for (k, members_k) in members.iter_mut().enumerate() {
+            move_cell_into(config, topo, front, link_cuts, members_k, k, &mut sink);
         }
-        let mut incoming = std::mem::take(&mut self.incoming);
-        for &(to, eid, pos) in &incoming {
-            insert_member(&mut self.members[to as usize], eid, pos, &mut self.alloc_events);
-        }
-        incoming.clear();
-        self.incoming = incoming;
+        self.apply_incoming(false);
     }
 
     /// Source insertion (at most one entity per source per round), reading
@@ -807,6 +1651,7 @@ impl Engine {
         let params = self.config.params();
         let policy = self.config.source_policy();
         let budget = self.config.entity_budget();
+        let sparse = self.mode == ExecMode::Sparse;
         let d = params.d();
         for &s in self.config.sources() {
             let si = dims.index(s);
@@ -824,12 +1669,155 @@ impl Engine {
             if !self.members[si].iter().all(|&(_, q)| sep_ok(pos, q, d)) {
                 continue;
             }
+            let was_empty = self.members[si].is_empty();
             let eid = EntityId(self.next_entity_id);
             self.next_entity_id += 1;
             insert_member(&mut self.members[si], eid, pos, &mut self.alloc_events);
             push_tracked(&mut self.events.inserted, (s, eid), &mut self.alloc_events);
+            if sparse && was_empty {
+                note_occupied(&mut self.sched, &self.topo, si as u32, &mut self.alloc_events);
+            }
         }
     }
+
+    /// How [`Engine::step`] executes rounds.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Switches the execution strategy. The first round after a switch runs
+    /// on full sets so the sparse scheduler re-learns the state (dense
+    /// rounds maintain no dirty tracking).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        if self.mode != mode {
+            self.mode = mode;
+            self.sched.mark_all = true;
+        }
+    }
+
+    /// Worker threads sharded sparse phases may fan out to.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets the worker count for sharded execution (clamped to ≥ 1). A
+    /// phase fans out only once its active list reaches the sharding
+    /// threshold; below it the sequential sweep is faster than the hand-off.
+    pub fn set_workers(&mut self, workers: usize) {
+        let w = workers.max(1);
+        self.workers = w;
+        if self.shards.route.len() < w {
+            self.shards = ShardScratch::with_bands(w);
+        }
+    }
+
+    /// Overrides the active-list length at which phases fan out to workers
+    /// (mainly for tests and benches; the default keeps small grids
+    /// sequential).
+    pub fn set_shard_min(&mut self, shard_min: usize) {
+        self.shard_min = shard_min.max(1);
+    }
+
+    /// Distinct cells any phase ran on in the most recent round (equals the
+    /// grid size in dense mode) — the active-set occupancy benchmarks and
+    /// the `cellflow_engine_active_cells` gauge report.
+    pub fn active_cells(&self) -> usize {
+        self.sched.last_active
+    }
+
+    /// Attaches the scheduler gauges (`cellflow_engine_active_cells`,
+    /// `cellflow_engine_skipped_cells_total`, and per-shard phase timing via
+    /// `cellflow_engine_shard_phase_ns`). Handles minted from a disabled
+    /// registry stay detached, keeping the untimed fast path.
+    pub fn attach_scheduler_metrics(&mut self, metrics: SchedulerMetrics) {
+        self.sched_metrics = if metrics.active_cells.is_enabled() {
+            Some(metrics)
+        } else {
+            None
+        };
+    }
+}
+
+/// Entities appeared in a previously empty cell: fold it into the occupancy
+/// and pressure lists and mark its neighbors — their requester masks read
+/// this cell's emptiness next round.
+fn note_occupied(sched: &mut Sched, topo: &NeighborTable, k: u32, allocs: &mut u64) {
+    let ku = k as usize;
+    for &ni in &topo.nbr_idx[ku] {
+        if ni != NO_NBR {
+            sched.sig_next.insert(ni, allocs);
+        }
+    }
+    if !sched.occupied[ku] {
+        sched.occupied[ku] = true;
+        push_tracked(&mut sched.occupied_list, k, allocs);
+    }
+    if !sched.pressure_flag[ku] {
+        sched.pressure_flag[ku] = true;
+        push_tracked(&mut sched.pressure_list, k, allocs);
+    }
+}
+
+/// One worker's sparse `Route` sweep: kernel results for the cells in `ks`
+/// whose routed registers would change.
+fn route_band(
+    topo: &NeighborTable,
+    front: &[CellCore],
+    link_cuts: &[u8],
+    cap: u32,
+    ks: &[u32],
+    band: &mut RouteBand,
+) {
+    for &k in ks {
+        let ku = k as usize;
+        let c = front[ku];
+        // Dense leaves failed cells and the target untouched too.
+        if c.failed || ku == topo.target_index {
+            continue;
+        }
+        let cut = if link_cuts.is_empty() { 0 } else { link_cuts[ku] };
+        let (dist, next) = route_core(topo, front, cut, cap, ku);
+        if dist != c.dist || next != c.next {
+            push_tracked(&mut band.upd, (k, dist, next), &mut band.allocs);
+        }
+    }
+}
+
+/// One worker's sparse `Signal` sweep: kernel outputs for every non-failed
+/// cell in `ks`, in list order.
+#[allow(clippy::too_many_arguments)]
+fn signal_band(
+    topo: &NeighborTable,
+    front: &[CellCore],
+    members: &[Vec<(EntityId, Point)>],
+    link_cuts: &[u8],
+    params: Params,
+    policy: TokenPolicy,
+    round: u64,
+    ks: &[u32],
+    band: &mut SigBand,
+) {
+    for &k in ks {
+        let ku = k as usize;
+        if front[ku].failed {
+            continue;
+        }
+        let cut = if link_cuts.is_empty() { 0 } else { link_cuts[ku] };
+        let out = signal_core(topo, front, members, cut, params, policy, round, ku);
+        push_tracked(&mut band.out, (k, out), &mut band.allocs);
+    }
+}
+
+/// Moves everything from `src` onto the end of `dst`, counting growth.
+fn drain_tracked<T>(dst: &mut Vec<T>, src: &mut Vec<T>, allocs: &mut u64) {
+    for item in src.drain(..) {
+        push_tracked(dst, item, allocs);
+    }
+}
+
+/// Saturating nanoseconds since `t0` for the shard-phase histogram.
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -1104,6 +2092,170 @@ mod tests {
             0,
             "per-round mask updates must reuse the existing buffer"
         );
+    }
+
+    #[test]
+    fn sparse_and_sharded_match_dense_round_for_round() {
+        let cfg = config();
+        let mut dense = Engine::new(cfg.clone());
+        dense.set_exec_mode(ExecMode::Dense);
+        let mut sparse = Engine::new(cfg.clone());
+        let mut sharded = Engine::new(cfg);
+        sharded.set_workers(4);
+        sharded.set_shard_min(1); // force fan-out even on a tiny grid
+        let mut a = dense.export_state();
+        let mut b = a.clone();
+        for round in 0..300 {
+            let ed = dense.step().clone();
+            let es = sparse.step().clone();
+            assert_eq!(ed, es, "sparse events diverged at round {round}");
+            let eh = sharded.step().clone();
+            assert_eq!(ed, eh, "sharded events diverged at round {round}");
+            dense.store_state(&mut a);
+            sparse.store_state(&mut b);
+            assert_eq!(a, b, "sparse state diverged at round {round}");
+            sharded.store_state(&mut b);
+            assert_eq!(a, b, "sharded state diverged at round {round}");
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense_under_partitions_and_heal() {
+        use crate::fault::PartitionPlan;
+        let cfg = config();
+        let plan = PartitionPlan::for_grid(cfg.dims()).split_col(4, 10, Some(120));
+        let schedule = plan.expand(200);
+        let mut dense = Engine::new(cfg.clone());
+        dense.set_exec_mode(ExecMode::Dense);
+        let mut sharded = Engine::new(cfg);
+        sharded.set_workers(2);
+        sharded.set_shard_min(1);
+        let mut a = dense.export_state();
+        let mut b = a.clone();
+        for round in 0..200u64 {
+            dense.set_link_cuts(schedule.mask_row(round));
+            sharded.set_link_cuts(schedule.mask_row(round));
+            let ed = dense.step().clone();
+            let eh = sharded.step().clone();
+            assert_eq!(ed, eh, "events diverged at round {round}");
+            dense.store_state(&mut a);
+            sharded.store_state(&mut b);
+            assert_eq!(a, b, "state diverged at round {round}");
+        }
+    }
+
+    #[test]
+    fn mode_switches_mid_run_stay_equivalent() {
+        let cfg = config();
+        let mut reference = Engine::new(cfg.clone());
+        reference.set_exec_mode(ExecMode::Dense);
+        let mut toggled = Engine::new(cfg);
+        let mut a = reference.export_state();
+        let mut b = a.clone();
+        for round in 0..240 {
+            if round % 60 == 0 {
+                let mode = if (round / 60) % 2 == 0 {
+                    ExecMode::Sparse
+                } else {
+                    ExecMode::Dense
+                };
+                toggled.set_exec_mode(mode);
+            }
+            let er = reference.step().clone();
+            let et = toggled.step().clone();
+            assert_eq!(er, et, "events diverged at round {round}");
+            reference.store_state(&mut a);
+            toggled.store_state(&mut b);
+            assert_eq!(a, b, "state diverged at round {round}");
+        }
+    }
+
+    #[test]
+    fn quiescent_grid_collapses_to_an_empty_active_set() {
+        // No sources: once the distance flood reaches its fixed point and no
+        // entities exist, every per-round list must drain to nothing.
+        let cfg = SystemConfig::new(
+            GridDims::square(16),
+            CellId::new(1, 15),
+            Params::from_milli(250, 50, 200).unwrap(),
+        )
+        .unwrap();
+        let mut engine = Engine::new(cfg);
+        for _ in 0..200 {
+            engine.step();
+        }
+        assert_eq!(
+            engine.active_cells(),
+            0,
+            "a quiescent grid must cost O(active) = 0"
+        );
+        engine.reset_alloc_events();
+        for _ in 0..100 {
+            engine.step();
+        }
+        assert_eq!(engine.alloc_events(), 0, "quiescent rounds must not allocate");
+    }
+
+    #[test]
+    fn steady_state_active_set_stays_a_small_fraction_of_the_grid() {
+        // One source in a 24×24 grid: traffic occupies a corridor, not the
+        // whole grid. The active set must track the corridor.
+        let cfg = SystemConfig::new(
+            GridDims::square(24),
+            CellId::new(1, 23),
+            Params::from_milli(250, 50, 200).unwrap(),
+        )
+        .unwrap()
+        .with_source(CellId::new(1, 0));
+        let mut engine = Engine::new(cfg);
+        for _ in 0..400 {
+            engine.step();
+        }
+        let n = 24 * 24;
+        assert!(
+            engine.active_cells() < n / 4,
+            "active set {} should be well under a quarter of {} cells",
+            engine.active_cells(),
+            n
+        );
+        assert!(engine.active_cells() > 0, "traffic keeps some cells active");
+    }
+
+    #[test]
+    fn scheduler_metrics_report_occupancy_and_detach_when_disabled() {
+        use cellflow_telemetry::{Registry, SchedulerMetrics};
+        let cfg = config();
+        let mut engine = Engine::new(cfg.clone());
+        let reg = Registry::new();
+        engine.attach_scheduler_metrics(SchedulerMetrics::register(&reg));
+        for _ in 0..50 {
+            engine.step();
+        }
+        let m = SchedulerMetrics::register(&reg);
+        assert!(m.active_cells.value() >= 0);
+        assert!(
+            m.skipped_cells.value() > 0,
+            "a small grid still skips cells once warmed up"
+        );
+        let mut detached = Engine::new(cfg);
+        detached.attach_scheduler_metrics(SchedulerMetrics::register(&Registry::disabled()));
+        assert!(detached.sched_metrics.is_none());
+    }
+
+    #[test]
+    fn sharded_workers_clamp_and_thresholds_hold() {
+        let cfg = config();
+        let mut engine = Engine::new(cfg);
+        engine.set_workers(0);
+        assert_eq!(engine.workers(), 1);
+        engine.set_workers(8);
+        assert_eq!(engine.workers(), 8);
+        assert_eq!(engine.exec_mode(), ExecMode::Sparse);
+        // Default threshold keeps an 8×8 grid sequential; rounds still work.
+        for _ in 0..50 {
+            engine.step();
+        }
+        assert!(engine.active_cells() <= 64);
     }
 
     #[test]

@@ -458,6 +458,41 @@ impl System {
         self.engine.attach_phase_timers(timers);
     }
 
+    /// Attaches the scheduler occupancy gauges to the underlying engine
+    /// (see [`Engine::attach_scheduler_metrics`]).
+    pub fn attach_scheduler_metrics(&mut self, metrics: cellflow_telemetry::SchedulerMetrics) {
+        self.engine.attach_scheduler_metrics(metrics);
+    }
+
+    /// How rounds execute (see [`Engine::exec_mode`]).
+    pub fn exec_mode(&self) -> crate::ExecMode {
+        self.engine.exec_mode()
+    }
+
+    /// Switches the engine between the dense reference sweep and sparse
+    /// active-set scheduling (see [`Engine::set_exec_mode`]). Both modes are
+    /// state- and event-identical; reports stay byte-identical per seed.
+    pub fn set_exec_mode(&mut self, mode: crate::ExecMode) {
+        self.engine.set_exec_mode(mode);
+    }
+
+    /// Sets the worker count for sharded sparse phases (see
+    /// [`Engine::set_workers`]).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.engine.set_workers(workers);
+    }
+
+    /// Overrides the sharding threshold (see [`Engine::set_shard_min`]).
+    pub fn set_shard_min(&mut self, shard_min: usize) {
+        self.engine.set_shard_min(shard_min);
+    }
+
+    /// Distinct cells the engine's phases ran on in the most recent round
+    /// (see [`Engine::active_cells`]).
+    pub fn active_cells(&self) -> usize {
+        self.engine.active_cells()
+    }
+
     /// Executes one `update` transition (one synchronous round) and returns
     /// what happened.
     pub fn step(&mut self) -> RoundEvents {

@@ -113,6 +113,14 @@ impl std::error::Error for NetError {}
 /// of compute), low enough that a wedged deployment dies promptly.
 const DEFAULT_ROUND_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Default worker-pool cap. Grids up to this many cells keep the
+/// one-thread-per-cell deployment (maximal concurrency, the configuration
+/// every equivalence proof historically ran on); larger grids multiplex
+/// contiguous shards of cells onto this many pooled workers instead of
+/// spawning thousands of OS threads — a 64×64 grid would otherwise need
+/// 4096 of them.
+const DEFAULT_WORKER_CAP: usize = 64;
+
 /// A message-passing deployment of the protocol: `N²` independent cell
 /// threads that share **nothing** and communicate only over per-edge
 /// transport links, synchronized into rounds by a timeout-guarded barrier.
@@ -132,6 +140,7 @@ pub struct NetSystem {
     policy: RestartPolicy,
     tears: Vec<TearSpec>,
     telemetry: Option<Arc<NetTelemetry>>,
+    worker_cap: usize,
 }
 
 impl core::fmt::Debug for NetSystem {
@@ -146,6 +155,7 @@ impl core::fmt::Debug for NetSystem {
             .field("policy", &self.policy)
             .field("tears", &self.tears)
             .field("telemetry", &self.telemetry)
+            .field("worker_cap", &self.worker_cap)
             .finish()
     }
 }
@@ -175,7 +185,22 @@ impl NetSystem {
             policy: RestartPolicy::default(),
             tears: Vec::new(),
             telemetry: None,
+            worker_cap: DEFAULT_WORKER_CAP,
         })
+    }
+
+    /// Caps the deployment's thread count. Grids with at most `cap` cells
+    /// run one thread per cell; larger grids multiplex contiguous
+    /// cell-id-ordered shards onto `cap` pooled workers, each arriving at
+    /// the round barrier once per shard
+    /// ([`RoundBarrier`](crate::RoundBarrier)`::arrive_many`). The pooled
+    /// path exchanges the same messages over the same transports in the
+    /// same rounds, so reports are identical to the thread-per-cell
+    /// deployment — including timeout attribution: a killed cell's seat
+    /// stops arriving and the stall still names it. Default: 64.
+    pub fn with_worker_cap(mut self, cap: usize) -> NetSystem {
+        self.worker_cap = cap.max(1);
+        self
     }
 
     /// Adds a crash/recovery schedule: `(round, cell, recover?)` transitions,
@@ -389,24 +414,49 @@ impl NetSystem {
                 tears: &self.tears,
                 telemetry,
             };
-            for &id in &cells {
-                let inbox = inboxes.remove(&id).expect("one inbox per cell");
-                let node = CellNode::new(id, &self.config);
-                let links = node
+            let seat_for = |id: CellId,
+                                inboxes: &mut HashMap<CellId, Receiver<Envelope>>,
+                                node: &CellNode| Seat {
+                inbox: inboxes.remove(&id).expect("one inbox per cell"),
+                links: node
                     .neighbors()
                     .iter()
                     .map(|&nb| (nb, transport.link(id, nb, senders[&nb].clone())))
-                    .collect();
-                let seat = Seat {
-                    inbox,
-                    links,
-                    result_tx: result_tx.clone(),
-                    snap_tx: snap_tx.clone(),
-                    messages: telemetry
-                        .map(|t| t.messages_sent.clone())
-                        .unwrap_or_else(Counter::noop),
-                };
-                scope.spawn(move |scope| drive(scope, ctx, node, seat, 0));
+                    .collect(),
+                result_tx: result_tx.clone(),
+                snap_tx: snap_tx.clone(),
+                messages: telemetry
+                    .map(|t| t.messages_sent.clone())
+                    .unwrap_or_else(Counter::noop),
+            };
+            if n <= self.worker_cap {
+                // One thread per cell: maximal concurrency, the deployment
+                // shape every equivalence argument was first made on.
+                for &id in &cells {
+                    let node = CellNode::new(id, &self.config);
+                    let seat = seat_for(id, &mut inboxes, &node);
+                    scope.spawn(move |scope| drive(scope, ctx, node, seat, 0));
+                }
+            } else {
+                // Pooled: contiguous cell-id-ordered shards, one worker
+                // each, batched barrier arrivals. Same messages, same
+                // rounds, same reports — without n OS threads.
+                for shard in cells.chunks(n.div_ceil(self.worker_cap)) {
+                    let slots: Vec<ShardSlot> = shard
+                        .iter()
+                        .map(|&id| {
+                            let node = CellNode::new(id, &self.config);
+                            let seat = seat_for(id, &mut inboxes, &node);
+                            ShardSlot {
+                                id,
+                                node,
+                                seat,
+                                state: SlotState::Active,
+                            }
+                        })
+                        .collect();
+                    scope.spawn(move |_| drive_shard(ctx, slots));
+                }
             }
             drop(result_tx);
             drop(snap_tx);
@@ -611,6 +661,20 @@ impl RunCtx<'_> {
         }
     }
 
+    /// A batched barrier arrival for a pooled shard — one check-in for every
+    /// live seat the worker drives — timed like [`RunCtx::wait`].
+    fn wait_many(&self, cells: &[CellId]) -> Result<(), PoisonInfo> {
+        match self.telemetry {
+            None => self.barrier.arrive_many(cells),
+            Some(t) => {
+                let span = t.barrier_wait_ns.start();
+                let result = self.barrier.arrive_many(cells);
+                drop(span);
+                result
+            }
+        }
+    }
+
     /// A counted store append (the write-ahead/seal discipline).
     fn persist(&self, cell: CellId, record: &PersistedRecord) {
         self.store
@@ -653,6 +717,38 @@ impl Seat {
         for (_, link) in self.links.iter_mut() {
             link.flush();
         }
+    }
+}
+
+/// Where one pooled slot is in its lifecycle.
+enum SlotState {
+    /// Participating in rounds: a live barrier seat, messages flowing.
+    Active,
+    /// Hard-crashed or torn with a scripted re-spawn: the barrier seat is
+    /// reserved at `respawn * WAITS_PER_ROUND` and the slot restores from
+    /// the snapshot store when the worker's loop reaches that round.
+    Dormant { respawn: u64 },
+    /// Out of the run for good: killed (seat never withdrawn, so the stall
+    /// attributes to it) or finished (seat left, final state reported).
+    Gone,
+}
+
+/// One cell multiplexed onto a pooled worker: the same node + seat a
+/// dedicated thread would own, plus where it is in its lifecycle.
+struct ShardSlot {
+    id: CellId,
+    node: CellNode,
+    seat: Seat,
+    state: SlotState,
+}
+
+impl ShardSlot {
+    /// Reports this slot's final state on the result channel — the pooled
+    /// analogue of `drive`'s exit report.
+    fn report(&mut self) {
+        let state = self.node.state().clone();
+        let (c, i) = (self.node.consumed, self.node.inserted);
+        self.seat.result_tx.send((self.id, state, c, i)).ok();
     }
 }
 
@@ -942,6 +1038,356 @@ fn respawn_cell<'scope, 'env>(
         None => CellNode::new(id, ctx.config),
     };
     drive(scope, ctx, node, seat, respawn);
+}
+
+/// The pooled worker body: drives a contiguous shard of cells through the
+/// identical round structure as [`drive`], checking every live seat into
+/// the barrier with one batched arrival per wait point.
+///
+/// Equivalence with thread-per-cell holds because the barrier still fences
+/// every send from every drain: all of a worker's slots broadcast and flush
+/// *before* the batched arrival, and no slot drains until the generation
+/// advances — which requires every other worker's sends to have flushed
+/// too. Within a worker, slots are processed in cell-id order at each step,
+/// but no step reads another slot's same-step output, so the order is
+/// unobservable.
+///
+/// Lifecycle transitions mirror `drive` exactly: a hard crash seals the
+/// frozen-failed snapshot and either reserves a seat at the scripted
+/// re-spawn round (slot goes [`SlotState::Dormant`]) or leaves and reports;
+/// a tear appends a torn intent record and does the same; a kill flips the
+/// slot to [`SlotState::Gone`] *without* withdrawing its seat, so the next
+/// barrier wait times out and the stall attributes to the killed cell, just
+/// as when its dedicated thread vanished. Because the worker advances in
+/// lockstep with the barrier, its loop reaches round `respawn` exactly when
+/// the reserved seat activates — restoration needs no rendezvous unless the
+/// whole shard is dormant, in which case the worker parks on
+/// [`RoundBarrier::wait_for_generation`] like a re-spawned thread would.
+fn drive_shard(ctx: RunCtx<'_>, mut slots: Vec<ShardSlot>) {
+    let mut round = 0;
+    while round < ctx.rounds {
+        // Wall-clock of one full worker round (all slots), waits included.
+        let _round_span = ctx.telemetry.map(|t| t.cell_round_ns.start());
+
+        // Re-spawns due this round restore from the latest persisted
+        // snapshot — the uniform recovery path.
+        for slot in slots.iter_mut() {
+            if let SlotState::Dormant { respawn } = slot.state {
+                if respawn == round {
+                    slot.node = match ctx.store.latest(slot.id).expect("snapshot store read") {
+                        Some(r) => CellNode::restore(slot.id, ctx.config, r.checkpoint, round),
+                        None => CellNode::new(slot.id, ctx.config),
+                    };
+                    slot.state = SlotState::Active;
+                }
+            }
+        }
+
+        // Scripted fault transitions, then the scripted dirty crash, in the
+        // same per-cell order as `drive`.
+        for slot in slots.iter_mut() {
+            if !matches!(slot.state, SlotState::Active) {
+                continue;
+            }
+            for event in ctx.plan.events_at_for(round, slot.id) {
+                match event.kind {
+                    FaultKind::Crash | FaultKind::OverloadCrash => slot.node.fail(),
+                    FaultKind::Recover => slot.node.recover(),
+                    FaultKind::Corrupt(c) => slot.node.corrupt(c),
+                    FaultKind::HardCrash => {
+                        slot.node.fail();
+                        let record = PersistedRecord {
+                            round,
+                            point: RecordPoint::Sealed,
+                            checkpoint: slot.node.checkpoint(),
+                        };
+                        ctx.persist(slot.id, &record);
+                        match ctx.plan.respawn_round_after(slot.id, round) {
+                            Some(respawn) if respawn < ctx.rounds => {
+                                ctx.barrier.leave_and_rejoin_at(respawn * WAITS_PER_ROUND);
+                                slot.state = SlotState::Dormant { respawn };
+                            }
+                            _ => {
+                                ctx.barrier.leave();
+                                slot.report();
+                                slot.state = SlotState::Gone;
+                            }
+                        }
+                        break;
+                    }
+                    FaultKind::Kill => {
+                        slot.state = SlotState::Gone;
+                        break;
+                    }
+                }
+            }
+            if !matches!(slot.state, SlotState::Active) {
+                continue;
+            }
+            if let Some(&tear) = ctx
+                .tears
+                .iter()
+                .find(|t| t.cell == slot.id && t.round == round)
+            {
+                let record = PersistedRecord {
+                    round,
+                    point: RecordPoint::Intent,
+                    checkpoint: slot.node.checkpoint(),
+                };
+                ctx.store
+                    .append_torn(slot.id, &record)
+                    .expect("snapshot store append");
+                if let Some(t) = ctx.telemetry {
+                    t.wal_appends.inc();
+                }
+                if tear.respawn < ctx.rounds {
+                    ctx.barrier.leave_and_rejoin_at(tear.respawn * WAITS_PER_ROUND);
+                    slot.state = SlotState::Dormant {
+                        respawn: tear.respawn,
+                    };
+                } else {
+                    ctx.barrier.leave();
+                    slot.report();
+                    slot.state = SlotState::Gone;
+                }
+            }
+        }
+
+        let live: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.state, SlotState::Active))
+            .map(|(k, _)| k)
+            .collect();
+        let seats: Vec<CellId> = live.iter().map(|&k| slots[k].id).collect();
+        if seats.is_empty() {
+            // Nothing live in this shard. If anything is dormant, park until
+            // the earliest reserved seat's generation (the other workers
+            // drive the barrier there); otherwise the worker is done.
+            let next = slots
+                .iter()
+                .filter_map(|s| match s.state {
+                    SlotState::Dormant { respawn } => Some((respawn, s.id)),
+                    _ => None,
+                })
+                .min();
+            match next {
+                Some((respawn, id)) => {
+                    if ctx
+                        .barrier
+                        .wait_for_generation(id, respawn * WAITS_PER_ROUND)
+                        .is_err()
+                    {
+                        return;
+                    }
+                    round = respawn;
+                    continue;
+                }
+                None => return,
+            }
+        }
+
+        // Exchange 1: dist → Route.
+        for &k in &live {
+            let slot = &mut slots[k];
+            if let Some(dist) = slot.node.announce_dist() {
+                let id = slot.id;
+                slot.seat
+                    .broadcast(round, || Message::DistAnnounce { from: id, dist });
+            }
+            slot.seat.flush();
+        }
+        if ctx.wait_many(&seats).is_err() {
+            return;
+        }
+        let mut dists = Vec::with_capacity(live.len());
+        for &k in &live {
+            let mut map = HashMap::new();
+            let mut drained = 0u64;
+            for env in slots[k].seat.inbox.try_iter() {
+                drained += 1;
+                if env.round != round {
+                    continue; // a delayed straggler: footnote-1 silence
+                }
+                if let Message::DistAnnounce { from, dist } = env.msg {
+                    map.insert(from, dist);
+                }
+            }
+            ctx.observe_drain(drained);
+            dists.push(map);
+        }
+        if ctx.wait_many(&seats).is_err() {
+            return;
+        }
+        for (i, &k) in live.iter().enumerate() {
+            slots[k].node.route_step(&dists[i]);
+        }
+
+        // Exchange 2: (next, nonempty) → Signal.
+        for &k in &live {
+            let slot = &mut slots[k];
+            if let Some((next, nonempty)) = slot.node.announce_route() {
+                let id = slot.id;
+                slot.seat.broadcast(round, || Message::RouteAnnounce {
+                    from: id,
+                    next,
+                    nonempty,
+                });
+            }
+            slot.seat.flush();
+        }
+        if ctx.wait_many(&seats).is_err() {
+            return;
+        }
+        let mut routes = Vec::with_capacity(live.len());
+        for &k in &live {
+            let mut map = HashMap::new();
+            let mut drained = 0u64;
+            for env in slots[k].seat.inbox.try_iter() {
+                drained += 1;
+                if env.round != round {
+                    continue;
+                }
+                if let Message::RouteAnnounce {
+                    from,
+                    next,
+                    nonempty,
+                } = env.msg
+                {
+                    map.insert(from, (next, nonempty));
+                }
+            }
+            ctx.observe_drain(drained);
+            routes.push(map);
+        }
+        if ctx.wait_many(&seats).is_err() {
+            return;
+        }
+        for (i, &k) in live.iter().enumerate() {
+            slots[k].node.signal_step(&routes[i]);
+        }
+
+        // Exchange 3: signal → Move.
+        for &k in &live {
+            let slot = &mut slots[k];
+            if let Some(signal) = slot.node.announce_signal() {
+                let id = slot.id;
+                slot.seat
+                    .broadcast(round, || Message::SignalAnnounce { from: id, signal });
+            }
+            slot.seat.flush();
+        }
+        if ctx.wait_many(&seats).is_err() {
+            return;
+        }
+        let mut signals = Vec::with_capacity(live.len());
+        for &k in &live {
+            let mut map = HashMap::new();
+            let mut drained = 0u64;
+            for env in slots[k].seat.inbox.try_iter() {
+                drained += 1;
+                if env.round != round {
+                    continue;
+                }
+                if let Message::SignalAnnounce { from, signal } = env.msg {
+                    map.insert(from, signal);
+                }
+            }
+            ctx.observe_drain(drained);
+            signals.push(map);
+        }
+        if ctx.wait_many(&seats).is_err() {
+            return;
+        }
+
+        // Exchange 4: Move — write-ahead intent before any transfer leaves.
+        for (i, &k) in live.iter().enumerate() {
+            let slot = &mut slots[k];
+            let outgoing = slot.node.move_step(&signals[i]);
+            if !outgoing.is_empty() {
+                let record = PersistedRecord {
+                    round,
+                    point: RecordPoint::Intent,
+                    checkpoint: slot.node.checkpoint(),
+                };
+                ctx.persist(slot.id, &record);
+            }
+            let id = slot.id;
+            for (to, entity, pos) in outgoing {
+                let link = slot
+                    .seat
+                    .links
+                    .iter_mut()
+                    .find(|(nb, _)| *nb == to)
+                    .map(|(_, l)| l)
+                    .expect("transfers go to neighbors");
+                link.send(Envelope {
+                    round,
+                    msg: Message::Transfer {
+                        from: id,
+                        entity,
+                        pos,
+                    },
+                });
+                slot.seat.messages.inc();
+            }
+            slot.seat.flush();
+        }
+        if ctx.wait_many(&seats).is_err() {
+            return;
+        }
+        let mut transfers = Vec::with_capacity(live.len());
+        for &k in &live {
+            let mut drained = 0u64;
+            let batch: Vec<_> = slots[k]
+                .seat
+                .inbox
+                .try_iter()
+                .inspect(|_| drained += 1)
+                .filter_map(|env| match env.msg {
+                    Message::Transfer { entity, pos, .. } if env.round == round => {
+                        Some((entity, pos))
+                    }
+                    _ => None,
+                })
+                .collect();
+            ctx.observe_drain(drained);
+            transfers.push(batch);
+        }
+        if ctx.wait_many(&seats).is_err() {
+            return;
+        }
+        for (i, &k) in live.iter().enumerate() {
+            let slot = &mut slots[k];
+            slot.node.receive_transfers(std::mem::take(&mut transfers[i]));
+            slot.node.source_step();
+            slot.node.finish_round();
+            let record = PersistedRecord {
+                round,
+                point: RecordPoint::Sealed,
+                checkpoint: slot.node.checkpoint(),
+            };
+            ctx.persist(slot.id, &record);
+            if ctx.collect {
+                slot.seat
+                    .snap_tx
+                    .send(Snapshot {
+                        round,
+                        id: slot.id,
+                        state: slot.node.state().clone(),
+                        consumed: slot.node.consumed,
+                        inserted: slot.node.inserted,
+                    })
+                    .ok();
+            }
+        }
+        round += 1;
+    }
+    for slot in slots.iter_mut() {
+        if matches!(slot.state, SlotState::Active) {
+            slot.report();
+        }
+    }
 }
 
 /// The monitor collector: reassembles each round's global state from node
@@ -1521,6 +1967,84 @@ mod tests {
             .run(100)
             .unwrap();
         assert_eq!(plain, instrumented);
+    }
+
+    #[test]
+    fn pooled_workers_match_thread_per_cell() {
+        // The same faulty campaign — crash/recover, hard crash with
+        // re-spawn, corruption, and a dirty tear — through both deployment
+        // shapes: 16 dedicated threads vs. 3 pooled workers driving shards
+        // of 6/6/4 cells. Reports must be identical, monitors included.
+        let run = |cap: usize| {
+            let cfg = config(4);
+            let monitors = cellflow_core::standard_monitors(&cfg);
+            let plan = FaultPlan::new()
+                .crash_at(10, CellId::new(0, 1))
+                .recover_at(40, CellId::new(0, 1))
+                .hard_crash_at(30, CellId::new(1, 2))
+                .recover_at(60, CellId::new(1, 2))
+                .corrupt_at(
+                    70,
+                    CellId::new(2, 2),
+                    cellflow_core::Corruption::Scramble { salt: 5 },
+                );
+            NetSystem::new(cfg)
+                .unwrap()
+                .with_plan(plan)
+                .with_tear(TearSpec {
+                    cell: CellId::new(3, 3),
+                    round: 50,
+                    respawn: 80,
+                })
+                .with_worker_cap(cap)
+                .run_monitored(150, monitors)
+                .unwrap()
+        };
+        let threaded = run(16);
+        let pooled = run(3);
+        assert_eq!(pooled, threaded);
+        assert!(threaded.consumed > 0, "the campaign kept flowing");
+        assert!(threaded.violations.is_empty(), "{:?}", threaded.violations);
+    }
+
+    #[test]
+    fn pooled_kill_still_attributes_the_silent_cell() {
+        // A killed cell's slot stops arriving but its barrier seat is never
+        // withdrawn — the pooled worker must preserve exactly the
+        // thread-per-cell stall so the timeout still names the victim.
+        let victim = CellId::new(2, 2);
+        let err = NetSystem::new(config(4))
+            .unwrap()
+            .with_plan(FaultPlan::new().kill_at(20, victim))
+            .with_worker_cap(4)
+            .with_round_timeout(Duration::from_millis(200))
+            .run(60)
+            .unwrap_err();
+        match err {
+            NetError::Timeout { round, silent, .. } => {
+                assert_eq!(round, 20);
+                assert_eq!(silent, vec![victim], "the kill victim is the culprit");
+            }
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pooled_large_grid_matches_the_shared_variable_reference() {
+        use cellflow_core::System;
+
+        // 32×32 = 1024 cells: far past the default cap of 64, so the run
+        // multiplexes 16-cell shards onto pooled workers instead of
+        // spawning a thousand OS threads — the cliff the cap removes.
+        let cfg = config(32);
+        let report = NetSystem::new(cfg.clone()).unwrap().run(48).unwrap();
+        let mut sys = System::new(cfg);
+        for _ in 0..48 {
+            sys.step();
+        }
+        assert_eq!(report.state.cells, sys.state().cells);
+        assert_eq!(report.consumed, sys.consumed_total());
+        assert!(report.state.entity_count() > 0, "traffic is in flight");
     }
 
     #[test]

@@ -174,6 +174,59 @@ impl RoundBarrier {
         }
     }
 
+    /// Checks `cells.len()` seats into the current generation at once — the
+    /// pooled runtime's one-call-per-shard arrival. Behaviorally equivalent
+    /// to `cells.len()` sequential [`RoundBarrier::wait`] calls by the same
+    /// thread (every cell lands in the attribution list), minus the wakeup
+    /// churn. An empty slice returns immediately without touching the
+    /// barrier.
+    ///
+    /// # Errors
+    ///
+    /// The [`PoisonInfo`] if this wait timed out (the shard's first cell
+    /// becomes the detector) or another participant already poisoned the
+    /// barrier.
+    pub fn arrive_many(&self, cells: &[CellId]) -> Result<(), PoisonInfo> {
+        let Some(&detector) = cells.first() else {
+            return Ok(());
+        };
+        let mut inner = lock!(self.inner);
+        if let Some(p) = &inner.poison {
+            return Err(p.clone());
+        }
+        let gen = inner.generation;
+        inner.arrived += cells.len();
+        inner.arrived_cells.extend_from_slice(cells);
+        if inner.arrived == inner.participants {
+            inner.advance();
+            self.cv.notify_all();
+            return Ok(());
+        }
+        loop {
+            let (guard, result) = self
+                .cv
+                .wait_timeout(inner, self.timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+            if let Some(p) = &inner.poison {
+                return Err(p.clone());
+            }
+            if inner.generation != gen {
+                return Ok(());
+            }
+            if result.timed_out() {
+                let p = PoisonInfo {
+                    generation: gen,
+                    cell: detector,
+                    arrived: inner.arrived_cells.clone(),
+                };
+                inner.poison = Some(p.clone());
+                self.cv.notify_all();
+                return Err(p);
+            }
+        }
+    }
+
     /// Permanently withdraws one seat (a cell that dies and never recovers).
     /// If the leaver was the last arrival the group was waiting on, the
     /// generation completes.
@@ -332,6 +385,39 @@ mod tests {
             successor.join().unwrap();
         });
         assert_eq!(barrier.poison(), None);
+    }
+
+    #[test]
+    fn batched_arrivals_complete_generations_and_attribute() {
+        // Two shards of two seats each: each arrives as a batch.
+        let barrier = RoundBarrier::new(4, Duration::from_secs(5));
+        std::thread::scope(|s| {
+            let b = &barrier;
+            let other = s.spawn(move || {
+                for _ in 0..16 {
+                    b.arrive_many(&[CellId::new(2, 0), CellId::new(3, 0)])
+                        .unwrap();
+                }
+            });
+            for _ in 0..16 {
+                b.arrive_many(&[CellId::new(0, 0), CellId::new(1, 0)])
+                    .unwrap();
+            }
+            other.join().unwrap();
+        });
+        assert_eq!(barrier.poison(), None);
+        // An empty batch is a no-op even with a pending generation.
+        assert!(barrier.arrive_many(&[]).is_ok());
+        assert_eq!(barrier.poison(), None);
+
+        // A stalled batch poisons with every batched cell in the
+        // attribution list and its first cell as the detector.
+        let barrier = RoundBarrier::new(3, Duration::from_millis(50));
+        let err = barrier
+            .arrive_many(&[CellId::new(0, 0), CellId::new(1, 0)])
+            .unwrap_err();
+        assert_eq!(err.cell, CellId::new(0, 0));
+        assert_eq!(err.arrived, vec![CellId::new(0, 0), CellId::new(1, 0)]);
     }
 
     #[test]

@@ -89,6 +89,18 @@ impl Simulation {
         self
     }
 
+    /// Fans the engine's sparse phases out to `workers` shard threads.
+    /// Values above 1 also drop the sharding threshold so the fan-out
+    /// actually engages on small campaign grids — output stays byte-identical
+    /// to sequential execution at every worker count.
+    pub fn with_workers(mut self, workers: usize) -> Simulation {
+        self.system.set_workers(workers);
+        if workers > 1 {
+            self.system.set_shard_min(1);
+        }
+        self
+    }
+
     /// Switches the system's token policy to `Randomized` with this salt.
     pub fn with_randomized_tokens(mut self, salt: u64) -> Simulation {
         let config = self

@@ -45,5 +45,6 @@ pub use event::{validate_stream, Event, StreamStats, SCHEMA_VERSION};
 pub use json::Json;
 pub use recorder::{EventLog, FlightRecorder, SharedBuffer};
 pub use registry::{
-    Counter, Gauge, Histogram, MetricSnapshot, PhaseTimers, Registry, Span, BUCKETS, SHARDS,
+    Counter, Gauge, Histogram, MetricSnapshot, PhaseTimers, Registry, SchedulerMetrics, Span,
+    BUCKETS, SHARDS,
 };

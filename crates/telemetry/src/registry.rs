@@ -551,6 +551,37 @@ impl PhaseTimers {
     }
 }
 
+/// The sparse scheduler's metric set: how much of the grid each round
+/// actually touched, and how long each shard worker spent per phase.
+/// Registered under the `cellflow_engine_*` names beside [`PhaseTimers`] so
+/// the occupancy of the active set lands in the same registry as the phase
+/// timings it explains.
+#[derive(Clone, Debug)]
+pub struct SchedulerMetrics {
+    /// Distinct cells any phase ran on in the most recent round
+    /// (`cellflow_engine_active_cells`). A dense round sets this to the full
+    /// cell count; a quiescent sparse round to near zero.
+    pub active_cells: Gauge,
+    /// Running total of cells skipped by the active-set scheduler
+    /// (`cellflow_engine_skipped_cells_total`).
+    pub skipped_cells: Counter,
+    /// Per-shard per-phase worker nanoseconds
+    /// (`cellflow_engine_shard_phase_ns`): one observation per worker per
+    /// sharded phase, so the histogram's spread exposes shard imbalance.
+    pub shard_phase: Histogram,
+}
+
+impl SchedulerMetrics {
+    /// Registers the scheduler gauges/counters on `registry`.
+    pub fn register(registry: &Registry) -> SchedulerMetrics {
+        SchedulerMetrics {
+            active_cells: registry.gauge("cellflow_engine_active_cells"),
+            skipped_cells: registry.counter("cellflow_engine_skipped_cells_total"),
+            shard_phase: registry.histogram("cellflow_engine_shard_phase_ns"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
