@@ -1,0 +1,29 @@
+//! Regenerates the causal-tracing overhead baseline (`BENCH_PR9.json`):
+//! ns/round of the instrumented simulation with the tracer detached vs
+//! attached, over the fixed grid matrix.
+//!
+//! Usage: `cargo run --release -p cellflow-bench --bin trace_overhead \
+//!   [--quick] [OUT.json]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let report = cellflow_bench::trace_overhead::run(quick);
+    println!(
+        "{:<8} {:>12} {:>12} {:>9}",
+        "scenario", "off ns/rd", "on ns/rd", "overhead"
+    );
+    for sc in &report.scenarios {
+        println!(
+            "{:<8} {:>12} {:>12} {:>8.3}x",
+            sc.name, sc.trace_off_ns_per_round, sc.trace_on_ns_per_round, sc.overhead_ratio
+        );
+    }
+    std::fs::write(&out, report.to_json()).expect("write report");
+    eprintln!("wrote {out}");
+}

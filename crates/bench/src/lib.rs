@@ -9,9 +9,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod mega;
 pub mod perf;
 pub mod telemetry_overhead;
+pub mod trace_overhead;
 
 use cellflow_sim::baseline::CentralizedBaseline;
 use cellflow_sim::scenario::{

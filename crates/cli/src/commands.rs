@@ -84,32 +84,56 @@ USAGE:
   cellflow bench [--quick] [--out BENCH_PR3.json]
                  [--telemetry-out BENCH_PR5.json]
                  [--mega-out BENCH_PR8.json]
+                 [--trace-overhead-out BENCH_PR9.json]
                                      machine-readable engine-vs-legacy perf
                                      baseline over the fixed scenario matrix
                                      (asserts equal semantics and zero
                                      steady-state allocations first), the
                                      telemetry-off vs telemetry-on overhead
-                                     baseline, and the mega-grid matrix
+                                     baseline, the mega-grid matrix
                                      (sparse active-set vs dense, sharded
                                      1/2/4/8-worker scaling, 64\u{b2} up to
-                                     1024\u{b2}; --quick caps it at 128\u{b2}) —
-                                     all three generated back-to-back
+                                     1024\u{b2}; --quick caps it at 128\u{b2}),
+                                     and the causal-tracing overhead
+                                     baseline — all four back-to-back
+  cellflow bench --check [--baseline-dir DIR]
+                                     perf-regression harness: rerun every
+                                     matrix in quick mode and compare
+                                     against the committed BENCH_PR*.json
+                                     baselines inside tolerance bands
+                                     (speedups must not collapse, overhead
+                                     ratios must not blow up, steady-state
+                                     allocations must stay zero); exits
+                                     nonzero on any regression
   cellflow metrics [--n 6] [--rounds 200] [--seed 1] [--prom] [--out FILE]
-                                     run an instrumented reference sim and
+                 [--trace-out FILE]  run an instrumented reference sim and
                                      deployment, render per-phase latency
                                      tables (--prom additionally prints the
                                      Prometheus text exposition; --out
-                                     writes it to FILE)
+                                     writes it to FILE; --trace-out streams
+                                     the sim's causal span trees as JSONL)
   cellflow inspect FILE [--rows 40]  validate a telemetry artifact and
                                      render it: JSONL event streams get a
                                      round timeline, Prometheus expositions
                                      a conformance summary
+  cellflow trace FILE [--top 10] [--round R] [--wall]
+                                     analyze the causal spans in a JSONL
+                                     event stream: validate causality, then
+                                     render per-round critical-path chains,
+                                     the slowest-cell table, and the span
+                                     profile; names the last-arriving cells
+                                     of every timed-out round (--wall adds
+                                     the measured-nanosecond sections)
   cellflow help                      this text
 
 chaos and stabilize accept --telemetry [--trace-out F] [--flight-out F]
 [--metrics-out F]: stream round events as schema-versioned JSONL, dump the
 flight recorder on any monitor violation or timeout, and write the metric
-registry as a Prometheus exposition.
+registry as a Prometheus exposition. Adding --trace (which implies
+--telemetry) stamps every message with its sender's deterministic
+cell-round id and emits per-round causal span trees — round root, fault /
+recover / corrupt leaves, the barrier's critical path, and per-cell work —
+into the same stream, ready for `cellflow trace`.
 
 --shard-workers W runs the shared-variable reference's sparse engine on W
 row-band shard threads. Reports are byte-identical at every W — the CI
@@ -123,9 +147,13 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     };
-    // `inspect` takes a positional file path, which the flag parser rejects.
+    // `inspect` and `trace` take a positional file path, which the flag
+    // parser rejects.
     if cmd == "inspect" {
         return inspect(&argv[1..]);
+    }
+    if cmd == "trace" {
+        return trace(&argv[1..]);
     }
     let flags = Flags::parse(&argv[1..])?;
     match cmd.as_str() {
@@ -550,6 +578,9 @@ fn chaos(flags: &Flags) -> Result<(), String> {
         .with_round_timeout(std::time::Duration::from_millis(timeout_ms.max(1)));
     if let Some(ct) = &campaign {
         net = net.with_telemetry(std::sync::Arc::clone(&ct.telemetry));
+    }
+    if flags.has("trace") {
+        net = net.with_tracer(cellflow_telemetry::Tracer::new(seed));
     }
     let report = match net.run_monitored(rounds, monitors) {
         Ok(report) => report,
@@ -1168,6 +1199,9 @@ fn stabilize(flags: &Flags) -> Result<(), String> {
     if let Some(ct) = &campaign {
         net = net.with_telemetry(Arc::clone(&ct.telemetry));
     }
+    if flags.has("trace") {
+        net = net.with_tracer(cellflow_telemetry::Tracer::new(seed));
+    }
     let outcome = net.run_monitored(rounds, monitors);
     std::fs::remove_dir_all(&store_dir).ok();
     if let Some(ct) = &campaign {
@@ -1255,7 +1289,9 @@ struct CampaignTelemetry {
 /// default artifact files (`<prefix>.trace.jsonl` etc.).
 fn campaign_telemetry(flags: &Flags, prefix: &str) -> Result<Option<CampaignTelemetry>, String> {
     use cellflow_telemetry::{EventLog, Registry};
-    if !flags.has("telemetry") {
+    // `--trace` implies the telemetry bundle: causal spans ride the same
+    // JSONL stream, so there is nowhere to put them without it.
+    if !flags.has("telemetry") && !flags.has("trace") {
         return Ok(None);
     }
     let trace_out: String = flags.get("trace-out", format!("{prefix}.trace.jsonl"))?;
@@ -1313,6 +1349,7 @@ fn metrics(flags: &Flags) -> Result<(), String> {
     let rounds: u64 = flags.get("rounds", 200)?;
     let seed: u64 = flags.get("seed", 1)?;
     let out: String = flags.get("out", String::new())?;
+    let trace_out: String = flags.get("trace-out", String::new())?;
 
     let params = Params::from_milli(250, 50, 200).expect("static parameters are valid");
     let config = SystemConfig::new(GridDims::square(n), CellId::new(1, n - 1), params)
@@ -1320,11 +1357,26 @@ fn metrics(flags: &Flags) -> Result<(), String> {
         .with_source(CellId::new(1, 0));
 
     let registry = Registry::new();
-    let mut sim =
-        Simulation::new(config.clone(), seed).with_telemetry(SimTelemetry::new(&registry));
+    let mut sim_telemetry = SimTelemetry::new(&registry);
+    if !trace_out.is_empty() {
+        sim_telemetry = sim_telemetry.with_event_log(
+            cellflow_telemetry::EventLog::new()
+                .with_stream_file(std::path::Path::new(&trace_out))
+                .map_err(|e| format!("creating {trace_out}: {e}"))?,
+        );
+    }
+    let mut sim = Simulation::new(config.clone(), seed).with_telemetry(sim_telemetry);
+    if !trace_out.is_empty() {
+        // The reference sim's causal span trees (round → phase → shard,
+        // plus event-bearing-cell leaves) ride the event stream.
+        sim = sim.with_tracer(cellflow_telemetry::Tracer::new(seed));
+    }
     sim.system_mut()
         .attach_scheduler_metrics(cellflow_telemetry::SchedulerMetrics::register(&registry));
     sim.run(rounds);
+    if let Some(tel) = sim.telemetry_mut() {
+        tel.flush();
+    }
     let active = sim.system().active_cells();
     let total = usize::from(n) * usize::from(n);
 
@@ -1353,6 +1405,9 @@ fn metrics(flags: &Flags) -> Result<(), String> {
             .map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}");
     }
+    if !trace_out.is_empty() {
+        println!("wrote {trace_out} (render it with `cellflow trace {trace_out}`)");
+    }
     Ok(())
 }
 
@@ -1368,8 +1423,16 @@ fn inspect(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(&args[1..])?;
     let rows: usize = flags.get("rows", 40)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if text.trim().is_empty() {
+        return Err(format!("{path}:1: empty file (expected a JSONL event stream or a Prometheus exposition)"));
+    }
 
-    if text.trim_start().starts_with('{') {
+    // Route by extension first — a schema-invalid JSONL line must be
+    // reported as a JSONL error with its line number, not silently fed to
+    // the Prometheus validator because it happens not to start with '{'.
+    let is_jsonl = path.ends_with(".jsonl")
+        || (!path.ends_with(".prom") && text.trim_start().starts_with('{'));
+    if is_jsonl {
         let stats =
             validate_stream(&text).map_err(|(line, msg)| format!("{path}:{line}: {msg}"))?;
         println!(
@@ -1394,8 +1457,60 @@ fn inspect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Analyzes the causal spans in a JSONL event stream (`--trace` output):
+/// validates the span tree's causality (parents exist, close after their
+/// children open), then renders per-round critical-path chains, the
+/// slowest-cell attribution table, and the per-label span profile. For
+/// every timed-out round the report names the last-arriving (silent)
+/// cells. The default output derives only from deterministic span fields,
+/// so two traces of the same seeded run render byte-identically; `--wall`
+/// opts into the measured nanosecond sections.
+fn trace(args: &[String]) -> Result<(), String> {
+    use cellflow_telemetry::Trace;
+
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err(
+            "trace needs a file: cellflow trace <trace.jsonl> [--top 10] [--round R] [--wall]"
+                .into(),
+        );
+    };
+    let flags = Flags::parse(&args[1..])?;
+    let top: usize = flags.get("top", 10)?;
+    // Round tags are 1-based in the stream, so 0 doubles as "no filter".
+    let round: u64 = flags.get("round", 0)?;
+    let wall = flags.has("wall");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let parsed = Trace::parse(&text).map_err(|(line, msg)| format!("{path}:{line}: {msg}"))?;
+    if parsed.spans.is_empty() {
+        return Err(format!(
+            "{path}: stream has no span events (rerun the producing command with --trace)"
+        ));
+    }
+    parsed
+        .check_causality()
+        .map_err(|msg| format!("{path}: causality violated: {msg}"))?;
+    print!("{}", parsed.render(top, (round > 0).then_some(round), wall));
+    Ok(())
+}
+
 fn bench(flags: &Flags) -> Result<(), String> {
     let quick = flags.has("quick");
+    if flags.has("check") {
+        // Regression mode: rerun every matrix in quick mode and compare
+        // against the committed baselines inside the tolerance bands.
+        let dir: String = flags.get("baseline-dir", ".".to_string())?;
+        eprintln!("bench --check: comparing fresh quick runs against baselines in {dir}/ ...");
+        let report = cellflow_bench::check::run(std::path::Path::new(&dir))?;
+        print!("{}", report.render());
+        return if report.passed() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} perf-regression check(s) failed against the committed baselines",
+                report.failures().len()
+            ))
+        };
+    }
     let out: String = flags.get("out", "BENCH_PR3.json".to_string())?;
     eprintln!(
         "running {} bench matrix (grids {:?})...",
@@ -1467,6 +1582,23 @@ fn bench(flags: &Flags) -> Result<(), String> {
     std::fs::write(&mega_out, mega.to_json())
         .map_err(|e| format!("writing {mega_out}: {e}"))?;
     println!("wrote {mega_out}");
+
+    let trace_out: String = flags.get("trace-overhead-out", "BENCH_PR9.json".to_string())?;
+    eprintln!("running causal-tracing overhead matrix...");
+    let trace = cellflow_bench::trace_overhead::run(quick);
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>9}",
+        "scenario", "off ns/rd", "on ns/rd", "overhead"
+    );
+    for sc in &trace.scenarios {
+        println!(
+            "{:<8} {:>12} {:>12} {:>8.3}x",
+            sc.name, sc.trace_off_ns_per_round, sc.trace_on_ns_per_round, sc.overhead_ratio
+        );
+    }
+    std::fs::write(&trace_out, trace.to_json())
+        .map_err(|e| format!("writing {trace_out}: {e}"))?;
+    println!("wrote {trace_out}");
     Ok(())
 }
 
@@ -1754,5 +1886,93 @@ mod tests {
         std::fs::write(&bad, "{\"v\":1,\"round\":0}\n").expect("write");
         let err = dispatch(&argv(&format!("inspect {bad}"))).unwrap_err();
         assert!(err.contains(":1:"), "error cites the line: {err}");
+    }
+
+    #[test]
+    fn inspect_routes_by_extension_and_rejects_empty_files() {
+        let scratch = Scratch::new("inspect-route");
+        let empty = scratch.path("empty.jsonl");
+        std::fs::write(&empty, "").expect("write");
+        let err = dispatch(&argv(&format!("inspect {empty}"))).unwrap_err();
+        assert!(err.contains(":1: empty file"), "{err}");
+        // A .jsonl file whose first line is not an object must still be
+        // reported as a JSONL error with its line number, not handed to
+        // the Prometheus validator.
+        let bad = scratch.path("garbage.jsonl");
+        std::fs::write(&bad, "not json at all\n").expect("write");
+        let err = dispatch(&argv(&format!("inspect {bad}"))).unwrap_err();
+        assert!(err.contains(":1:"), "error cites the line: {err}");
+    }
+
+    #[test]
+    fn chaos_trace_artifacts_validate_and_render() {
+        let scratch = Scratch::new("chaos-trace");
+        let out = scratch.path("chaos.trace.jsonl");
+        // `--trace` implies the telemetry bundle.
+        assert!(dispatch(&argv(&format!(
+            "chaos --n 4 --rounds 60 --active 30 --seed 3 --trace --trace-out {out} \
+             --flight-out {} --metrics-out {}",
+            scratch.path("f.jsonl"),
+            scratch.path("m.prom"),
+        )))
+        .is_ok());
+        let stream = std::fs::read_to_string(&out).expect("trace written");
+        cellflow_telemetry::validate_stream(&stream).expect("schema-valid stream");
+        let parsed = cellflow_telemetry::Trace::parse(&stream).expect("span events parse");
+        assert!(!parsed.spans.is_empty(), "causal spans were emitted");
+        parsed.check_causality().expect("span tree is causal");
+        // The analysis command accepts the stream it just produced.
+        assert!(dispatch(&argv(&format!("trace {out}"))).is_ok());
+        assert!(dispatch(&argv(&format!("trace {out} --top 3 --round 5 --wall"))).is_ok());
+    }
+
+    #[test]
+    fn trace_command_rejects_bad_streams() {
+        let scratch = Scratch::new("trace-bad");
+        assert!(dispatch(&argv("trace")).is_err());
+        assert!(dispatch(&argv(&format!("trace {}", scratch.path("absent.jsonl")))).is_err());
+        let bad = scratch.path("bad.jsonl");
+        std::fs::write(&bad, "not json\n").expect("write");
+        let err = dispatch(&argv(&format!("trace {bad}"))).unwrap_err();
+        assert!(err.contains(":1:"), "error cites the line: {err}");
+        // A schema-valid stream with no span events is useless to the
+        // analyzer; say so instead of printing an empty report.
+        let spanless = scratch.path("spanless.jsonl");
+        std::fs::write(
+            &spanless,
+            "{\"v\":1,\"round\":1,\"kind\":\"round_summary\",\"consumed\":0,\
+             \"inserted\":0,\"blocked\":0,\"moved\":0}\n",
+        )
+        .expect("write");
+        let err = dispatch(&argv(&format!("trace {spanless}"))).unwrap_err();
+        assert!(err.contains("no span events"), "{err}");
+    }
+
+    #[test]
+    fn metrics_trace_out_streams_a_causal_trace() {
+        let scratch = Scratch::new("metrics-trace");
+        let out = scratch.path("sim.trace.jsonl");
+        assert!(dispatch(&argv(&format!(
+            "metrics --n 4 --rounds 60 --trace-out {out}"
+        )))
+        .is_ok());
+        let stream = std::fs::read_to_string(&out).expect("trace written");
+        let parsed = cellflow_telemetry::Trace::parse(&stream).expect("span events parse");
+        assert!(!parsed.spans.is_empty());
+        parsed.check_causality().expect("span tree is causal");
+        assert!(dispatch(&argv(&format!("trace {out}"))).is_ok());
+    }
+
+    #[test]
+    fn bench_check_fails_cleanly_without_baselines() {
+        let scratch = Scratch::new("bench-check");
+        // An empty baseline dir is an error (the harness guards committed
+        // files), reported without running any benchmark.
+        let err = dispatch(&argv(&format!(
+            "bench --check --baseline-dir {}",
+            scratch.path("")
+        )))
+        .unwrap_err();
+        assert!(err.contains("BENCH_PR3.json"), "{err}");
     }
 }

@@ -668,6 +668,9 @@ pub struct Engine {
     /// Scheduler occupancy instrumentation (active/skipped cells, per-shard
     /// phase timing), attached when telemetry is enabled.
     sched_metrics: Option<SchedulerMetrics>,
+    /// Per-round phase attribution for the causal tracer (see
+    /// [`RoundTrace`]); refreshed in place when enabled, otherwise inert.
+    round_trace: RoundTrace,
     /// Dense (recompute everything) or sparse (active sets) execution.
     mode: ExecMode,
     /// Worker threads for sharded sparse phases (1 = sequential).
@@ -679,6 +682,37 @@ pub struct Engine {
     sched: Sched,
     /// Per-worker band scratch, reused round over round.
     shards: ShardScratch,
+}
+
+/// One round's phase attribution for the causal tracer: how many cells each
+/// phase actually swept, across how many shard bands, and how long it took.
+///
+/// Plain `Copy` data refreshed in place every round — reading it allocates
+/// nothing, so tracing preserves the engine's zero-allocation steady state.
+/// The cell/band counts are deterministic (they mirror the scheduler's
+/// sorted work lists); only the `*_ns` fields read the wall clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// Whether the engine is filling this struct each round.
+    pub enabled: bool,
+    /// Cells swept by `Route` (the whole grid in dense mode).
+    pub route_cells: u64,
+    /// Cells swept by `Signal`.
+    pub signal_cells: u64,
+    /// Cells swept by `Move`.
+    pub move_cells: u64,
+    /// Shard bands `Route` fanned out to (1 = sequential).
+    pub route_bands: u32,
+    /// Shard bands `Signal` fanned out to.
+    pub signal_bands: u32,
+    /// Shard bands `Move` fanned out to.
+    pub move_bands: u32,
+    /// Measured `Route` nanoseconds (wall clock; nondeterministic).
+    pub route_ns: u64,
+    /// Measured `Signal` nanoseconds.
+    pub signal_ns: u64,
+    /// Measured `Move` nanoseconds (includes source insertion).
+    pub move_ns: u64,
 }
 
 /// Pushes tracking capacity growth: bumps `allocs` when the push must
@@ -725,6 +759,7 @@ impl Engine {
             alloc_events: 0,
             timers: None,
             sched_metrics: None,
+            round_trace: RoundTrace::default(),
             mode: ExecMode::Sparse,
             workers: 1,
             shard_min: DEFAULT_SHARD_MIN,
@@ -807,6 +842,20 @@ impl Engine {
         } else {
             None
         };
+    }
+
+    /// Turns on per-round phase attribution: every subsequent
+    /// [`Engine::step`] refreshes the [`RoundTrace`] readable via
+    /// [`Engine::round_trace`]. Adds one `Instant` read per phase and no
+    /// allocations; leave off (the default) for the untraced fast path.
+    pub fn enable_round_trace(&mut self) {
+        self.round_trace.enabled = true;
+    }
+
+    /// The most recent round's phase attribution (all-zero until
+    /// [`Engine::enable_round_trace`] and a first step).
+    pub fn round_trace(&self) -> RoundTrace {
+        self.round_trace
     }
 
     /// Sets the incoming-cut masks the next [`Engine::step`] honors: one
@@ -1002,32 +1051,49 @@ impl Engine {
 
     /// The PR 3 reference round: every phase sweeps every cell.
     fn round_dense(&mut self) {
-        match self.timers.clone() {
-            None => {
-                self.route();
-                std::mem::swap(&mut self.front, &mut self.back);
-                self.signal();
-                self.do_move();
-                self.insert_sources();
-            }
-            Some(timers) => {
-                // Spans hold only Arc handles: starting/stopping them reads
-                // the clock but never allocates, so the steady-state
-                // zero-allocation claim holds with timing on too.
-                let whole = timers.round.start();
-                let span = timers.route.start();
-                self.route();
-                std::mem::swap(&mut self.front, &mut self.back);
-                drop(span);
-                let span = timers.signal.start();
-                self.signal();
-                drop(span);
-                let span = timers.mv.start();
-                self.do_move();
-                self.insert_sources();
-                drop(span);
-                drop(whole);
-            }
+        // Spans hold only Arc handles and `RoundTrace` is plain `Copy`
+        // data: starting/stopping a span or stamping a phase mark reads the
+        // clock but never allocates, so the steady-state zero-allocation
+        // claim holds with timing and tracing on too.
+        let timers = self.timers.clone();
+        let trace = self.round_trace.enabled;
+        let whole = timers.as_ref().map(|t| t.round.start());
+
+        let mark = trace.then(Instant::now);
+        let span = timers.as_ref().map(|t| t.route.start());
+        self.route();
+        std::mem::swap(&mut self.front, &mut self.back);
+        drop(span);
+        if let Some(t0) = mark {
+            self.round_trace.route_ns = elapsed_ns(t0);
+        }
+
+        let mark = trace.then(Instant::now);
+        let span = timers.as_ref().map(|t| t.signal.start());
+        self.signal();
+        drop(span);
+        if let Some(t0) = mark {
+            self.round_trace.signal_ns = elapsed_ns(t0);
+        }
+
+        let mark = trace.then(Instant::now);
+        let span = timers.as_ref().map(|t| t.mv.start());
+        self.do_move();
+        self.insert_sources();
+        drop(span);
+        if let Some(t0) = mark {
+            self.round_trace.move_ns = elapsed_ns(t0);
+        }
+        drop(whole);
+
+        if trace {
+            let all = self.front.len() as u64;
+            self.round_trace.route_cells = all;
+            self.round_trace.signal_cells = all;
+            self.round_trace.move_cells = all;
+            self.round_trace.route_bands = 1;
+            self.round_trace.signal_bands = 1;
+            self.round_trace.move_bands = 1;
         }
 
         for (p, m) in self.pressure.iter_mut().zip(self.members.iter()) {
@@ -1044,27 +1110,50 @@ impl Engine {
     /// out to shard workers when the list is long enough.
     fn round_sparse(&mut self) {
         self.begin_round_sparse();
-        match self.timers.clone() {
-            None => {
-                self.route_sparse();
-                self.signal_sparse();
-                self.move_sparse();
-                self.insert_sources();
-            }
-            Some(timers) => {
-                let whole = timers.round.start();
-                let span = timers.route.start();
-                self.route_sparse();
-                drop(span);
-                let span = timers.signal.start();
-                self.signal_sparse();
-                drop(span);
-                let span = timers.mv.start();
-                self.move_sparse();
-                self.insert_sources();
-                drop(span);
-                drop(whole);
-            }
+        let timers = self.timers.clone();
+        let trace = self.round_trace.enabled;
+        let whole = timers.as_ref().map(|t| t.round.start());
+
+        let mark = trace.then(Instant::now);
+        let span = timers.as_ref().map(|t| t.route.start());
+        self.route_sparse();
+        drop(span);
+        if let Some(t0) = mark {
+            self.round_trace.route_ns = elapsed_ns(t0);
+        }
+
+        let mark = trace.then(Instant::now);
+        let span = timers.as_ref().map(|t| t.signal.start());
+        self.signal_sparse();
+        drop(span);
+        if let Some(t0) = mark {
+            self.round_trace.signal_ns = elapsed_ns(t0);
+        }
+
+        let mark = trace.then(Instant::now);
+        let span = timers.as_ref().map(|t| t.mv.start());
+        self.move_sparse();
+        self.insert_sources();
+        drop(span);
+        if let Some(t0) = mark {
+            self.round_trace.move_ns = elapsed_ns(t0);
+        }
+        drop(whole);
+
+        if trace {
+            // The phase lists stay intact until the next round's rotation,
+            // so the counts can be read back here, after the sweeps. Band
+            // counts recompute `band_count` on the same lengths the phases
+            // saw, so they match what actually ran.
+            let route_len = self.sched.route_now.list.len();
+            let sig_len = self.sched.sig_now.list.len();
+            let move_len = self.sched.move_list.len();
+            self.round_trace.route_cells = route_len as u64;
+            self.round_trace.signal_cells = sig_len as u64;
+            self.round_trace.move_cells = move_len as u64;
+            self.round_trace.route_bands = self.band_count(route_len) as u32;
+            self.round_trace.signal_bands = self.band_count(sig_len) as u32;
+            self.round_trace.move_bands = self.band_count(move_len) as u32;
         }
         self.update_pressure_sparse();
         self.note_round_activity();
@@ -1896,6 +1985,53 @@ mod tests {
         assert_eq!(timers.signal.count(), 200);
         assert_eq!(timers.mv.count(), 200);
         assert!(timers.round.sum() >= timers.route.sum());
+    }
+
+    #[test]
+    fn round_trace_attributes_phases_without_allocating() {
+        let cfg = config();
+        let mut engine = Engine::new(cfg.clone());
+        engine.enable_round_trace();
+        assert_eq!(
+            engine.round_trace(),
+            RoundTrace {
+                enabled: true,
+                ..RoundTrace::default()
+            }
+        );
+        let mut counts = Vec::new();
+        for _ in 0..150 {
+            engine.step();
+            let t = engine.round_trace();
+            assert_eq!(t.route_bands, 1, "8x8 never clears the shard threshold");
+            counts.push((t.route_cells, t.signal_cells, t.move_cells));
+        }
+        // Counts mirror the deterministic sparse work lists.
+        let mut replay = Engine::new(cfg.clone());
+        replay.enable_round_trace();
+        for expected in &counts {
+            replay.step();
+            let t = replay.round_trace();
+            assert_eq!(*expected, (t.route_cells, t.signal_cells, t.move_cells));
+        }
+        // Sparse rounds in a driven system sweep fewer cells than the grid.
+        assert!(counts.iter().any(|&(r, _, _)| r < 64 && r > 0));
+        // Dense mode attributes the whole grid to every phase.
+        let mut dense = Engine::new(cfg);
+        dense.set_exec_mode(ExecMode::Dense);
+        dense.enable_round_trace();
+        dense.step();
+        let t = dense.round_trace();
+        assert_eq!(
+            (t.route_cells, t.signal_cells, t.move_cells),
+            (64, 64, 64)
+        );
+        // And tracing must not break the zero-alloc steady state.
+        engine.reset_alloc_events();
+        for _ in 0..150 {
+            engine.step();
+        }
+        assert_eq!(engine.alloc_events(), 0, "tracing must not allocate");
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub use certify::{
     certify, certify_batch, certify_links, shrink, shrink_links, Certificate, CertifyOptions,
     CorruptionEvent, LinkCertificate,
 };
-pub use engine::{Engine, ExecMode, NeighborTable};
+pub use engine::{Engine, ExecMode, NeighborTable, RoundTrace};
 pub use fault::{
     CampaignSpec, Corruption, FaultCensus, FaultEvent, FaultKind, FaultPlan, FlakySpec, LinkFault,
     PartitionPlan, PartitionSchedule,

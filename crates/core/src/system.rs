@@ -464,6 +464,18 @@ impl System {
         self.engine.attach_scheduler_metrics(metrics);
     }
 
+    /// Turns on per-round phase attribution in the underlying engine (see
+    /// [`Engine::enable_round_trace`]).
+    pub fn enable_round_trace(&mut self) {
+        self.engine.enable_round_trace();
+    }
+
+    /// The most recent round's phase attribution (see
+    /// [`Engine::round_trace`]).
+    pub fn round_trace(&self) -> crate::RoundTrace {
+        self.engine.round_trace()
+    }
+
     /// How rounds execute (see [`Engine::exec_mode`]).
     pub fn exec_mode(&self) -> crate::ExecMode {
         self.engine.exec_mode()

@@ -68,6 +68,16 @@ pub enum Message {
 pub struct Envelope {
     /// The round in which the message was sent.
     pub round: u64,
+    /// Causal context: the sender's cell-round span id
+    /// ([`Tracer::cell_round_id`]) when tracing is enabled, 0 otherwise.
+    /// Because the id is a pure function of `(seed, round, sender)`, a
+    /// delivered, dropped, or delayed message links back to its emitting
+    /// cell-round without the transport carrying any extra state — the
+    /// receiver (or an offline analyzer holding the seed) recomputes the
+    /// same id. Protocol semantics never read this field.
+    ///
+    /// [`Tracer::cell_round_id`]: cellflow_telemetry::Tracer::cell_round_id
+    pub cause: u64,
     /// The payload.
     pub msg: Message,
 }

@@ -10,7 +10,7 @@ use cellflow_core::fault::{FaultKind, FaultPlan, PartitionPlan, PartitionSchedul
 use cellflow_core::monitor::{Monitor, MonitorCtx, MonitorViolation};
 use cellflow_core::{CellState, Dist, SystemConfig, SystemState};
 use cellflow_grid::CellId;
-use cellflow_telemetry::{Counter, Event};
+use cellflow_telemetry::{cell_ordinal, Counter, Event, SpanBuilder, SpanKind, Tracer};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::message::{Envelope, Message};
@@ -140,6 +140,7 @@ pub struct NetSystem {
     policy: RestartPolicy,
     tears: Vec<TearSpec>,
     telemetry: Option<Arc<NetTelemetry>>,
+    tracer: Option<Tracer>,
     worker_cap: usize,
 }
 
@@ -155,6 +156,7 @@ impl core::fmt::Debug for NetSystem {
             .field("policy", &self.policy)
             .field("tears", &self.tears)
             .field("telemetry", &self.telemetry)
+            .field("tracer", &self.tracer)
             .field("worker_cap", &self.worker_cap)
             .finish()
     }
@@ -185,6 +187,7 @@ impl NetSystem {
             policy: RestartPolicy::default(),
             tears: Vec::new(),
             telemetry: None,
+            tracer: None,
             worker_cap: DEFAULT_WORKER_CAP,
         })
     }
@@ -304,6 +307,19 @@ impl NetSystem {
         self
     }
 
+    /// Attaches a causal tracer. Every envelope a cell sends carries the
+    /// sender's deterministic cell-round span id ([`Tracer::cell_round_id`])
+    /// as its [`Envelope::cause`], the barrier records which cell's arrival
+    /// closed each generation (the critical path), and the collector emits a
+    /// span tree per round into the telemetry event log — including, on a
+    /// round timeout, a `timeout` span whose `silent` children name the
+    /// cells whose cell-round never happened. No-op without
+    /// [`NetSystem::with_telemetry`].
+    pub fn with_tracer(mut self, tracer: Tracer) -> NetSystem {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// The wrapped configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
@@ -399,7 +415,13 @@ impl NetSystem {
             inboxes.insert(c, rx);
         }
 
-        let barrier = RoundBarrier::new(n, self.round_timeout);
+        let mut barrier = RoundBarrier::new(n, self.round_timeout);
+        if self.tracer.is_some() && telemetry.is_some() {
+            // Barrier-wait critical path: record which cell closed each
+            // generation so the round span can name its last completer.
+            barrier = barrier.with_completion_log();
+        }
+        let barrier = barrier;
         let (result_tx, result_rx) = unbounded::<(CellId, CellState, u64, u64)>();
         let (snap_tx, snap_rx) = unbounded::<Snapshot>();
 
@@ -413,6 +435,7 @@ impl NetSystem {
                 store: &*store,
                 tears: &self.tears,
                 telemetry,
+                tracer: self.tracer,
             };
             let seat_for = |id: CellId,
                                 inboxes: &mut HashMap<CellId, Receiver<Envelope>>,
@@ -474,6 +497,8 @@ impl NetSystem {
                 let tears = &self.tears;
                 let cells = &cells;
                 let partition = schedule.as_ref();
+                let tracer = self.tracer;
+                let barrier = &barrier;
                 scope.spawn(move |_| {
                     collect_rounds(
                         config,
@@ -487,6 +512,8 @@ impl NetSystem {
                         partition,
                         patience,
                         telemetry,
+                        tracer,
+                        barrier,
                     )
                 })
             });
@@ -585,6 +612,30 @@ impl NetSystem {
                             ),
                         },
                     );
+                    // The stalled round never produced its span tree, so
+                    // emit a `timeout` root (cell = the detector) whose
+                    // `silent` children carry the exact cell-round id the
+                    // culprits' envelopes would have borne as `cause` —
+                    // the trace analyzer links the missing cell-rounds
+                    // without any runtime state surviving the stall.
+                    if let Some(tr) = self.tracer {
+                        let r = *round + 1;
+                        let mut b = SpanBuilder::new(r);
+                        b.open(tr.span_id(r, SpanKind::Timeout, 0), SpanKind::Timeout);
+                        b.set_cell(*cell);
+                        for &culprit in silent {
+                            b.leaf(
+                                tr.cell_round_id(r, culprit),
+                                SpanKind::Silent,
+                                Some(culprit),
+                                1,
+                                0,
+                            );
+                        }
+                        for event in b.finish() {
+                            tel.emit(r, event);
+                        }
+                    }
                 }
                 tel.flush();
             }
@@ -645,6 +696,7 @@ struct RunCtx<'a> {
     store: &'a dyn SnapshotStore,
     tears: &'a [TearSpec],
     telemetry: Option<&'a NetTelemetry>,
+    tracer: Option<Tracer>,
 }
 
 impl RunCtx<'_> {
@@ -685,6 +737,13 @@ impl RunCtx<'_> {
         }
     }
 
+    /// The causal id `cell`'s envelopes carry in (0-based) `round`: its
+    /// cell-round span id under the collector's 1-based round numbering, or
+    /// 0 when tracing is off.
+    fn cause(&self, round: u64, cell: CellId) -> u64 {
+        self.tracer.map_or(0, |t| t.cell_round_id(round + 1, cell))
+    }
+
     /// Records how many envelopes one inbox drain pulled.
     fn observe_drain(&self, drained: u64) {
         if let Some(t) = self.telemetry {
@@ -706,9 +765,13 @@ struct Seat {
 }
 
 impl Seat {
-    fn broadcast(&mut self, round: u64, make: impl Fn() -> Message) {
+    fn broadcast(&mut self, round: u64, cause: u64, make: impl Fn() -> Message) {
         for (_, link) in self.links.iter_mut() {
-            link.send(Envelope { round, msg: make() });
+            link.send(Envelope {
+                round,
+                cause,
+                msg: make(),
+            });
             self.messages.inc();
         }
     }
@@ -852,8 +915,9 @@ fn drive<'scope, 'env>(
         }
 
         // Exchange 1: dist → Route.
+        let cause = ctx.cause(round, id);
         if let Some(dist) = node.announce_dist() {
-            seat.broadcast(round, || Message::DistAnnounce { from: id, dist });
+            seat.broadcast(round, cause, || Message::DistAnnounce { from: id, dist });
         }
         seat.flush();
         if ctx.wait(id).is_err() {
@@ -878,7 +942,7 @@ fn drive<'scope, 'env>(
 
         // Exchange 2: (next, nonempty) → Signal.
         if let Some((next, nonempty)) = node.announce_route() {
-            seat.broadcast(round, || Message::RouteAnnounce {
+            seat.broadcast(round, cause, || Message::RouteAnnounce {
                 from: id,
                 next,
                 nonempty,
@@ -912,7 +976,7 @@ fn drive<'scope, 'env>(
 
         // Exchange 3: signal → Move.
         if let Some(signal) = node.announce_signal() {
-            seat.broadcast(round, || Message::SignalAnnounce { from: id, signal });
+            seat.broadcast(round, cause, || Message::SignalAnnounce { from: id, signal });
         }
         seat.flush();
         if ctx.wait(id).is_err() {
@@ -956,6 +1020,7 @@ fn drive<'scope, 'env>(
                 .expect("transfers go to neighbors");
             link.send(Envelope {
                 round,
+                cause,
                 msg: Message::Transfer {
                     from: id,
                     entity,
@@ -1192,8 +1257,9 @@ fn drive_shard(ctx: RunCtx<'_>, mut slots: Vec<ShardSlot>) {
             let slot = &mut slots[k];
             if let Some(dist) = slot.node.announce_dist() {
                 let id = slot.id;
+                let cause = ctx.cause(round, id);
                 slot.seat
-                    .broadcast(round, || Message::DistAnnounce { from: id, dist });
+                    .broadcast(round, cause, || Message::DistAnnounce { from: id, dist });
             }
             slot.seat.flush();
         }
@@ -1228,7 +1294,8 @@ fn drive_shard(ctx: RunCtx<'_>, mut slots: Vec<ShardSlot>) {
             let slot = &mut slots[k];
             if let Some((next, nonempty)) = slot.node.announce_route() {
                 let id = slot.id;
-                slot.seat.broadcast(round, || Message::RouteAnnounce {
+                let cause = ctx.cause(round, id);
+                slot.seat.broadcast(round, cause, || Message::RouteAnnounce {
                     from: id,
                     next,
                     nonempty,
@@ -1272,8 +1339,9 @@ fn drive_shard(ctx: RunCtx<'_>, mut slots: Vec<ShardSlot>) {
             let slot = &mut slots[k];
             if let Some(signal) = slot.node.announce_signal() {
                 let id = slot.id;
+                let cause = ctx.cause(round, id);
                 slot.seat
-                    .broadcast(round, || Message::SignalAnnounce { from: id, signal });
+                    .broadcast(round, cause, || Message::SignalAnnounce { from: id, signal });
             }
             slot.seat.flush();
         }
@@ -1313,6 +1381,7 @@ fn drive_shard(ctx: RunCtx<'_>, mut slots: Vec<ShardSlot>) {
                 ctx.persist(slot.id, &record);
             }
             let id = slot.id;
+            let cause = ctx.cause(round, id);
             for (to, entity, pos) in outgoing {
                 let link = slot
                     .seat
@@ -1323,6 +1392,7 @@ fn drive_shard(ctx: RunCtx<'_>, mut slots: Vec<ShardSlot>) {
                     .expect("transfers go to neighbors");
                 link.send(Envelope {
                     round,
+                    cause,
                     msg: Message::Transfer {
                         from: id,
                         entity,
@@ -1408,9 +1478,15 @@ fn collect_rounds(
     partition: Option<&PartitionSchedule>,
     patience: Duration,
     telemetry: Option<&NetTelemetry>,
+    tracer: Option<Tracer>,
+    barrier: &RoundBarrier,
 ) -> (Vec<MonitorViolation>, Vec<String>) {
     let n = cells.len();
     let (mut prev_consumed, mut prev_inserted) = (0u64, 0u64);
+    // Per-cell (consumed, inserted) watermarks from the previous round, so
+    // the tracer can attribute each round's deliveries/insertions to the
+    // cell-round spans that produced them. Only maintained when tracing.
+    let mut prev_cells: HashMap<CellId, (u64, u64)> = HashMap::new();
     let mut last: HashMap<CellId, (CellState, u64, u64)> = cells
         .iter()
         .map(|&c| {
@@ -1559,6 +1635,58 @@ fn collect_rounds(
                     moved: 0,
                 },
             );
+
+            // The round's causal span tree: a `round` root over fault
+            // transitions, the barrier leaf (whose `cell` is the measured
+            // last completer — the critical-path culprit everyone else
+            // waited on), and one `cell` leaf per cell whose counters
+            // moved, under the same id its envelopes carried as `cause`.
+            if let Some(tr) = tracer {
+                let mut b = SpanBuilder::new(r);
+                b.open(tr.span_id(r, SpanKind::Round, 0), SpanKind::Round);
+                b.add_work(expect as u64);
+                let mut lanes = [
+                    (SpanKind::Fault, &failed, 2u64),
+                    (SpanKind::Recover, &recovered, 1),
+                    (SpanKind::Corrupt, &corrupted, 1),
+                ]
+                .map(|(kind, cells, work)| {
+                    let mut cells = cells.clone();
+                    cells.sort_by_key(|c| (c.i(), c.j()));
+                    cells.dedup();
+                    (kind, cells, work)
+                });
+                for (kind, cells, work) in &mut lanes {
+                    for &cell in cells.iter() {
+                        b.leaf(
+                            tr.span_id(r, *kind, cell_ordinal(cell)),
+                            *kind,
+                            Some(cell),
+                            *work,
+                            0,
+                        );
+                    }
+                }
+                b.leaf(
+                    tr.span_id(r, SpanKind::Barrier, 0),
+                    SpanKind::Barrier,
+                    barrier.last_completer(round),
+                    WAITS_PER_ROUND,
+                    0,
+                );
+                for &cell in cells {
+                    let (consumed, inserted) = (last[&cell].1, last[&cell].2);
+                    let (pc, pi) = prev_cells.get(&cell).copied().unwrap_or((0, 0));
+                    let work = consumed.saturating_sub(pc) + inserted.saturating_sub(pi);
+                    if work > 0 {
+                        b.leaf(tr.cell_round_id(r, cell), SpanKind::Cell, Some(cell), work, 0);
+                    }
+                    prev_cells.insert(cell, (consumed, inserted));
+                }
+                for event in b.finish() {
+                    tel.emit(r, event);
+                }
+            }
         }
         prev_consumed = consumed_total;
         prev_inserted = inserted_total;
@@ -1953,6 +2081,126 @@ mod tests {
         );
         assert_eq!(dump_stats.timeouts, 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn broadcast_stamps_the_causal_id_on_every_envelope() {
+        let from = CellId::new(1, 1);
+        let to = CellId::new(1, 2);
+        let (tx, rx) = unbounded();
+        let mut seat = Seat {
+            inbox: unbounded().1,
+            links: vec![(to, PerfectTransport.link(from, to, tx))],
+            result_tx: unbounded().0,
+            snap_tx: unbounded().0,
+            messages: Counter::noop(),
+        };
+        let tracer = Tracer::new(7);
+        let cause = tracer.cell_round_id(4, from);
+        seat.broadcast(3, cause, || Message::MoveDone { from });
+        let env = rx.try_recv().unwrap();
+        assert_eq!(env.round, 3);
+        assert_eq!(env.cause, cause, "the envelope carries the sender's id");
+    }
+
+    #[test]
+    fn tracer_emits_causal_spans_and_names_timeout_culprits() {
+        use cellflow_telemetry::{EventLog, Registry, SharedBuffer, Trace};
+
+        let victim = CellId::new(2, 2);
+        let flapper = CellId::new(1, 2);
+        let buffer = SharedBuffer::new();
+        let tel = Arc::new(
+            NetTelemetry::new(&Registry::new())
+                .with_event_log(EventLog::new().with_stream(Box::new(buffer.clone()))),
+        );
+        let tracer = Tracer::new(42);
+        let cfg = config(4);
+        let monitors = cellflow_core::standard_monitors(&cfg);
+        let plan = FaultPlan::new()
+            .crash_at(5, flapper)
+            .recover_at(8, flapper)
+            .kill_at(20, victim);
+        let err = NetSystem::new(cfg)
+            .unwrap()
+            .with_plan(plan)
+            .with_round_timeout(Duration::from_millis(200))
+            .with_telemetry(Arc::clone(&tel))
+            .with_tracer(tracer)
+            .run_monitored(60, monitors)
+            .unwrap_err();
+        assert!(matches!(err, NetError::Timeout { .. }), "{err:?}");
+
+        let contents = buffer.contents();
+        cellflow_telemetry::validate_stream(&contents).unwrap();
+        let trace = Trace::parse(&contents).unwrap();
+        trace.check_causality().unwrap();
+
+        // Every cell/silent leaf uses the exact id the cell's envelopes
+        // carry as `cause` for that round — the whole point of the scheme.
+        let mut cell_leaves = 0;
+        for span in &trace.spans {
+            if let (true, Some(cell)) = (
+                span.label == "cell" || span.label == "silent",
+                span.cell,
+            ) {
+                cell_leaves += 1;
+                assert_eq!(
+                    span.id,
+                    tracer.cell_round_id(span.round, cell),
+                    "round {} leaf for ({}, {})",
+                    span.round,
+                    cell.i(),
+                    cell.j()
+                );
+            }
+        }
+        assert!(cell_leaves > 0, "traced rounds attribute work to cells");
+        for label in ["round", "barrier", "fault", "recover", "timeout"] {
+            assert!(
+                trace.spans.iter().any(|s| s.label == label),
+                "missing {label} spans:\n{contents}"
+            );
+        }
+
+        // The stalled round (0-based 20 → stream tag 21) names the killed
+        // cell as the last-arriving culprit.
+        let timed_out = trace.timed_out();
+        assert_eq!(timed_out, vec![(21, vec![victim])]);
+    }
+
+    #[test]
+    fn tracer_leaves_the_stream_byte_identical_when_absent() {
+        use cellflow_telemetry::{EventLog, Registry, SharedBuffer};
+
+        let run = |traced: bool| {
+            let buffer = SharedBuffer::new();
+            let tel = Arc::new(
+                NetTelemetry::new(&Registry::new())
+                    .with_event_log(EventLog::new().with_stream(Box::new(buffer.clone()))),
+            );
+            let cfg = config(4);
+            let monitors = cellflow_core::standard_monitors(&cfg);
+            let mut sys = NetSystem::new(cfg)
+                .unwrap()
+                .with_telemetry(Arc::clone(&tel));
+            if traced {
+                sys = sys.with_tracer(Tracer::new(42));
+            }
+            sys.run_monitored(40, monitors).unwrap();
+            buffer.contents()
+        };
+        let plain = run(false);
+        let traced = run(true);
+        let traced_without_spans: String = traced
+            .lines()
+            .filter(|l| !l.contains("\"kind\":\"span\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(
+            plain, traced_without_spans,
+            "tracing only ever adds span lines"
+        );
     }
 
     #[test]

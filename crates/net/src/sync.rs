@@ -62,12 +62,22 @@ struct Inner {
     /// Seats reserved for re-spawned threads, keyed by the generation at
     /// which they start counting.
     joins: BTreeMap<u64, usize>,
+    /// When enabled (tracing), `(generation, last cell to arrive)` for
+    /// every completed generation — the critical-path attribution "whose
+    /// arrival closed this barrier". Scheduling-dependent by nature, so the
+    /// tracer keeps it out of deterministic outputs.
+    completions: Option<Vec<(u64, CellId)>>,
 }
 
 impl Inner {
     /// Completes the current generation and advances to the next, seating
     /// any scheduled joiners whose generation has arrived.
     fn advance(&mut self) {
+        if let Some(log) = &mut self.completions {
+            if let Some(&last) = self.arrived_cells.last() {
+                log.push((self.generation, last));
+            }
+        }
         self.generation += 1;
         self.arrived = 0;
         self.arrived_cells.clear();
@@ -114,10 +124,37 @@ impl RoundBarrier {
                 poison: None,
                 arrived_cells: Vec::new(),
                 joins: BTreeMap::new(),
+                completions: None,
             }),
             cv: Condvar::new(),
             timeout,
         }
+    }
+
+    /// Turns on the completion log: every completed generation records
+    /// which cell's arrival closed it, readable per round via
+    /// [`RoundBarrier::last_completer`]. Off by default (the log grows by
+    /// [`WAITS_PER_ROUND`] entries per round).
+    pub fn with_completion_log(self) -> RoundBarrier {
+        lock!(self.inner).completions = Some(Vec::new());
+        self
+    }
+
+    /// The cell whose arrival completed the last completed generation of
+    /// `round` (generations `round·8 .. round·8+8`), if the completion log
+    /// is enabled and the round completed any generation. This is the
+    /// barrier-wait critical path: everyone else was already waiting on
+    /// this cell. Measured attribution — scheduling-dependent, not
+    /// deterministic per seed.
+    pub fn last_completer(&self, round: u64) -> Option<CellId> {
+        let inner = lock!(self.inner);
+        let log = inner.completions.as_ref()?;
+        let lo = round * WAITS_PER_ROUND;
+        let hi = lo + WAITS_PER_ROUND;
+        log.iter()
+            .filter(|&&(gen, _)| gen >= lo && gen < hi)
+            .max_by_key(|&&(gen, _)| gen)
+            .map(|&(_, cell)| cell)
     }
 
     /// The configured per-wait timeout.
@@ -418,6 +455,42 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.cell, CellId::new(0, 0));
         assert_eq!(err.arrived, vec![CellId::new(0, 0), CellId::new(1, 0)]);
+    }
+
+    #[test]
+    fn completion_log_names_the_closing_cell() {
+        // Solo participant: it completes every generation itself.
+        let barrier = RoundBarrier::new(1, Duration::from_secs(5)).with_completion_log();
+        for _ in 0..WAITS_PER_ROUND * 2 {
+            barrier.wait(cell()).unwrap();
+        }
+        assert_eq!(barrier.last_completer(0), Some(cell()));
+        assert_eq!(barrier.last_completer(1), Some(cell()));
+        assert_eq!(barrier.last_completer(2), None, "round never ran");
+
+        // Two staggered participants: the last completer is always the
+        // late one.
+        let barrier = RoundBarrier::new(2, Duration::from_secs(5)).with_completion_log();
+        let late = CellId::new(1, 0);
+        std::thread::scope(|s| {
+            let b = &barrier;
+            let early = s.spawn(move || {
+                for _ in 0..WAITS_PER_ROUND {
+                    b.wait(cell()).unwrap();
+                }
+            });
+            for _ in 0..WAITS_PER_ROUND {
+                std::thread::sleep(Duration::from_millis(2));
+                b.wait(late).unwrap();
+            }
+            early.join().unwrap();
+        });
+        assert_eq!(barrier.last_completer(0), Some(late));
+
+        // Off by default.
+        let plain = RoundBarrier::new(1, Duration::from_secs(5));
+        plain.wait(cell()).unwrap();
+        assert_eq!(plain.last_completer(0), None);
     }
 
     #[test]

@@ -359,6 +359,7 @@ mod tests {
     fn announce(round: u64) -> Envelope {
         Envelope {
             round,
+            cause: 0,
             msg: Message::DistAnnounce {
                 from: CellId::new(0, 0),
                 dist: Dist::Finite(3),
@@ -369,6 +370,7 @@ mod tests {
     fn transfer(round: u64) -> Envelope {
         Envelope {
             round,
+            cause: 0,
             msg: Message::Transfer {
                 from: CellId::new(0, 0),
                 entity: cellflow_core::EntityId(1),

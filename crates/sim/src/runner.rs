@@ -39,6 +39,7 @@ pub struct Simulation {
     monitors: Vec<Box<dyn Monitor>>,
     violations: Vec<MonitorViolation>,
     telemetry: Option<SimTelemetry>,
+    tracer: Option<cellflow_telemetry::Tracer>,
     partition: Option<PartitionSchedule>,
 }
 
@@ -60,6 +61,7 @@ impl Simulation {
             monitors: Vec::new(),
             violations: Vec::new(),
             telemetry: None,
+            tracer: None,
             partition: None,
         }
     }
@@ -152,6 +154,18 @@ impl Simulation {
                 telemetry.registry(),
             ));
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Attaches a causal tracer: every round's telemetry stream gains a
+    /// deterministic span tree (round → phase → shard, plus fault and
+    /// event-bearing-cell leaves) whose ids are pure functions of the
+    /// tracer seed. Requires telemetry with an event log to produce
+    /// output; without [`Simulation::with_telemetry`] it only turns on the
+    /// engine's (allocation-free) per-round phase attribution.
+    pub fn with_tracer(mut self, tracer: cellflow_telemetry::Tracer) -> Simulation {
+        self.system.enable_round_trace();
+        self.tracer = Some(tracer);
         self
     }
 
@@ -249,7 +263,22 @@ impl Simulation {
         if let Some(tel) = &mut self.telemetry {
             // Rounds are tagged 1-based, matching the monitors' numbering
             // and the net collector's stream.
-            tel.observe_round(round + 1, &failures, &events, &self.violations[fresh_violations..]);
+            match &self.tracer {
+                None => tel.observe_round(
+                    round + 1,
+                    &failures,
+                    &events,
+                    &self.violations[fresh_violations..],
+                ),
+                Some(tracer) => tel.observe_round_traced(
+                    round + 1,
+                    &failures,
+                    &events,
+                    &self.violations[fresh_violations..],
+                    tracer,
+                    self.system.round_trace(),
+                ),
+            }
         }
         if self.check_safety {
             let (cfg, st) = (self.system.config(), self.system.state());
@@ -408,6 +437,77 @@ mod tests {
         }
         assert_eq!(consumed, Some(sim.metrics().consumed_total()));
         assert_eq!(route_count, Some(200));
+    }
+
+    #[test]
+    fn tracer_emits_causal_spans_and_reruns_byte_identically() {
+        use cellflow_telemetry::{EventLog, Registry, SharedBuffer, Trace, Tracer};
+
+        let run = || {
+            let buffer = SharedBuffer::new();
+            let tel = SimTelemetry::new(&Registry::new())
+                .with_event_log(EventLog::new().with_stream(Box::new(buffer.clone())));
+            let mut sim = Simulation::new(config(), 1)
+                .with_failure_model(
+                    cellflow_core::FaultPlan::new()
+                        .crash_at(30, CellId::new(3, 3))
+                        .recover_at(60, CellId::new(3, 3)),
+                )
+                .with_telemetry(tel)
+                .with_tracer(Tracer::new(42));
+            sim.run(120);
+            sim.telemetry_mut().unwrap().flush();
+            buffer.contents()
+        };
+        let text = run();
+        let stats = cellflow_telemetry::validate_stream(&text).unwrap();
+        assert!(
+            stats.by_kind.iter().any(|(k, _)| k == "span"),
+            "no spans in {:?}",
+            stats.by_kind
+        );
+        let trace = Trace::parse(&text).unwrap();
+        trace.check_causality().unwrap();
+        assert!(trace.spans.iter().any(|s| s.label == "fault"));
+        assert!(trace.spans.iter().any(|s| s.label == "cell"));
+        // Deterministic fields (everything but ns) identical across reruns.
+        let strip_ns = |text: &str| -> Vec<String> {
+            text.lines()
+                .map(|l| match l.find(",\"ns\":") {
+                    Some(k) => l[..k].to_string(),
+                    None => l.to_string(),
+                })
+                .collect()
+        };
+        assert_eq!(strip_ns(&text), strip_ns(&run()));
+    }
+
+    #[test]
+    fn tracer_absent_leaves_stream_byte_identical() {
+        use cellflow_telemetry::{EventLog, Registry, SharedBuffer, Tracer};
+
+        let run = |traced: bool| {
+            let buffer = SharedBuffer::new();
+            let tel = SimTelemetry::new(&Registry::new())
+                .with_event_log(EventLog::new().with_stream(Box::new(buffer.clone())));
+            let mut sim = Simulation::new(config(), 1).with_telemetry(tel);
+            if traced {
+                sim = sim.with_tracer(Tracer::new(7));
+            }
+            sim.run(60);
+            sim.telemetry_mut().unwrap().flush();
+            buffer.contents()
+        };
+        let plain = run(false);
+        let traced = run(true);
+        // The traced stream is the plain stream plus span lines.
+        let plain_lines: Vec<&str> = plain.lines().collect();
+        let non_span: Vec<&str> = traced
+            .lines()
+            .filter(|l| !l.contains("\"kind\":\"span\""))
+            .collect();
+        assert_eq!(plain_lines, non_span);
+        assert!(traced.len() > plain.len());
     }
 
     #[test]

@@ -14,10 +14,16 @@
 //! ([`PhaseTimers`](cellflow_telemetry::PhaseTimers)) in the same
 //! registry, so Route/Signal/Move latency lands beside the sim counters.
 
+use std::collections::BTreeMap;
+
 use cellflow_core::monitor::MonitorViolation;
 use cellflow_core::overload::{CascadeStats, CascadeTrip};
-use cellflow_core::RoundEvents;
-use cellflow_telemetry::{Counter, Event, EventLog, Histogram, Registry};
+use cellflow_core::{RoundEvents, RoundTrace};
+use cellflow_grid::CellId;
+use cellflow_telemetry::trace::cell_ordinal;
+use cellflow_telemetry::{
+    Counter, Event, EventLog, Histogram, Registry, SpanBuilder, SpanKind, Tracer,
+};
 
 use crate::failure::FailureEvents;
 
@@ -197,6 +203,125 @@ impl SimTelemetry {
                 moved: events.moved.len() as u64,
             },
         );
+    }
+
+    /// [`Self::observe_round`] plus the causal span tree: a round span
+    /// carrying the engine's phase attribution (route/signal/move children
+    /// with deterministic swept-cell work, shard leaves when a phase fanned
+    /// out), fault leaves, and one leaf per event-bearing cell whose id is
+    /// the [`Tracer::cell_round_id`] linking key. Spans are appended after
+    /// the round's protocol events at the same round tag, so the stream
+    /// stays round-monotonic, and are only emitted here — with the tracer
+    /// absent the stream is byte-identical to previous releases.
+    pub(crate) fn observe_round_traced(
+        &mut self,
+        round: u64,
+        failures: &FailureEvents,
+        events: &RoundEvents,
+        fresh_violations: &[MonitorViolation],
+        tracer: &Tracer,
+        rt: RoundTrace,
+    ) {
+        self.observe_round(round, failures, events, fresh_violations);
+        if !self.log.is_enabled() {
+            return;
+        }
+        let mut b = SpanBuilder::new(round);
+        b.open(tracer.span_id(round, SpanKind::Round, 0), SpanKind::Round);
+        b.add_work(rt.route_cells + rt.signal_cells + rt.move_cells);
+        b.add_ns(rt.route_ns + rt.signal_ns + rt.move_ns);
+        for (kind, cells, bands, ns) in [
+            (SpanKind::Route, rt.route_cells, rt.route_bands, rt.route_ns),
+            (
+                SpanKind::Signal,
+                rt.signal_cells,
+                rt.signal_bands,
+                rt.signal_ns,
+            ),
+            (SpanKind::Move, rt.move_cells, rt.move_bands, rt.move_ns),
+        ] {
+            b.open(tracer.span_id(round, kind, 0), kind);
+            b.add_work(cells);
+            b.add_ns(ns);
+            if bands > 1 {
+                // Reconstruct the deterministic band split the engine used:
+                // `chunks(len.div_ceil(bands))` over the sorted work list.
+                let chunk = (cells as usize).div_ceil(bands as usize);
+                let mut remaining = cells as usize;
+                let mut k = 0u64;
+                while remaining > 0 {
+                    let take = remaining.min(chunk);
+                    b.leaf(
+                        tracer.span_id(round, SpanKind::Shard, kind.code() * 1024 + k),
+                        SpanKind::Shard,
+                        None,
+                        take as u64,
+                        0,
+                    );
+                    remaining -= take;
+                    k += 1;
+                }
+            }
+            b.close();
+        }
+        for &cell in &failures.failed {
+            b.leaf(
+                tracer.span_id(round, SpanKind::Fault, cell_ordinal(cell)),
+                SpanKind::Fault,
+                Some(cell),
+                2,
+                0,
+            );
+        }
+        for &cell in &failures.recovered {
+            b.leaf(
+                tracer.span_id(round, SpanKind::Recover, cell_ordinal(cell)),
+                SpanKind::Recover,
+                Some(cell),
+                1,
+                0,
+            );
+        }
+        for &cell in &failures.corrupted {
+            b.leaf(
+                tracer.span_id(round, SpanKind::Corrupt, cell_ordinal(cell)),
+                SpanKind::Corrupt,
+                Some(cell),
+                1,
+                0,
+            );
+        }
+        // One leaf per event-bearing cell, work = its protocol events this
+        // round. Aggregated first so each cell-round id appears exactly
+        // once (the causality suite rejects duplicate span ids).
+        let mut touched: BTreeMap<(u16, u16), u64> = BTreeMap::new();
+        for &(cell, _) in &events.inserted {
+            *touched.entry((cell.i(), cell.j())).or_default() += 1;
+        }
+        for t in &events.transfers {
+            *touched.entry((t.from.i(), t.from.j())).or_default() += 1;
+        }
+        if self.signals {
+            for &(granter, _) in &events.grants {
+                *touched.entry((granter.i(), granter.j())).or_default() += 1;
+            }
+            for &(blocker, _) in &events.blocked {
+                *touched.entry((blocker.i(), blocker.j())).or_default() += 1;
+            }
+        }
+        for (&(i, j), &work) in &touched {
+            let cell = CellId::new(i, j);
+            b.leaf(
+                tracer.cell_round_id(round, cell),
+                SpanKind::Cell,
+                Some(cell),
+                work,
+                0,
+            );
+        }
+        for event in b.finish() {
+            self.log.emit(round, event);
+        }
     }
 }
 

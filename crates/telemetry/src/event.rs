@@ -120,6 +120,31 @@ pub enum Event {
         /// Rounds of history in the dump.
         rounds: u64,
     },
+    /// One closed span of the causal trace tree (see [`crate::trace`]).
+    ///
+    /// Only emitted when tracing is enabled, so default-off streams stay
+    /// byte-identical. `work` and the `open`/`close` logical clock are
+    /// deterministic per seed; `ns` is measured wall time and the only
+    /// nondeterministic field (alongside the barrier span's attributed
+    /// `cell`).
+    Span {
+        /// Seed-derived span id (never 0; 0 is the "no parent" sentinel).
+        id: u64,
+        /// Parent span id, or 0 for a root span.
+        parent: u64,
+        /// Span label (`round`, `route`, `cell`, `barrier`, ...).
+        label: String,
+        /// The cell this span is attributed to, if any.
+        cell: Option<CellId>,
+        /// Deterministic logical work units (cells touched, waits, ...).
+        work: u64,
+        /// Logical open tick (per-round sequence, deterministic).
+        open: u64,
+        /// Logical close tick (always > `open`).
+        close: u64,
+        /// Measured wall nanoseconds (0 when unmeasured; nondeterministic).
+        ns: u64,
+    },
 }
 
 impl Event {
@@ -139,6 +164,7 @@ impl Event {
             Event::Supervisor { .. } => "supervisor",
             Event::RoundSummary { .. } => "round_summary",
             Event::FlightHeader { .. } => "flight_header",
+            Event::Span { .. } => "span",
         }
     }
 
@@ -204,6 +230,26 @@ impl Event {
             Event::FlightHeader { trigger, rounds } => {
                 push_str(&mut out, "trigger", trigger);
                 let _ = write!(out, ",\"rounds\":{rounds}");
+            }
+            Event::Span {
+                id,
+                parent,
+                label,
+                cell,
+                work,
+                open,
+                close,
+                ns,
+            } => {
+                let _ = write!(out, ",\"id\":{id},\"parent\":{parent}");
+                push_str(&mut out, "label", label);
+                if let Some(cell) = cell {
+                    push_cell(&mut out, "cell", *cell);
+                }
+                let _ = write!(
+                    out,
+                    ",\"work\":{work},\"open\":{open},\"close\":{close},\"ns\":{ns}"
+                );
             }
         }
         out.push('}');
@@ -284,6 +330,31 @@ impl Event {
                 trigger: str_field(&value, "trigger")?,
                 rounds: u64_field(&value, "rounds")?,
             },
+            "span" => {
+                let cell = match value.get("cell") {
+                    Some(_) => Some(cell_field(&value, "cell")?),
+                    None => None,
+                };
+                let open = u64_field(&value, "open")?;
+                let close = u64_field(&value, "close")?;
+                if close <= open {
+                    return Err(format!("span `close` ({close}) must exceed `open` ({open})"));
+                }
+                let id = u64_field(&value, "id")?;
+                if id == 0 {
+                    return Err("span `id` must be nonzero".to_string());
+                }
+                Event::Span {
+                    id,
+                    parent: u64_field(&value, "parent")?,
+                    label: str_field(&value, "label")?,
+                    cell,
+                    work: u64_field(&value, "work")?,
+                    open,
+                    close,
+                    ns: u64_field(&value, "ns")?,
+                }
+            }
             other => return Err(format!("unknown event kind `{other}`")),
         };
         Ok((round, event))
@@ -453,6 +524,26 @@ mod tests {
                 trigger: "violation".into(),
                 rounds: 16,
             },
+            Event::Span {
+                id: 0x1234_5678_9abc_def0,
+                parent: 0,
+                label: "round".into(),
+                cell: None,
+                work: 9,
+                open: 1,
+                close: 10,
+                ns: 1234,
+            },
+            Event::Span {
+                id: 0x0fed_cba9_8765_4321,
+                parent: 0x1234_5678_9abc_def0,
+                label: "cell".into(),
+                cell: Some(CellId::new(2, 3)),
+                work: 1,
+                open: 2,
+                close: 3,
+                ns: 0,
+            },
         ]
     }
 
@@ -500,6 +591,42 @@ mod tests {
     }
 
     #[test]
+    fn span_invariants_are_rejected() {
+        // close must be strictly after open.
+        let err = Event::parse_line(
+            r#"{"v":1,"round":3,"kind":"span","id":7,"parent":0,"label":"round","work":1,"open":5,"close":5,"ns":0}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("close"), "{err}");
+        // id 0 is the "no parent" sentinel, never a real span.
+        let err = Event::parse_line(
+            r#"{"v":1,"round":3,"kind":"span","id":0,"parent":0,"label":"round","work":1,"open":1,"close":2,"ns":0}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("nonzero"), "{err}");
+    }
+
+    #[test]
+    fn span_cell_field_is_optional() {
+        let line = Event::Span {
+            id: 1,
+            parent: 0,
+            label: "round".into(),
+            cell: None,
+            work: 0,
+            open: 1,
+            close: 2,
+            ns: 0,
+        }
+        .to_line(1);
+        assert!(!line.contains("cell"), "{line}");
+        assert_eq!(
+            line,
+            r#"{"v":1,"round":1,"kind":"span","id":1,"parent":0,"label":"round","work":0,"open":1,"close":2,"ns":0}"#
+        );
+    }
+
+    #[test]
     fn triggers_are_violation_and_timeout() {
         for event in all_events() {
             let expected = matches!(event.kind(), "violation" | "timeout");
@@ -516,11 +643,11 @@ mod tests {
         }
         text.push('\n'); // blank lines are fine
         let stats = validate_stream(&text).unwrap();
-        assert_eq!(stats.events, 13);
+        assert_eq!(stats.events, 15);
         assert_eq!(stats.violations, 1);
         assert_eq!(stats.timeouts, 1);
         assert_eq!(stats.first_round, 0);
-        assert_eq!(stats.last_round, 12);
+        assert_eq!(stats.last_round, 14);
         assert_eq!(
             stats.by_kind.iter().map(|(_, n)| n).sum::<usize>(),
             stats.events

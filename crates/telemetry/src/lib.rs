@@ -40,8 +40,10 @@ pub mod prometheus;
 pub mod recorder;
 pub mod registry;
 pub mod report;
+pub mod trace;
 
 pub use event::{validate_stream, Event, StreamStats, SCHEMA_VERSION};
+pub use trace::{cell_ordinal, SpanBuilder, SpanKind, Trace, TraceSpan, Tracer};
 pub use json::Json;
 pub use recorder::{EventLog, FlightRecorder, SharedBuffer};
 pub use registry::{

@@ -9,10 +9,17 @@ use crate::registry::MetricSnapshot;
 /// Renders `snapshot` in the Prometheus text exposition format: one
 /// `# TYPE` comment per family, histogram buckets as cumulative
 /// `_bucket{le="…"}` series ending in `le="+Inf"`, plus `_sum` and
-/// `_count`. Deterministic: families appear in snapshot (name) order.
+/// `_count`. Deterministic by construction: families are sorted by name
+/// before rendering (registry snapshots already arrive name-sorted; the
+/// sort here makes the ordering a property of the exposition itself, not
+/// of the caller), and within a histogram the bucket label order is the
+/// fixed ascending `le` sequence. The golden test below pins the exact
+/// byte layout so CI diffs of scraped output are stable.
 pub fn render(snapshot: &[MetricSnapshot]) -> String {
+    let mut ordered: Vec<&MetricSnapshot> = snapshot.iter().collect();
+    ordered.sort_by(|a, b| a.name().cmp(b.name()));
     let mut out = String::new();
-    for metric in snapshot {
+    for metric in ordered {
         match metric {
             MetricSnapshot::Counter { name, value } => {
                 let _ = writeln!(out, "# TYPE {name} counter");
@@ -217,6 +224,49 @@ mod tests {
         assert!(text.contains("cellflow_population -3"));
         assert!(text.contains("cellflow_engine_route_ns_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("cellflow_engine_route_ns_sum 100300"));
+    }
+
+    #[test]
+    fn render_sorts_families_regardless_of_snapshot_order() {
+        let reg = Registry::new();
+        reg.counter("z_last").add(1);
+        reg.counter("a_first").add(2);
+        let mut snapshot = reg.snapshot();
+        snapshot.reverse(); // hand the renderer a deliberately unsorted view
+        let text = render(&snapshot);
+        let a = text.find("a_first").unwrap();
+        let z = text.find("z_last").unwrap();
+        assert!(a < z, "families not name-sorted:\n{text}");
+        assert_eq!(text, render(&reg.snapshot()));
+    }
+
+    #[test]
+    fn golden_exposition_is_pinned() {
+        // The full byte-exact exposition for a small registry. If this test
+        // breaks, scraped-output diffs in CI break with it — change the
+        // renderer only with a deliberate golden update.
+        let reg = Registry::new();
+        reg.counter("cellflow_rounds_total").add(12);
+        reg.gauge("cellflow_population").set(-3);
+        let h = reg.histogram("cellflow_round_ns");
+        for v in [1, 2, 3] {
+            h.observe(v);
+        }
+        let text = render(&reg.snapshot());
+        let golden = "\
+# TYPE cellflow_population gauge
+cellflow_population -3
+# TYPE cellflow_round_ns histogram
+cellflow_round_ns_bucket{le=\"1\"} 1
+cellflow_round_ns_bucket{le=\"3\"} 3
+cellflow_round_ns_bucket{le=\"+Inf\"} 3
+cellflow_round_ns_sum 6
+cellflow_round_ns_count 3
+# TYPE cellflow_rounds_total counter
+cellflow_rounds_total 12
+";
+        assert_eq!(text, golden);
+        validate(&text).unwrap();
     }
 
     #[test]

@@ -145,7 +145,7 @@ pub fn render_timeline(text: &str, max_rows: usize) -> Result<String, (usize, St
                 row.inserted = row.inserted.max(inserted);
                 row.blocked = row.blocked.max(blocked);
             }
-            Event::Grant { .. } | Event::FlightHeader { .. } => {}
+            Event::Grant { .. } | Event::FlightHeader { .. } | Event::Span { .. } => {}
         }
     }
 
