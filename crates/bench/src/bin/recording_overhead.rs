@@ -1,0 +1,33 @@
+//! Regenerates the flight-recording overhead baseline (`BENCH_PR10.json`):
+//! ns/round of the simulation with the recorder detached vs attached, over
+//! the fixed grid matrix.
+//!
+//! Usage: `cargo run --release -p cellflow-bench --bin recording_overhead \
+//!   [--quick] [OUT.json]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
+    let report = cellflow_bench::recording_overhead::run(quick);
+    println!(
+        "{:<8} {:>12} {:>12} {:>9} {:>9}",
+        "scenario", "off ns/rd", "on ns/rd", "overhead", "bytes/rd"
+    );
+    for sc in &report.scenarios {
+        println!(
+            "{:<8} {:>12} {:>12} {:>8.3}x {:>9}",
+            sc.name,
+            sc.recording_off_ns_per_round,
+            sc.recording_on_ns_per_round,
+            sc.overhead_ratio,
+            sc.bytes_per_round
+        );
+    }
+    std::fs::write(&out, report.to_json()).expect("write report");
+    eprintln!("wrote {out}");
+}

@@ -1,7 +1,8 @@
 //! `cellflow bench --check`: the perf-regression harness.
 //!
 //! Loads the committed baseline reports (`BENCH_PR3.json`,
-//! `BENCH_PR5.json`, `BENCH_PR8.json`, `BENCH_PR9.json`), reruns every
+//! `BENCH_PR5.json`, `BENCH_PR8.json`, `BENCH_PR9.json`,
+//! `BENCH_PR10.json`), reruns every
 //! matrix in `--quick` mode on the current machine, and compares the
 //! machine-independent shape of the results inside wide tolerance bands:
 //!
@@ -9,7 +10,8 @@
 //!   the fresh quick measurement must stay above a fixed fraction of the
 //!   committed median. A 38× speedup measured at 12× on a noisy CI box is
 //!   fine; measured at 2× it is a regression, not noise.
-//! * **overhead ratios** (telemetry-on/off, trace-on/off) must not blow
+//! * **overhead ratios** (telemetry-on/off, trace-on/off, recording-on/off)
+//!   must not blow
 //!   up: the fresh ratio must stay below a fixed multiple of the
 //!   committed one.
 //! * **steady-state allocations** must stay exactly zero — the one band
@@ -27,6 +29,7 @@ use cellflow_telemetry::Json;
 
 use crate::mega::MegaReport;
 use crate::perf::PerfReport;
+use crate::recording_overhead::RecordingOverheadReport;
 use crate::telemetry_overhead::TelemetryOverheadReport;
 use crate::trace_overhead::TraceOverheadReport;
 
@@ -39,7 +42,7 @@ pub const SPEEDUP_FLOOR: f64 = 0.15;
 /// floor is looser.
 pub const MEGA_SPEEDUP_FLOOR: f64 = 0.1;
 /// A fresh overhead ratio may exceed the committed one by at most this
-/// factor (PR5 telemetry, PR9 tracing).
+/// factor (PR5 telemetry, PR9 tracing, PR10 recording).
 pub const RATIO_CEIL: f64 = 3.0;
 
 /// One baseline-vs-fresh comparison.
@@ -69,7 +72,7 @@ pub struct CheckReport {
     pub rows: Vec<CheckRow>,
 }
 
-/// The four committed baseline documents.
+/// The committed baseline documents.
 #[derive(Clone, Debug)]
 pub struct Baselines {
     /// `BENCH_PR3.json` (engine vs legacy + zero-alloc).
@@ -80,9 +83,11 @@ pub struct Baselines {
     pub pr8: Json,
     /// `BENCH_PR9.json` (causal-tracing overhead).
     pub pr9: Json,
+    /// `BENCH_PR10.json` (flight-recording overhead).
+    pub pr10: Json,
 }
 
-/// The four fresh quick reports the committed documents are compared to.
+/// The fresh quick reports the committed documents are compared to.
 #[derive(Clone, Debug)]
 pub struct FreshReports {
     /// `perf::run(true)`.
@@ -93,6 +98,8 @@ pub struct FreshReports {
     pub mega: MegaReport,
     /// `trace_overhead::run(true)`.
     pub trace: TraceOverheadReport,
+    /// `recording_overhead::run(true)`.
+    pub recording: RecordingOverheadReport,
 }
 
 /// Reads and parses the committed baselines from `dir`.
@@ -113,6 +120,7 @@ pub fn load_baselines(dir: &Path) -> Result<Baselines, String> {
         pr5: load("BENCH_PR5.json")?,
         pr8: load("BENCH_PR8.json")?,
         pr9: load("BENCH_PR9.json")?,
+        pr10: load("BENCH_PR10.json")?,
     })
 }
 
@@ -197,6 +205,20 @@ pub fn evaluate(base: &Baselines, fresh: &FreshReports) -> CheckReport {
             });
         }
     }
+    for sc in &fresh.recording.scenarios {
+        if let Some(c) = committed(&base.pr10, &sc.name, "overhead_ratio") {
+            let bound = c * RATIO_CEIL;
+            rows.push(CheckRow {
+                baseline: "BENCH_PR10".into(),
+                scenario: sc.name.clone(),
+                metric: "overhead_ratio".into(),
+                committed: c,
+                measured: sc.overhead_ratio,
+                bound,
+                pass: sc.overhead_ratio <= bound,
+            });
+        }
+    }
     CheckReport { rows }
 }
 
@@ -213,6 +235,7 @@ pub fn run(dir: &Path) -> Result<CheckReport, String> {
         telemetry: crate::telemetry_overhead::run(true),
         mega: crate::mega::run(true),
         trace: crate::trace_overhead::run(true),
+        recording: crate::recording_overhead::run(true),
     };
     Ok(evaluate(&base, &fresh))
 }
@@ -265,6 +288,7 @@ mod tests {
     use super::*;
     use crate::mega::MegaScenarioResult;
     use crate::perf::ScenarioResult;
+    use crate::recording_overhead::{RecordingOverheadResult, RecordingOverheadReport};
     use crate::telemetry_overhead::OverheadResult;
     use crate::trace_overhead::TraceOverheadResult;
 
@@ -335,6 +359,20 @@ mod tests {
                     overhead_ratio: 1.25,
                 }],
             },
+            recording: RecordingOverheadReport {
+                schema: "cellflow-bench-recording-v1".into(),
+                quick: true,
+                reps: 1,
+                scenarios: vec![RecordingOverheadResult {
+                    name: "8x8".into(),
+                    n: 8,
+                    rounds: 10,
+                    recording_off_ns_per_round: 80,
+                    recording_on_ns_per_round: 95,
+                    overhead_ratio: 1.19,
+                    bytes_per_round: 120,
+                }],
+            },
         }
     }
 
@@ -347,6 +385,7 @@ mod tests {
             pr5: baseline_doc("{\"name\": \"8x8\", \"overhead_ratio\": 1.8}"),
             pr8: baseline_doc("{\"name\": \"64x64\", \"speedup_sparse_vs_dense\": 35.0}"),
             pr9: baseline_doc("{\"name\": \"8x8\", \"overhead_ratio\": 1.3}"),
+            pr10: baseline_doc("{\"name\": \"8x8\", \"overhead_ratio\": 1.2}"),
         }
     }
 
@@ -354,8 +393,8 @@ mod tests {
     fn healthy_measurements_pass_every_band() {
         let report = evaluate(&healthy_baselines(), &fresh());
         assert!(report.passed(), "{}", report.render());
-        // One speedup + one alloc row from PR3, one row each for 5/8/9.
-        assert_eq!(report.rows.len(), 5);
+        // One speedup + one alloc row from PR3, one row each for 5/8/9/10.
+        assert_eq!(report.rows.len(), 6);
         assert!(report.render().contains("PASS"));
     }
 

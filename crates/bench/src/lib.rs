@@ -12,6 +12,7 @@
 pub mod check;
 pub mod mega;
 pub mod perf;
+pub mod recording_overhead;
 pub mod telemetry_overhead;
 pub mod trace_overhead;
 

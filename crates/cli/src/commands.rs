@@ -81,10 +81,41 @@ USAGE:
                                      crash recovery; byte-identical report
                                      per seed, minimal counterexample on
                                      failure
+  cellflow record [--scenario plain|cascade|partition|chaos|stabilize]
+                 [--seed 1] [--keyframe-interval 16] [--record-out run.rec]
+                 [scenario params as in the sibling command]
+                                     run a scenario with the deterministic
+                                     flight recorder attached and write a
+                                     checksummed .rec recording: one full
+                                     keyframe every --keyframe-interval
+                                     rounds, compact state deltas between
+                                     (chaos / cascade / partition /
+                                     stabilize also accept --record FILE
+                                     to capture their own run directly)
+  cellflow replay FILE.rec           re-drive the recording's scenario from
+                                     its header (seed, config, campaign)
+                                     and verify the rerun is byte-identical
+                                     frame by frame; on divergence, exits
+                                     nonzero naming the first divergent
+                                     round, cell, and register, and dumps
+                                     the preceding rounds through the
+                                     flight ring as FILE.divergence.jsonl
+  cellflow diff A.rec B.rec [--round R]
+                                     per-cell register diff (dist, next,
+                                     token, signal, occupancy, …) between
+                                     two recordings at --round (default:
+                                     their first divergent round); exits
+                                     nonzero when any register differs
+  cellflow bisect A.rec B.rec        binary-search the first divergent
+                                     round via the keyframe index and
+                                     report the exact round, cell, and
+                                     register, plus the flight-ring dump
+                                     of the rounds leading up to it
   cellflow bench [--quick] [--out BENCH_PR3.json]
                  [--telemetry-out BENCH_PR5.json]
                  [--mega-out BENCH_PR8.json]
                  [--trace-overhead-out BENCH_PR9.json]
+                 [--recording-overhead-out BENCH_PR10.json]
                                      machine-readable engine-vs-legacy perf
                                      baseline over the fixed scenario matrix
                                      (asserts equal semantics and zero
@@ -94,8 +125,9 @@ USAGE:
                                      (sparse active-set vs dense, sharded
                                      1/2/4/8-worker scaling, 64\u{b2} up to
                                      1024\u{b2}; --quick caps it at 128\u{b2}),
-                                     and the causal-tracing overhead
-                                     baseline — all four back-to-back
+                                     the causal-tracing overhead baseline,
+                                     and the flight-recording overhead
+                                     baseline — all five back-to-back
   cellflow bench --check [--baseline-dir DIR]
                                      perf-regression harness: rerun every
                                      matrix in quick mode and compare
@@ -115,7 +147,9 @@ USAGE:
   cellflow inspect FILE [--rows 40]  validate a telemetry artifact and
                                      render it: JSONL event streams get a
                                      round timeline, Prometheus expositions
-                                     a conformance summary
+                                     a conformance summary, and .rec
+                                     recordings a header report with every
+                                     frame checksum verified
   cellflow trace FILE [--top 10] [--round R] [--wall]
                                      analyze the causal spans in a JSONL
                                      event stream: validate causality, then
@@ -147,13 +181,22 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     };
-    // `inspect` and `trace` take a positional file path, which the flag
-    // parser rejects.
+    // `inspect`, `trace`, `replay`, `diff`, and `bisect` take positional
+    // file paths, which the flag parser rejects.
     if cmd == "inspect" {
         return inspect(&argv[1..]);
     }
     if cmd == "trace" {
         return trace(&argv[1..]);
+    }
+    if cmd == "replay" {
+        return crate::record::replay(&argv[1..]);
+    }
+    if cmd == "diff" {
+        return crate::record::diff(&argv[1..]);
+    }
+    if cmd == "bisect" {
+        return crate::record::bisect(&argv[1..]);
     }
     let flags = Flags::parse(&argv[1..])?;
     match cmd.as_str() {
@@ -168,6 +211,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "mc" => mc(&flags),
         "chaos" => chaos(&flags),
         "stabilize" => stabilize(&flags),
+        "record" => crate::record::record(&flags),
         "bench" => bench(&flags),
         "metrics" => metrics(&flags),
         "help" | "--help" | "-h" => {
@@ -543,6 +587,27 @@ fn chaos(flags: &Flags) -> Result<(), String> {
         ..CampaignSpec::default()
     };
     let plan = FaultPlan::random_campaign(&config, &spec, seed);
+    let recording_to = crate::record::record_flags(flags)?;
+    let recorder = match &recording_to {
+        Some((_, interval)) => {
+            let sc = crate::record::RecScenario::Chaos {
+                n,
+                rounds,
+                active,
+                drop,
+                delay,
+                dup,
+                reorder,
+                bursts: spec.bursts,
+                blackouts: spec.blackouts,
+                flappers: spec.flappers,
+                hard: spec.hard_crashes,
+                kills: spec.kills,
+            };
+            Some(sc.recorder(seed, *interval)?)
+        }
+        None => None,
+    };
     let chaos_cfg = ChaosConfig {
         seed,
         drop_rate: drop,
@@ -582,8 +647,8 @@ fn chaos(flags: &Flags) -> Result<(), String> {
     if flags.has("trace") {
         net = net.with_tracer(cellflow_telemetry::Tracer::new(seed));
     }
-    let report = match net.run_monitored(rounds, monitors) {
-        Ok(report) => report,
+    let (report, recording) = match net.run_monitored_recorded(rounds, monitors, recorder) {
+        Ok(pair) => pair,
         Err(NetError::Timeout { round, silent, .. }) => {
             // Deterministic by construction: the wedged round and the silent
             // set are properties of the plan, while the detecting cell is a
@@ -591,6 +656,9 @@ fn chaos(flags: &Flags) -> Result<(), String> {
             println!("\nrun degraded:   round {round} timed out (a cell went silent and");
             println!("                never handed its barrier seat over — no deadlock)");
             println!("                silent: {}", fmt_silent(&silent));
+            if recording_to.is_some() {
+                println!("recording:      none written (a degraded run has no complete frames)");
+            }
             if let Some(ct) = &campaign {
                 ct.finish()?;
             }
@@ -600,6 +668,9 @@ fn chaos(flags: &Flags) -> Result<(), String> {
     };
     if let Some(ct) = &campaign {
         ct.finish()?;
+    }
+    if let Some((out, _)) = &recording_to {
+        crate::record::save_recording(out, recording)?;
     }
 
     println!(
@@ -684,7 +755,7 @@ fn cascade(flags: &Flags) -> Result<(), String> {
     use cellflow_core::overload::{BackoffPolicy, OverloadTrigger};
     use cellflow_core::{expand_overload, standard_monitors, FaultPlan};
     use cellflow_net::{NetError, NetSystem, RestartPolicy};
-    use cellflow_sim::cascade::{run_cascade_with, CascadeScenario};
+    use cellflow_sim::cascade::{run_cascade_recorded, CascadeScenario};
     use cellflow_sim::{FailureModel, SimTelemetry};
 
     let n: u16 = flags.get("n", 5)?;
@@ -751,8 +822,30 @@ fn cascade(flags: &Flags) -> Result<(), String> {
         settle: bound + 2,
         workers: shard_workers.max(1),
     };
+    let recording_to = crate::record::record_flags(flags)?;
+    let recorder = match &recording_to {
+        Some((_, interval)) => {
+            let sc = crate::record::RecScenario::Cascade {
+                n,
+                rounds,
+                capacity,
+                threshold,
+                sustain,
+                backoff: backoff_on,
+                base: backoff_base,
+                max: backoff_max,
+                restart,
+            };
+            Some(sc.recorder(seed, *interval)?)
+        }
+        None => None,
+    };
     let registry = cellflow_telemetry::Registry::new();
-    let report = run_cascade_with(&scenario, Some(SimTelemetry::new(&registry)));
+    let (report, recording) =
+        run_cascade_recorded(&scenario, Some(SimTelemetry::new(&registry)), recorder);
+    if let Some((out, _)) = &recording_to {
+        crate::record::save_recording(out, recording)?;
+    }
 
     println!("\n== shared-variable reference ==\n");
     print!("{}", report.render());
@@ -874,7 +967,7 @@ fn fmt_silent(silent: &[CellId]) -> String {
 /// over `dims`, with the cut window `[start, heal)` and `seed` feeding any
 /// flaky-link spec. Validates bounds up front so a bad SPEC is a CLI error,
 /// not a builder panic.
-fn parse_partition_spec(
+pub(crate) fn parse_partition_spec(
     spec: &str,
     dims: GridDims,
     start: u64,
@@ -967,7 +1060,7 @@ fn partition(flags: &Flags, spec: &str) -> Result<(), String> {
     use cellflow_core::monitor::stabilization_bound;
     use cellflow_core::{standard_monitors, FaultPlan};
     use cellflow_net::{NetError, NetSystem};
-    use cellflow_sim::partition::{run_partition, PartitionScenario};
+    use cellflow_sim::partition::{run_partition_recorded, PartitionScenario};
 
     let n: u16 = flags.get("n", 5)?;
     if n < 3 {
@@ -1016,7 +1109,25 @@ fn partition(flags: &Flags, spec: &str) -> Result<(), String> {
         settle,
         workers: shard_workers.max(1),
     };
-    let report = run_partition(&scenario);
+    let recording_to = crate::record::record_flags(flags)?;
+    let recorder = match &recording_to {
+        Some((_, interval)) => {
+            let sc = crate::record::RecScenario::Partition {
+                n,
+                rounds,
+                spec: spec.to_string(),
+                start,
+                heal,
+                settle,
+            };
+            Some(sc.recorder(seed, *interval)?)
+        }
+        None => None,
+    };
+    let (report, recording) = run_partition_recorded(&scenario, None, recorder);
+    if let Some((out, _)) = &recording_to {
+        crate::record::save_recording(out, recording)?;
+    }
     print!("{}", report.render());
 
     println!("\n== message-passing deployment ==\n");
@@ -1202,13 +1313,25 @@ fn stabilize(flags: &Flags) -> Result<(), String> {
     if flags.has("trace") {
         net = net.with_tracer(cellflow_telemetry::Tracer::new(seed));
     }
-    let outcome = net.run_monitored(rounds, monitors);
+    let recording_to = crate::record::record_flags(flags)?;
+    let recorder = match &recording_to {
+        Some((_, interval)) => {
+            let sc = crate::record::RecScenario::Stabilize {
+                n,
+                corruptions,
+                active,
+            };
+            Some(sc.recorder(seed, *interval)?)
+        }
+        None => None,
+    };
+    let outcome = net.run_monitored_recorded(rounds, monitors, recorder);
     std::fs::remove_dir_all(&store_dir).ok();
     if let Some(ct) = &campaign {
         ct.finish()?;
     }
-    let report = match outcome {
-        Ok(report) => report,
+    let (report, recording) = match outcome {
+        Ok(pair) => pair,
         Err(NetError::Timeout { round, silent, .. }) => {
             return Err(format!(
                 "deployment wedged: round {round} timed out; silent: {}",
@@ -1217,6 +1340,9 @@ fn stabilize(flags: &Flags) -> Result<(), String> {
         }
         Err(e) => return Err(e.to_string()),
     };
+    if let Some((out, _)) = &recording_to {
+        crate::record::save_recording(out, recording)?;
+    }
 
     let mut block = String::new();
     use std::fmt::Write as _;
@@ -1422,6 +1548,10 @@ fn inspect(args: &[String]) -> Result<(), String> {
     };
     let flags = Flags::parse(&args[1..])?;
     let rows: usize = flags.get("rows", 40)?;
+    // Recordings are binary — route them before the text read.
+    if path.ends_with(".rec") {
+        return crate::record::inspect_rec(path);
+    }
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     if text.trim().is_empty() {
         return Err(format!("{path}:1: empty file (expected a JSONL event stream or a Prometheus exposition)"));
@@ -1599,6 +1729,27 @@ fn bench(flags: &Flags) -> Result<(), String> {
     std::fs::write(&trace_out, trace.to_json())
         .map_err(|e| format!("writing {trace_out}: {e}"))?;
     println!("wrote {trace_out}");
+
+    let rec_out: String = flags.get("recording-overhead-out", "BENCH_PR10.json".to_string())?;
+    eprintln!("running flight-recording overhead matrix...");
+    let recording = cellflow_bench::recording_overhead::run(quick);
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>9} {:>9}",
+        "scenario", "off ns/rd", "on ns/rd", "overhead", "bytes/rd"
+    );
+    for sc in &recording.scenarios {
+        println!(
+            "{:<8} {:>12} {:>12} {:>8.3}x {:>9}",
+            sc.name,
+            sc.recording_off_ns_per_round,
+            sc.recording_on_ns_per_round,
+            sc.overhead_ratio,
+            sc.bytes_per_round
+        );
+    }
+    std::fs::write(&rec_out, recording.to_json())
+        .map_err(|e| format!("writing {rec_out}: {e}"))?;
+    println!("wrote {rec_out}");
     Ok(())
 }
 
@@ -1961,6 +2112,85 @@ mod tests {
         assert!(!parsed.spans.is_empty());
         parsed.check_causality().expect("span tree is causal");
         assert!(dispatch(&argv(&format!("trace {out}"))).is_ok());
+    }
+
+    #[test]
+    fn record_replay_round_trips_byte_identically() {
+        let scratch = Scratch::new("record-replay");
+        let rec = scratch.path("plain.rec");
+        assert!(dispatch(&argv(&format!(
+            "record --scenario plain --n 4 --rounds 30 --seed 7 --record-out {rec}"
+        )))
+        .is_ok());
+        assert!(dispatch(&argv(&format!("replay {rec}"))).is_ok());
+        assert!(dispatch(&argv(&format!("inspect {rec}"))).is_ok());
+    }
+
+    #[test]
+    fn corrupt_recording_is_rejected_with_an_offset() {
+        let scratch = Scratch::new("record-corrupt");
+        let rec = scratch.path("plain.rec");
+        assert!(dispatch(&argv(&format!(
+            "record --scenario plain --n 4 --rounds 20 --seed 7 --record-out {rec}"
+        )))
+        .is_ok());
+        let mut bytes = std::fs::read(&rec).expect("recording written");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&rec, &bytes).expect("tamper");
+        for cmd in ["inspect", "replay"] {
+            let err = dispatch(&argv(&format!("{cmd} {rec}"))).unwrap_err();
+            assert!(err.contains(&format!("{rec}:")), "{cmd}: {err}");
+            assert!(err.contains("corrupt") || err.contains("checksum"), "{cmd}: {err}");
+        }
+        // Truncation is caught too, with the offset of the torn frame.
+        bytes[mid] ^= 0xff;
+        bytes.truncate(bytes.len() - 5);
+        std::fs::write(&rec, &bytes).expect("truncate");
+        let err = dispatch(&argv(&format!("inspect {rec}"))).unwrap_err();
+        assert!(err.contains(&format!("{rec}:")), "{err}");
+    }
+
+    #[test]
+    fn diff_and_bisect_pin_seed_divergence() {
+        let scratch = Scratch::new("record-diff");
+        let (a, b) = (scratch.path("a.rec"), scratch.path("b.rec"));
+        for (seed, path) in [(1, &a), (2, &b)] {
+            assert!(dispatch(&argv(&format!(
+                "record --scenario chaos --n 4 --rounds 30 --active 15 --hard 0 \
+                 --seed {seed} --record-out {path}"
+            )))
+            .is_ok());
+        }
+        // Same recording: no differences, exit zero.
+        assert!(dispatch(&argv(&format!("diff {a} {a}"))).is_ok());
+        assert!(dispatch(&argv(&format!("bisect {a} {a}"))).is_ok());
+        // Different seeds: diff exits nonzero naming the round, bisect
+        // reports the divergence and writes the flight dump.
+        let err = dispatch(&argv(&format!("diff {a} {b}"))).unwrap_err();
+        assert!(err.contains("difference"), "{err}");
+        assert!(dispatch(&argv(&format!("bisect {a} {b}"))).is_ok());
+        let dump = format!("{a}.divergence.jsonl");
+        let stream = std::fs::read_to_string(&dump).expect("divergence dump written");
+        assert!(cellflow_telemetry::validate_stream(&stream).is_ok());
+        assert!(stream.contains("divergence"));
+    }
+
+    #[test]
+    fn campaign_record_flag_produces_replayable_recordings() {
+        let scratch = Scratch::new("record-campaign");
+        let rec = scratch.path("chaos.rec");
+        assert!(dispatch(&argv(&format!(
+            "chaos --n 4 --rounds 40 --active 20 --hard 0 --seed 3 --record {rec}"
+        )))
+        .is_ok());
+        assert!(dispatch(&argv(&format!("replay {rec}"))).is_ok());
+        let cascade = scratch.path("cascade.rec");
+        assert!(dispatch(&argv(&format!(
+            "chaos --cascade --n 4 --rounds 50 --seed 2 --record {cascade}"
+        )))
+        .is_ok());
+        assert!(dispatch(&argv(&format!("replay {cascade}"))).is_ok());
     }
 
     #[test]

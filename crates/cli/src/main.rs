@@ -6,6 +6,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod record;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -682,6 +682,10 @@ pub struct Engine {
     sched: Sched,
     /// Per-worker band scratch, reused round over round.
     shards: ShardScratch,
+    /// Flight recorder, when a recording is being captured. `None` (the
+    /// default) keeps [`Engine::step`] on the unrecorded fast path — a
+    /// single branch per round, no state export, no allocation.
+    recorder: Option<Box<crate::snapshot::Recorder>>,
 }
 
 /// One round's phase attribution for the causal tracer: how many cells each
@@ -765,6 +769,7 @@ impl Engine {
             shard_min: DEFAULT_SHARD_MIN,
             sched: Sched::with_cells(n),
             shards: ShardScratch::with_bands(1),
+            recorder: None,
         };
         engine.front[engine.topo.target_index].dist = Dist::Finite(0);
         engine
@@ -856,6 +861,36 @@ impl Engine {
     /// [`Engine::enable_round_trace`] and a first step).
     pub fn round_trace(&self) -> RoundTrace {
         self.round_trace
+    }
+
+    /// Attaches a flight recorder: the current state is recorded immediately
+    /// (the recording's opening keyframe, at the engine's current round) and
+    /// every subsequent [`Engine::step`] records its post-round state.
+    /// Replaces any recorder already attached.
+    pub fn attach_recorder(&mut self, mut recorder: Box<crate::snapshot::Recorder>) {
+        recorder.record_engine(self);
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches and returns the flight recorder, if one is attached —
+    /// callers seal it with [`Recorder::finish`](crate::snapshot::Recorder::finish).
+    pub fn take_recorder(&mut self) -> Option<Box<crate::snapshot::Recorder>> {
+        self.recorder.take()
+    }
+
+    /// `true` while a flight recorder is attached.
+    pub fn is_recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Records the just-completed round into the attached recorder. The
+    /// take/put-back dance lets the recorder borrow `self` immutably for the
+    /// state export while remaining owned by it.
+    fn record_round(&mut self) {
+        if let Some(mut recorder) = self.recorder.take() {
+            recorder.record_engine(self);
+            self.recorder = Some(recorder);
+        }
     }
 
     /// Sets the incoming-cut masks the next [`Engine::step`] honors: one
@@ -1046,6 +1081,9 @@ impl Engine {
         }
 
         self.round += 1;
+        if self.recorder.is_some() {
+            self.record_round();
+        }
         &self.events
     }
 

@@ -9,7 +9,10 @@
 
 use cellflow_grid::CellId;
 
-pub use cellflow_dts::hash::{fnv1a, splitmix64, walk_seed, SPLITMIX64_GAMMA};
+pub use cellflow_dts::hash::{
+    append_frame, fnv1a, frame, next_frame, splitmix64, walk_seed, FrameStep, FrameTear,
+    FRAME_HEADER_LEN, SPLITMIX64_GAMMA,
+};
 
 /// Splitmix-style mix of a run seed and a directed edge's endpoints, so
 /// every edge draws from a distinct, schedule-independent stream — the seed
@@ -132,5 +135,55 @@ mod tests {
         let a = CellId::new(1, 1);
         let b = CellId::new(1, 2);
         assert_ne!(edge_seed(9, a, b), edge_seed(9, b, a));
+    }
+
+    /// The `net::store` WAL framing, reproduced verbatim: frames written by
+    /// every existing WAL file must keep parsing through the consolidated
+    /// codec, and frames written by the consolidated codec must be
+    /// byte-identical to what the store always wrote.
+    fn frame_legacy(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv1a_legacy(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn frame_matches_the_store_wal_stream() {
+        let cases: [&[u8]; 5] = [
+            b"",
+            b"x",
+            b"round 12 sealed",
+            &[0u8; 100],
+            &[0xAB; 300],
+        ];
+        for payload in cases {
+            assert_eq!(frame(payload), frame_legacy(payload), "payload len {}", payload.len());
+        }
+    }
+
+    #[test]
+    fn next_frame_parses_legacy_wal_bytes() {
+        // A stream written entirely by the legacy formulation must decode
+        // cleanly, including the legacy torn-tail reading of a short tail.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&frame_legacy(b"alpha"));
+        stream.extend_from_slice(&frame_legacy(b"beta"));
+        let clean = stream.len();
+        stream.extend_from_slice(&frame_legacy(b"gamma")[..9]); // torn tail
+
+        let FrameStep::Frame { payload, next } = next_frame(&stream, 0) else {
+            panic!("first legacy frame must parse");
+        };
+        assert_eq!(payload, b"alpha");
+        let FrameStep::Frame { payload, next } = next_frame(&stream, next) else {
+            panic!("second legacy frame must parse");
+        };
+        assert_eq!(payload, b"beta");
+        assert_eq!(
+            next_frame(&stream, next),
+            FrameStep::Torn { offset: clean, reason: FrameTear::Header }
+        );
     }
 }

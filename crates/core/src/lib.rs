@@ -61,6 +61,7 @@ mod params;
 mod route;
 pub mod safety;
 mod signal;
+pub mod snapshot;
 mod source;
 mod system;
 mod token;
@@ -89,6 +90,7 @@ pub use move_fn::{move_phase, MoveOutcome, Transfer};
 pub use params::{Params, ParamsError};
 pub use route::route_phase;
 pub use signal::{gap_free_toward, signal_phase};
+pub use snapshot::{Divergence, Recorder, RegisterDiff};
 pub use source::SourcePolicy;
 pub use system::{ConfigError, System, SystemConfig, SystemState};
 pub use token::TokenPolicy;

@@ -470,6 +470,25 @@ impl System {
         self.engine.enable_round_trace();
     }
 
+    /// Attaches a flight recorder to the underlying engine (see
+    /// [`Engine::attach_recorder`]). The engine is synced with the mirror
+    /// first so the opening keyframe is the state visible right now, at the
+    /// current round number.
+    pub fn attach_recorder(&mut self, recorder: Box<crate::snapshot::Recorder>) {
+        if !self.engine_synced {
+            self.engine.load_state(&self.state);
+            self.engine_synced = true;
+        }
+        self.engine.set_round(self.round);
+        self.engine.attach_recorder(recorder);
+    }
+
+    /// Detaches and returns the flight recorder, if any (see
+    /// [`Engine::take_recorder`]).
+    pub fn take_recorder(&mut self) -> Option<Box<crate::snapshot::Recorder>> {
+        self.engine.take_recorder()
+    }
+
     /// The most recent round's phase attribution (see
     /// [`Engine::round_trace`]).
     pub fn round_trace(&self) -> crate::RoundTrace {

@@ -354,10 +354,33 @@ impl NetSystem {
         rounds: u64,
         monitors: Vec<Box<dyn Monitor>>,
     ) -> Result<NetReport, NetError> {
+        self.run_monitored_recorded(rounds, monitors, None)
+            .map(|(report, _)| report)
+    }
+
+    /// [`NetSystem::run_monitored`] with an optional flight recorder: the
+    /// monitor collector — which already reassembles every round's global
+    /// state from the cells' sealed snapshots — additionally feeds each
+    /// assembled state to the recorder (an opening keyframe for the initial
+    /// state at round 0, then one frame per completed round). Returns the
+    /// finished recording bytes alongside the report; `None` when no
+    /// recorder was attached. Attaching a recorder forces the collector on
+    /// even with no monitors installed.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetSystem::run`]. On error the recording is discarded — a run
+    /// that died mid-round has no complete frame sequence to certify.
+    pub fn run_monitored_recorded(
+        &self,
+        rounds: u64,
+        monitors: Vec<Box<dyn Monitor>>,
+        recorder: Option<Box<cellflow_core::snapshot::Recorder>>,
+    ) -> Result<(NetReport, Option<Vec<u8>>), NetError> {
         let dims = self.config.dims();
         let cells: Vec<CellId> = dims.iter().collect();
         let n = cells.len();
-        let collect = !monitors.is_empty();
+        let collect = !monitors.is_empty() || recorder.is_some();
 
         // Supervision is a deterministic plan rewrite, applied up front:
         // node threads and the collector both consume the effective plan.
@@ -514,6 +537,7 @@ impl NetSystem {
                         telemetry,
                         tracer,
                         barrier,
+                        recorder,
                     )
                 })
             });
@@ -577,11 +601,11 @@ impl NetSystem {
                 }
             };
 
-            let (violations, monitor_summaries) = match collector {
-                Some(handle) => handle
-                    .join()
-                    .unwrap_or_else(|_| (Vec::new(), vec!["collector panicked".to_string()])),
-                None => (Vec::new(), Vec::new()),
+            let (violations, monitor_summaries, recorder_back) = match collector {
+                Some(handle) => handle.join().unwrap_or_else(|_| {
+                    (Vec::new(), vec!["collector panicked".to_string()], None)
+                }),
+                None => (Vec::new(), Vec::new(), None),
             };
 
             // The collector has stopped emitting, so a timeout line lands
@@ -640,28 +664,33 @@ impl NetSystem {
                 tel.flush();
             }
 
-            run_result.map(|()| NetReport {
-                state: SystemState {
-                    cells: cells
-                        .iter()
-                        .map(|&c| states.remove(&c).expect("every cell reported"))
-                        .collect(),
-                    // The distributed runtime has no global counter; expose
-                    // the number of insertions instead (identifiers come
-                    // from per-source pools).
-                    next_entity_id: inserted,
-                },
-                consumed,
-                inserted,
-                chaos: ChaosStats::default(),
-                links: LinkStats::default(),
-                violations,
-                monitor_summaries,
-                supervisor: decisions.clone(),
+            run_result.map(|()| {
+                (
+                    NetReport {
+                        state: SystemState {
+                            cells: cells
+                                .iter()
+                                .map(|&c| states.remove(&c).expect("every cell reported"))
+                                .collect(),
+                            // The distributed runtime has no global counter;
+                            // expose the number of insertions instead
+                            // (identifiers come from per-source pools).
+                            next_entity_id: inserted,
+                        },
+                        consumed,
+                        inserted,
+                        chaos: ChaosStats::default(),
+                        links: LinkStats::default(),
+                        violations,
+                        monitor_summaries,
+                        supervisor: decisions.clone(),
+                    },
+                    recorder_back.map(|r| r.finish()),
+                )
             })
         });
 
-        let mut report = match outcome {
+        let (mut report, recording) = match outcome {
             Ok(inner) => inner?,
             Err(panic) => {
                 let msg = panic
@@ -681,7 +710,7 @@ impl NetSystem {
                 tel.links_suppressed.add(report.links.suppressed);
             }
         }
-        Ok(report)
+        Ok((report, recording))
     }
 }
 
@@ -1480,7 +1509,12 @@ fn collect_rounds(
     telemetry: Option<&NetTelemetry>,
     tracer: Option<Tracer>,
     barrier: &RoundBarrier,
-) -> (Vec<MonitorViolation>, Vec<String>) {
+    mut recorder: Option<Box<cellflow_core::snapshot::Recorder>>,
+) -> (
+    Vec<MonitorViolation>,
+    Vec<String>,
+    Option<Box<cellflow_core::snapshot::Recorder>>,
+) {
     let n = cells.len();
     let (mut prev_consumed, mut prev_inserted) = (0u64, 0u64);
     // Per-cell (consumed, inserted) watermarks from the previous round, so
@@ -1499,6 +1533,15 @@ fn collect_rounds(
         })
         .collect();
     let mut violations = Vec::new();
+    // The recording opens on the deployment's initial state — the keyframe
+    // every replay re-derives the run from.
+    if let Some(rec) = recorder.as_deref_mut() {
+        let initial = SystemState {
+            cells: cells.iter().map(|&c| last[&c].0.clone()).collect(),
+            next_entity_id: 0,
+        };
+        rec.record(0, &initial);
+    }
     'rounds: for round in 0..rounds {
         let mut dead = plan.hard_dead_at(round);
         // Torn cells are silent between the tear and the re-spawn, exactly
@@ -1542,6 +1585,11 @@ fn collect_rounds(
             cells: assembled,
             next_entity_id: inserted_total,
         };
+        // One frame per completed round, off the same sealed snapshots the
+        // monitors read — the WAL seal is the recording's consistency point.
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.record(round + 1, &state);
+        }
         let mut failed: Vec<CellId> = plan
             .events_at(round)
             .filter(|e| {
@@ -1692,7 +1740,7 @@ fn collect_rounds(
         prev_inserted = inserted_total;
     }
     let summaries = monitors.iter().map(|m| m.summary()).collect();
-    (violations, summaries)
+    (violations, summaries, recorder)
 }
 
 #[cfg(test)]
@@ -1721,6 +1769,29 @@ mod tests {
         );
         assert_eq!(report.chaos, ChaosStats::default());
         assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn recorded_deployment_round_trips_through_the_recording() {
+        use cellflow_core::snapshot::{self, Recorder};
+        use cellflow_telemetry::{FrameKind, Recording};
+
+        let cfg = config(4);
+        let recorder = Box::new(Recorder::for_config(&cfg, 0, 8, "net"));
+        let (report, recording) = NetSystem::new(cfg)
+            .unwrap()
+            .run_monitored_recorded(40, Vec::new(), Some(recorder))
+            .unwrap();
+        let bytes = recording.expect("a recorder was attached");
+        let rec = Recording::parse(&bytes).unwrap();
+        // One opening keyframe plus one frame per completed round.
+        assert_eq!(rec.frames.len(), 41);
+        assert_eq!(rec.frames[0].kind, FrameKind::Keyframe);
+        assert_eq!(rec.round_span(), Some((0, 40)));
+        // The final frame decodes back to exactly the reported state.
+        let last = snapshot::state_at(&rec, 40).unwrap();
+        assert_eq!(last.cells, report.state.cells);
+        assert_eq!(last.next_entity_id, report.inserted);
     }
 
     #[test]

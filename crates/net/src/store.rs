@@ -228,37 +228,24 @@ impl SnapshotStore for DurableStore {
     }
 }
 
-// FNV-1a, the frame checksum (the same shared implementation that seals
-// the certifier's reports — see `cellflow_core::hash`).
-use cellflow_core::hash::fnv1a;
-
-fn frame(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(12 + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
-}
+// The checksummed frame codec, shared with the flight-recording format
+// (see `cellflow_core::hash`, implemented in `cellflow_dts::hash`). The
+// byte layout is frozen and pinned by stream tests there and below, so
+// WAL files written before the consolidation keep parsing.
+use cellflow_core::hash::{frame, next_frame, FrameStep};
 
 /// Parses every intact frame; returns the records and the byte length of
 /// the clean prefix (everything after it is a torn tail).
 fn decode_stream(bytes: &[u8]) -> (Vec<PersistedRecord>, usize) {
     let mut records = Vec::new();
     let mut at = 0;
-    while bytes.len() - at >= 12 {
-        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
-        let Some(payload) = bytes.get(at + 12..at + 12 + len) else {
-            break; // incomplete payload: torn
-        };
-        if fnv1a(payload) != crc {
-            break; // corrupted payload: torn
-        }
+    // Incomplete header/payload or checksum mismatch ends the clean prefix.
+    while let FrameStep::Frame { payload, next } = next_frame(bytes, at) {
         let Some(record) = decode_record(payload) else {
             break; // undecodable payload: treat as torn
         };
         records.push(record);
-        at += 12 + len;
+        at = next;
     }
     (records, at)
 }
@@ -462,6 +449,45 @@ mod tests {
         let rec = sample_record(12, RecordPoint::Intent);
         let decoded = decode_record(&encode_record(&rec)).unwrap();
         assert_eq!(decoded, rec);
+    }
+
+    /// Stream pinning for the framing consolidation: a WAL stream framed by
+    /// the store's historical private formulation (reproduced verbatim)
+    /// must decode unchanged through the shared `core::hash` codec, and the
+    /// shared codec must emit byte-identical frames — existing on-disk WAL
+    /// files neither break nor change shape.
+    #[test]
+    fn shared_framing_matches_the_historical_wal_bytes() {
+        fn frame_legacy(payload: &[u8]) -> Vec<u8> {
+            let mut out = Vec::with_capacity(12 + payload.len());
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(
+                &cellflow_core::hash::fnv1a(payload).to_le_bytes(),
+            );
+            out.extend_from_slice(payload);
+            out
+        }
+        let records = [
+            sample_record(1, RecordPoint::Intent),
+            sample_record(1, RecordPoint::Sealed),
+            sample_record(2, RecordPoint::Sealed),
+        ];
+        let mut legacy_stream = Vec::new();
+        let mut shared_stream = Vec::new();
+        for rec in &records {
+            let payload = encode_record(rec);
+            legacy_stream.extend_from_slice(&frame_legacy(&payload));
+            shared_stream.extend_from_slice(&frame(&payload));
+        }
+        assert_eq!(legacy_stream, shared_stream, "frame bytes changed");
+        let (decoded, clean) = decode_stream(&legacy_stream);
+        assert_eq!(clean, legacy_stream.len());
+        assert_eq!(decoded, records.to_vec());
+        // A legacy torn tail still truncates at the same clean prefix.
+        let clean_len = legacy_stream.len();
+        legacy_stream.extend_from_slice(&frame_legacy(&encode_record(&records[0]))[..10]);
+        let (decoded, clean) = decode_stream(&legacy_stream);
+        assert_eq!((decoded.len(), clean), (3, clean_len));
     }
 
     #[test]

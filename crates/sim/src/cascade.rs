@@ -166,6 +166,18 @@ pub fn run_cascade_with(
     scenario: &CascadeScenario,
     telemetry: Option<SimTelemetry>,
 ) -> CascadeReport {
+    run_cascade_recorded(scenario, telemetry, None).0
+}
+
+/// [`run_cascade_with`], optionally capturing a flight recording of every
+/// driven round. Returns the sealed `.rec` bytes when a recorder was
+/// supplied — byte-identical for reruns of the same scenario, since the
+/// whole campaign is deterministic.
+pub fn run_cascade_recorded(
+    scenario: &CascadeScenario,
+    telemetry: Option<SimTelemetry>,
+    recorder: Option<Box<cellflow_core::snapshot::Recorder>>,
+) -> (CascadeReport, Option<Vec<u8>>) {
     let config = &scenario.config;
     assert!(
         config.capacity().is_some(),
@@ -198,6 +210,9 @@ pub fn run_cascade_with(
         tel.record_cascade(&outcome.stats, &outcome.trips);
         sim = sim.with_telemetry(tel);
     }
+    if let Some(rec) = recorder {
+        sim = sim.with_recorder(rec);
+    }
 
     let dims = config.dims();
     let mut occupancy = OccupancyGrid::new(dims);
@@ -209,9 +224,10 @@ pub fn run_cascade_with(
         pressure.record(sim.system());
     }
 
+    let recording = sim.take_recorder().map(|r| r.finish());
     let census = outcome.plan.census();
     let capacity_ok_final = check_capacity(config, sim.system().state()).is_ok();
-    CascadeReport {
+    let report = CascadeReport {
         census,
         consumed: sim.system().consumed_total(),
         rounds: total_rounds,
@@ -224,7 +240,8 @@ pub fn run_cascade_with(
         pressure: pressure.render(),
         cascade: render_cascade(dims, &outcome.trips),
         outcome,
-    }
+    };
+    (report, recording)
 }
 
 #[cfg(test)]

@@ -51,10 +51,14 @@ pub mod table;
 mod telemetry;
 mod trace;
 
-pub use cascade::{run_cascade, run_cascade_with, CascadeReport, CascadeScenario};
+pub use cascade::{
+    run_cascade, run_cascade_recorded, run_cascade_with, CascadeReport, CascadeScenario,
+};
 pub use failure::{FailureEvents, FailureModel, OverloadModel};
 pub use metrics::Metrics;
-pub use partition::{run_partition, run_partition_with, PartitionReport, PartitionScenario};
+pub use partition::{
+    run_partition, run_partition_recorded, run_partition_with, PartitionReport, PartitionScenario,
+};
 pub use runner::Simulation;
 pub use telemetry::SimTelemetry;
 pub use trace::{TraceEvent, TraceRecorder};

@@ -150,6 +150,18 @@ pub fn run_partition_with(
     scenario: &PartitionScenario,
     telemetry: Option<SimTelemetry>,
 ) -> PartitionReport {
+    run_partition_recorded(scenario, telemetry, None).0
+}
+
+/// [`run_partition_with`], optionally capturing a flight recording of every
+/// driven round. Returns the sealed `.rec` bytes when a recorder was
+/// supplied — byte-identical for reruns of the same scenario, since the
+/// whole campaign is deterministic.
+pub fn run_partition_recorded(
+    scenario: &PartitionScenario,
+    telemetry: Option<SimTelemetry>,
+    recorder: Option<Box<cellflow_core::snapshot::Recorder>>,
+) -> (PartitionReport, Option<Vec<u8>>) {
     let config = &scenario.config;
     let total_rounds = scenario.rounds + scenario.settle;
     let schedule: PartitionSchedule = scenario.plan.expand(total_rounds);
@@ -173,6 +185,9 @@ pub fn run_partition_with(
         tel.record_partition(&schedule);
         sim = sim.with_telemetry(tel);
     }
+    if let Some(rec) = recorder {
+        sim = sim.with_recorder(rec);
+    }
 
     let dims = config.dims();
     let mut occupancy = OccupancyGrid::new(dims);
@@ -193,7 +208,8 @@ pub fn run_partition_with(
         &component_map(config, sim.system().state(), schedule.mask_row(total_rounds)),
     );
 
-    PartitionReport {
+    let recording = sim.take_recorder().map(|r| r.finish());
+    let report = PartitionReport {
         faults: scenario.plan.faults().len(),
         flaky: scenario.plan.flaky().len(),
         cut_edge_rounds: schedule.cut_edge_rounds(),
@@ -208,7 +224,8 @@ pub fn run_partition_with(
         components_split,
         components_final,
         occupancy: occupancy.render(),
-    }
+    };
+    (report, recording)
 }
 
 #[cfg(test)]

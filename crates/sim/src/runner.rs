@@ -169,6 +169,20 @@ impl Simulation {
         self
     }
 
+    /// Attaches a flight recorder: the opening keyframe is the current
+    /// state, and every subsequent round records itself (see
+    /// [`System::attach_recorder`]). Seal it with
+    /// [`Simulation::take_recorder`] when the run completes.
+    pub fn with_recorder(mut self, recorder: Box<cellflow_core::snapshot::Recorder>) -> Simulation {
+        self.system.attach_recorder(recorder);
+        self
+    }
+
+    /// Detaches and returns the flight recorder, if any.
+    pub fn take_recorder(&mut self) -> Option<Box<cellflow_core::snapshot::Recorder>> {
+        self.system.take_recorder()
+    }
+
     /// The attached telemetry bundle, if any.
     pub fn telemetry(&self) -> Option<&SimTelemetry> {
         self.telemetry.as_ref()

@@ -22,6 +22,11 @@
 //!   [`FlightRecorder`], a bounded ring of the last K rounds that
 //!   auto-dumps to disk when a violation or timeout arrives — failed chaos
 //!   runs leave replayable artifacts.
+//! * [`recording`] — deterministic flight recordings (`.rec` files):
+//!   checksummed per-round state frames (full keyframe every K rounds,
+//!   deltas between) behind `cellflow record`/`replay`/`diff`/`bisect`.
+//!   This crate owns the container format; the state codec lives in
+//!   `cellflow_core::snapshot`, one layer up.
 //! * [`prometheus`] — text-format exposition of any registry snapshot,
 //!   plus a strict validator; [`report`] — latency tables and round
 //!   timelines for the `cellflow metrics` / `cellflow inspect` commands.
@@ -38,6 +43,7 @@ pub mod event;
 pub mod json;
 pub mod prometheus;
 pub mod recorder;
+pub mod recording;
 pub mod registry;
 pub mod report;
 pub mod trace;
@@ -46,6 +52,9 @@ pub use event::{validate_stream, Event, StreamStats, SCHEMA_VERSION};
 pub use trace::{cell_ordinal, SpanBuilder, SpanKind, Trace, TraceSpan, Tracer};
 pub use json::Json;
 pub use recorder::{EventLog, FlightRecorder, SharedBuffer};
+pub use recording::{
+    FrameKind, RecError, RecFrame, RecHeader, Recording, RecordingWriter, REC_SCHEMA_VERSION,
+};
 pub use registry::{
     Counter, Gauge, Histogram, MetricSnapshot, PhaseTimers, Registry, SchedulerMetrics, Span,
     BUCKETS, SHARDS,

@@ -1,0 +1,174 @@
+//! Property-based round-trips for the deterministic flight recordings
+//! (DESIGN.md §15): the snapshot codec must reconstruct states exactly,
+//! keyframe-seek materialization must agree with linear replay, bisection
+//! must pinpoint an injected corruption to its exact round and cell, and a
+//! recording must be a pure observation — attaching one never perturbs the
+//! run, and recording-off keeps the engine's zero-allocation steady state.
+
+use cellular_flows::core::snapshot::{
+    self, apply_delta, bisect, decode_state, diff_states, encode_delta, encode_state, Recorder,
+};
+use cellular_flows::core::{Engine, Params, System, SystemConfig, SystemState};
+use cellular_flows::grid::{CellId, GridDims};
+use cellular_flows::telemetry::{FrameKind, Recording};
+use proptest::prelude::*;
+
+/// A small random system: the source keeps traffic flowing so states keep
+/// changing (deltas stay non-trivial).
+fn config_strategy() -> impl Strategy<Value = SystemConfig> {
+    (3u16..=6, 3u16..=6).prop_map(|(nx, ny)| {
+        let params = Params::from_milli(250, 50, 200).expect("paper parameters are valid");
+        SystemConfig::new(GridDims::new(nx, ny), CellId::new(1, ny - 1), params)
+            .expect("target in bounds")
+            .with_source(CellId::new(1, 0))
+    })
+}
+
+/// Drives a system `rounds` steps and returns every state: index `r` is
+/// the state after `r` rounds (index 0 is the initial state).
+fn state_sequence(config: &SystemConfig, rounds: u64) -> Vec<SystemState> {
+    let mut sys = System::new(config.clone());
+    let mut states = vec![sys.state().clone()];
+    for _ in 0..rounds {
+        sys.step();
+        states.push(sys.state().clone());
+    }
+    states
+}
+
+/// Records a state sequence through a [`Recorder`] and parses it back.
+fn record_sequence(
+    config: &SystemConfig,
+    states: &[SystemState],
+    keyframe_interval: u64,
+) -> Recording {
+    let mut rec = Recorder::for_config(config, 1, keyframe_interval, "prop");
+    for (round, state) in states.iter().enumerate() {
+        rec.record(round as u64, state);
+    }
+    Recording::parse(&rec.finish()).expect("a fresh recording parses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Keyframes and deltas reconstruct every state bit-exactly:
+    /// `decode(encode(s)) == s` and `apply(prev, delta(prev, cur)) == cur`.
+    #[test]
+    fn snapshot_codec_round_trips(config in config_strategy(), rounds in 2u64..30) {
+        let dims = config.dims();
+        let states = state_sequence(&config, rounds);
+        for pair in states.windows(2) {
+            let decoded = decode_state(&encode_state(&pair[1]), dims)
+                .expect("keyframe body decodes");
+            prop_assert_eq!(&decoded, &pair[1]);
+            let mut patched = pair[0].clone();
+            apply_delta(&mut patched, &encode_delta(&pair[0], &pair[1]))
+                .expect("delta body applies");
+            prop_assert_eq!(&patched, &pair[1]);
+            prop_assert!(diff_states(dims, &patched, &pair[1]).is_empty());
+        }
+    }
+
+    /// `state_at` (keyframe seek + delta walk) agrees with the linear
+    /// ground truth at every round, for every keyframe cadence.
+    #[test]
+    fn keyframe_seek_equals_linear_replay(
+        config in config_strategy(),
+        rounds in 2u64..30,
+        keyframe_interval in 1u64..12,
+    ) {
+        let states = state_sequence(&config, rounds);
+        let rec = record_sequence(&config, &states, keyframe_interval);
+        prop_assert_eq!(rec.round_span(), Some((0, rounds)));
+        prop_assert_eq!(rec.frames[0].kind, FrameKind::Keyframe);
+        for (round, expected) in states.iter().enumerate() {
+            let sought = snapshot::state_at(&rec, round as u64)
+                .expect("every recorded round materializes");
+            prop_assert_eq!(&sought, expected);
+        }
+    }
+
+    /// Bisecting a recording against a copy with one injected corruption
+    /// reports exactly the corrupted round and cell.
+    #[test]
+    fn bisect_pinpoints_an_injected_corruption(
+        config in config_strategy(),
+        rounds in 3u64..25,
+        keyframe_interval in 1u64..8,
+        round_seed in 0u64..10_000,
+        cell_seed in 0usize..10_000,
+    ) {
+        let dims = config.dims();
+        let states = state_sequence(&config, rounds);
+        let corrupt_round = 1 + round_seed % rounds;
+        let cell_index = cell_seed % states[0].cells.len();
+
+        let mut corrupted = states.clone();
+        let victim = &mut corrupted[corrupt_round as usize].cells[cell_index];
+        victim.failed = !victim.failed;
+
+        let a = record_sequence(&config, &states, keyframe_interval);
+        let b = record_sequence(&config, &corrupted, keyframe_interval);
+        let d = bisect(&a, &b)
+            .expect("recordings are comparable")
+            .expect("the corruption diverges the recordings");
+        prop_assert_eq!(d.round, corrupt_round);
+        prop_assert_eq!(d.cell, Some(dims.id_at(cell_index)));
+
+        // Identical recordings never diverge.
+        prop_assert!(bisect(&a, &a).expect("comparable").is_none());
+    }
+
+    /// A recording is a pure observation: the recorded run's states are
+    /// bit-identical to an unrecorded run of the same system, and the
+    /// recording itself is reproducible.
+    #[test]
+    fn recording_never_perturbs_the_run(
+        config in config_strategy(),
+        rounds in 2u64..30,
+        keyframe_interval in 1u64..12,
+    ) {
+        let mut bare = System::new(config.clone());
+        let mut recorded = System::new(config.clone());
+        recorded.attach_recorder(Box::new(Recorder::for_config(
+            &config, 1, keyframe_interval, "prop",
+        )));
+        for _ in 0..rounds {
+            bare.step();
+            recorded.step();
+        }
+        prop_assert_eq!(bare.state(), recorded.state());
+
+        let bytes = recorded
+            .take_recorder()
+            .expect("the recorder stays attached")
+            .finish();
+        let rec = Recording::parse(&bytes).expect("recording parses");
+        let last = snapshot::state_at(&rec, rounds).expect("last round materializes");
+        prop_assert_eq!(&last, bare.state());
+    }
+}
+
+/// Recording-off is the engine's ordinary steady state: zero allocation
+/// events per round, exactly as `BENCH_PR3.json` pins.
+#[test]
+fn recording_off_steady_state_stays_allocation_free() {
+    let params = Params::from_milli(250, 50, 200).expect("paper parameters are valid");
+    let config = SystemConfig::new(GridDims::square(6), CellId::new(1, 5), params)
+        .expect("target in bounds")
+        .with_source(CellId::new(1, 0));
+    let mut engine = Engine::new(config);
+    for _ in 0..200 {
+        engine.step();
+    }
+    engine.reset_alloc_events();
+    for _ in 0..200 {
+        engine.step();
+    }
+    assert_eq!(
+        engine.alloc_events(),
+        0,
+        "an unrecorded steady-state round allocated"
+    );
+}
